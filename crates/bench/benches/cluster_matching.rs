@@ -1,0 +1,94 @@
+//! The prefetch ablation (paper §2.2 / Figure 3(a) inset): the columnwise
+//! cluster-matching kernel with and without software prefetching, across
+//! cluster widths and selectivities.
+//!
+//! The paper reports prefetching improves propagation throughput ~1.5× at
+//! large subscription counts. The effect needs the cluster arrays to be
+//! bigger than the last-level cache to show; the large configuration here
+//! is sized for that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pubsub_core::Cluster;
+use pubsub_index::PredicateBitVec;
+use pubsub_types::SubscriptionId;
+
+/// Builds a cluster of `n` subscriptions of `width` columns where roughly
+/// `hit_rate` of first-column bits are set in the accompanying bit vector.
+fn build(n: usize, width: usize, hit_rate: f64) -> (Cluster, PredicateBitVec) {
+    let n_preds = 4096u32;
+    let mut cluster = Cluster::new(width);
+    let mut bits = PredicateBitVec::with_capacity(n_preds as usize);
+    // Bits [0, cut) are set; predicate refs are spread over the whole range.
+    let cut = (n_preds as f64 * hit_rate) as u32;
+    for i in 0..cut {
+        bits.set(i);
+    }
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32 % n_preds
+    };
+    let refs: Vec<Vec<u32>> = (0..n)
+        .map(|_| (0..width).map(|_| next()).collect())
+        .collect();
+    for (i, r) in refs.iter().enumerate() {
+        cluster.insert(SubscriptionId(i as u32), r);
+    }
+    (cluster, bits)
+}
+
+fn bench_cluster_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_matching");
+    for &(n, width) in &[(100_000usize, 3usize), (1_000_000, 3), (1_000_000, 5)] {
+        let (cluster, bits) = build(n, width, 0.3);
+        let mut out = Vec::with_capacity(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("no-prefetch/w{width}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    out.clear();
+                    cluster.match_into::<false>(&bits, &mut out)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("prefetch/w{width}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    out.clear();
+                    cluster.match_into::<true>(&bits, &mut out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_selectivity_shortcircuit(c: &mut Criterion) {
+    // Columnwise storage should get cheaper as the first column gets more
+    // selective (later columns' cache lines are skipped).
+    let mut group = c.benchmark_group("first_column_selectivity");
+    for &rate in &[0.9f64, 0.3, 0.05] {
+        let (cluster, bits) = build(500_000, 4, rate);
+        let mut out = Vec::with_capacity(500_000);
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| {
+                out.clear();
+                cluster.match_into::<true>(&bits, &mut out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_matching,
+    bench_selectivity_shortcircuit
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end `match_event` comparison of all engines at a fixed
+//! subscription count (the Criterion companion to the Figure 3(a) harness;
+//! run `fig3a_throughput` for the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_bench::load_engine;
+use pubsub_core::EngineKind;
+use pubsub_workload::{presets, WorkloadGen};
+
+fn bench_engines(c: &mut Criterion) {
+    const N_SUBS: usize = 100_000;
+    let mut group = c.benchmark_group("match_event_w0_100k");
+    group.sample_size(20);
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut gen = WorkloadGen::new(presets::w0(N_SUBS));
+        let (mut engine, _) = load_engine(kind, &mut gen, N_SUBS);
+        let events: Vec<_> = (0..256).map(|_| gen.event()).collect();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                out.clear();
+                engine.match_event(&events[i % events.len()], &mut out);
+                i += 1;
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subscription_churn(c: &mut Criterion) {
+    // Insert+remove cost per engine (the loading-time story of Figure 3(d)
+    // at micro scale).
+    use pubsub_types::SubscriptionId;
+    let mut group = c.benchmark_group("insert_remove_w0");
+    group.sample_size(20);
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut gen = WorkloadGen::new(presets::w0(50_000));
+        let (mut engine, _) = load_engine(kind, &mut gen, 50_000);
+        let subs: Vec<_> = (0..512).map(|_| gen.subscription()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            let mut next = 1_000_000u32;
+            let mut i = 0;
+            b.iter(|| {
+                let id = SubscriptionId(next);
+                next += 1;
+                engine.insert(id, &subs[i % subs.len()]);
+                engine.remove(id);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_subscription_churn);
+criterion_main!(benches);

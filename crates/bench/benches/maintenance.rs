@@ -1,0 +1,68 @@
+//! Cost of the dynamic maintenance machinery (paper §4): how expensive is a
+//! maintenance pass, and what does subscription churn cost with maintenance
+//! amortised in — the overheads behind the "irregular" transition phase of
+//! Figure 4(a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_core::{ClusteredMatcher, DynamicConfig, MatchEngine};
+use pubsub_types::SubscriptionId;
+use pubsub_workload::{presets, WorkloadGen};
+
+fn loaded_matcher(n: usize, period: usize) -> (ClusteredMatcher, WorkloadGen) {
+    let mut engine = ClusteredMatcher::new_dynamic_with(DynamicConfig {
+        period,
+        ..DynamicConfig::default()
+    });
+    let mut gen = WorkloadGen::new(presets::w0(n));
+    for i in 0..n {
+        engine.insert(SubscriptionId(i as u32), &gen.subscription());
+    }
+    // Warm statistics so maintenance has realistic selectivities.
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        out.clear();
+        engine.match_event(&gen.event(), &mut out);
+    }
+    (engine, gen)
+}
+
+fn bench_maintenance_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_pass");
+    group.sample_size(10);
+    for &n in &[50_000usize, 200_000] {
+        // Huge period: we trigger passes manually.
+        let (mut engine, _) = loaded_matcher(n, usize::MAX);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| engine.run_maintenance())
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_with_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_insert_remove");
+    group.sample_size(20);
+    for &period in &[1024usize, 16 * 1024] {
+        let (mut engine, mut gen) = loaded_matcher(100_000, period);
+        let subs: Vec<_> = (0..1024).map(|_| gen.subscription()).collect();
+        group.bench_with_input(BenchmarkId::new("period", period), &period, |b, _| {
+            let mut next = 10_000_000u32;
+            let mut i = 0;
+            b.iter(|| {
+                let id = SubscriptionId(next);
+                next += 1;
+                engine.insert(id, &subs[i % subs.len()]);
+                engine.remove(id);
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maintenance_pass,
+    bench_churn_with_maintenance
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: columnwise vs. row-wise cluster storage (paper §2.2).
+//!
+//! The paper stores subscriptions *columnwise* — one array per predicate
+//! position — so that when the first predicate fails, the cache lines of the
+//! later positions are never touched. "If we had used a row-wise storage
+//! method we would have been forced to touch every cache line." This bench
+//! implements the row-wise alternative locally and measures both on the
+//! same data, across first-column selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_core::Cluster;
+use pubsub_index::PredicateBitVec;
+use pubsub_types::SubscriptionId;
+
+/// The row-wise strawman: `rows[j]` holds all predicate refs of
+/// subscription `j` contiguously.
+struct RowwiseCluster {
+    width: usize,
+    rows: Vec<u32>,
+    subs: Vec<SubscriptionId>,
+}
+
+impl RowwiseCluster {
+    fn new(width: usize) -> Self {
+        Self {
+            width,
+            rows: Vec::new(),
+            subs: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, id: SubscriptionId, refs: &[u32]) {
+        assert_eq!(refs.len(), self.width);
+        self.rows.extend_from_slice(refs);
+        self.subs.push(id);
+    }
+
+    fn match_into(&self, bits: &PredicateBitVec, out: &mut Vec<SubscriptionId>) {
+        for (j, row) in self.rows.chunks_exact(self.width).enumerate() {
+            if row.iter().all(|&b| bits.get(b)) {
+                out.push(self.subs[j]);
+            }
+        }
+    }
+}
+
+fn build(n: usize, width: usize, hit_rate: f64) -> (Cluster, RowwiseCluster, PredicateBitVec) {
+    let n_preds = 4096u32;
+    let mut col = Cluster::new(width);
+    let mut row = RowwiseCluster::new(width);
+    let mut bits = PredicateBitVec::with_capacity(n_preds as usize);
+    let cut = (n_preds as f64 * hit_rate) as u32;
+    for i in 0..cut {
+        bits.set(i);
+    }
+    let mut state = 0xDEADBEEFu64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32 % n_preds
+    };
+    for i in 0..n {
+        let refs: Vec<u32> = (0..width).map(|_| next()).collect();
+        col.insert(SubscriptionId(i as u32), &refs);
+        row.insert(SubscriptionId(i as u32), &refs);
+    }
+    (col, row, bits)
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_layout");
+    // Selective first column: columnwise skips later columns' cache lines.
+    for &rate in &[0.5f64, 0.1, 0.02] {
+        let (col, row, bits) = build(1_000_000, 4, rate);
+        let mut out = Vec::with_capacity(1_000_000);
+        group.bench_with_input(BenchmarkId::new("columnwise", rate), &rate, |b, _| {
+            b.iter(|| {
+                out.clear();
+                col.match_into::<true>(&bits, &mut out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rowwise", rate), &rate, |b, _| {
+            b.iter(|| {
+                out.clear();
+                row.match_into(&bits, &mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 3(a): event matching throughput vs. number of subscriptions,
+//! workload W0, for all five engines.
+//!
+//! The paper's headline numbers at 6,000,000 subscriptions on a 500 MHz
+//! Pentium III: counting 1.1 ev/s, propagation 124 ev/s, propagation-wp
+//! 196 ev/s, dynamic 602 ev/s. Expect the same *ordering* and roughly the
+//! same ratios here; absolute numbers scale with the hardware.
+//!
+//! With `--phases` also prints the §6.2.1 split: time to compute satisfied
+//! predicates (phase 1) vs. time to compute matching subscriptions
+//! (phase 2).
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin fig3a_throughput --
+//!         [--subs 100000,...] [--events N] [--engines a,b] [--phases]`
+
+use pubsub_bench::{load_engine, measure_throughput, parse_args, HarnessArgs, SeriesReport};
+use pubsub_workload::{presets, WorkloadGen};
+
+fn main() {
+    let args = parse_args(HarnessArgs::default());
+    let series: Vec<String> = args.engines.iter().map(|e| e.label().to_string()).collect();
+    let mut report = SeriesReport::new(
+        "Figure 3(a): throughput (events/s) vs subscriptions, workload W0",
+        "subs",
+        series.clone(),
+    );
+    let mut phase_report =
+        SeriesReport::new("§6.2.1 split: phase1/phase2 per event (ms)", "subs", series);
+
+    for &n in &args.subs {
+        let mut row = Vec::new();
+        let mut phase_row = Vec::new();
+        for &kind in &args.engines {
+            // Counting is orders of magnitude slower (that is the figure's
+            // point); cap its event count so a sweep finishes.
+            let events = if kind == pubsub_core::EngineKind::Counting {
+                args.events.min(60)
+            } else {
+                args.events
+            };
+            let mut gen = WorkloadGen::new(presets::w0(n));
+            let (mut engine, _) = load_engine(kind, &mut gen, n);
+            // Warm-up: one small batch, then reset counters.
+            measure_throughput(engine.as_mut(), &mut gen, 20);
+            engine.reset_stats();
+            let (eps, _) = measure_throughput(engine.as_mut(), &mut gen, events);
+            row.push(format!("{eps:.1}"));
+            let s = engine.stats();
+            phase_row.push(format!(
+                "{:.3}/{:.3}",
+                s.phase1_nanos as f64 / s.events as f64 / 1e6,
+                s.phase2_nanos as f64 / s.events as f64 / 1e6,
+            ));
+            eprintln!("  [{} @ {n}] {eps:.1} events/s", kind.label());
+        }
+        report.push_row(n.to_string(), row);
+        phase_report.push_row(n.to_string(), phase_row);
+    }
+
+    println!("{}", report.render());
+    if args.phases {
+        println!("{}", phase_report.render());
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 3(b): throughput of *dynamic* and *propagation-wp* under
+//! different operator mixes — W1 (one inequality per subscription) vs. W2
+//! (six inequalities).
+//!
+//! The paper finds both engines slow down by a similar constant factor from
+//! W1 to W2 (they share the inequality handling; the dynamic gain comes
+//! from equality predicates), and dynamic stays ahead in both.
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin fig3b_operators --
+//!         [--subs N] [--events N]`
+
+use pubsub_bench::{load_engine, measure_throughput, parse_args, HarnessArgs, SeriesReport};
+use pubsub_core::EngineKind;
+use pubsub_workload::{presets, WorkloadGen, WorkloadSpec};
+
+/// A named workload preset constructor.
+type Preset = fn(usize) -> WorkloadSpec;
+
+fn main() {
+    let args = parse_args(HarnessArgs {
+        subs: vec![300_000],
+        events: 300,
+        engines: vec![EngineKind::PropagationPrefetch, EngineKind::Dynamic],
+        ..HarnessArgs::default()
+    });
+    let n = args.subs[0];
+    let workloads: [(&str, Preset); 2] = [("W1", presets::w1), ("W2", presets::w2)];
+
+    let series: Vec<String> = args.engines.iter().map(|e| e.label().to_string()).collect();
+    let mut report = SeriesReport::new(
+        format!("Figure 3(b): throughput (events/s) by operator mix, {n} subscriptions"),
+        "workload",
+        series,
+    );
+
+    for (name, preset) in workloads {
+        let mut row = Vec::new();
+        for &kind in &args.engines {
+            let mut gen = WorkloadGen::new(preset(n));
+            let (mut engine, _) = load_engine(kind, &mut gen, n);
+            measure_throughput(engine.as_mut(), &mut gen, 20);
+            engine.reset_stats();
+            let (eps, _) = measure_throughput(engine.as_mut(), &mut gen, args.events);
+            row.push(format!("{eps:.1}"));
+            eprintln!("  [{} @ {name}] {eps:.1} events/s", kind.label());
+        }
+        report.push_row(name, row);
+    }
+
+    println!("{}", report.render());
+}

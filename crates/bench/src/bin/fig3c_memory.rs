@@ -1,0 +1,53 @@
+//! Figure 3(c): memory-resident size vs. number of subscriptions per engine,
+//! workload W0, measured as live heap bytes at the global allocator.
+//!
+//! The paper's ordering: the propagation engines use the least memory
+//! (shared internal structures), counting slightly more, and dynamic the
+//! most (the multi-attribute hash tables).
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin fig3c_memory --
+//!         [--subs a,b,c] [--engines a,b]`
+
+use pubsub_bench::harness::fmt_bytes;
+use pubsub_bench::{load_engine, parse_args, CountingAllocator, HarnessArgs, SeriesReport};
+use pubsub_workload::{presets, WorkloadGen};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args = parse_args(HarnessArgs::default());
+    let series: Vec<String> = args.engines.iter().map(|e| e.label().to_string()).collect();
+    let mut report = SeriesReport::new(
+        "Figure 3(c): live heap bytes vs subscriptions, workload W0",
+        "subs",
+        series,
+    );
+
+    for &n in &args.subs {
+        let mut row = Vec::new();
+        for &kind in &args.engines {
+            let mut gen = WorkloadGen::new(presets::w0(n));
+            let before = CountingAllocator::live_bytes();
+            let (engine, _) = load_engine(kind, &mut gen, n);
+            // Warm the match path once so workhorse buffers are included.
+            {
+                let mut engine = engine;
+                let e = gen.event();
+                let mut out = Vec::new();
+                engine.match_event(&e, &mut out);
+                let used = CountingAllocator::live_bytes().saturating_sub(before);
+                row.push(fmt_bytes(used));
+                eprintln!(
+                    "  [{} @ {n}] {} live ({} self-reported)",
+                    kind.label(),
+                    fmt_bytes(used),
+                    fmt_bytes(engine.heap_bytes())
+                );
+            } // engine dropped here so the next engine starts clean
+        }
+        report.push_row(n.to_string(), row);
+    }
+
+    println!("{}", report.render());
+}

@@ -1,0 +1,35 @@
+//! Figure 3(d): subscription loading time vs. number of subscriptions per
+//! engine, workload W0.
+//!
+//! The paper's ordering: counting loads fastest (simplest structures),
+//! static slowest (it computes the full cost-based clustering from scratch);
+//! dynamic sits in between, amortising reorganisation across processing.
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin fig3d_loading --
+//!         [--subs a,b,c] [--engines a,b]`
+
+use pubsub_bench::{load_engine, parse_args, HarnessArgs, SeriesReport};
+use pubsub_workload::{presets, WorkloadGen};
+
+fn main() {
+    let args = parse_args(HarnessArgs::default());
+    let series: Vec<String> = args.engines.iter().map(|e| e.label().to_string()).collect();
+    let mut report = SeriesReport::new(
+        "Figure 3(d): subscription loading time (s) vs subscriptions, workload W0",
+        "subs",
+        series,
+    );
+
+    for &n in &args.subs {
+        let mut row = Vec::new();
+        for &kind in &args.engines {
+            let mut gen = WorkloadGen::new(presets::w0(n));
+            let (_engine, load_time) = load_engine(kind, &mut gen, n);
+            row.push(format!("{:.2}", load_time.as_secs_f64()));
+            eprintln!("  [{} @ {n}] {:.2}s", kind.label(), load_time.as_secs_f64());
+        }
+        report.push_row(n.to_string(), row);
+    }
+
+    println!("{}", report.render());
+}

@@ -1,0 +1,36 @@
+//! Figure 4(a): event throughput under *subscription schema drift*
+//! (W3 → W4): the incoming subscriptions switch from focusing on the first
+//! 16 attributes to the other 16, while events keep valuing all 32.
+//!
+//! Paper outcome: the no-change strategy ends at roughly half its initial
+//! throughput; the dynamic strategy adapts (with some irregularity during
+//! the transition while new tables are built) and ends well above it.
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin fig4a_schema_drift --
+//!         [--subs N] [--ticks N] [--tick-ms N]`
+
+use pubsub_bench::drift::{run_drift, DriftExperiment};
+use pubsub_bench::{parse_args, HarnessArgs};
+use pubsub_workload::presets;
+use std::time::Duration;
+
+fn main() {
+    let args = parse_args(HarnessArgs {
+        subs: vec![100_000],
+        ticks: 150,
+        tick_ms: 25,
+        ..HarnessArgs::default()
+    });
+    let population = args.subs[0];
+    let exp = DriftExperiment {
+        title: "Figure 4(a): schema drift W3 -> W4".into(),
+        before: presets::w3(population),
+        after_subs: presets::w4(population),
+        after_events: presets::w3(population), // events unchanged
+        population,
+        ticks: args.ticks,
+        tick_budget: Duration::from_millis(args.tick_ms),
+        window: (args.ticks / 10).max(1),
+    };
+    println!("{}", run_drift(&exp).render());
+}

@@ -1,0 +1,147 @@
+//! Shared driver for the Figure 4 adaptability experiments.
+//!
+//! Both figures run the same protocol (paper §6.2.2): bring the system to
+//! equilibrium on workload A, run a stable warm phase, then switch the
+//! *incoming* subscription stream (and, for 4(b), the event stream) to
+//! workload B; with FIFO deletion the population fully turns over, after
+//! which a final stable phase runs. Throughput is averaged per window and
+//! compared between the *dynamic* strategy (maintenance active throughout)
+//! and the *no change* strategy (the same engine with its table
+//! configuration frozen at the end of the warm phase).
+
+use crate::harness::SeriesReport;
+use pubsub_broker::{EquilibriumConfig, EquilibriumSim};
+#[allow(unused_imports)]
+use pubsub_core::EngineStats;
+use pubsub_core::{ClusteredMatcher, DynamicConfig, MatchEngine};
+use pubsub_workload::{WorkloadGen, WorkloadSpec};
+use std::time::Duration;
+
+/// Parameters of one drift experiment.
+#[derive(Debug, Clone)]
+pub struct DriftExperiment {
+    /// Figure title.
+    pub title: String,
+    /// Initial workload (subscriptions *and* events).
+    pub before: WorkloadSpec,
+    /// Post-drift subscription workload.
+    pub after_subs: WorkloadSpec,
+    /// Post-drift event workload (same as `before` for Figure 4(a); skewed
+    /// for Figure 4(b)).
+    pub after_events: WorkloadSpec,
+    /// Equilibrium population.
+    pub population: usize,
+    /// Total ticks; the drift begins after 20% of them and the churn rate is
+    /// sized so the population fully turns over by 80%.
+    pub ticks: u64,
+    /// Wall budget per tick.
+    pub tick_budget: Duration,
+    /// Ticks averaged per reported window (the paper averages every two
+    /// hours of its 20-hour run).
+    pub window: u64,
+}
+
+fn run_strategy(exp: &DriftExperiment, churn: usize, freeze_at_drift: bool) -> Vec<f64> {
+    let config = EquilibriumConfig {
+        initial_subs: exp.population,
+        churn_per_tick: churn,
+        tick_budget: exp.tick_budget,
+        event_slice: 5,
+    };
+    // Several maintenance passes per turnover, as the paper's periodic
+    // metric updates imply.
+    let engine = ClusteredMatcher::new_dynamic_with(DynamicConfig {
+        period: (churn * 8).max(1024),
+        // A table is only worth its per-event probe cost if a meaningful
+        // fraction of the population benefits; scale Bcreate with the
+        // population as the paper's operators would.
+        b_create: (exp.population / 50).max(1024),
+        ..DynamicConfig::default()
+    });
+    let mut sim = EquilibriumSim::new(engine, config);
+    let mut before_subs = WorkloadGen::new(exp.before.clone());
+    let mut after_subs = WorkloadGen::new(exp.after_subs.clone());
+    let mut before_events = WorkloadGen::new(exp.before.clone());
+    let mut after_events = WorkloadGen::new(exp.after_events.clone());
+    sim.load_initial(&mut before_subs);
+
+    let drift_start = exp.ticks / 5;
+    let mut series = Vec::with_capacity(exp.ticks as usize);
+    let debug = std::env::var_os("FASTPUBSUB_DRIFT_DEBUG").is_some();
+    let mut prev = *sim.engine().stats();
+    for tick in 0..exp.ticks {
+        if tick == drift_start && freeze_at_drift {
+            // The no-change strategy: keep the configuration that was
+            // optimal for the pre-drift workload.
+            sim.engine_mut().freeze();
+        }
+        let (sg, eg) = if tick >= drift_start {
+            (&mut after_subs, &mut after_events)
+        } else {
+            (&mut before_subs, &mut before_events)
+        };
+        let r = sim.run_tick(sg, eg);
+        if debug && tick % 6 == 0 {
+            let s = *sim.engine().stats();
+            eprintln!(
+                "      tick {tick}: churn {:?}, events {}, p1 {}us p2 {}us checks {}",
+                r.churn_time,
+                r.events,
+                (s.phase1_nanos - prev.phase1_nanos) / 1000 / (s.events - prev.events).max(1),
+                (s.phase2_nanos - prev.phase2_nanos) / 1000 / (s.events - prev.events).max(1),
+                (s.subscriptions_checked - prev.subscriptions_checked)
+                    / (s.events - prev.events).max(1),
+            );
+            prev = s;
+        }
+        series.push(r.events as f64 / exp.tick_budget.as_secs_f64());
+    }
+    if debug {
+        let e = sim.engine();
+        let s = e.stats();
+        eprintln!(
+            "    final: {} tables, created {}, deleted {}, moves {}, checks/event {:.0}",
+            e.table_summary().len(),
+            s.tables_created,
+            s.tables_deleted,
+            s.subscription_moves,
+            s.checks_per_event(),
+        );
+    }
+    series
+}
+
+/// Runs both strategies and reports per-window mean throughput.
+pub fn run_drift(exp: &DriftExperiment) -> SeriesReport {
+    let churn = (exp.population as f64 / (0.6 * exp.ticks as f64)).ceil() as usize;
+    let drift_start = exp.ticks / 5;
+
+    eprintln!("  [dynamic strategy]");
+    let dynamic_series = run_strategy(exp, churn, false);
+    eprintln!("  [no-change strategy]");
+    let no_change_series = run_strategy(exp, churn, true);
+
+    let mut report = SeriesReport::new(
+        format!(
+            "{} — population {}, churn {churn}/tick, drift at tick {drift_start}",
+            exp.title, exp.population
+        ),
+        "tick",
+        vec!["dynamic (ev/s)".into(), "no-change (ev/s)".into()],
+    );
+    for w in 0..(exp.ticks / exp.window.max(1)) {
+        let range = (w * exp.window) as usize..((w + 1) * exp.window) as usize;
+        let mean = |s: &[f64]| {
+            let slice = &s[range.clone()];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        };
+        report.push_row(
+            format!("{}", w * exp.window),
+            vec![
+                format!("{:.0}", mean(&dynamic_series)),
+                format!("{:.0}", mean(&no_change_series)),
+            ],
+        );
+    }
+    report
+}

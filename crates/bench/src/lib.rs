@@ -1,0 +1,18 @@
+//! Shared infrastructure for the figure-reproduction harnesses.
+//!
+//! One binary per paper figure lives in `src/bin/`; Criterion micro-benches
+//! live in `benches/`. This library provides what they share: a counting
+//! global allocator (heap-resident bytes for Figure 3(c)), workload loading
+//! helpers, and plain-text series reporting.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alloc;
+pub mod drift;
+pub mod harness;
+
+pub use alloc::CountingAllocator;
+pub use harness::{
+    fmt_bytes, load_engine, measure_throughput, parse_args, HarnessArgs, SeriesReport,
+};

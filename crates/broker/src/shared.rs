@@ -1,0 +1,98 @@
+//! A thread-safe broker handle.
+//!
+//! The matching engines are single-writer structures (the paper's system is
+//! one process draining batches). `SharedBroker` wraps a [`Broker`] in a
+//! `parking_lot::Mutex` so multiple producer threads can publish and
+//! subscribe concurrently. Every operation needs exclusive access anyway —
+//! even matching mutates per-event workhorse buffers and statistics — so a
+//! mutex, not an `RwLock`, is the honest primitive.
+
+use crate::broker::Broker;
+use crate::time::Validity;
+use parking_lot::Mutex;
+use pubsub_types::{Event, Subscription, SubscriptionId};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a broker.
+#[derive(Clone, Debug)]
+pub struct SharedBroker {
+    inner: Arc<Mutex<Broker>>,
+}
+
+impl SharedBroker {
+    /// Wraps a broker.
+    pub fn new(broker: Broker) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(broker)),
+        }
+    }
+
+    /// Registers a subscription.
+    pub fn subscribe(&self, sub: Subscription, validity: Validity) -> SubscriptionId {
+        self.inner.lock().subscribe(sub, validity)
+    }
+
+    /// Removes a subscription.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.inner.lock().unsubscribe(id)
+    }
+
+    /// Publishes an event, returning the matched subscriptions.
+    pub fn publish(&self, event: &Event) -> Vec<SubscriptionId> {
+        self.inner.lock().publish(event)
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.lock().subscription_count()
+    }
+
+    /// Runs `f` with exclusive access to the broker (interning, clock
+    /// control, statistics).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Broker) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_core::EngineKind;
+
+    #[test]
+    fn concurrent_publishers_and_subscribers() {
+        let broker = SharedBroker::new(Broker::new(EngineKind::Dynamic));
+        let attr = broker.with(|b| b.attr("k"));
+
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let broker = broker.clone();
+            handles.push(std::thread::spawn(move || {
+                let sub = Subscription::builder().eq(attr, t).build().unwrap();
+                let id = broker.subscribe(sub, Validity::forever());
+                let event = Event::builder().pair(attr, t).build().unwrap();
+                let mut hits = 0;
+                for _ in 0..100 {
+                    if broker.publish(&event).contains(&id) {
+                        hits += 1;
+                    }
+                }
+                hits
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100, "own subscription always matches");
+        }
+        assert_eq!(broker.subscription_count(), 4);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let broker = SharedBroker::new(Broker::new(EngineKind::Counting));
+        let b2 = broker.clone();
+        let attr = broker.with(|b| b.attr("x"));
+        let sub = Subscription::builder().eq(attr, 1i64).build().unwrap();
+        b2.subscribe(sub, Validity::forever());
+        assert_eq!(broker.subscription_count(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The valid-event store.
+//!
+//! The paper's system "stores both valid subscriptions and valid events":
+//! when a *new subscription* arrives it is evaluated against the stored
+//! valid events (the complementary functionality to event matching). The
+//! store is a slab with an expiry heap so eviction at clock advance is
+//! `O(expired · log n)`.
+
+use crate::time::{LogicalTime, Validity};
+use pubsub_types::{Event, Subscription};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a stored event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+#[derive(Debug)]
+struct Stored {
+    id: EventId,
+    event: Event,
+    validity: Validity,
+}
+
+/// Stores valid events and evaluates new subscriptions against them.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    slots: Vec<Option<Stored>>,
+    free: Vec<usize>,
+    /// Min-heap of (expiry, slot).
+    expiry: BinaryHeap<Reverse<(LogicalTime, usize)>>,
+    next_id: u64,
+    live: usize,
+}
+
+impl EventStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored (not yet evicted) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no event is stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Stores an event with its validity; returns its id. Events with no
+    /// expiry are kept until explicitly cleared.
+    pub fn insert(&mut self, event: Event, validity: Validity) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let stored = Stored {
+            id,
+            event,
+            validity,
+        };
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s] = Some(stored);
+            s
+        } else {
+            self.slots.push(Some(stored));
+            self.slots.len() - 1
+        };
+        if let Some(until) = validity.until {
+            self.expiry.push(Reverse((until, slot)));
+        }
+        self.live += 1;
+        id
+    }
+
+    /// Evicts every event whose validity ended at or before `now`.
+    /// Returns the number evicted.
+    pub fn evict_expired(&mut self, now: LogicalTime) -> usize {
+        let mut evicted = 0;
+        while let Some(&Reverse((until, slot))) = self.expiry.peek() {
+            if until > now {
+                break;
+            }
+            self.expiry.pop();
+            // The slot may have been recycled for a younger event; only
+            // evict if the stored expiry still matches.
+            if let Some(stored) = &self.slots[slot] {
+                if stored.validity.until == Some(until) {
+                    self.slots[slot] = None;
+                    self.free.push(slot);
+                    self.live -= 1;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Returns the ids of stored events (valid at `now`) that satisfy `sub` —
+    /// the "evaluate a new subscription against the valid events" path.
+    pub fn matches_for(&self, sub: &Subscription, now: LogicalTime) -> Vec<EventId> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.validity.contains(now) && sub.matches_event(&s.event))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Looks up a stored event by id (linear scan; diagnostics only).
+    pub fn get(&self, id: EventId) -> Option<&Event> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|s| s.id == id)
+            .map(|s| &s.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::AttrId;
+
+    fn ev(v: i64) -> Event {
+        Event::builder().pair(AttrId(0), v).build().unwrap()
+    }
+
+    fn sub_eq(v: i64) -> Subscription {
+        Subscription::builder().eq(AttrId(0), v).build().unwrap()
+    }
+
+    #[test]
+    fn store_and_match_new_subscription() {
+        let mut s = EventStore::new();
+        let id1 = s.insert(ev(1), Validity::forever());
+        let _id2 = s.insert(ev(2), Validity::forever());
+        let hits = s.matches_for(&sub_eq(1), LogicalTime(0));
+        assert_eq!(hits, vec![id1]);
+        assert!(s.get(id1).is_some());
+    }
+
+    #[test]
+    fn expired_events_are_not_matched_and_evicted() {
+        let mut s = EventStore::new();
+        let short = s.insert(ev(1), Validity::until(LogicalTime(5)));
+        let long = s.insert(ev(1), Validity::until(LogicalTime(50)));
+        // Before expiry both match.
+        assert_eq!(s.matches_for(&sub_eq(1), LogicalTime(4)).len(), 2);
+        // At t=5 the short one is out of validity even before eviction.
+        assert_eq!(s.matches_for(&sub_eq(1), LogicalTime(5)), vec![long]);
+        assert_eq!(s.evict_expired(LogicalTime(5)), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(short).is_none());
+        assert!(s.get(long).is_some());
+    }
+
+    #[test]
+    fn slot_recycling_does_not_evict_young_events() {
+        let mut s = EventStore::new();
+        let _old = s.insert(ev(1), Validity::until(LogicalTime(5)));
+        s.evict_expired(LogicalTime(10));
+        assert!(s.is_empty());
+        // Recycles the slot with a longer validity.
+        let young = s.insert(ev(2), Validity::until(LogicalTime(100)));
+        // A stale heap entry for the old expiry must not evict the new event.
+        assert_eq!(s.evict_expired(LogicalTime(10)), 0);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(young).is_some());
+    }
+
+    #[test]
+    fn future_events_are_not_matched_yet() {
+        let mut s = EventStore::new();
+        s.insert(ev(1), Validity::between(LogicalTime(10), LogicalTime(20)));
+        assert!(s.matches_for(&sub_eq(1), LogicalTime(5)).is_empty());
+        assert_eq!(s.matches_for(&sub_eq(1), LogicalTime(15)).len(), 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! `pubsub` — an interactive command-line broker.
+//!
+//! The paper's prototype "runs as a process … waiting for subscriptions and
+//! events to process"; this binary is that process in miniature, driven by
+//! stdin lines (interactively or piped):
+//!
+//! ```text
+//! sub movie = 'groundhog day' AND price <= 10
+//! sub (from = 'NYC' AND price < 400) OR (from = 'EWR' AND price < 350)
+//! pub {movie: 'groundhog day', price: 8}
+//! unsub d0
+//! tick 5
+//! stats
+//! help
+//! quit
+//! ```
+//!
+//! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine]` where
+//! `engine` is one of `counting`, `propagation`, `propagation-wp`, `static`,
+//! `dynamic` (default).
+
+use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, Validity};
+use pubsub_core::EngineKind;
+use pubsub_lang::{parse_event, parse_subscription};
+use std::io::{BufRead, Write};
+
+struct Cli {
+    broker: Broker,
+    dnf: DnfRegistry,
+}
+
+impl Cli {
+    fn new(kind: EngineKind) -> Self {
+        Self {
+            broker: Broker::new(kind),
+            dnf: DnfRegistry::new(),
+        }
+    }
+
+    /// Executes one command line; returns the response text, or `None` to
+    /// quit.
+    fn execute(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Some(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        let out = match cmd {
+            "sub" | "subscribe" => self.cmd_subscribe(rest),
+            "pub" | "publish" => self.cmd_publish(rest),
+            "unsub" | "unsubscribe" => self.cmd_unsubscribe(rest),
+            "tick" => self.cmd_tick(rest),
+            "stats" => self.cmd_stats(),
+            "help" => Ok(HELP.to_string()),
+            "quit" | "exit" => return None,
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        };
+        Some(out.unwrap_or_else(|e| format!("error: {e}")))
+    }
+
+    fn vocab_mut(&mut self) -> &mut pubsub_types::Vocabulary {
+        // The broker owns the vocabulary; the parser needs mutable access.
+        // Broker exposes interning via attr()/string(); for parsing whole
+        // expressions we reach the vocabulary through a dedicated handle.
+        self.broker.vocabulary_mut()
+    }
+
+    fn cmd_subscribe(&mut self, expr: &str) -> Result<String, String> {
+        let parsed = parse_subscription(expr, self.vocab_mut()).map_err(|e| e.render(expr))?;
+        if parsed.is_conjunctive() {
+            let id = self
+                .broker
+                .subscribe(parsed.into_conjunction(), Validity::forever());
+            Ok(format!("subscribed {id}"))
+        } else {
+            let dnf = DnfSubscription::new(parsed.disjuncts).expect("non-empty");
+            let n = dnf.disjuncts().len();
+            let id = self
+                .dnf
+                .subscribe(&mut self.broker, dnf, Validity::forever());
+            Ok(format!("subscribed {id} ({n} disjuncts)"))
+        }
+    }
+
+    fn cmd_publish(&mut self, expr: &str) -> Result<String, String> {
+        let event = parse_event(expr, self.vocab_mut()).map_err(|e| e.render(expr))?;
+        let (dnf_hits, plain) = self.dnf.publish(&mut self.broker, &event);
+        let mut names: Vec<String> = plain.iter().map(|s| s.to_string()).collect();
+        names.extend(dnf_hits.iter().map(|d| d.to_string()));
+        if names.is_empty() {
+            Ok("matched: (none)".into())
+        } else {
+            Ok(format!("matched: {}", names.join(", ")))
+        }
+    }
+
+    fn cmd_unsubscribe(&mut self, id: &str) -> Result<String, String> {
+        let ok = if let Some(num) = id.strip_prefix('d') {
+            let n: u64 = num.parse().map_err(|_| format!("bad id `{id}`"))?;
+            self.dnf.unsubscribe(&mut self.broker, DnfId(n))
+        } else {
+            let n: u32 = id
+                .strip_prefix('s')
+                .unwrap_or(id)
+                .parse()
+                .map_err(|_| format!("bad id `{id}`"))?;
+            self.broker.unsubscribe(pubsub_types::SubscriptionId(n))
+        };
+        if ok {
+            Ok(format!("unsubscribed {id}"))
+        } else {
+            Err(format!("no subscription `{id}`"))
+        }
+    }
+
+    fn cmd_tick(&mut self, arg: &str) -> Result<String, String> {
+        let n: u64 = if arg.is_empty() {
+            1
+        } else {
+            arg.parse().map_err(|_| format!("bad tick count `{arg}`"))?
+        };
+        let mut subs = 0;
+        let mut events = 0;
+        for _ in 0..n {
+            let (s, e) = self.broker.tick();
+            subs += s;
+            events += e;
+        }
+        Ok(format!(
+            "now {}; expired {subs} subscription(s), {events} event(s)",
+            self.broker.now()
+        ))
+    }
+
+    fn cmd_stats(&mut self) -> Result<String, String> {
+        let s = self.broker.engine_stats();
+        Ok(format!(
+            "engine {}  subscriptions {}  stored-events {}  events {}  checks/event {:.1}  matches {}",
+            self.broker.engine_name(),
+            self.broker.subscription_count(),
+            self.broker.stored_event_count(),
+            s.events,
+            s.checks_per_event(),
+            s.matches,
+        ))
+    }
+}
+
+const HELP: &str = "\
+commands:
+  sub <expr>     register a subscription, e.g.  sub price <= 10 AND movie = 'up'
+                 (use OR for disjunctions)
+  pub <event>    publish an event, e.g.        pub {price: 8, movie: 'up'}
+  unsub <id>     remove a subscription by the id printed at sub time
+  tick [n]       advance the logical clock (expires validities)
+  stats          engine statistics
+  help           this text
+  quit           exit";
+
+fn main() {
+    let kind: EngineKind = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or(EngineKind::Dynamic);
+    let mut cli = Cli::new(kind);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = std::env::var_os("PUBSUB_NO_PROMPT").is_none();
+
+    if interactive {
+        println!("fastpubsub broker ({}). Type `help`.", kind.label());
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            let _ = stdout.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match cli.execute(&line) {
+            Some(reply) => {
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cli: &mut Cli, line: &str) -> String {
+        cli.execute(line).expect("not a quit command")
+    }
+
+    #[test]
+    fn subscribe_publish_flow() {
+        let mut cli = Cli::new(EngineKind::Dynamic);
+        let r = run(&mut cli, "sub movie = 'up' AND price <= 10");
+        assert_eq!(r, "subscribed s0");
+        let r = run(&mut cli, "pub {movie: 'up', price: 8}");
+        assert_eq!(r, "matched: s0");
+        let r = run(&mut cli, "pub {movie: 'up', price: 80}");
+        assert_eq!(r, "matched: (none)");
+        let r = run(&mut cli, "unsub s0");
+        assert_eq!(r, "unsubscribed s0");
+        let r = run(&mut cli, "pub {movie: 'up', price: 8}");
+        assert_eq!(r, "matched: (none)");
+    }
+
+    #[test]
+    fn dnf_flow() {
+        let mut cli = Cli::new(EngineKind::Dynamic);
+        let r = run(&mut cli, "sub from = 'NYC' OR from = 'EWR'");
+        assert_eq!(r, "subscribed d0 (2 disjuncts)");
+        let r = run(&mut cli, "pub {from: 'EWR'}");
+        assert_eq!(r, "matched: d0");
+        let r = run(&mut cli, "unsub d0");
+        assert_eq!(r, "unsubscribed d0");
+        let r = run(&mut cli, "pub {from: 'EWR'}");
+        assert_eq!(r, "matched: (none)");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut cli = Cli::new(EngineKind::Counting);
+        assert!(run(&mut cli, "sub price <").starts_with("error:"));
+        assert!(run(&mut cli, "pub {broken").starts_with("error:"));
+        assert!(run(&mut cli, "unsub s99").starts_with("error:"));
+        assert!(run(&mut cli, "bogus").starts_with("error:"));
+        // Still functional afterwards.
+        assert_eq!(run(&mut cli, "sub a = 1"), "subscribed s0");
+    }
+
+    #[test]
+    fn tick_and_stats() {
+        let mut cli = Cli::new(EngineKind::Dynamic);
+        run(&mut cli, "sub a = 1");
+        run(&mut cli, "pub {a: 1}");
+        let r = run(&mut cli, "tick 3");
+        assert!(r.contains("now t3"), "{r}");
+        let r = run(&mut cli, "stats");
+        assert!(r.contains("subscriptions 1"), "{r}");
+        assert!(r.contains("matches 1"), "{r}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut cli = Cli::new(EngineKind::Dynamic);
+        assert_eq!(run(&mut cli, "# a comment"), "");
+        assert_eq!(run(&mut cli, "   "), "");
+        assert!(cli.execute("quit").is_none());
+    }
+}

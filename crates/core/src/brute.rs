@@ -1,0 +1,120 @@
+//! Brute-force linear-scan matcher — the correctness oracle.
+//!
+//! Not in the paper's evaluation; exists so property tests can compare every
+//! engine against the definitional semantics of §1.1.
+
+use crate::engine::{EngineStats, MatchEngine};
+use pubsub_types::{Event, FxHashMap, Subscription, SubscriptionId};
+use std::time::Instant;
+
+/// Stores subscriptions verbatim and matches by scanning all of them.
+#[derive(Debug, Default)]
+pub struct BruteForceMatcher {
+    subs: FxHashMap<SubscriptionId, Subscription>,
+    stats: EngineStats,
+}
+
+impl BruteForceMatcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchEngine for BruteForceMatcher {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn insert(&mut self, id: SubscriptionId, sub: &Subscription) {
+        let prev = self.subs.insert(id, sub.clone());
+        assert!(prev.is_none(), "duplicate subscription id {id}");
+    }
+
+    fn remove(&mut self, id: SubscriptionId) {
+        self.subs
+            .remove(&id)
+            .expect("removing unknown subscription");
+    }
+
+    fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        let start = Instant::now();
+        let before = out.len();
+        for (id, sub) in &self.subs {
+            if sub.matches_event(event) {
+                out.push(*id);
+            }
+        }
+        self.stats.events += 1;
+        self.stats.subscriptions_checked += self.subs.len() as u64;
+        self.stats.matches += (out.len() - before) as u64;
+        self.stats.phase2_nanos += start.elapsed().as_nanos() as u64;
+    }
+
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.subs
+            .values()
+            .map(|s| std::mem::size_of_val(s.predicates()) + 64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::{AttrId, Operator};
+
+    #[test]
+    fn insert_match_remove() {
+        let mut m = BruteForceMatcher::new();
+        let sub = Subscription::builder()
+            .eq(AttrId(0), 5i64)
+            .with(AttrId(1), Operator::Lt, 10i64)
+            .build()
+            .unwrap();
+        m.insert(SubscriptionId(1), &sub);
+        assert_eq!(m.len(), 1);
+
+        let hit = Event::builder()
+            .pair(AttrId(0), 5i64)
+            .pair(AttrId(1), 3i64)
+            .build()
+            .unwrap();
+        let miss = Event::builder()
+            .pair(AttrId(0), 5i64)
+            .pair(AttrId(1), 30i64)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        m.match_event(&hit, &mut out);
+        assert_eq!(out, vec![SubscriptionId(1)]);
+        out.clear();
+        m.match_event(&miss, &mut out);
+        assert!(out.is_empty());
+
+        m.remove(SubscriptionId(1));
+        assert!(m.is_empty());
+        assert_eq!(m.stats().events, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subscription id")]
+    fn duplicate_id_panics() {
+        let mut m = BruteForceMatcher::new();
+        let sub = Subscription::builder().eq(AttrId(0), 1i64).build().unwrap();
+        m.insert(SubscriptionId(1), &sub);
+        m.insert(SubscriptionId(1), &sub);
+    }
+}

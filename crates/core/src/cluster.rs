@@ -1,0 +1,434 @@
+//! Columnwise subscription clusters — the cache-conscious second-phase data
+//! structure of paper §2.2 (Figure 1).
+//!
+//! A cluster groups subscriptions with the same *access predicate* and the
+//! same number of remaining predicates `n`. It stores `n` column arrays of
+//! predicate bit-vector references plus one array of subscription ids:
+//! `cols[i][j]` is the bit index of the `i`-th remaining predicate of the
+//! subscription at slot `j`. A subscription matches iff all its referenced
+//! bits are 1.
+//!
+//! The match loop is the paper's `cluster_matching` kernel: columnwise
+//! storage (so a selective first column skips whole cache lines of the
+//! later columns), an `UNFOLD`-chunked loop, and `_mm_prefetch` issued
+//! `LOOKAHEAD` entries ahead so lines arrive while earlier entries are being
+//! tested. Loops are specialised per column count (the paper generates one
+//! method per size up to ten, plus a generic fallback) via const generics.
+
+use crate::prefetch::prefetch_read;
+use pubsub_index::PredicateBitVec;
+use pubsub_types::SubscriptionId;
+
+/// Entries per inner chunk: one 64-byte cache line of `u32` bit references.
+pub const UNFOLD: usize = 16;
+
+/// How far ahead (in entries) prefetches are issued — two chunks, so a line
+/// is requested roughly one chunk-processing time before it is read.
+pub const LOOKAHEAD: usize = 2 * UNFOLD;
+
+/// Columns beyond this many are never prefetched: prefetch slots compete and
+/// rarely-read far columns would evict useful requests (paper §2.2, "for
+/// larger numbers of predicates it does not pay to prefetch all arrays").
+pub const MAX_PREFETCH_COLS: usize = 4;
+
+/// A columnwise cluster of subscriptions with `n` remaining predicates.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    cols: Vec<Vec<u32>>,
+    subs: Vec<SubscriptionId>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster for subscriptions with `n` remaining
+    /// predicates.
+    pub fn new(n: usize) -> Self {
+        Self {
+            cols: (0..n).map(|_| Vec::new()).collect(),
+            subs: Vec::new(),
+        }
+    }
+
+    /// Number of remaining predicates per subscription.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of subscriptions in the cluster.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True if the cluster holds no subscription.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// The subscription ids, by slot.
+    pub fn subscriptions(&self) -> &[SubscriptionId] {
+        &self.subs
+    }
+
+    /// Inserts a subscription with the given remaining-predicate bit
+    /// references (must equal [`Cluster::width`]); returns its slot.
+    pub fn insert(&mut self, id: SubscriptionId, bit_refs: &[u32]) -> usize {
+        assert_eq!(bit_refs.len(), self.width(), "wrong arity for cluster");
+        for (col, &b) in self.cols.iter_mut().zip(bit_refs) {
+            col.push(b);
+        }
+        self.subs.push(id);
+        self.subs.len() - 1
+    }
+
+    /// Removes the subscription at `slot` by swapping the last one in.
+    /// Returns the id that moved into `slot`, if any — the caller must update
+    /// that subscription's recorded location.
+    pub fn swap_remove(&mut self, slot: usize) -> Option<SubscriptionId> {
+        for col in &mut self.cols {
+            col.swap_remove(slot);
+        }
+        self.subs.swap_remove(slot);
+        self.subs.get(slot).copied()
+    }
+
+    /// The bit references of the subscription at `slot` (one per column);
+    /// used when relocating subscriptions between clusters.
+    pub fn bit_refs_at(&self, slot: usize) -> Vec<u32> {
+        self.cols.iter().map(|c| c[slot]).collect()
+    }
+
+    /// Appends the ids of all subscriptions whose every referenced bit is set.
+    ///
+    /// `PF` selects the prefetching variant (the paper's *propagation-wp*).
+    /// Returns the number of subscriptions inspected (for the cost
+    /// experiments).
+    pub fn match_into<const PF: bool>(
+        &self,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        match self.width() {
+            0 => {
+                // Access predicate covered everything: all subscriptions match.
+                out.extend_from_slice(&self.subs);
+                self.subs.len()
+            }
+            1 => self.match_fixed::<1, PF>(bits, out),
+            2 => self.match_fixed::<2, PF>(bits, out),
+            3 => self.match_fixed::<3, PF>(bits, out),
+            4 => self.match_fixed::<4, PF>(bits, out),
+            5 => self.match_fixed::<5, PF>(bits, out),
+            6 => self.match_fixed::<6, PF>(bits, out),
+            7 => self.match_fixed::<7, PF>(bits, out),
+            8 => self.match_fixed::<8, PF>(bits, out),
+            9 => self.match_fixed::<9, PF>(bits, out),
+            10 => self.match_fixed::<10, PF>(bits, out),
+            _ => self.match_generic::<PF>(bits, out),
+        }
+    }
+
+    /// The size-specialised kernel. `N` is the column count, so the compiler
+    /// fully unrolls the per-column conjunction, mirroring the paper's
+    /// hand-written per-size methods.
+    fn match_fixed<const N: usize, const PF: bool>(
+        &self,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        debug_assert_eq!(self.cols.len(), N);
+        let n_subs = self.subs.len();
+        // Borrow the columns as fixed-size array of slices so indexing is
+        // bounds-check-free after the per-chunk length test.
+        let cols: [&[u32]; N] = std::array::from_fn(|i| self.cols[i].as_slice());
+
+        let mut j = 0;
+        while j < n_subs {
+            let chunk_end = (j + UNFOLD).min(n_subs);
+            if PF && j + LOOKAHEAD < n_subs {
+                // Request the cache lines we will need two chunks from now.
+                // Only the first few columns: later columns are reached
+                // rarely when the early predicates are selective.
+                for col in cols.iter().take(MAX_PREFETCH_COLS) {
+                    prefetch_read(&col[j + LOOKAHEAD]);
+                }
+            }
+            for k in j..chunk_end {
+                let mut ok = true;
+                // `N` is a compile-time constant: this loop unrolls into the
+                // short-circuit conjunction of the paper's kernel.
+                for col in &cols {
+                    if !bits.get(col[k]) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    out.push(self.subs[k]);
+                }
+            }
+            j = chunk_end;
+        }
+        n_subs
+    }
+
+    /// Generic kernel for clusters wider than ten columns.
+    fn match_generic<const PF: bool>(
+        &self,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let n_subs = self.subs.len();
+        let mut j = 0;
+        while j < n_subs {
+            let chunk_end = (j + UNFOLD).min(n_subs);
+            if PF && j + LOOKAHEAD < n_subs {
+                for col in self.cols.iter().take(MAX_PREFETCH_COLS) {
+                    prefetch_read(&col[j + LOOKAHEAD]);
+                }
+            }
+            for k in j..chunk_end {
+                if self.cols.iter().all(|col| bits.get(col[k])) {
+                    out.push(self.subs[k]);
+                }
+            }
+            j = chunk_end;
+        }
+        n_subs
+    }
+
+    /// Approximate heap bytes used by this cluster.
+    pub fn heap_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.capacity() * 4).sum::<usize>() + self.subs.capacity() * 4
+    }
+}
+
+/// A list of clusters sharing one access predicate, partitioned by remaining
+/// size (paper Figure 1: "subscriptions are grouped in subscription clusters
+/// according to their size").
+#[derive(Debug, Default)]
+pub struct ClusterList {
+    /// Sparse by width: `clusters[w]` holds the cluster of width `w`.
+    clusters: Vec<Option<Cluster>>,
+    len: usize,
+}
+
+impl ClusterList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total subscriptions across all widths.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no subscription is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a subscription; returns `(width, slot)` — its location.
+    pub fn insert(&mut self, id: SubscriptionId, bit_refs: &[u32]) -> (usize, usize) {
+        let w = bit_refs.len();
+        if self.clusters.len() <= w {
+            self.clusters.resize_with(w + 1, || None);
+        }
+        let cluster = self.clusters[w].get_or_insert_with(|| Cluster::new(w));
+        let slot = cluster.insert(id, bit_refs);
+        self.len += 1;
+        (w, slot)
+    }
+
+    /// Removes the subscription at `(width, slot)`; returns the id that moved
+    /// into the vacated slot, if any.
+    pub fn swap_remove(&mut self, width: usize, slot: usize) -> Option<SubscriptionId> {
+        let cluster = self.clusters[width]
+            .as_mut()
+            .expect("removing from missing cluster");
+        let moved = cluster.swap_remove(slot);
+        self.len -= 1;
+        if cluster.is_empty() {
+            self.clusters[width] = None;
+        }
+        moved
+    }
+
+    /// The cluster of a given width, if present.
+    pub fn cluster(&self, width: usize) -> Option<&Cluster> {
+        self.clusters.get(width).and_then(|c| c.as_ref())
+    }
+
+    /// Iterates over the non-empty clusters.
+    pub fn iter(&self) -> impl Iterator<Item = &Cluster> {
+        self.clusters.iter().filter_map(|c| c.as_ref())
+    }
+
+    /// Matches the event bits against every cluster; returns subscriptions
+    /// inspected.
+    pub fn match_into<const PF: bool>(
+        &self,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let mut checked = 0;
+        for cluster in self.iter() {
+            checked += cluster.match_into::<PF>(bits, out);
+        }
+        checked
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.clusters.capacity() * std::mem::size_of::<Option<Cluster>>()
+            + self.iter().map(|c| c.heap_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(i: u32) -> SubscriptionId {
+        SubscriptionId(i)
+    }
+
+    fn bits_with(set: &[u32]) -> PredicateBitVec {
+        let mut b = PredicateBitVec::with_capacity(1024);
+        for &i in set {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn zero_width_cluster_matches_everything() {
+        let mut c = Cluster::new(0);
+        c.insert(sid(1), &[]);
+        c.insert(sid(2), &[]);
+        let bits = bits_with(&[]);
+        let mut out = Vec::new();
+        let checked = c.match_into::<false>(&bits, &mut out);
+        assert_eq!(out, vec![sid(1), sid(2)]);
+        assert_eq!(checked, 2);
+    }
+
+    #[test]
+    fn conjunction_requires_all_bits() {
+        let mut c = Cluster::new(3);
+        c.insert(sid(1), &[0, 1, 2]);
+        c.insert(sid(2), &[0, 1, 3]);
+        c.insert(sid(3), &[4, 5, 6]);
+        let bits = bits_with(&[0, 1, 2, 4, 5]);
+        let mut out = Vec::new();
+        c.match_into::<false>(&bits, &mut out);
+        assert_eq!(out, vec![sid(1)]);
+    }
+
+    #[test]
+    fn prefetch_variant_gives_identical_results() {
+        let mut c = Cluster::new(2);
+        for i in 0..1000u32 {
+            c.insert(sid(i), &[i % 64, (i / 2) % 64]);
+        }
+        let bits = bits_with(&(0..32u32).collect::<Vec<_>>());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        c.match_into::<false>(&bits, &mut a);
+        c.match_into::<true>(&bits, &mut b);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn every_specialised_width_matches_correctly() {
+        // For widths 1..=12 (covering all specialisations and the generic
+        // path), build a cluster where exactly the even-indexed subscriptions
+        // match, with enough subscriptions to cross several UNFOLD chunks.
+        for width in 1..=12usize {
+            let mut c = Cluster::new(width);
+            let good: Vec<u32> = (0..width as u32).collect(); // bits 0..w set
+            let bad: Vec<u32> = (100..100 + width as u32).collect(); // unset
+            for i in 0..75u32 {
+                let refs = if i % 2 == 0 { &good } else { &bad };
+                c.insert(sid(i), refs);
+            }
+            let bits = bits_with(&good);
+            for pf in [false, true] {
+                let mut out = Vec::new();
+                let checked = if pf {
+                    c.match_into::<true>(&bits, &mut out)
+                } else {
+                    c.match_into::<false>(&bits, &mut out)
+                };
+                assert_eq!(checked, 75);
+                let expect: Vec<_> = (0..75u32).filter(|i| i % 2 == 0).map(sid).collect();
+                assert_eq!(out, expect, "width {width}, prefetch {pf}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_remove_reports_moved_subscription() {
+        let mut c = Cluster::new(1);
+        c.insert(sid(1), &[10]);
+        c.insert(sid(2), &[20]);
+        c.insert(sid(3), &[30]);
+        // Removing the head moves the tail into slot 0.
+        assert_eq!(c.swap_remove(0), Some(sid(3)));
+        assert_eq!(c.bit_refs_at(0), vec![30]);
+        // Removing the last slot moves nothing.
+        assert_eq!(c.swap_remove(1), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.subscriptions(), &[sid(3)]);
+    }
+
+    #[test]
+    fn cluster_list_partitions_by_width() {
+        let mut l = ClusterList::new();
+        let (w1, s1) = l.insert(sid(1), &[0]);
+        let (w2, _s2) = l.insert(sid(2), &[0, 1]);
+        let (w3, s3) = l.insert(sid(3), &[0]);
+        assert_eq!((w1, s1), (1, 0));
+        assert_eq!(w2, 2);
+        assert_eq!((w3, s3), (1, 1));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.cluster(1).unwrap().len(), 2);
+        assert_eq!(l.cluster(2).unwrap().len(), 1);
+        assert!(l.cluster(3).is_none());
+
+        let bits = bits_with(&[0, 1]);
+        let mut out = Vec::new();
+        let checked = l.match_into::<false>(&bits, &mut out);
+        out.sort();
+        assert_eq!(out, vec![sid(1), sid(2), sid(3)]);
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn cluster_list_removal_drops_empty_clusters() {
+        let mut l = ClusterList::new();
+        let (w, s) = l.insert(sid(1), &[0, 1]);
+        assert_eq!(l.swap_remove(w, s), None);
+        assert!(l.is_empty());
+        assert!(l.cluster(2).is_none());
+    }
+
+    #[test]
+    fn matching_respects_chunk_remainders() {
+        // A cluster whose size is not a multiple of UNFOLD must still check
+        // the tail (the paper's footnote 2).
+        let n = UNFOLD * 3 + 7;
+        let mut c = Cluster::new(1);
+        for i in 0..n as u32 {
+            c.insert(sid(i), &[0]);
+        }
+        let bits = bits_with(&[0]);
+        let mut out = Vec::new();
+        c.match_into::<true>(&bits, &mut out);
+        assert_eq!(out.len(), n);
+    }
+}

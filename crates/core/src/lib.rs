@@ -1,0 +1,36 @@
+//! The matching engines of `fastpubsub` — the primary contribution of the
+//! SIGMOD 2001 paper.
+//!
+//! Five engines share the predicate phase of [`pubsub_index`] and differ in
+//! how they map satisfied predicates to candidate subscriptions:
+//!
+//! * [`counting::CountingMatcher`] — the per-subscription hit-counter
+//!   baseline (§5).
+//! * [`propagation::PropagationMatcher`] — single-equality access predicates
+//!   over columnwise clusters, with optional software prefetching (§2.2).
+//! * [`clustered::ClusteredMatcher`] — multi-attribute hash tables chosen by
+//!   the cost-based greedy optimizer (static, §3) or maintained online
+//!   (dynamic, §4).
+//! * [`brute::BruteForceMatcher`] — the linear-scan oracle used in tests.
+//!
+//! All implement [`MatchEngine`]; [`EngineKind`] builds them by name.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod brute;
+pub mod cluster;
+pub mod clustered;
+pub mod counting;
+pub mod engine;
+pub mod prefetch;
+pub mod propagation;
+pub mod tables;
+
+pub use brute::BruteForceMatcher;
+pub use cluster::{Cluster, ClusterList, LOOKAHEAD, MAX_PREFETCH_COLS, UNFOLD};
+pub use clustered::{ClusteredMatcher, DynamicConfig};
+pub use counting::CountingMatcher;
+pub use engine::{EngineKind, EngineStats, MatchEngine};
+pub use propagation::PropagationMatcher;
+pub use tables::MultiAttrTable;

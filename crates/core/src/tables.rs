@@ -1,0 +1,236 @@
+//! Multi-attribute hash tables (paper §3.1).
+//!
+//! A table with schema `A` maps the tuple of an event's values on `A` to the
+//! cluster list of the access predicate "those equality pairs". An event
+//! probes a table only when `A` is included in the event's schema; a probe
+//! is one hash lookup regardless of table size.
+
+use crate::cluster::ClusterList;
+use pubsub_types::{AttrId, AttrSet, Event, FxHashMap, SubscriptionId, Value};
+
+/// One multi-attribute hashing structure.
+#[derive(Debug)]
+pub struct MultiAttrTable {
+    schema: AttrSet,
+    /// The schema attributes in ascending order — the tuple layout.
+    attrs: Vec<AttrId>,
+    map: FxHashMap<Box<[Value]>, ClusterList>,
+    population: usize,
+}
+
+impl MultiAttrTable {
+    /// Creates an empty table over `schema`.
+    pub fn new(schema: AttrSet) -> Self {
+        let attrs = schema.to_sorted_vec();
+        assert!(!attrs.is_empty(), "table schema cannot be empty");
+        Self {
+            schema,
+            attrs,
+            map: FxHashMap::default(),
+            population: 0,
+        }
+    }
+
+    /// The table's schema.
+    #[inline]
+    pub fn schema(&self) -> &AttrSet {
+        &self.schema
+    }
+
+    /// The schema attributes in tuple order.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Subscriptions stored in the table (`|H|`, the table benefit metric of
+    /// paper §4).
+    #[inline]
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Number of distinct access predicates (hash entries).
+    pub fn entry_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Builds the value tuple of a subscription's equality pairs for this
+    /// table, or `None` if the pairs do not cover the schema. `pairs` must be
+    /// sorted by attribute (as [`pubsub_types::Subscription`] guarantees).
+    pub fn tuple_for(&self, pairs: &[(AttrId, Value)]) -> Option<Box<[Value]>> {
+        let mut tuple = Vec::with_capacity(self.attrs.len());
+        for &a in &self.attrs {
+            let v = pairs.iter().find(|&&(pa, _)| pa == a)?.1;
+            tuple.push(v);
+        }
+        Some(tuple.into_boxed_slice())
+    }
+
+    /// Inserts a subscription under `tuple` with the given remaining-bit
+    /// references; returns `(width, slot)`.
+    pub fn insert(
+        &mut self,
+        tuple: Box<[Value]>,
+        id: SubscriptionId,
+        bit_refs: &[u32],
+    ) -> (usize, usize) {
+        self.population += 1;
+        self.map.entry(tuple).or_default().insert(id, bit_refs)
+    }
+
+    /// Removes the subscription at `(width, slot)` of the `tuple` entry;
+    /// returns the subscription that moved into the vacated slot, if any.
+    pub fn remove(&mut self, tuple: &[Value], width: usize, slot: usize) -> Option<SubscriptionId> {
+        let list = self.map.get_mut(tuple).expect("tuple entry exists");
+        let moved = list.swap_remove(width, slot);
+        if list.is_empty() {
+            self.map.remove(tuple);
+        }
+        self.population -= 1;
+        moved
+    }
+
+    /// Probes the table with an event. Returns the cluster list of the access
+    /// predicate the event satisfies, if any. `buf` is a reusable tuple
+    /// buffer (cleared here).
+    ///
+    /// Returns `None` also when the event lacks one of the schema attributes
+    /// — the caller usually pre-filters by schema inclusion, but probing is
+    /// safe regardless.
+    pub fn probe<'a>(&'a self, event: &Event, buf: &mut Vec<Value>) -> Option<&'a ClusterList> {
+        buf.clear();
+        for &a in &self.attrs {
+            buf.push(event.value(a)?);
+        }
+        self.map.get(buf.as_slice())
+    }
+
+    /// The cluster list stored under an exact access tuple, if any.
+    pub fn entry_list(&self, tuple: &[Value]) -> Option<&ClusterList> {
+        self.map.get(tuple)
+    }
+
+    /// Like [`MultiAttrTable::probe`], but reads attribute values from a
+    /// dense per-event view (`view[attr.index()]`) instead of binary-searching
+    /// the event pairs — the clustered matcher probes every table per event,
+    /// so this constant matters.
+    pub fn probe_view<'a>(
+        &'a self,
+        view: &[Option<Value>],
+        buf: &mut Vec<Value>,
+    ) -> Option<&'a ClusterList> {
+        buf.clear();
+        for &a in &self.attrs {
+            buf.push((*view.get(a.index())?)?);
+        }
+        self.map.get(buf.as_slice())
+    }
+
+    /// Iterates over `(tuple, cluster list)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&[Value], &ClusterList)> {
+        self.map.iter().map(|(t, l)| (t.as_ref(), l))
+    }
+
+    /// Collects every subscription id in the table (used when the table is
+    /// deleted and its population redistributed).
+    pub fn all_subscriptions(&self) -> Vec<SubscriptionId> {
+        let mut out = Vec::with_capacity(self.population);
+        for list in self.map.values() {
+            for cluster in list.iter() {
+                out.extend_from_slice(cluster.subscriptions());
+            }
+        }
+        out
+    }
+
+    /// Approximate heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let entries: usize = self
+            .map
+            .iter()
+            .map(|(t, l)| t.len() * std::mem::size_of::<Value>() + 48 + l.heap_bytes())
+            .sum();
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn sid(i: u32) -> SubscriptionId {
+        SubscriptionId(i)
+    }
+
+    fn schema(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| a(i)).collect()
+    }
+
+    #[test]
+    fn tuple_layout_follows_sorted_attrs() {
+        let t = MultiAttrTable::new(schema(&[3, 1]));
+        assert_eq!(t.attrs(), &[a(1), a(3)]);
+        let pairs = [(a(1), Value::Int(10)), (a(3), Value::Int(30))];
+        let tuple = t.tuple_for(&pairs).unwrap();
+        assert_eq!(&*tuple, &[Value::Int(10), Value::Int(30)]);
+        // Missing attribute → no tuple.
+        assert!(t.tuple_for(&[(a(1), Value::Int(10))]).is_none());
+    }
+
+    #[test]
+    fn probe_finds_matching_entry() {
+        let mut t = MultiAttrTable::new(schema(&[0, 1]));
+        let pairs = [(a(0), Value::Int(1)), (a(1), Value::Int(2))];
+        let tuple = t.tuple_for(&pairs).unwrap();
+        t.insert(tuple, sid(9), &[]);
+        assert_eq!(t.population(), 1);
+        assert_eq!(t.entry_count(), 1);
+
+        let mut buf = Vec::new();
+        let hit = Event::builder()
+            .pair(a(0), 1i64)
+            .pair(a(1), 2i64)
+            .pair(a(2), 99i64)
+            .build()
+            .unwrap();
+        let list = t.probe(&hit, &mut buf).expect("probe hits");
+        assert_eq!(list.len(), 1);
+
+        let wrong_value = Event::builder()
+            .pair(a(0), 1i64)
+            .pair(a(1), 3i64)
+            .build()
+            .unwrap();
+        assert!(t.probe(&wrong_value, &mut buf).is_none());
+
+        let missing_attr = Event::builder().pair(a(0), 1i64).build().unwrap();
+        assert!(t.probe(&missing_attr, &mut buf).is_none());
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_entries() {
+        let mut t = MultiAttrTable::new(schema(&[0]));
+        let tuple = t.tuple_for(&[(a(0), Value::Int(5))]).unwrap();
+        let (w, s) = t.insert(tuple.clone(), sid(1), &[7]);
+        assert_eq!(t.remove(&tuple, w, s), None);
+        assert_eq!(t.population(), 0);
+        assert_eq!(t.entry_count(), 0);
+    }
+
+    #[test]
+    fn all_subscriptions_enumerates_every_entry() {
+        let mut t = MultiAttrTable::new(schema(&[0]));
+        for i in 0..5u32 {
+            let tuple = t.tuple_for(&[(a(0), Value::Int((i % 2) as i64))]).unwrap();
+            t.insert(tuple, sid(i), &[i]);
+        }
+        let mut subs = t.all_subscriptions();
+        subs.sort();
+        assert_eq!(subs, (0..5).map(sid).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,470 @@
+//! The greedy clustering algorithm of paper §3.2.
+//!
+//! Starting from the "natural" clustering (single-equality access predicates,
+//! whose hash structures exist anyway for the predicate phase), the algorithm
+//! repeatedly adds the multi-attribute schema with the greatest *benefit per
+//! unit space* until the space bound is hit or no schema has positive
+//! benefit. For each configuration schema it maintains the *best clustering
+//! instance*: every subscription sits under the access predicate in
+//! `GP(s) ∩ A` minimising `ν(p)·checking(p, s)`.
+
+use crate::model::{CostConstants, SubscriptionProfile};
+use crate::stats::SelectivityEstimator;
+use crate::subsets::subsets_up_to;
+use pubsub_types::{AttrSet, FxHashMap, FxHashSet};
+
+/// Configuration for the greedy search.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Space bound (`Maxsize` in the paper) in model bytes — the same unit
+    /// as [`CostConstants::i_space`] etc.
+    pub max_space: f64,
+    /// Cap on candidate schema size. `GA(S)` enumerates subsets of each
+    /// subscription's equality-attribute set; this cap bounds the `2^|A(s)|`
+    /// blow-up (DESIGN.md §3).
+    pub max_schema_len: usize,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        Self {
+            max_space: 64.0 * 1024.0 * 1024.0,
+            max_schema_len: 4,
+        }
+    }
+}
+
+/// The result of the greedy search: a hashing-configuration schema plus the
+/// best clustering instance for it.
+#[derive(Debug, Clone)]
+pub struct ClusteringPlan {
+    /// Chosen table schemas, singletons first, in the order they were added.
+    pub schemas: Vec<AttrSet>,
+    /// Per profile: index into `schemas` of its access-predicate schema, or
+    /// `None` for subscriptions with no equality predicate (fallback cluster
+    /// checked on every event).
+    pub assignment: Vec<Option<usize>>,
+    /// Expected per-event matching cost of the plan (formula 3.1).
+    pub expected_cost: f64,
+    /// Model space consumed (formula 3.2, clusters + extra tables).
+    pub space: f64,
+}
+
+impl ClusteringPlan {
+    /// The schema assigned to profile `i`.
+    pub fn schema_of(&self, i: usize) -> Option<&AttrSet> {
+        self.assignment[i].map(|s| &self.schemas[s])
+    }
+}
+
+/// Runs the greedy algorithm.
+///
+/// Uses *lazy* benefit evaluation: candidate benefits only decrease as the
+/// configuration grows (a newly added table can only lower the costs other
+/// candidates would improve on), so stale heap entries are re-scored on pop
+/// instead of rescanning every candidate per iteration. This keeps the
+/// paper's `O(|S|·|GA(S)|²)` worst case far away in practice; the static
+/// algorithm is still the slowest loader, exactly as Figure 3(d) shows.
+pub fn greedy_clustering<E: SelectivityEstimator + ?Sized>(
+    profiles: &[SubscriptionProfile],
+    est: &E,
+    consts: &CostConstants,
+    cfg: &GreedyConfig,
+) -> ClusteringPlan {
+    // --- Candidate generation -------------------------------------------
+    // Group profiles by equality schema; GA(S) is the union of subsets of the
+    // distinct schemas.
+    let mut schema_groups: FxHashMap<AttrSet, Vec<usize>> = FxHashMap::default();
+    for (i, p) in profiles.iter().enumerate() {
+        schema_groups.entry(p.eq_schema()).or_default().push(i);
+    }
+    let mut candidate_set: FxHashSet<AttrSet> = FxHashSet::default();
+    for schema in schema_groups.keys() {
+        for sub in subsets_up_to(schema, cfg.max_schema_len) {
+            candidate_set.insert(sub);
+        }
+    }
+
+    // Members per candidate: profiles whose A(s) ⊇ candidate.
+    let mut candidates: Vec<(AttrSet, Vec<usize>)> = candidate_set
+        .into_iter()
+        .map(|c| {
+            let members: Vec<usize> = schema_groups
+                .iter()
+                .filter(|(schema, _)| c.is_subset(schema))
+                .flat_map(|(_, idxs)| idxs.iter().copied())
+                .collect();
+            (c, members)
+        })
+        .collect();
+    // Deterministic order (sorted by schema contents) for reproducible plans.
+    candidates.sort_by_key(|(c, _)| c.to_sorted_vec());
+
+    // --- Initial instance: singletons only -------------------------------
+    let mut schemas: Vec<AttrSet> = Vec::new();
+    let mut schema_index: FxHashMap<AttrSet, usize> = FxHashMap::default();
+    for (c, _) in &candidates {
+        if c.len() == 1 {
+            schema_index.insert(c.clone(), schemas.len());
+            schemas.push(c.clone());
+        }
+    }
+
+    let mut assignment: Vec<Option<usize>> = vec![None; profiles.len()];
+    let mut cur_cost: Vec<f64> = vec![0.0; profiles.len()];
+    let mut space = 0.0f64;
+    for (i, p) in profiles.iter().enumerate() {
+        // Only this profile's own singleton schemas can cover it.
+        let mut best: Option<(usize, f64)> = None;
+        for &(attr, v) in &p.eq_pairs {
+            let si = schema_index[&AttrSet::from_attrs([attr])];
+            let cost = est.eq_selectivity(attr, v) * consts.checking(p.size, 1);
+            if best.is_none_or(|(_, b)| cost < b) {
+                best = Some((si, cost));
+            }
+        }
+        match best {
+            Some((si, cost)) => {
+                assignment[i] = Some(si);
+                cur_cost[i] = cost;
+                space += consts.cluster_bytes(p.size - 1);
+            }
+            None => {
+                cur_cost[i] = p.fallback_cost(consts);
+                space += consts.cluster_bytes(p.size);
+            }
+        }
+    }
+
+    // Per-event overhead of the singleton tables (they exist regardless, but
+    // formula 3.1 counts them in the matching cost).
+    let mut table_cost: f64 = schemas
+        .iter()
+        .map(|s| consts.table_overhead(est.schema_inclusion(s), s.len()))
+        .sum();
+
+    // --- Lazy greedy loop -------------------------------------------------
+    // Scores a candidate against the *current* assignment.
+    let score_candidate = |ci: usize,
+                           cur_cost: &[f64],
+                           assignment: &[Option<usize>],
+                           schemas: &[AttrSet]|
+     -> Option<(f64, f64, f64)> {
+        let (schema, members) = &candidates[ci];
+        let overhead = consts.table_overhead(est.schema_inclusion(schema), schema.len());
+        let mut saving = 0.0f64;
+        let mut moved = 0usize;
+        let mut cluster_delta = 0.0f64;
+        let mut entries: FxHashSet<u64> = FxHashSet::default();
+        for &i in members {
+            let p = &profiles[i];
+            let Some(cost) = p.expected_cost(schema, est, consts) else {
+                continue;
+            };
+            if cost < cur_cost[i] {
+                saving += cur_cost[i] - cost;
+                moved += 1;
+                let old_access = assignment[i].map_or(0, |s| schemas[s].len());
+                cluster_delta += consts.cluster_bytes(p.size - schema.len())
+                    - consts.cluster_bytes(p.size - old_access);
+                if let Some(pairs) = p.pairs_for_schema(schema) {
+                    entries.insert(pubsub_types::hash::fx_hash_one(&pairs));
+                }
+            }
+        }
+        if moved == 0 {
+            return None;
+        }
+        let benefit = saving - overhead;
+        if benefit <= 0.0 {
+            return None;
+        }
+        let ds = consts.i_space + consts.h_space * entries.len() as f64 + cluster_delta;
+        let ratio = if ds <= 0.0 {
+            f64::INFINITY
+        } else {
+            benefit / ds
+        };
+        Some((benefit, ds, ratio))
+    };
+
+    #[derive(PartialEq)]
+    struct Entry {
+        ratio: f64,
+        ci: usize,
+        ds: f64,
+        version: u64,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.ratio
+                .total_cmp(&other.ratio)
+                // Deterministic tie-break so plans are reproducible.
+                .then_with(|| other.ci.cmp(&self.ci))
+        }
+    }
+
+    let mut version = 0u64;
+    let mut heap: std::collections::BinaryHeap<Entry> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, (schema, _))| !schema_index.contains_key(schema))
+        .filter_map(|(ci, _)| {
+            score_candidate(ci, &cur_cost, &assignment, &schemas).map(|(_, ds, ratio)| Entry {
+                ratio,
+                ci,
+                ds,
+                version,
+            })
+        })
+        .collect();
+
+    while space < cfg.max_space {
+        let Some(top) = heap.pop() else { break };
+        if top.version != version {
+            // Stale: re-score against the current assignment and reinsert.
+            if let Some((_, ds, ratio)) = score_candidate(top.ci, &cur_cost, &assignment, &schemas)
+            {
+                heap.push(Entry {
+                    ratio,
+                    ci: top.ci,
+                    ds,
+                    version,
+                });
+            }
+            continue;
+        }
+        if space + top.ds.max(0.0) > cfg.max_space {
+            // This candidate alone busts the bound; cheaper ones may follow.
+            continue;
+        }
+
+        // Apply: move every profile that improves.
+        let (schema, members) = candidates[top.ci].clone();
+        let si = schemas.len();
+        schemas.push(schema.clone());
+        schema_index.insert(schema.clone(), si);
+        table_cost += consts.table_overhead(est.schema_inclusion(&schema), schema.len());
+        for i in members {
+            let p = &profiles[i];
+            if let Some(cost) = p.expected_cost(&schema, est, consts) {
+                if cost < cur_cost[i] {
+                    assignment[i] = Some(si);
+                    cur_cost[i] = cost;
+                }
+            }
+        }
+        space += top.ds;
+        version += 1;
+    }
+
+    let expected_cost = table_cost + cur_cost.iter().sum::<f64>();
+    ClusteringPlan {
+        schemas,
+        assignment,
+        expected_cost,
+        space,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UniformEstimator;
+    use pubsub_types::{AttrId, Value};
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn profile(attrs: &[u32], size: usize) -> SubscriptionProfile {
+        SubscriptionProfile {
+            eq_pairs: attrs.iter().map(|&i| (a(i), Value::Int(1))).collect(),
+            size,
+        }
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s: AttrSet = [a(0), a(1), a(2)].into_iter().collect();
+        let subs = subsets_up_to(&s, 2);
+        assert_eq!(subs.len(), 6, "3 singletons + 3 pairs");
+        let subs = subsets_up_to(&s, 3);
+        assert_eq!(subs.len(), 7);
+        let subs = subsets_up_to(&s, 10);
+        assert_eq!(subs.len(), 7, "cap larger than the set is fine");
+    }
+
+    #[test]
+    fn single_attribute_subscriptions_stay_on_singletons() {
+        let profiles: Vec<_> = (0..10).map(|_| profile(&[0], 3)).collect();
+        let plan = greedy_clustering(
+            &profiles,
+            &UniformEstimator::new(100),
+            &CostConstants::default(),
+            &GreedyConfig::default(),
+        );
+        assert_eq!(plan.schemas.len(), 1);
+        assert!(plan.assignment.iter().all(|x| *x == Some(0)));
+    }
+
+    #[test]
+    fn multi_attribute_tables_added_when_beneficial() {
+        // Many subscriptions with equality on {0, 1}: a pair table lowers
+        // ν from 1/100 to 1/10000; the population is sized so the total
+        // saving dwarfs the (honest, probe-cost-calibrated) table overhead.
+        let profiles: Vec<_> = (0..4000).map(|_| profile(&[0, 1], 5)).collect();
+        let plan = greedy_clustering(
+            &profiles,
+            &UniformEstimator::new(100),
+            &CostConstants::default(),
+            &GreedyConfig::default(),
+        );
+        let pair: AttrSet = [a(0), a(1)].into_iter().collect();
+        assert!(
+            plan.schemas.contains(&pair),
+            "expected pair schema in {:?}",
+            plan.schemas
+        );
+        let pair_idx = plan.schemas.iter().position(|s| *s == pair).unwrap();
+        assert!(plan.assignment.iter().all(|&x| x == Some(pair_idx)));
+    }
+
+    #[test]
+    fn table_not_added_for_tiny_population() {
+        // One subscription: the saving (≤ ν·checking ≈ 0.03) cannot beat the
+        // per-event table overhead (≥ K_r = 1).
+        let profiles = vec![profile(&[0, 1], 5)];
+        let plan = greedy_clustering(
+            &profiles,
+            &UniformEstimator::new(100),
+            &CostConstants::default(),
+            &GreedyConfig::default(),
+        );
+        let pair: AttrSet = [a(0), a(1)].into_iter().collect();
+        assert!(!plan.schemas.contains(&pair));
+    }
+
+    fn profile_with_values(attrs: &[u32], vals: &[i64], size: usize) -> SubscriptionProfile {
+        SubscriptionProfile {
+            eq_pairs: attrs
+                .iter()
+                .zip(vals)
+                .map(|(&a_, &v)| (a(a_), Value::Int(v)))
+                .collect(),
+            size,
+        }
+    }
+
+    #[test]
+    fn space_bound_limits_tables() {
+        let mut profiles = Vec::new();
+        // Two disjoint populations that would each earn a pair table. The
+        // value tuples are distinct, so each pair table needs real entry
+        // space (with identical tuples the table would *save* space and the
+        // paper's rule adds it regardless of the bound).
+        for i in 0..4000i64 {
+            profiles.push(profile_with_values(&[0, 1], &[i, i + 1], 5));
+            profiles.push(profile_with_values(&[2, 3], &[i, i + 1], 5));
+        }
+        let consts = CostConstants::default();
+        let est = UniformEstimator::new(100);
+        let unlimited = greedy_clustering(
+            &profiles,
+            &est,
+            &consts,
+            &GreedyConfig {
+                max_space: f64::INFINITY,
+                max_schema_len: 2,
+            },
+        );
+        let n_unlimited = unlimited.schemas.iter().filter(|s| s.len() == 2).count();
+        assert_eq!(n_unlimited, 2);
+
+        // A bound just above the singleton baseline allows at most one
+        // additional table.
+        let base_space: f64 = profiles
+            .iter()
+            .map(|p| consts.cluster_bytes(p.size - 1))
+            .sum();
+        let limited = greedy_clustering(
+            &profiles,
+            &est,
+            &consts,
+            &GreedyConfig {
+                max_space: base_space + 1.0,
+                max_schema_len: 2,
+            },
+        );
+        let n_limited = limited.schemas.iter().filter(|s| s.len() == 2).count();
+        assert!(n_limited < 2, "space bound must prune tables");
+    }
+
+    #[test]
+    fn no_equality_subscriptions_fall_back() {
+        let profiles = vec![profile(&[], 4)];
+        let plan = greedy_clustering(
+            &profiles,
+            &UniformEstimator::new(100),
+            &CostConstants::default(),
+            &GreedyConfig::default(),
+        );
+        assert_eq!(plan.assignment[0], None);
+        assert!(plan.expected_cost > 0.0);
+    }
+
+    #[test]
+    fn example_31_prefers_c2_style_clustering() {
+        // Example 3.1: attributes A, B, C with 100 values each; for each
+        // non-empty subset X of {A,B,C} a population with equality exactly
+        // on X. The best configuration uses multi-attribute tables, beating
+        // singletons-only.
+        let universe = [
+            &[0u32][..],
+            &[1],
+            &[2],
+            &[0, 1],
+            &[1, 2],
+            &[0, 2],
+            &[0, 1, 2],
+        ];
+        let mut profiles = Vec::new();
+        for attrs in universe {
+            // Sized so pair tables clearly beat their probe overhead.
+            for _ in 0..4000 {
+                profiles.push(profile(attrs, attrs.len() + 1));
+            }
+        }
+        let est = UniformEstimator::new(100);
+        let consts = CostConstants::default();
+        let plan = greedy_clustering(&profiles, &est, &consts, &GreedyConfig::default());
+        assert!(
+            plan.schemas.iter().any(|s| s.len() >= 2),
+            "C2-style plan uses conjunctions: {:?}",
+            plan.schemas
+        );
+
+        // Compare against the singletons-only instance cost.
+        let singleton_plan = greedy_clustering(
+            &profiles,
+            &est,
+            &consts,
+            &GreedyConfig {
+                max_space: 0.0, // forbid any addition
+                max_schema_len: 3,
+            },
+        );
+        assert!(
+            plan.expected_cost < singleton_plan.expected_cost,
+            "{} < {}",
+            plan.expected_cost,
+            singleton_plan.expected_cost
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Statistics over the incoming event stream.
+//!
+//! The cost-based clustering of paper §3 needs two quantities:
+//!
+//! * `ν(p)` — the probability that an incoming event satisfies predicate `p`
+//!   (and, for conjunctions, the product under the attribute-independence
+//!   assumption of Example 3.1);
+//! * `μ(H)` — the probability that an event's schema includes the schema of
+//!   hash table `H`.
+//!
+//! Both are estimated from per-attribute value-frequency histograms of
+//! observed events. [`EventStatistics::halve`] exponentially decays the
+//! counts so the estimates track drifting event patterns (the situation the
+//! dynamic algorithm of §4 adapts to).
+
+use pubsub_types::{AttrId, AttrSet, Event, FxHashMap, Operator, Predicate, Value};
+
+/// How selective we assume an equality predicate to be when no event has been
+/// observed yet. 1/35 mirrors the paper's default domain `1..=35`.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 1.0 / 35.0;
+
+/// Supplies selectivity estimates to the cost model and the clustering
+/// algorithms.
+pub trait SelectivityEstimator {
+    /// Estimated probability that an event carries a pair `(attr, value)`.
+    fn eq_selectivity(&self, attr: AttrId, value: Value) -> f64;
+
+    /// Estimated probability that an event carries attribute `attr` at all.
+    fn attr_presence(&self, attr: AttrId) -> f64;
+
+    /// Estimated probability that an event satisfies `pred`.
+    fn predicate_selectivity(&self, pred: &Predicate) -> f64;
+
+    /// Estimated probability that an event satisfies the conjunction of the
+    /// given equality pairs (independence assumption).
+    fn conjunction_selectivity(&self, pairs: &[(AttrId, Value)]) -> f64 {
+        pairs
+            .iter()
+            .map(|&(a, v)| self.eq_selectivity(a, v))
+            .product()
+    }
+
+    /// Estimated probability that an event's schema includes `schema`
+    /// (the `μ(H)` of cost formula 3.1).
+    fn schema_inclusion(&self, schema: &AttrSet) -> f64 {
+        schema.iter().map(|a| self.attr_presence(a)).product()
+    }
+}
+
+#[derive(Debug, Default)]
+struct AttrHistogram {
+    /// Events that carried this attribute.
+    present: f64,
+    /// Count per observed value.
+    values: FxHashMap<Value, f64>,
+}
+
+/// Per-attribute value-frequency histograms over observed events.
+#[derive(Debug, Default)]
+pub struct EventStatistics {
+    attrs: Vec<AttrHistogram>,
+    total: f64,
+    /// Fallback for never-observed predicates.
+    default_eq: f64,
+}
+
+impl EventStatistics {
+    /// Creates empty statistics with the default fallback selectivity.
+    pub fn new() -> Self {
+        Self {
+            attrs: Vec::new(),
+            total: 0.0,
+            default_eq: DEFAULT_EQ_SELECTIVITY,
+        }
+    }
+
+    /// Creates empty statistics with a custom fallback equality selectivity
+    /// (used before any event has been observed).
+    pub fn with_default_selectivity(default_eq: f64) -> Self {
+        Self {
+            attrs: Vec::new(),
+            total: 0.0,
+            default_eq,
+        }
+    }
+
+    /// Number of (weighted) events observed.
+    pub fn total_events(&self) -> f64 {
+        self.total
+    }
+
+    /// Records one event.
+    pub fn observe(&mut self, event: &Event) {
+        self.total += 1.0;
+        for &(attr, value) in event.pairs() {
+            let idx = attr.index();
+            if self.attrs.len() <= idx {
+                self.attrs.resize_with(idx + 1, AttrHistogram::default);
+            }
+            let h = &mut self.attrs[idx];
+            h.present += 1.0;
+            *h.values.entry(value).or_insert(0.0) += 1.0;
+        }
+    }
+
+    /// Exponentially decays all counts by half and drops negligible entries.
+    ///
+    /// Called periodically (every maintenance period) so estimates follow
+    /// drifting event patterns with a half-life of one period.
+    pub fn halve(&mut self) {
+        self.total *= 0.5;
+        for h in &mut self.attrs {
+            h.present *= 0.5;
+            h.values.retain(|_, c| {
+                *c *= 0.5;
+                *c > 1e-6
+            });
+        }
+    }
+
+    fn histogram(&self, attr: AttrId) -> Option<&AttrHistogram> {
+        self.attrs.get(attr.index())
+    }
+}
+
+impl SelectivityEstimator for EventStatistics {
+    fn eq_selectivity(&self, attr: AttrId, value: Value) -> f64 {
+        if self.total <= 0.0 {
+            return self.default_eq;
+        }
+        match self.histogram(attr) {
+            Some(h) => {
+                let c = h.values.get(&value).copied().unwrap_or(0.0);
+                // Half-count smoothing: unseen values keep a small non-zero
+                // probability so fresh predicates aren't judged free.
+                (c + 0.5) / (self.total + 1.0)
+            }
+            None => self.default_eq,
+        }
+    }
+
+    fn attr_presence(&self, attr: AttrId) -> f64 {
+        if self.total <= 0.0 {
+            return 1.0;
+        }
+        match self.histogram(attr) {
+            Some(h) => (h.present + 0.5) / (self.total + 1.0),
+            None => 0.5 / (self.total + 1.0),
+        }
+    }
+
+    fn predicate_selectivity(&self, pred: &Predicate) -> f64 {
+        if pred.op == Operator::Eq {
+            return self.eq_selectivity(pred.attr, pred.value);
+        }
+        if self.total <= 0.0 {
+            return 0.5;
+        }
+        let Some(h) = self.histogram(pred.attr) else {
+            return 0.5 / (self.total + 1.0);
+        };
+        // Walk the histogram: P(v' op c) over events carrying the attribute,
+        // scaled by attribute presence.
+        let satisfied: f64 = h
+            .values
+            .iter()
+            .filter(|(v, _)| pred.eval(**v))
+            .map(|(_, c)| c)
+            .sum();
+        (satisfied + 0.5) / (self.total + 1.0)
+    }
+}
+
+/// A closed-form estimator for analytic workloads: every attribute appears
+/// with probability `presence` and takes one of `domain_size` equiprobable
+/// values (the setting of Example 3.1 and of the paper's uniform workloads).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformEstimator {
+    /// Number of equiprobable values per attribute.
+    pub domain_size: u32,
+    /// Probability an event carries any given attribute.
+    pub presence: f64,
+}
+
+impl UniformEstimator {
+    /// `domain_size` equiprobable values, attribute always present.
+    pub fn new(domain_size: u32) -> Self {
+        Self {
+            domain_size,
+            presence: 1.0,
+        }
+    }
+}
+
+impl SelectivityEstimator for UniformEstimator {
+    fn eq_selectivity(&self, _attr: AttrId, _value: Value) -> f64 {
+        self.presence / self.domain_size as f64
+    }
+
+    fn attr_presence(&self, _attr: AttrId) -> f64 {
+        self.presence
+    }
+
+    fn predicate_selectivity(&self, pred: &Predicate) -> f64 {
+        match pred.op {
+            Operator::Eq => self.eq_selectivity(pred.attr, pred.value),
+            Operator::Ne => self.presence * (1.0 - 1.0 / self.domain_size as f64),
+            // Without knowing the constant's rank, assume the median.
+            _ => self.presence * 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn ev(pairs: &[(u32, i64)]) -> Event {
+        Event::from_pairs(
+            pairs
+                .iter()
+                .map(|&(at, v)| (a(at), Value::Int(v)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frequencies_converge() {
+        let mut s = EventStatistics::new();
+        for i in 0..100 {
+            s.observe(&ev(&[(0, i % 4)]));
+        }
+        let p = s.eq_selectivity(a(0), Value::Int(1));
+        assert!((p - 0.25).abs() < 0.02, "got {p}");
+        assert!(s.attr_presence(a(0)) > 0.98);
+        assert!(s.attr_presence(a(1)) < 0.02);
+    }
+
+    #[test]
+    fn defaults_before_any_event() {
+        let s = EventStatistics::new();
+        assert_eq!(
+            s.eq_selectivity(a(0), Value::Int(1)),
+            DEFAULT_EQ_SELECTIVITY
+        );
+        assert_eq!(s.attr_presence(a(0)), 1.0);
+    }
+
+    #[test]
+    fn inequality_selectivity_from_histogram() {
+        let mut s = EventStatistics::new();
+        for i in 0..100 {
+            s.observe(&ev(&[(0, i % 10)])); // values 0..9 uniform
+        }
+        let lt5 = Predicate::new(a(0), Operator::Lt, 5i64);
+        let p = s.predicate_selectivity(&lt5);
+        assert!((p - 0.5).abs() < 0.05, "P(v < 5) ~ 0.5, got {p}");
+        let ne0 = Predicate::new(a(0), Operator::Ne, 0i64);
+        let p = s.predicate_selectivity(&ne0);
+        assert!((p - 0.9).abs() < 0.05, "P(v != 0) ~ 0.9, got {p}");
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let mut s = EventStatistics::new();
+        for i in 0..100 {
+            s.observe(&ev(&[(0, i % 2), (1, i % 5)]));
+        }
+        let pair = [(a(0), Value::Int(0)), (a(1), Value::Int(0))];
+        let p = s.conjunction_selectivity(&pair);
+        assert!((p - 0.1).abs() < 0.02, "0.5 * 0.2 = 0.1, got {p}");
+    }
+
+    #[test]
+    fn halving_decays_towards_new_pattern() {
+        let mut s = EventStatistics::new();
+        for _ in 0..100 {
+            s.observe(&ev(&[(0, 1)]));
+        }
+        let before = s.eq_selectivity(a(0), Value::Int(1));
+        assert!(before > 0.9);
+        // Pattern shifts to value 2.
+        for _ in 0..4 {
+            s.halve();
+            for _ in 0..100 {
+                s.observe(&ev(&[(0, 2)]));
+            }
+        }
+        let after1 = s.eq_selectivity(a(0), Value::Int(1));
+        let after2 = s.eq_selectivity(a(0), Value::Int(2));
+        assert!(after1 < 0.1, "old value fades: {after1}");
+        assert!(after2 > 0.8, "new value dominates: {after2}");
+    }
+
+    #[test]
+    fn schema_inclusion_multiplies_presence() {
+        let mut s = EventStatistics::new();
+        // attr 0 always present, attr 1 present half the time.
+        for i in 0..100 {
+            if i % 2 == 0 {
+                s.observe(&ev(&[(0, 0), (1, 0)]));
+            } else {
+                s.observe(&ev(&[(0, 0)]));
+            }
+        }
+        let schema: AttrSet = [a(0), a(1)].into_iter().collect();
+        let mu = s.schema_inclusion(&schema);
+        assert!((mu - 0.5).abs() < 0.05, "got {mu}");
+    }
+
+    #[test]
+    fn uniform_estimator_matches_example_31_numbers() {
+        // Example 3.1: 100 values per attribute, all equiprobable.
+        let u = UniformEstimator::new(100);
+        assert!((u.eq_selectivity(a(0), Value::Int(7)) - 0.01).abs() < 1e-12);
+        let pairs = [(a(0), Value::Int(1)), (a(1), Value::Int(2))];
+        assert!((u.conjunction_selectivity(&pairs) - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Bounded subset enumeration over attribute sets.
+//!
+//! `GA(S)` in paper §3.2 is the set of attribute groups occurring in
+//! subscriptions; both the greedy optimizer and the dynamic maintenance
+//! algorithm enumerate the subsets of a subscription's equality schema as
+//! candidate access-predicate schemas, capped in size to bound the
+//! `2^|A(s)|` blow-up.
+
+use pubsub_types::AttrSet;
+
+/// Enumerates all subsets of `schema` with `1 ≤ size ≤ max_len`.
+pub fn subsets_up_to(schema: &AttrSet, max_len: usize) -> Vec<AttrSet> {
+    let attrs = schema.to_sorted_vec();
+    let n = attrs.len();
+    let mut out = Vec::new();
+    let max_len = max_len.min(n);
+    for size in 1..=max_len {
+        // Standard lexicographic combination enumeration over index vectors.
+        let mut idx: Vec<usize> = (0..size).collect();
+        'combos: loop {
+            out.push(idx.iter().map(|&i| attrs[i]).collect::<AttrSet>());
+            // Find the rightmost index that can still advance.
+            let mut i = size;
+            loop {
+                if i == 0 {
+                    break 'combos;
+                }
+                i -= 1;
+                if idx[i] != i + n - size {
+                    break;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..size {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::AttrId;
+
+    #[test]
+    fn empty_schema_has_no_subsets() {
+        assert!(subsets_up_to(&AttrSet::new(), 3).is_empty());
+    }
+
+    #[test]
+    fn counts_match_binomials() {
+        let s: AttrSet = (0..5).map(AttrId).collect();
+        assert_eq!(subsets_up_to(&s, 1).len(), 5);
+        assert_eq!(subsets_up_to(&s, 2).len(), 15); // 5 + 10
+        assert_eq!(subsets_up_to(&s, 5).len(), 31); // 2^5 - 1
+    }
+
+    #[test]
+    fn subsets_are_subsets() {
+        let s: AttrSet = [AttrId(1), AttrId(4), AttrId(9)].into_iter().collect();
+        for sub in subsets_up_to(&s, 3) {
+            assert!(sub.is_subset(&s));
+            assert!(!sub.is_empty());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The predicate bit vector.
+//!
+//! Each distinct predicate in the system owns one entry; the predicate phase
+//! sets the entry to 1 when the incoming event satisfies the predicate, and
+//! the subscription phase reads entries through the cluster predicate arrays
+//! (paper §2.2, Figure 1).
+//!
+//! The paper zeroes the whole vector per event (`B = 0`). We keep a list of
+//! the words actually touched so the reset costs O(bits set) instead of
+//! O(total predicates) — with millions of subscriptions but a few thousand
+//! distinct predicates either would be fine, but per-event work is the thing
+//! this entire paper is about shaving.
+
+/// A bit vector indexed by predicate id with O(touched) clearing.
+#[derive(Debug, Default)]
+pub struct PredicateBitVec {
+    words: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl PredicateBitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector with room for `bits` predicates.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grows the vector so it can hold `bits` entries.
+    pub fn ensure_capacity(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Sets bit `i` (marks predicate `i` satisfied).
+    ///
+    /// # Panics
+    /// Panics if `i` is beyond capacity; callers grow the vector when
+    /// interning predicates, never on the matching path.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        let w = (i / 64) as usize;
+        let bit = 1u64 << (i % 64);
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= bit;
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        let w = (i / 64) as usize;
+        (self.words[w] >> (i % 64)) & 1 != 0
+    }
+
+    /// Clears every set bit, in time proportional to the number of touched
+    /// words.
+    #[inline]
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Number of set bits (diagnostics only — walks the touched words).
+    pub fn count_ones(&self) -> usize {
+        self.touched
+            .iter()
+            .map(|&w| self.words[w as usize].count_ones() as usize)
+            .sum()
+    }
+
+    /// Heap bytes used, for the memory experiments (Fig 3c).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8 + self.touched.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = PredicateBitVec::with_capacity(200);
+        assert!(!b.get(3));
+        b.set(3);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(3));
+        assert!(b.get(64));
+        assert!(b.get(199));
+        assert!(!b.get(4));
+        assert_eq!(b.count_ones(), 3);
+        b.clear();
+        assert!(!b.get(3));
+        assert!(!b.get(64));
+        assert!(!b.get(199));
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn touched_list_has_no_duplicates_for_same_word() {
+        let mut b = PredicateBitVec::with_capacity(128);
+        b.set(0);
+        b.set(1);
+        b.set(63); // same word
+        b.set(64); // new word
+        assert_eq!(b.touched.len(), 2);
+        b.clear();
+        assert_eq!(b.touched.len(), 0);
+    }
+
+    #[test]
+    fn ensure_capacity_grows_only() {
+        let mut b = PredicateBitVec::new();
+        b.ensure_capacity(10);
+        assert!(b.capacity() >= 10);
+        let cap = b.capacity();
+        b.ensure_capacity(5);
+        assert_eq!(b.capacity(), cap);
+        b.ensure_capacity(1000);
+        assert!(b.capacity() >= 1000);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut b = PredicateBitVec::with_capacity(64);
+        for round in 0..3 {
+            b.set(round);
+            assert!(b.get(round));
+            b.clear();
+            for i in 0..64 {
+                assert!(!b.get(i), "round {round} bit {i}");
+            }
+        }
+    }
+}

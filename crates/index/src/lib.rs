@@ -1,0 +1,23 @@
+//! Predicate indexing substrate for `fastpubsub` — phase 1 of the paper's
+//! two-phase matching algorithm.
+//!
+//! Contents:
+//!
+//! * [`bptree`] — a from-scratch arena-based B+-tree with linked leaves,
+//!   the "simple B-Trees for inequalities" of paper §2.3.
+//! * [`bitvec`] — the predicate bit vector of Figure 1, with O(touched)
+//!   clearing.
+//! * [`registry`] — predicate interning with reference counts, the
+//!   per-attribute equality / inequality / `≠` indexes, and the phase-1
+//!   evaluator [`PredicateIndex::eval_into`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bitvec;
+pub mod bptree;
+pub mod registry;
+
+pub use bitvec::PredicateBitVec;
+pub use bptree::BPlusTree;
+pub use registry::{PredicateId, PredicateIndex};

@@ -1,0 +1,535 @@
+//! Predicate interning and the phase-1 evaluator.
+//!
+//! Every distinct `(attribute, operator, value)` predicate in the system is
+//! interned to a dense [`PredicateId`] with a reference count (one per
+//! subscription using it; "indexes are updated only if s contains a new
+//! predicate that is not already in the system", paper §2.3 footnote).
+//!
+//! Per attribute, the registry maintains:
+//!
+//! * a **hash index** for `=` predicates (one lookup per event pair),
+//! * a **B+-tree interval index** for `<, ≤, ≥, >` predicates (two range
+//!   scans per event pair: one ascending for `<`/`≤`, one descending for
+//!   `>`/`≥`),
+//! * a **list index** for `≠` predicates (scan-all-but-equal).
+//!
+//! [`PredicateIndex::eval_into`] runs the predicate phase of the matching
+//! algorithm (paper Figure 2, step 1): it sets the bit of every satisfied
+//! predicate and appends the satisfied ids to a caller-provided buffer.
+
+use crate::bitvec::PredicateBitVec;
+use crate::bptree::BPlusTree;
+use pubsub_types::{AttrId, Event, FxHashMap, Operator, Predicate, Value};
+use std::ops::Bound;
+
+/// Dense id of an interned predicate; indexes the predicate bit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredicateId(pub u32);
+
+impl PredicateId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-`(key, ordered-op)` slots stored in the interval index.
+///
+/// Because predicates are interned, at most one predicate exists per
+/// `(attribute, operator, constant)`, so each slot is an `Option`.
+#[derive(Debug, Default, Clone, Copy)]
+struct OpSlots {
+    lt: Option<PredicateId>,
+    le: Option<PredicateId>,
+    ge: Option<PredicateId>,
+    gt: Option<PredicateId>,
+}
+
+impl OpSlots {
+    fn slot_mut(&mut self, op: Operator) -> &mut Option<PredicateId> {
+        match op {
+            Operator::Lt => &mut self.lt,
+            Operator::Le => &mut self.le,
+            Operator::Ge => &mut self.ge,
+            Operator::Gt => &mut self.gt,
+            _ => unreachable!("OpSlots only stores ordered operators"),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lt.is_none() && self.le.is_none() && self.ge.is_none() && self.gt.is_none()
+    }
+}
+
+/// `≠` predicates on one attribute: a vector for scanning plus a position map
+/// for O(1) removal.
+#[derive(Debug, Default)]
+struct NeIndex {
+    items: Vec<(Value, PredicateId)>,
+    pos: FxHashMap<Value, usize>,
+}
+
+impl NeIndex {
+    fn insert(&mut self, value: Value, id: PredicateId) {
+        debug_assert!(!self.pos.contains_key(&value));
+        self.pos.insert(value, self.items.len());
+        self.items.push((value, id));
+    }
+
+    fn remove(&mut self, value: Value) {
+        if let Some(idx) = self.pos.remove(&value) {
+            self.items.swap_remove(idx);
+            if idx < self.items.len() {
+                self.pos.insert(self.items[idx].0, idx);
+            }
+        }
+    }
+}
+
+/// All index structures for one attribute.
+#[derive(Debug, Default)]
+struct AttrIndex {
+    eq: FxHashMap<Value, PredicateId>,
+    ne: NeIndex,
+    ordered_int: BPlusTree<i64, OpSlots>,
+    ordered_str: BPlusTree<u32, OpSlots>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    pred: Predicate,
+    refcount: u32,
+    live: bool,
+}
+
+/// The predicate registry and phase-1 evaluator.
+#[derive(Debug, Default)]
+pub struct PredicateIndex {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    by_key: FxHashMap<Predicate, PredicateId>,
+    attrs: Vec<AttrIndex>,
+    live: usize,
+}
+
+impl PredicateIndex {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct live predicates (the bit-vector population).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no predicate is interned.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Capacity needed for a [`PredicateBitVec`] covering all ids.
+    pub fn id_bound(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The predicate for a live id.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn predicate(&self, id: PredicateId) -> &Predicate {
+        let e = &self.entries[id.index()];
+        assert!(e.live, "predicate id {id:?} is not live");
+        &e.pred
+    }
+
+    /// Number of subscriptions currently referencing `id`.
+    pub fn refcount(&self, id: PredicateId) -> u32 {
+        self.entries[id.index()].refcount
+    }
+
+    fn attr_index_mut(&mut self, attr: AttrId) -> &mut AttrIndex {
+        let idx = attr.index();
+        if self.attrs.len() <= idx {
+            self.attrs.resize_with(idx + 1, AttrIndex::default);
+        }
+        &mut self.attrs[idx]
+    }
+
+    /// Interns `pred` (or bumps its refcount) and returns its id.
+    pub fn intern(&mut self, pred: Predicate) -> PredicateId {
+        if let Some(&id) = self.by_key.get(&pred) {
+            self.entries[id.index()].refcount += 1;
+            return id;
+        }
+        let id = if let Some(slot) = self.free.pop() {
+            self.entries[slot as usize] = Entry {
+                pred,
+                refcount: 1,
+                live: true,
+            };
+            PredicateId(slot)
+        } else {
+            let id = PredicateId(self.entries.len() as u32);
+            self.entries.push(Entry {
+                pred,
+                refcount: 1,
+                live: true,
+            });
+            id
+        };
+        self.by_key.insert(pred, id);
+        self.live += 1;
+
+        let ai = self.attr_index_mut(pred.attr);
+        match pred.op {
+            Operator::Eq => {
+                ai.eq.insert(pred.value, id);
+            }
+            Operator::Ne => {
+                ai.ne.insert(pred.value, id);
+            }
+            op => {
+                let slots = match pred.value {
+                    Value::Int(i) => {
+                        if ai.ordered_int.get(&i).is_none() {
+                            ai.ordered_int.insert(i, OpSlots::default());
+                        }
+                        ai.ordered_int.get_mut(&i).expect("just inserted")
+                    }
+                    Value::Str(s) => {
+                        if ai.ordered_str.get(&s.0).is_none() {
+                            ai.ordered_str.insert(s.0, OpSlots::default());
+                        }
+                        ai.ordered_str.get_mut(&s.0).expect("just inserted")
+                    }
+                };
+                *slots.slot_mut(op) = Some(id);
+            }
+        }
+        id
+    }
+
+    /// Releases one reference to `id`; removes the predicate from all indexes
+    /// when the count reaches zero. Returns `true` if the predicate was
+    /// removed entirely.
+    pub fn release(&mut self, id: PredicateId) -> bool {
+        let e = &mut self.entries[id.index()];
+        assert!(e.live, "releasing dead predicate {id:?}");
+        e.refcount -= 1;
+        if e.refcount > 0 {
+            return false;
+        }
+        e.live = false;
+        let pred = e.pred;
+        self.by_key.remove(&pred);
+        self.live -= 1;
+        self.free.push(id.0);
+
+        let ai = self.attr_index_mut(pred.attr);
+        match pred.op {
+            Operator::Eq => {
+                ai.eq.remove(&pred.value);
+            }
+            Operator::Ne => {
+                ai.ne.remove(pred.value);
+            }
+            op => match pred.value {
+                Value::Int(i) => {
+                    if let Some(slots) = ai.ordered_int.get_mut(&i) {
+                        *slots.slot_mut(op) = None;
+                        if slots.is_empty() {
+                            ai.ordered_int.remove(&i);
+                        }
+                    }
+                }
+                Value::Str(s) => {
+                    if let Some(slots) = ai.ordered_str.get_mut(&s.0) {
+                        *slots.slot_mut(op) = None;
+                        if slots.is_empty() {
+                            ai.ordered_str.remove(&s.0);
+                        }
+                    }
+                }
+            },
+        }
+        true
+    }
+
+    /// Looks up an interned predicate without changing its refcount.
+    pub fn lookup(&self, pred: &Predicate) -> Option<PredicateId> {
+        self.by_key.get(pred).copied()
+    }
+
+    /// Phase 1 of the matching algorithm: computes the set of predicates the
+    /// event satisfies, setting their bits and appending their ids to
+    /// `satisfied`.
+    ///
+    /// The caller owns both buffers so per-event allocation is zero; `bits`
+    /// must have been cleared (or never written) and is grown here if the
+    /// registry outgrew it.
+    pub fn eval_into(
+        &self,
+        event: &Event,
+        bits: &mut PredicateBitVec,
+        satisfied: &mut Vec<PredicateId>,
+    ) {
+        bits.ensure_capacity(self.entries.len());
+        for &(attr, value) in event.pairs() {
+            let Some(ai) = self.attrs.get(attr.index()) else {
+                continue;
+            };
+            // Equality: one hash probe.
+            if let Some(&id) = ai.eq.get(&value) {
+                bits.set(id.0);
+                satisfied.push(id);
+            }
+            // Inequality (≠): everything with a different constant matches,
+            // including constants of the other kind.
+            for &(c, id) in &ai.ne.items {
+                if c != value {
+                    bits.set(id.0);
+                    satisfied.push(id);
+                }
+            }
+            // Ordered operators: two range scans on the matching kind.
+            match value {
+                Value::Int(x) => {
+                    scan_ordered(&ai.ordered_int, x, bits, satisfied);
+                }
+                Value::Str(s) => {
+                    scan_ordered(&ai.ordered_str, s.0, bits, satisfied);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper for tests: evaluates and returns the satisfied set.
+    pub fn eval(&self, event: &Event) -> Vec<PredicateId> {
+        let mut bits = PredicateBitVec::with_capacity(self.entries.len());
+        let mut out = Vec::new();
+        self.eval_into(event, &mut bits, &mut out);
+        out
+    }
+
+    /// Iterates over all live `(id, predicate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PredicateId, &Predicate)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.live)
+            .map(|(i, e)| (PredicateId(i as u32), &e.pred))
+    }
+}
+
+/// Pushes the satisfied ordered predicates for an event value `x`:
+/// * ascending over constants `c ≥ x`: `≤` always (x ≤ c), `<` when `c > x`;
+/// * descending over constants `c ≤ x`: `≥` always (x ≥ c), `>` when `c < x`.
+fn scan_ordered<K: Ord + Copy + std::fmt::Debug>(
+    tree: &BPlusTree<K, OpSlots>,
+    x: K,
+    bits: &mut PredicateBitVec,
+    satisfied: &mut Vec<PredicateId>,
+) {
+    for (c, slots) in tree.range(Bound::Included(x), Bound::Unbounded) {
+        if let Some(id) = slots.le {
+            bits.set(id.0);
+            satisfied.push(id);
+        }
+        if c > x {
+            if let Some(id) = slots.lt {
+                bits.set(id.0);
+                satisfied.push(id);
+            }
+        }
+    }
+    for (c, slots) in tree.range_rev(Bound::Unbounded, Bound::Included(x)) {
+        if let Some(id) = slots.ge {
+            bits.set(id.0);
+            satisfied.push(id);
+        }
+        if c < x {
+            if let Some(id) = slots.gt {
+                bits.set(id.0);
+                satisfied.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::Symbol;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    fn event(pairs: Vec<(AttrId, Value)>) -> Event {
+        Event::from_pairs(pairs).unwrap()
+    }
+
+    #[test]
+    fn interning_dedups_and_refcounts() {
+        let mut idx = PredicateIndex::new();
+        let p = Predicate::new(a(0), Operator::Eq, 5i64);
+        let id1 = idx.intern(p);
+        let id2 = idx.intern(p);
+        assert_eq!(id1, id2);
+        assert_eq!(idx.refcount(id1), 2);
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.release(id1));
+        assert!(idx.release(id1));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn freed_ids_are_reused() {
+        let mut idx = PredicateIndex::new();
+        let id1 = idx.intern(Predicate::new(a(0), Operator::Eq, 1i64));
+        idx.release(id1);
+        let id2 = idx.intern(Predicate::new(a(0), Operator::Eq, 2i64));
+        assert_eq!(id1, id2, "slot is recycled");
+        assert_eq!(idx.predicate(id2).value, Value::Int(2));
+    }
+
+    #[test]
+    fn equality_evaluation() {
+        let mut idx = PredicateIndex::new();
+        let hit = idx.intern(Predicate::new(a(0), Operator::Eq, 5i64));
+        let _miss = idx.intern(Predicate::new(a(0), Operator::Eq, 6i64));
+        let _other_attr = idx.intern(Predicate::new(a(1), Operator::Eq, 5i64));
+        let sat = idx.eval(&event(vec![(a(0), Value::Int(5))]));
+        assert_eq!(sat, vec![hit]);
+    }
+
+    #[test]
+    fn ordered_evaluation_covers_all_operators() {
+        let mut idx = PredicateIndex::new();
+        // Constants 10 and 20 for every ordered operator.
+        let mut ids = std::collections::HashMap::new();
+        for op in [Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt] {
+            for c in [10i64, 20] {
+                ids.insert((op, c), idx.intern(Predicate::new(a(0), op, c)));
+            }
+        }
+        // Event value 10: matches <=10 (10<=10), <20, <=20, >=10... let's
+        // enumerate: lt: 10<c -> c=20. le: 10<=c -> 10, 20. ge: 10>=c -> 10.
+        // gt: 10>c -> none.
+        let mut sat = idx.eval(&event(vec![(a(0), Value::Int(10))]));
+        sat.sort();
+        let mut expect = vec![
+            ids[&(Operator::Lt, 20)],
+            ids[&(Operator::Le, 10)],
+            ids[&(Operator::Le, 20)],
+            ids[&(Operator::Ge, 10)],
+        ];
+        expect.sort();
+        assert_eq!(sat, expect);
+
+        // Event value 15: lt 20, le 20, ge 10, gt 10.
+        let mut sat = idx.eval(&event(vec![(a(0), Value::Int(15))]));
+        sat.sort();
+        let mut expect = vec![
+            ids[&(Operator::Lt, 20)],
+            ids[&(Operator::Le, 20)],
+            ids[&(Operator::Ge, 10)],
+            ids[&(Operator::Gt, 10)],
+        ];
+        expect.sort();
+        assert_eq!(sat, expect);
+    }
+
+    #[test]
+    fn ne_evaluation_matches_other_values_and_kinds() {
+        let mut idx = PredicateIndex::new();
+        let ne5 = idx.intern(Predicate::new(a(0), Operator::Ne, 5i64));
+        let ne7 = idx.intern(Predicate::new(a(0), Operator::Ne, 7i64));
+        let ne_str = idx.intern(Predicate::new(a(0), Operator::Ne, Value::Str(Symbol(0))));
+
+        let mut sat = idx.eval(&event(vec![(a(0), Value::Int(5))]));
+        sat.sort();
+        let mut expect = vec![ne7, ne_str];
+        expect.sort();
+        assert_eq!(sat, expect, "5 != 7 and 5 != \"sym0\", but not 5 != 5");
+        let _ = ne5;
+    }
+
+    #[test]
+    fn string_ordered_uses_symbol_order() {
+        let mut idx = PredicateIndex::new();
+        let lt = idx.intern(Predicate::new(a(0), Operator::Lt, Value::Str(Symbol(5))));
+        let sat = idx.eval(&event(vec![(a(0), Value::Str(Symbol(3)))]));
+        assert_eq!(sat, vec![lt]);
+        let sat = idx.eval(&event(vec![(a(0), Value::Str(Symbol(5)))]));
+        assert!(sat.is_empty());
+        // Integers never match string inequality predicates.
+        let sat = idx.eval(&event(vec![(a(0), Value::Int(3))]));
+        assert!(sat.is_empty());
+    }
+
+    #[test]
+    fn eval_against_brute_force() {
+        // Dense little universe, every operator, every value.
+        let mut idx = PredicateIndex::new();
+        let mut preds = Vec::new();
+        for attr in 0..3u32 {
+            for op in Operator::ALL {
+                for c in 0..6i64 {
+                    let p = Predicate::new(a(attr), op, c);
+                    idx.intern(p);
+                    preds.push(p);
+                }
+            }
+        }
+        for v0 in 0..6i64 {
+            for v1 in 0..6i64 {
+                let e = event(vec![(a(0), Value::Int(v0)), (a(2), Value::Int(v1))]);
+                let mut got: Vec<Predicate> =
+                    idx.eval(&e).iter().map(|&id| *idx.predicate(id)).collect();
+                let mut want: Vec<Predicate> = preds
+                    .iter()
+                    .filter(|p| p.matches_event(&e))
+                    .copied()
+                    .collect();
+                let key = |p: &Predicate| (p.attr.0, p.op as u8, p.value.as_int().unwrap());
+                got.sort_by_key(key);
+                want.sort_by_key(key);
+                assert_eq!(got, want, "event ({v0}, {v1})");
+            }
+        }
+    }
+
+    #[test]
+    fn release_removes_from_ordered_index() {
+        let mut idx = PredicateIndex::new();
+        let id = idx.intern(Predicate::new(a(0), Operator::Lt, 10i64));
+        let id2 = idx.intern(Predicate::new(a(0), Operator::Gt, 10i64));
+        idx.release(id);
+        let sat = idx.eval(&event(vec![(a(0), Value::Int(5))]));
+        assert!(sat.is_empty(), "released < predicate must not fire");
+        let sat = idx.eval(&event(vec![(a(0), Value::Int(15))]));
+        assert_eq!(sat, vec![id2], "sibling > predicate on same key survives");
+    }
+
+    #[test]
+    fn bits_are_set_for_satisfied_predicates() {
+        let mut idx = PredicateIndex::new();
+        let id = idx.intern(Predicate::new(a(0), Operator::Ge, 3i64));
+        let mut bits = PredicateBitVec::new();
+        let mut sat = Vec::new();
+        idx.eval_into(&event(vec![(a(0), Value::Int(4))]), &mut bits, &mut sat);
+        assert!(bits.get(id.0));
+        assert_eq!(sat, vec![id]);
+    }
+
+    #[test]
+    fn unknown_event_attributes_are_ignored() {
+        let mut idx = PredicateIndex::new();
+        idx.intern(Predicate::new(a(0), Operator::Eq, 1i64));
+        let sat = idx.eval(&event(vec![(a(99), Value::Int(1))]));
+        assert!(sat.is_empty());
+    }
+}

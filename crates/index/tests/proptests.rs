@@ -1,0 +1,147 @@
+//! Property tests for the indexing substrate: the B+-tree against a
+//! `BTreeMap` oracle, and the phase-1 evaluator against brute-force
+//! predicate evaluation.
+
+use proptest::prelude::*;
+use pubsub_index::{BPlusTree, PredicateIndex};
+use pubsub_types::{AttrId, Event, Operator, Predicate, Symbol, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(i64, u32),
+    Remove(i64),
+}
+
+fn tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-200i64..200, any::<u32>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+            (-200i64..200).prop_map(TreeOp::Remove),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bptree_matches_btreemap(ops in tree_ops(), lo in -250i64..250, hi in -250i64..250) {
+        let mut tree = BPlusTree::new();
+        let mut oracle = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), oracle.insert(k, v));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), oracle.remove(&k));
+                }
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), oracle.len());
+
+        // Full iteration agrees.
+        let got: Vec<(i64, u32)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(i64, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+
+        // Point lookups agree.
+        for k in [-250i64, -1, 0, 1, lo, hi] {
+            prop_assert_eq!(tree.get(&k), oracle.get(&k));
+        }
+
+        // Range scans agree in both directions, with every bound shape.
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let fwd: Vec<i64> = tree
+            .range(Bound::Included(lo), Bound::Excluded(hi))
+            .map(|(k, _)| k)
+            .collect();
+        let fwd_want: Vec<i64> = oracle.range(lo..hi).map(|(&k, _)| k).collect();
+        prop_assert_eq!(fwd, fwd_want);
+
+        let rev: Vec<i64> = tree
+            .range_rev(Bound::Excluded(lo), Bound::Included(hi))
+            .map(|(k, _)| k)
+            .collect();
+        let rev_want: Vec<i64> = oracle
+            .range((Bound::Excluded(lo), Bound::Included(hi)))
+            .rev()
+            .map(|(&k, _)| k)
+            .collect();
+        prop_assert_eq!(rev, rev_want);
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..30).prop_map(Value::Int),
+        (0u32..6).prop_map(|s| Value::Str(Symbol(s))),
+    ]
+}
+
+fn arb_operator() -> impl Strategy<Value = Operator> {
+    prop::sample::select(Operator::ALL.to_vec())
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (0u32..5, arb_operator(), arb_value()).prop_map(|(a, op, v)| Predicate::new(AttrId(a), op, v))
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop::collection::btree_map(0u32..5, arb_value(), 0..5).prop_map(|m| {
+        Event::from_pairs(m.into_iter().map(|(a, v)| (AttrId(a), v)).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn evaluator_agrees_with_brute_force(
+        preds in prop::collection::vec(arb_predicate(), 1..60),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+        events in prop::collection::vec(arb_event(), 1..8),
+    ) {
+        let mut idx = PredicateIndex::new();
+        let ids: Vec<_> = preds.iter().map(|&p| idx.intern(p)).collect();
+
+        // Release a few references; a predicate only disappears when every
+        // duplicate interning of it has been released.
+        let mut released = vec![0usize; preds.len()];
+        for r in removals {
+            let i = r.index(preds.len());
+            if released[i] == 0 {
+                idx.release(ids[i]);
+                released[i] = 1;
+            }
+        }
+        // A predicate is live iff at least one of its interning references
+        // survives.
+        let mut refs: std::collections::HashMap<Predicate, i64> = Default::default();
+        for (i, p) in preds.iter().enumerate() {
+            *refs.entry(*p).or_insert(0) += 1 - released[i] as i64;
+        }
+
+        for event in &events {
+            let mut got: Vec<Predicate> = idx
+                .eval(event)
+                .iter()
+                .map(|&id| *idx.predicate(id))
+                .collect();
+            let mut want: Vec<Predicate> = refs
+                .iter()
+                .filter(|(p, &c)| c > 0 && p.matches_event(event))
+                .map(|(p, _)| *p)
+                .collect();
+            let key = |p: &Predicate| format!("{p:?}");
+            got.sort_by_key(key);
+            got.dedup();
+            want.sort_by_key(key);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The unparser: renders subscriptions and events back into the textual
+//! language, such that `parse(format(x)) == x`.
+//!
+//! Attribute names that are not valid identifiers cannot round-trip (the
+//! grammar has no quoted attribute syntax); [`format_subscription`] and
+//! friends return `None` for those.
+
+use pubsub_types::{Event, Predicate, Subscription, Value, Vocabulary};
+use std::fmt::Write;
+
+/// True if `name` lexes as a single identifier token.
+pub fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    // `and` / `or` would lex as keywords, not identifiers.
+    if name.eq_ignore_ascii_case("and") || name.eq_ignore_ascii_case("or") {
+        return false;
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+}
+
+fn write_value(out: &mut String, v: Value, vocab: &Vocabulary) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Str(sym) => {
+            out.push('\'');
+            for c in vocab.strings.resolve(sym).chars() {
+                match c {
+                    '\'' | '\\' => {
+                        out.push('\\');
+                        out.push(c);
+                    }
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('\'');
+        }
+    }
+}
+
+fn write_predicate(out: &mut String, p: &Predicate, vocab: &Vocabulary) -> Option<()> {
+    let name = vocab.attrs.name(p.attr);
+    if !is_identifier(name) {
+        return None;
+    }
+    let _ = write!(out, "{name} {} ", p.op.symbol());
+    write_value(out, p.value, vocab);
+    Some(())
+}
+
+/// Renders a conjunction as parseable text, or `None` if an attribute name
+/// is not expressible in the grammar.
+pub fn format_subscription(sub: &Subscription, vocab: &Vocabulary) -> Option<String> {
+    let mut out = String::new();
+    for (i, p) in sub.predicates().iter().enumerate() {
+        if i > 0 {
+            out.push_str(" AND ");
+        }
+        write_predicate(&mut out, p, vocab)?;
+    }
+    Some(out)
+}
+
+/// Renders a DNF (one parenthesised conjunction per disjunct, joined by
+/// `OR`), or `None` if inexpressible.
+pub fn format_dnf(disjuncts: &[Subscription], vocab: &Vocabulary) -> Option<String> {
+    let mut out = String::new();
+    for (i, d) in disjuncts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" OR ");
+        }
+        out.push('(');
+        out.push_str(&format_subscription(d, vocab)?);
+        out.push(')');
+    }
+    Some(out)
+}
+
+/// Renders an event as `{a: 1, b: 'x'}`, or `None` if inexpressible.
+pub fn format_event(event: &Event, vocab: &Vocabulary) -> Option<String> {
+    let mut out = String::from("{");
+    for (i, &(a, v)) in event.pairs().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let name = vocab.attrs.name(a);
+        if !is_identifier(name) {
+            return None;
+        }
+        let _ = write!(out, "{name}: ");
+        write_value(&mut out, v, vocab);
+    }
+    out.push('}');
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_event, parse_subscription};
+    use pubsub_types::Operator;
+
+    #[test]
+    fn identifier_classification() {
+        assert!(is_identifier("price"));
+        assert!(is_identifier("user.age"));
+        assert!(is_identifier("_x-1"));
+        assert!(!is_identifier("9lives"));
+        assert!(!is_identifier("two words"));
+        assert!(!is_identifier("and"));
+        assert!(!is_identifier("OR"));
+        assert!(!is_identifier(""));
+    }
+
+    #[test]
+    fn subscription_round_trips() {
+        let mut v = Vocabulary::new();
+        let title = v.string("it's \\ tricky\nline");
+        let movie = v.attr("movie");
+        let price = v.attr("price");
+        let sub = Subscription::builder()
+            .eq(movie, title)
+            .with(price, Operator::Le, -10i64)
+            .build()
+            .unwrap();
+        let text = format_subscription(&sub, &v).unwrap();
+        let back = parse_subscription(&text, &mut v)
+            .unwrap()
+            .into_conjunction();
+        assert_eq!(back, sub, "{text}");
+    }
+
+    #[test]
+    fn event_round_trips() {
+        let mut v = Vocabulary::new();
+        let s = v.string("café 'quoted'");
+        let a = v.attr("a");
+        let b = v.attr("b");
+        let event = Event::builder().pair(a, 42i64).pair(b, s).build().unwrap();
+        let text = format_event(&event, &v).unwrap();
+        let back = parse_event(&text, &mut v).unwrap();
+        assert_eq!(back, event, "{text}");
+    }
+
+    #[test]
+    fn dnf_round_trips() {
+        let mut v = Vocabulary::new();
+        let a = v.attr("a");
+        let d1 = Subscription::builder().eq(a, 1i64).build().unwrap();
+        let d2 = Subscription::builder()
+            .with(a, Operator::Gt, 5i64)
+            .build()
+            .unwrap();
+        let text = format_dnf(&[d1.clone(), d2.clone()], &v).unwrap();
+        let back = parse_subscription(&text, &mut v).unwrap();
+        assert_eq!(back.disjuncts, vec![d1, d2], "{text}");
+    }
+
+    #[test]
+    fn inexpressible_names_return_none() {
+        let mut v = Vocabulary::new();
+        let weird = v.attr("two words");
+        let sub = Subscription::builder().eq(weird, 1i64).build().unwrap();
+        assert_eq!(format_subscription(&sub, &v), None);
+        let event = Event::builder().pair(weird, 1i64).build().unwrap();
+        assert_eq!(format_event(&event, &v), None);
+    }
+}

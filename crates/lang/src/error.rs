@@ -1,0 +1,60 @@
+//! Parse errors with positions.
+
+/// A lexing or parsing error at a byte offset of the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character/token.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with a caret marker under the input line.
+    pub fn render(&self, input: &str) -> String {
+        let mut out = format!("parse error at offset {}: {}\n", self.offset, self.message);
+        out.push_str(input);
+        out.push('\n');
+        // Caret under the offending byte (clamped to the input length).
+        let col = self.offset.min(input.len());
+        out.push_str(&" ".repeat(col));
+        out.push('^');
+        out
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_places_caret() {
+        let err = ParseError::new(6, "boom");
+        let rendered = err.render("price @ 3");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "price @ 3");
+        assert_eq!(lines[2], "      ^");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = ParseError::new(2, "bad");
+        assert_eq!(err.to_string(), "parse error at offset 2: bad");
+    }
+}

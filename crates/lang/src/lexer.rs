@@ -1,0 +1,392 @@
+//! Tokenizer for the subscription/event language.
+
+use crate::error::ParseError;
+
+/// A token with its byte offset in the input (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An attribute name: `[A-Za-z_][A-Za-z0-9_.-]*`.
+    Ident(String),
+    /// An integer literal, optionally negative.
+    Int(i64),
+    /// A quoted string literal (single or double quotes, `\` escapes).
+    Str(String),
+    /// A comparison operator (`=`, `==`, `!=`, `<>`, `<`, `<=`, `>`, `>=`).
+    Op(&'static str),
+    /// The keyword `AND` (case-insensitive, also `&&`).
+    And,
+    /// The keyword `OR` (case-insensitive, also `||`).
+    Or,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Op(o) => format!("operator `{o}`"),
+            TokenKind::And => "`AND`".into(),
+            TokenKind::Or => "`OR`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+        }
+    }
+}
+
+/// Tokenizes the whole input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                // `=` or `==`
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Op("="),
+                    offset: start,
+                });
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Op("!="),
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(start, "expected `!=`"));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Op("<="),
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Op("!="),
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Op("<"),
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(">="),
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Op(">"),
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token {
+                        kind: TokenKind::And,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(start, "expected `&&`"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token {
+                        kind: TokenKind::Or,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(start, "expected `||`"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new(start, "unterminated string literal"));
+                        }
+                        Some(&b) if b == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            // Escapes: \\ \' \" \n \t
+                            match bytes.get(i + 1) {
+                                Some(&b'n') => s.push('\n'),
+                                Some(&b't') => s.push('\t'),
+                                Some(&e) => s.push(e as char),
+                                None => {
+                                    return Err(ParseError::new(
+                                        i,
+                                        "dangling escape at end of input",
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Keep multi-byte UTF-8 intact: walk char-wise.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '-' | '0'..='9' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                if text == "-" {
+                    return Err(ParseError::new(start, "`-` must start a number"));
+                }
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("integer out of range: {text}")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(v),
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '.' || b == '-' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let kind = if word.eq_ignore_ascii_case("and") {
+                    TokenKind::And
+                } else if word.eq_ignore_ascii_case("or") {
+                    TokenKind::Or
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn operators_and_aliases() {
+        assert_eq!(
+            kinds("= == != <> < <= > >="),
+            vec![
+                TokenKind::Op("="),
+                TokenKind::Op("="),
+                TokenKind::Op("!="),
+                TokenKind::Op("!="),
+                TokenKind::Op("<"),
+                TokenKind::Op("<="),
+                TokenKind::Op(">"),
+                TokenKind::Op(">="),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("AND and And && OR or || x"),
+            vec![
+                TokenKind::And,
+                TokenKind::And,
+                TokenKind::And,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Or,
+                TokenKind::Or,
+                TokenKind::Ident("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative() {
+        assert_eq!(
+            kinds("0 42 -17"),
+            vec![TokenKind::Int(0), TokenKind::Int(42), TokenKind::Int(-17)]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            kinds(r#"'groundhog day' "it\'s" 'café'"#),
+            vec![
+                TokenKind::Str("groundhog day".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("café".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_allow_dots_and_dashes() {
+        assert_eq!(
+            kinds("price user.age movie-title _x"),
+            vec![
+                TokenKind::Ident("price".into()),
+                TokenKind::Ident("user.age".into()),
+                TokenKind::Ident("movie-title".into()),
+                TokenKind::Ident("_x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("price @ 3").unwrap_err();
+        assert_eq!(err.offset, 6);
+        let err = tokenize("x = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(err.message.contains("!="));
+        let err = tokenize("a = -").unwrap_err();
+        assert!(err.message.contains("number"));
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = tokenize("ab <= 7").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 6);
+    }
+}

@@ -1,0 +1,366 @@
+//! Parser for the subscription and event language.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! subscription := conjunction ( OR conjunction )*        -- DNF
+//! conjunction  := predicate ( AND predicate )*
+//!               | "(" conjunction ")"
+//! predicate    := IDENT op value
+//! op           := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//! value        := INT | STRING
+//!
+//! event        := "{"? pair ( "," pair )* "}"?
+//! pair         := IDENT ( ":" | "=" ) value
+//! ```
+//!
+//! Attribute names and string values are interned through the caller's
+//! [`Vocabulary`], so parsed subscriptions are directly usable with the
+//! matcher/broker.
+
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use pubsub_types::{Event, Operator, Predicate, Subscription, Value, Vocabulary};
+
+/// A parsed subscription in disjunctive normal form. A plain conjunction
+/// parses to a single disjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedSubscription {
+    /// The OR-ed conjunctions.
+    pub disjuncts: Vec<Subscription>,
+}
+
+impl ParsedSubscription {
+    /// True if this is a plain conjunction.
+    pub fn is_conjunctive(&self) -> bool {
+        self.disjuncts.len() == 1
+    }
+
+    /// Consumes a conjunctive parse into its single subscription.
+    ///
+    /// # Panics
+    /// Panics if the subscription has multiple disjuncts.
+    pub fn into_conjunction(mut self) -> Subscription {
+        assert!(self.is_conjunctive(), "subscription is a disjunction");
+        self.disjuncts.pop().expect("one disjunct")
+    }
+}
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.input_len)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!("expected attribute name, found {}", t.kind.describe()),
+            )),
+            None => Err(ParseError::new(self.input_len, "expected attribute name")),
+        }
+    }
+
+    fn expect_value(&mut self, vocab: &mut Vocabulary) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok(Value::Int(i)),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(vocab.string(&s)),
+            Some(t) => Err(ParseError::new(
+                t.offset,
+                format!(
+                    "expected a value (integer or quoted string), found {}",
+                    t.kind.describe()
+                ),
+            )),
+            None => Err(ParseError::new(self.input_len, "expected a value")),
+        }
+    }
+}
+
+fn parse_predicate(c: &mut Cursor, vocab: &mut Vocabulary) -> Result<Predicate, ParseError> {
+    let attr_name = c.expect_ident()?;
+    let op = match c.next() {
+        Some(Token {
+            kind: TokenKind::Op(o),
+            ..
+        }) => Operator::parse(o).expect("lexer emits valid operators"),
+        Some(t) => {
+            return Err(ParseError::new(
+                t.offset,
+                format!("expected comparison operator, found {}", t.kind.describe()),
+            ))
+        }
+        None => return Err(ParseError::new(c.input_len, "expected comparison operator")),
+    };
+    let value = c.expect_value(vocab)?;
+    Ok(Predicate::new(vocab.attr(&attr_name), op, value))
+}
+
+fn parse_conjunction(c: &mut Cursor, vocab: &mut Vocabulary) -> Result<Subscription, ParseError> {
+    let parenthesised = matches!(c.peek(), Some(TokenKind::LParen));
+    if parenthesised {
+        c.next();
+    }
+    let start = c.offset();
+    let mut preds = vec![parse_predicate(c, vocab)?];
+    while matches!(c.peek(), Some(TokenKind::And)) {
+        c.next();
+        preds.push(parse_predicate(c, vocab)?);
+    }
+    if parenthesised {
+        match c.next() {
+            Some(Token {
+                kind: TokenKind::RParen,
+                ..
+            }) => {}
+            Some(t) => {
+                return Err(ParseError::new(
+                    t.offset,
+                    format!("expected `)`, found {}", t.kind.describe()),
+                ))
+            }
+            None => return Err(ParseError::new(c.input_len, "expected `)`")),
+        }
+    }
+    Subscription::from_predicates(preds)
+        .map_err(|e| ParseError::new(start, format!("invalid conjunction: {e}")))
+}
+
+/// Parses a subscription (possibly a DNF with `OR`).
+pub fn parse_subscription(
+    input: &str,
+    vocab: &mut Vocabulary,
+) -> Result<ParsedSubscription, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty subscription"));
+    }
+    let mut c = Cursor {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let mut disjuncts = vec![parse_conjunction(&mut c, vocab)?];
+    while matches!(c.peek(), Some(TokenKind::Or)) {
+        c.next();
+        disjuncts.push(parse_conjunction(&mut c, vocab)?);
+    }
+    if let Some(t) = c.next() {
+        return Err(ParseError::new(
+            t.offset,
+            format!("unexpected {} after subscription", t.kind.describe()),
+        ));
+    }
+    Ok(ParsedSubscription { disjuncts })
+}
+
+/// Parses an event: `{a: 1, b: "x"}` (braces optional, `=` accepted for `:`).
+pub fn parse_event(input: &str, vocab: &mut Vocabulary) -> Result<Event, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty event"));
+    }
+    let mut c = Cursor {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let braced = matches!(c.peek(), Some(TokenKind::LBrace));
+    if braced {
+        c.next();
+    }
+    let mut pairs = Vec::new();
+    loop {
+        let start = c.offset();
+        let attr_name = c.expect_ident()?;
+        match c.next() {
+            Some(Token {
+                kind: TokenKind::Colon | TokenKind::Op("="),
+                ..
+            }) => {}
+            Some(t) => {
+                return Err(ParseError::new(
+                    t.offset,
+                    format!("expected `:` or `=`, found {}", t.kind.describe()),
+                ))
+            }
+            None => return Err(ParseError::new(c.input_len, "expected `:` or `=`")),
+        }
+        let value = c.expect_value(vocab)?;
+        pairs.push((vocab.attr(&attr_name), value));
+        let _ = start;
+        match c.peek() {
+            Some(TokenKind::Comma) => {
+                c.next();
+            }
+            _ => break,
+        }
+    }
+    if braced {
+        match c.next() {
+            Some(Token {
+                kind: TokenKind::RBrace,
+                ..
+            }) => {}
+            Some(t) => {
+                return Err(ParseError::new(
+                    t.offset,
+                    format!("expected `}}`, found {}", t.kind.describe()),
+                ))
+            }
+            None => return Err(ParseError::new(c.input_len, "expected `}`")),
+        }
+    }
+    if let Some(t) = c.next() {
+        return Err(ParseError::new(
+            t.offset,
+            format!("unexpected {} after event", t.kind.describe()),
+        ));
+    }
+    Event::from_pairs(pairs).map_err(|e| ParseError::new(0, format!("invalid event: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::AttrId;
+
+    #[test]
+    fn paper_example_round_trip() {
+        let mut v = Vocabulary::new();
+        let parsed = parse_subscription(
+            "movie = 'groundhog day' AND price <= 10 AND price > 5",
+            &mut v,
+        )
+        .unwrap();
+        assert!(parsed.is_conjunctive());
+        let sub = parsed.into_conjunction();
+        assert_eq!(sub.size(), 3);
+        assert_eq!(sub.equality_count(), 1);
+
+        let event = parse_event(
+            "{movie: 'groundhog day', price: 8, theater: 'odeon'}",
+            &mut v,
+        )
+        .unwrap();
+        assert!(sub.matches_event(&event));
+
+        let pricey = parse_event("movie: 'groundhog day', price: 12", &mut v).unwrap();
+        assert!(!sub.matches_event(&pricey));
+    }
+
+    #[test]
+    fn dnf_with_or_and_parentheses() {
+        let mut v = Vocabulary::new();
+        let parsed = parse_subscription(
+            "(from = 'NYC' AND price < 400) OR (from = 'EWR' AND price < 350)",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(parsed.disjuncts.len(), 2);
+        let e = parse_event("from: 'EWR', price: 300", &mut v).unwrap();
+        assert!(!parsed.disjuncts[0].matches_event(&e));
+        assert!(parsed.disjuncts[1].matches_event(&e));
+    }
+
+    #[test]
+    fn operator_aliases_parse() {
+        let mut v = Vocabulary::new();
+        for (text, op) in [
+            ("a == 1", Operator::Eq),
+            ("a <> 1", Operator::Ne),
+            ("a != 1", Operator::Ne),
+            ("a >= 1", Operator::Ge),
+        ] {
+            let sub = parse_subscription(text, &mut v).unwrap().into_conjunction();
+            assert_eq!(sub.predicates()[0].op, op, "{text}");
+        }
+    }
+
+    #[test]
+    fn symbols_are_shared_through_the_vocabulary() {
+        let mut v = Vocabulary::new();
+        let sub = parse_subscription("movie = 'brazil'", &mut v)
+            .unwrap()
+            .into_conjunction();
+        let event = parse_event("movie: 'brazil'", &mut v).unwrap();
+        assert!(sub.matches_event(&event), "same interner, same symbol");
+        // Attribute ids line up too.
+        assert_eq!(sub.predicates()[0].attr, v.attrs.get("movie").unwrap());
+        let _ = AttrId(0);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let mut v = Vocabulary::new();
+        let sub = parse_subscription("t >= -40 AND t <= -10", &mut v)
+            .unwrap()
+            .into_conjunction();
+        let e = parse_event("t: -20", &mut v).unwrap();
+        assert!(sub.matches_event(&e));
+    }
+
+    #[test]
+    fn error_messages_point_at_problems() {
+        let mut v = Vocabulary::new();
+        let err = parse_subscription("price <", &mut v).unwrap_err();
+        assert!(err.message.contains("expected a value"), "{err}");
+
+        let err = parse_subscription("= 3", &mut v).unwrap_err();
+        assert!(err.message.contains("attribute name"), "{err}");
+
+        let err = parse_subscription("a = 1 b = 2", &mut v).unwrap_err();
+        assert!(err.message.contains("unexpected"), "{err}");
+
+        let err = parse_subscription("a = 1 AND a = 1", &mut v).unwrap_err();
+        assert!(err.message.contains("invalid conjunction"), "{err}");
+
+        let err = parse_event("{a: 1", &mut v).unwrap_err();
+        assert!(err.message.contains('}'), "{err}");
+
+        let err = parse_event("a: 1, a: 2", &mut v).unwrap_err();
+        assert!(err.message.contains("invalid event"), "{err}");
+
+        let err = parse_subscription("", &mut v).unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn event_separator_flavours() {
+        let mut v = Vocabulary::new();
+        let a = parse_event("{x: 1, y: 2}", &mut v).unwrap();
+        let b = parse_event("x = 1, y = 2", &mut v).unwrap();
+        assert_eq!(a, b);
+    }
+}

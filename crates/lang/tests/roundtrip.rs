@@ -1,0 +1,106 @@
+//! Property test: `parse(format(x)) == x` for random subscriptions, DNFs and
+//! events over identifier-safe attribute names and arbitrary string values.
+
+use proptest::prelude::*;
+use pubsub_lang::display::{format_dnf, format_event, format_subscription};
+use pubsub_lang::{parse_event, parse_subscription};
+use pubsub_types::{Event, Operator, Predicate, Subscription, Value, Vocabulary};
+
+fn arb_attr_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_.-]{0,8}".prop_filter("keywords are not identifiers", |s| {
+        !s.eq_ignore_ascii_case("and") && !s.eq_ignore_ascii_case("or")
+    })
+}
+
+fn arb_raw_value() -> impl Strategy<Value = Result<i64, String>> {
+    prop_oneof![
+        any::<i64>().prop_map(Ok),
+        // Arbitrary unicode including quotes, backslashes, newlines.
+        ".{0,12}".prop_map(Err),
+    ]
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(String, Operator, Result<i64, String>)>> {
+    prop::collection::vec(
+        (
+            arb_attr_name(),
+            prop::sample::select(Operator::ALL.to_vec()),
+            arb_raw_value(),
+        ),
+        1..6,
+    )
+}
+
+fn build_subscription(
+    vocab: &mut Vocabulary,
+    triples: &[(String, Operator, Result<i64, String>)],
+) -> Option<Subscription> {
+    let mut preds = Vec::new();
+    for (name, op, raw) in triples {
+        let attr = vocab.attr(name);
+        let value = match raw {
+            Ok(i) => Value::Int(*i),
+            Err(s) => vocab.string(s),
+        };
+        let p = Predicate::new(attr, *op, value);
+        if preds.contains(&p) {
+            return None; // duplicate predicates are rejected by design
+        }
+        preds.push(p);
+    }
+    Some(Subscription::from_predicates(preds).expect("non-empty, deduped"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn subscription_round_trip(triples in arb_triples()) {
+        let mut vocab = Vocabulary::new();
+        let Some(sub) = build_subscription(&mut vocab, &triples) else {
+            return Ok(());
+        };
+        let text = format_subscription(&sub, &vocab).expect("identifier-safe names");
+        let parsed = parse_subscription(&text, &mut vocab)
+            .unwrap_or_else(|e| panic!("{}", e.render(&text)));
+        prop_assert!(parsed.is_conjunctive());
+        prop_assert_eq!(parsed.into_conjunction(), sub, "text: {}", text);
+    }
+
+    #[test]
+    fn dnf_round_trip(dnf in prop::collection::vec(arb_triples(), 1..4)) {
+        let mut vocab = Vocabulary::new();
+        let mut disjuncts = Vec::new();
+        for triples in &dnf {
+            match build_subscription(&mut vocab, triples) {
+                Some(s) => disjuncts.push(s),
+                None => return Ok(()),
+            }
+        }
+        let text = format_dnf(&disjuncts, &vocab).expect("identifier-safe names");
+        let parsed = parse_subscription(&text, &mut vocab)
+            .unwrap_or_else(|e| panic!("{}", e.render(&text)));
+        prop_assert_eq!(parsed.disjuncts, disjuncts, "text: {}", text);
+    }
+
+    #[test]
+    fn event_round_trip(
+        pairs in prop::collection::btree_map(arb_attr_name(), arb_raw_value(), 1..8),
+    ) {
+        let mut vocab = Vocabulary::new();
+        let mut event_pairs = Vec::new();
+        for (name, raw) in &pairs {
+            let attr = vocab.attr(name);
+            let value = match raw {
+                Ok(i) => Value::Int(*i),
+                Err(s) => vocab.string(s),
+            };
+            event_pairs.push((attr, value));
+        }
+        let event = Event::from_pairs(event_pairs).expect("distinct attrs");
+        let text = format_event(&event, &vocab).expect("identifier-safe names");
+        let parsed = parse_event(&text, &mut vocab)
+            .unwrap_or_else(|e| panic!("{}", e.render(&text)));
+        prop_assert_eq!(parsed, event, "text: {}", text);
+    }
+}

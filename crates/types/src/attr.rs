@@ -1,0 +1,115 @@
+//! Attribute names and their dense ids.
+
+use crate::hash::FxHashMap;
+
+/// A dense id for an attribute name.
+///
+/// Attribute ids index directly into per-attribute arrays in the predicate
+/// indexes and into [`crate::AttrSet`] bitsets, so they must stay dense and
+/// small (the paper's workloads use `n_t = 32` attributes; we support any
+/// number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The raw index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Interns attribute names to dense [`AttrId`]s.
+#[derive(Debug, Default)]
+pub struct AttributeInterner {
+    map: FxHashMap<Box<str>, AttrId>,
+    names: Vec<Box<str>>,
+}
+
+impl AttributeInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an attribute name, returning its id.
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = AttrId(u32::try_from(self.names.len()).expect("attribute universe overflow"));
+        self.names.push(name.into());
+        self.map.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up an attribute without interning.
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves an id back to the attribute name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct attributes seen so far (the attribute universe size).
+    pub fn universe(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no attribute has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_dense_ids() {
+        let mut a = AttributeInterner::new();
+        assert_eq!(a.intern("price"), AttrId(0));
+        assert_eq!(a.intern("movie"), AttrId(1));
+        assert_eq!(a.intern("price"), AttrId(0));
+        assert_eq!(a.universe(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut a = AttributeInterner::new();
+        let id = a.intern("theater");
+        assert_eq!(a.name(id), "theater");
+        assert_eq!(a.get("theater"), Some(id));
+        assert_eq!(a.get("unknown"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut a = AttributeInterner::new();
+        a.intern("x");
+        a.intern("y");
+        let collected: Vec<_> = a.iter().map(|(id, n)| (id.0, n.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".into()), (1, "y".into())]);
+    }
+}

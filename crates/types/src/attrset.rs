@@ -1,0 +1,286 @@
+//! A compact bitset over attribute ids.
+//!
+//! Used for event schemas, subscription equality-attribute sets (`A(s)` in the
+//! paper), and multi-attribute hash-table schemas. The paper's workloads use
+//! 32 attributes; we inline up to 128 bits and spill to the heap beyond that,
+//! so schema-inclusion tests (`is_subset`) in the hot path stay branch-cheap.
+
+use crate::attr::AttrId;
+
+const INLINE_WORDS: usize = 2; // 128 attributes inline
+
+/// A set of [`AttrId`]s represented as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AttrSet {
+    inline: [u64; INLINE_WORDS],
+    /// Overflow words for attribute ids ≥ 128; empty for typical workloads.
+    spill: Vec<u64>,
+}
+
+impl AttrSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from an iterator of attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut s = Self::new();
+        for a in attrs {
+            s.insert(a);
+        }
+        s
+    }
+
+    #[inline]
+    fn word_index(attr: AttrId) -> (usize, u64) {
+        let idx = attr.index();
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        if w < INLINE_WORDS {
+            self.inline[w]
+        } else {
+            self.spill.get(w - INLINE_WORDS).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        if w < INLINE_WORDS {
+            &mut self.inline[w]
+        } else {
+            let s = w - INLINE_WORDS;
+            if self.spill.len() <= s {
+                self.spill.resize(s + 1, 0);
+            }
+            &mut self.spill[s]
+        }
+    }
+
+    /// Inserts an attribute. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, attr: AttrId) -> bool {
+        let (w, bit) = Self::word_index(attr);
+        let word = self.word_mut(w);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes an attribute. Returns `true` if it was present.
+    pub fn remove(&mut self, attr: AttrId) -> bool {
+        let (w, bit) = Self::word_index(attr);
+        if w >= INLINE_WORDS + self.spill.len() {
+            return false;
+        }
+        let word = self.word_mut(w);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        // Keep the representation canonical so derived Eq/Hash stay correct:
+        // trailing all-zero spill words must not distinguish equal sets.
+        while self.spill.last() == Some(&0) {
+            self.spill.pop();
+        }
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, attr: AttrId) -> bool {
+        let (w, bit) = Self::word_index(attr);
+        self.word(w) & bit != 0
+    }
+
+    /// True if `self ⊆ other`. This is the schema-inclusion test used to
+    /// decide which multi-attribute hash tables an event must probe.
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        let words = INLINE_WORDS + self.spill.len();
+        for w in 0..words {
+            if self.word(w) & !other.word(w) != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True if the sets share no attribute.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        let words = INLINE_WORDS + self.spill.len().max(other.spill.len());
+        (0..words).all(|w| self.word(w) & other.word(w) == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &AttrSet) {
+        for w in 0..INLINE_WORDS + other.spill.len() {
+            let o = other.word(w);
+            if o != 0 {
+                *self.word_mut(w) |= o;
+            }
+        }
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(&self) -> usize {
+        self.inline
+            .iter()
+            .chain(self.spill.iter())
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inline.iter().all(|&w| w == 0) && self.spill.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over attribute ids in ascending order.
+    pub fn iter(&self) -> AttrSetIter<'_> {
+        AttrSetIter {
+            set: self,
+            word: 0,
+            bits: self.word(0),
+            words: INLINE_WORDS + self.spill.len(),
+        }
+    }
+
+    /// Collects the ids into a sorted `Vec`; useful as a stable hash-table
+    /// schema key.
+    pub fn to_sorted_vec(&self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        Self::from_attrs(iter)
+    }
+}
+
+/// Iterator over the attribute ids of an [`AttrSet`].
+pub struct AttrSetIter<'a> {
+    set: &'a AttrSet,
+    word: usize,
+    bits: u64,
+    words: usize,
+}
+
+impl Iterator for AttrSetIter<'_> {
+    type Item = AttrId;
+
+    fn next(&mut self) -> Option<AttrId> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some(AttrId((self.word * 64) as u32 + tz));
+            }
+            self.word += 1;
+            if self.word >= self.words {
+                return None;
+            }
+            self.bits = self.set.word(self.word);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = AttrSet::new();
+        assert!(s.insert(AttrId(5)));
+        assert!(!s.insert(AttrId(5)));
+        assert!(s.contains(AttrId(5)));
+        assert!(!s.contains(AttrId(6)));
+        assert!(s.remove(AttrId(5)));
+        assert!(!s.remove(AttrId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn subset_inclusion() {
+        let small = set(&[1, 3]);
+        let big = set(&[1, 2, 3, 4]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(AttrSet::new().is_subset(&small));
+    }
+
+    #[test]
+    fn spill_beyond_128_attributes() {
+        let mut s = AttrSet::new();
+        s.insert(AttrId(200));
+        s.insert(AttrId(3));
+        assert!(s.contains(AttrId(200)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.to_sorted_vec(),
+            vec![AttrId(3), AttrId(200)],
+            "iteration is ascending across the spill boundary"
+        );
+        let big = set(&[3]);
+        assert!(!s.is_subset(&big));
+        let mut bigger = big.clone();
+        bigger.insert(AttrId(200));
+        assert!(s.is_subset(&bigger));
+    }
+
+    #[test]
+    fn subset_with_spill_on_one_side_only() {
+        let mut spilled = AttrSet::new();
+        spilled.insert(AttrId(130));
+        let inline_only = set(&[1, 2]);
+        assert!(!spilled.is_subset(&inline_only));
+        assert!(inline_only.is_subset(&inline_only));
+        // An inline-only set is a subset of a spilled superset.
+        let mut sup = spilled.clone();
+        sup.insert(AttrId(1));
+        sup.insert(AttrId(2));
+        assert!(inline_only.is_subset(&sup));
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let mut a = set(&[0, 1]);
+        let b = set(&[2, 64]);
+        assert!(a.is_disjoint(&b));
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_disjoint(&b));
+        assert!(b.is_subset(&a));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = set(&[64, 0, 7, 127]);
+        let ids: Vec<u32> = s.iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![0, 7, 64, 127]);
+    }
+
+    #[test]
+    fn equal_sets_hash_equal() {
+        use crate::hash::fx_hash_one;
+        let a = set(&[1, 2, 3]);
+        let b = set(&[3, 2, 1]);
+        assert_eq!(a, b);
+        assert_eq!(fx_hash_one(&a), fx_hash_one(&b));
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the data model.
+
+use crate::attr::AttrId;
+
+/// Errors building events or subscriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An event listed the same attribute twice (forbidden by §1.1: "No two
+    /// pairs have the same attribute").
+    DuplicateEventAttribute(AttrId),
+    /// A subscription had no predicates.
+    EmptySubscription,
+    /// A subscription repeated the exact same `(attr, op, value)` predicate.
+    DuplicatePredicate,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::DuplicateEventAttribute(a) => {
+                write!(f, "event has two pairs for attribute {a}")
+            }
+            TypeError::EmptySubscription => write!(f, "subscription has no predicates"),
+            TypeError::DuplicatePredicate => {
+                write!(f, "subscription repeats the same predicate twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(TypeError::DuplicateEventAttribute(AttrId(3))
+            .to_string()
+            .contains("a3"));
+        assert!(!TypeError::EmptySubscription.to_string().is_empty());
+        assert!(!TypeError::DuplicatePredicate.to_string().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Events: sets of `(attribute, value)` pairs.
+
+use crate::attr::AttrId;
+use crate::attrset::AttrSet;
+use crate::error::TypeError;
+use crate::value::Value;
+use crate::Vocabulary;
+
+/// An event — a conjunction of `(attribute, value)` pairs with no attribute
+/// repeated (paper §1.1).
+///
+/// Pairs are kept sorted by attribute id so lookups are a binary search and
+/// two events with the same content compare equal regardless of insertion
+/// order. The event's *schema* (its attribute set) is materialised as an
+/// [`AttrSet`] because the clustered matcher tests schema inclusion per
+/// multi-attribute hash table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    pairs: Vec<(AttrId, Value)>,
+    schema: AttrSet,
+}
+
+impl Event {
+    /// Builds an event from pairs, rejecting duplicate attributes.
+    pub fn from_pairs(mut pairs: Vec<(AttrId, Value)>) -> Result<Self, TypeError> {
+        pairs.sort_unstable_by_key(|(a, _)| *a);
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(TypeError::DuplicateEventAttribute(w[0].0));
+            }
+        }
+        let schema = pairs.iter().map(|(a, _)| *a).collect();
+        Ok(Self { pairs, schema })
+    }
+
+    /// Starts an [`EventBuilder`].
+    pub fn builder() -> EventBuilder {
+        EventBuilder::default()
+    }
+
+    /// The value for `attr`, if the event carries that attribute.
+    #[inline]
+    pub fn value(&self, attr: AttrId) -> Option<Value> {
+        self.pairs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// The event's pairs, sorted by attribute id.
+    #[inline]
+    pub fn pairs(&self) -> &[(AttrId, Value)] {
+        &self.pairs
+    }
+
+    /// The event's schema (set of attributes it provides values for).
+    #[inline]
+    pub fn schema(&self) -> &AttrSet {
+        &self.schema
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the event carries no pair.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Renders the event with resolved names.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> impl std::fmt::Display + 'a {
+        struct D<'a>(&'a Event, &'a Vocabulary);
+        impl std::fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{{")?;
+                for (i, (a, v)) in self.0.pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(
+                        f,
+                        "{}: {}",
+                        self.1.attrs.name(*a),
+                        v.display(&self.1.strings)
+                    )?;
+                }
+                write!(f, "}}")
+            }
+        }
+        D(self, vocab)
+    }
+}
+
+/// Incremental builder for [`Event`].
+#[derive(Debug, Default)]
+pub struct EventBuilder {
+    pairs: Vec<(AttrId, Value)>,
+}
+
+impl EventBuilder {
+    /// Adds a pair. Duplicates are detected at [`EventBuilder::build`] time.
+    pub fn pair(mut self, attr: AttrId, value: impl Into<Value>) -> Self {
+        self.pairs.push((attr, value.into()));
+        self
+    }
+
+    /// Finalises the event.
+    pub fn build(self) -> Result<Event, TypeError> {
+        Event::from_pairs(self.pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_sorted_and_looked_up() {
+        let e = Event::from_pairs(vec![
+            (AttrId(3), Value::Int(30)),
+            (AttrId(1), Value::Int(10)),
+        ])
+        .unwrap();
+        assert_eq!(e.pairs()[0].0, AttrId(1));
+        assert_eq!(e.value(AttrId(3)), Some(Value::Int(30)));
+        assert_eq!(e.value(AttrId(2)), None);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Event::from_pairs(vec![(AttrId(1), Value::Int(1)), (AttrId(1), Value::Int(2))])
+            .unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateEventAttribute(AttrId(1))));
+    }
+
+    #[test]
+    fn builder_and_schema() {
+        let e = Event::builder()
+            .pair(AttrId(0), 5i64)
+            .pair(AttrId(2), 7i64)
+            .build()
+            .unwrap();
+        assert!(e.schema().contains(AttrId(0)));
+        assert!(e.schema().contains(AttrId(2)));
+        assert!(!e.schema().contains(AttrId(1)));
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = Event::from_pairs(vec![(AttrId(1), Value::Int(1)), (AttrId(2), Value::Int(2))])
+            .unwrap();
+        let b = Event::from_pairs(vec![(AttrId(2), Value::Int(2)), (AttrId(1), Value::Int(1))])
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_renders_pairs() {
+        let mut v = Vocabulary::new();
+        let movie = v.attr("movie");
+        let price = v.attr("price");
+        let title = v.string("groundhog day");
+        let e = Event::builder()
+            .pair(movie, title)
+            .pair(price, 8i64)
+            .build()
+            .unwrap();
+        assert_eq!(
+            e.display(&v).to_string(),
+            "{movie: \"groundhog day\", price: 8}"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! A fast, non-cryptographic hasher for the hot matching path.
+//!
+//! The standard library's SipHash is designed to resist hash-flooding attacks
+//! and is comparatively slow for the short integer keys that dominate this
+//! system (attribute ids, interned values, value tuples). We implement the
+//! well-known *Fx* multiply-xor hash (used by rustc) from scratch so the
+//! workspace needs no extra dependency.
+//!
+//! HashDoS resistance is irrelevant here: keys are produced by our own
+//! interners, not attacker-controlled byte strings.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant for the Fx hash (64-bit golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-xor hasher.
+///
+/// Each write folds the input word into the state with
+/// `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume full 8-byte words, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+            self.add_to_hash(word);
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = 0u64;
+            for (i, &b) in tail.iter().enumerate() {
+                word |= (b as u64) << (8 * i);
+            }
+            // Mix in the tail length so "ab" and "ab\0" differ.
+            self.add_to_hash(word ^ ((tail.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a single value with [`FxHasher`]; handy for building composite keys.
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_differently() {
+        let hashes: Vec<u64> = (0u32..1000).map(|i| fx_hash_one(&i)).collect();
+        let unique: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_strings_with_shared_prefix_differ() {
+        assert_ne!(fx_hash_one(&"abc"), fx_hash_one(&"abcd"));
+        assert_ne!(fx_hash_one(&"ab"), fx_hash_one(&"ab\0"));
+        assert_ne!(fx_hash_one(&""), fx_hash_one(&"\0"));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fx_hash_one(&(1u32, 2u64)), fx_hash_one(&(1u32, 2u64)));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        // Exercise the non-multiple-of-8 write path.
+        let a: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let b: &[u8] = &[1, 2, 3, 4, 5, 6, 7, 8, 10];
+        assert_ne!(fx_hash_one(&a), fx_hash_one(&b));
+    }
+}

@@ -1,0 +1,131 @@
+//! String interning.
+//!
+//! String values appearing in predicates and events ("groundhog day",
+//! "odeon", …) are interned once into a dense [`Symbol`] so that the matching
+//! hot path compares and hashes 4-byte ids instead of string data. Interned
+//! symbols also give string values a cheap total order (the order used by the
+//! inequality index) via [`StringInterner::resolve`].
+
+use crate::hash::FxHashMap;
+
+/// A dense id for an interned string value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns strings to dense [`Symbol`]s and resolves them back.
+///
+/// Symbols are assigned in first-seen order. NOTE: `Symbol` ordering is
+/// assignment order, *not* lexicographic order; components that need
+/// lexicographic comparisons (the inequality index) must compare resolved
+/// strings, which [`StringInterner::cmp_lexicographic`] does.
+#[derive(Debug, Default)]
+pub struct StringInterner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.into());
+        self.map.insert(s.into(), sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Lexicographic comparison of two interned strings.
+    pub fn cmp_lexicographic(&self, a: Symbol, b: Symbol) -> std::cmp::Ordering {
+        self.resolve(a).cmp(self.resolve(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = StringInterner::new();
+        let a = i.intern("odeon");
+        let b = i.intern("odeon");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = StringInterner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = StringInterner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+    }
+
+    #[test]
+    fn lexicographic_comparison_uses_string_content() {
+        let mut i = StringInterner::new();
+        // Intern out of lexicographic order on purpose.
+        let z = i.intern("zebra");
+        let a = i.intern("aardvark");
+        assert_eq!(i.cmp_lexicographic(a, z), std::cmp::Ordering::Less);
+        assert_eq!(i.cmp_lexicographic(z, a), std::cmp::Ordering::Greater);
+        assert_eq!(i.cmp_lexicographic(z, z), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = StringInterner::new();
+        for (n, word) in ["p", "q", "r"].iter().enumerate() {
+            assert_eq!(i.intern(word).index(), n);
+        }
+    }
+}

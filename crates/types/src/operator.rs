@@ -1,0 +1,182 @@
+//! The six comparison operators of the subscription language.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// A relational comparison operator.
+///
+/// The paper's subscription language supports exactly these six operators
+/// (Section 1.1). [`Operator::Eq`] is special throughout the system: only
+/// equality predicates can serve as (components of) *access predicates* for
+/// clustering, and the predicate phase evaluates them with a hash lookup
+/// instead of a range scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Operator {
+    /// `<` — event value strictly less than the predicate constant.
+    Lt,
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `≥`
+    Ge,
+    /// `>` — event value strictly greater than the predicate constant.
+    Gt,
+}
+
+impl Operator {
+    /// All six operators, in declaration order.
+    pub const ALL: [Operator; 6] = [
+        Operator::Lt,
+        Operator::Le,
+        Operator::Eq,
+        Operator::Ne,
+        Operator::Ge,
+        Operator::Gt,
+    ];
+
+    /// True for the equality operator.
+    #[inline]
+    pub fn is_equality(self) -> bool {
+        matches!(self, Operator::Eq)
+    }
+
+    /// True for `<, ≤, ≥, >` — the operators evaluated by the interval index.
+    #[inline]
+    pub fn is_ordered(self) -> bool {
+        matches!(
+            self,
+            Operator::Lt | Operator::Le | Operator::Ge | Operator::Gt
+        )
+    }
+
+    /// Evaluates `event_value self constant`.
+    ///
+    /// Returns `false` when the two values have different kinds (an integer
+    /// never matches a string predicate and vice versa), except for `≠` where
+    /// a kind mismatch counts as "different" and therefore matches. This
+    /// follows from reading `(a', v')` matches `(a, v, ≠)` as `v' ≠ v`.
+    #[inline]
+    pub fn eval(self, event_value: Value, constant: Value) -> bool {
+        match event_value.typed_cmp(&constant) {
+            Some(ord) => self.accepts(ord),
+            None => matches!(self, Operator::Ne),
+        }
+    }
+
+    /// True if an `Ordering` between event value and constant satisfies the
+    /// operator.
+    #[inline]
+    pub fn accepts(self, ord: Ordering) -> bool {
+        match self {
+            Operator::Lt => ord == Ordering::Less,
+            Operator::Le => ord != Ordering::Greater,
+            Operator::Eq => ord == Ordering::Equal,
+            Operator::Ne => ord != Ordering::Equal,
+            Operator::Ge => ord != Ordering::Less,
+            Operator::Gt => ord == Ordering::Greater,
+        }
+    }
+
+    /// The textual form used by `Display`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Operator::Lt => "<",
+            Operator::Le => "<=",
+            Operator::Eq => "=",
+            Operator::Ne => "!=",
+            Operator::Ge => ">=",
+            Operator::Gt => ">",
+        }
+    }
+
+    /// Parses the textual form produced by [`Operator::symbol`].
+    pub fn parse(s: &str) -> Option<Operator> {
+        Some(match s {
+            "<" => Operator::Lt,
+            "<=" | "≤" => Operator::Le,
+            "=" | "==" => Operator::Eq,
+            "!=" | "≠" | "<>" => Operator::Ne,
+            ">=" | "≥" => Operator::Ge,
+            ">" => Operator::Gt,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Operator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_paper_example() {
+        // (price, $8) matches (price, $10, <=) because 8 <= 10.
+        assert!(Operator::Le.eval(Value::Int(8), Value::Int(10)));
+        // (price, $8) matches (price, $5, >) because 8 > 5.
+        assert!(Operator::Gt.eval(Value::Int(8), Value::Int(5)));
+        assert!(!Operator::Gt.eval(Value::Int(5), Value::Int(5)));
+    }
+
+    #[test]
+    fn all_operators_on_ordered_ints() {
+        let cases = [
+            (Operator::Lt, [true, false, false]),
+            (Operator::Le, [true, true, false]),
+            (Operator::Eq, [false, true, false]),
+            (Operator::Ne, [true, false, true]),
+            (Operator::Ge, [false, true, true]),
+            (Operator::Gt, [false, false, true]),
+        ];
+        // event value 1,2,3 against constant 2.
+        for (op, expected) in cases {
+            for (i, ev) in [1i64, 2, 3].into_iter().enumerate() {
+                assert_eq!(
+                    op.eval(Value::Int(ev), Value::Int(2)),
+                    expected[i],
+                    "{op} with event value {ev}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_only_matches_ne() {
+        use crate::interner::Symbol;
+        let s = Value::Str(Symbol(0));
+        let i = Value::Int(0);
+        for op in Operator::ALL {
+            assert_eq!(op.eval(s, i), op == Operator::Ne);
+            assert_eq!(op.eval(i, s), op == Operator::Ne);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for op in Operator::ALL {
+            assert_eq!(Operator::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(Operator::parse("=="), Some(Operator::Eq));
+        assert_eq!(Operator::parse("<>"), Some(Operator::Ne));
+        assert_eq!(Operator::parse("~"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Operator::Eq.is_equality());
+        for op in [Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt] {
+            assert!(op.is_ordered());
+            assert!(!op.is_equality());
+        }
+        assert!(!Operator::Ne.is_ordered());
+        assert!(!Operator::Ne.is_equality());
+    }
+}

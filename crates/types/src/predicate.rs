@@ -1,0 +1,117 @@
+//! Subscription predicates.
+
+use crate::attr::AttrId;
+use crate::event::Event;
+use crate::operator::Operator;
+use crate::value::Value;
+use crate::Vocabulary;
+
+/// A single predicate `(attribute, operator, constant)`.
+///
+/// This is the unit the predicate indexes intern and evaluate: each *distinct*
+/// predicate in the system occupies one entry of the predicate bit vector
+/// (paper §2.2), no matter how many subscriptions share it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Predicate {
+    /// The attribute the predicate constrains.
+    pub attr: AttrId,
+    /// The comparison operator.
+    pub op: Operator,
+    /// The constant the event value is compared against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: AttrId, op: Operator, value: impl Into<Value>) -> Self {
+        Self {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for an equality predicate.
+    pub fn eq(attr: AttrId, value: impl Into<Value>) -> Self {
+        Self::new(attr, Operator::Eq, value)
+    }
+
+    /// True for equality predicates (the only kind usable in access
+    /// predicates).
+    #[inline]
+    pub fn is_equality(&self) -> bool {
+        self.op.is_equality()
+    }
+
+    /// Evaluates the predicate against an event value for its attribute.
+    #[inline]
+    pub fn eval(&self, event_value: Value) -> bool {
+        self.op.eval(event_value, self.value)
+    }
+
+    /// Evaluates the predicate against a whole event. A missing attribute
+    /// never matches (the paper requires *some pair* of the event to match).
+    #[inline]
+    pub fn matches_event(&self, event: &Event) -> bool {
+        match event.value(self.attr) {
+            Some(v) => self.eval(v),
+            None => false,
+        }
+    }
+
+    /// Renders the predicate with resolved attribute/string names.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> impl std::fmt::Display + 'a {
+        struct D<'a>(&'a Predicate, &'a Vocabulary);
+        impl std::fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(
+                    f,
+                    "{} {} {}",
+                    self.1.attrs.name(self.0.attr),
+                    self.0.op,
+                    self.0.value.display(&self.1.strings)
+                )
+            }
+        }
+        D(self, vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn eval_and_matches_event() {
+        let price = AttrId(0);
+        let p = Predicate::new(price, Operator::Le, 10i64);
+        assert!(p.eval(Value::Int(8)));
+        assert!(!p.eval(Value::Int(12)));
+
+        let e = Event::from_pairs(vec![(price, Value::Int(8))]).unwrap();
+        assert!(p.matches_event(&e));
+        let other = Event::from_pairs(vec![(AttrId(1), Value::Int(8))]).unwrap();
+        assert!(!p.matches_event(&other), "missing attribute never matches");
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let mut v = Vocabulary::new();
+        let price = v.attr("price");
+        let p = Predicate::new(price, Operator::Lt, 400i64);
+        assert_eq!(p.display(&v).to_string(), "price < 400");
+        let movie = v.attr("movie");
+        let val = v.string("groundhog day");
+        let q = Predicate::new(movie, Operator::Eq, val);
+        assert_eq!(q.display(&v).to_string(), "movie = \"groundhog day\"");
+    }
+
+    #[test]
+    fn equality_shorthand() {
+        let p = Predicate::eq(AttrId(2), 5i64);
+        assert!(p.is_equality());
+        assert_eq!(p.op, Operator::Eq);
+    }
+}

@@ -1,0 +1,294 @@
+//! Subscriptions: conjunctions of predicates.
+
+use crate::attr::AttrId;
+use crate::attrset::AttrSet;
+use crate::error::TypeError;
+use crate::event::Event;
+use crate::operator::Operator;
+use crate::predicate::Predicate;
+use crate::value::Value;
+use crate::Vocabulary;
+
+/// Identifier assigned to a subscription by the matcher/broker.
+///
+/// Ids are dense and never reused within one matcher instance, which lets the
+/// engines index per-subscription state (hit counters, cluster locations) by
+/// plain arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SubscriptionId(pub u32);
+
+impl SubscriptionId {
+    /// The raw index of this subscription.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A subscription — a non-empty conjunction of predicates.
+///
+/// Following the paper's notation, `P(s)` is the set of *equality* predicates
+/// of `s` ([`Subscription::equality_predicates`]) and `A(s)` is the set of
+/// attributes occurring in them ([`Subscription::equality_schema`]).
+///
+/// Predicates are stored equality-first; the matching engines rely on this so
+/// inequality bits are only inspected once all equality predicates of a
+/// candidate subscription have passed (paper §6.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    predicates: Vec<Predicate>,
+    eq_count: usize,
+    eq_schema: AttrSet,
+}
+
+impl Subscription {
+    /// Builds a subscription from predicates.
+    ///
+    /// Rejects empty conjunctions and exact duplicate predicates (the same
+    /// `(attr, op, value)` twice adds no information and would distort the
+    /// size-based clustering).
+    pub fn from_predicates(mut predicates: Vec<Predicate>) -> Result<Self, TypeError> {
+        if predicates.is_empty() {
+            return Err(TypeError::EmptySubscription);
+        }
+        // Sort equality-first, then by attribute, for canonical storage.
+        predicates.sort_unstable_by_key(|p| (!p.is_equality(), p.attr, p.op, p.value_sort_key()));
+        for w in predicates.windows(2) {
+            if w[0] == w[1] {
+                return Err(TypeError::DuplicatePredicate);
+            }
+        }
+        let eq_count = predicates.iter().filter(|p| p.is_equality()).count();
+        let eq_schema = predicates
+            .iter()
+            .filter(|p| p.is_equality())
+            .map(|p| p.attr)
+            .collect();
+        Ok(Self {
+            predicates,
+            eq_count,
+            eq_schema,
+        })
+    }
+
+    /// Starts a [`SubscriptionBuilder`].
+    pub fn builder() -> SubscriptionBuilder {
+        SubscriptionBuilder::default()
+    }
+
+    /// All predicates, equality predicates first.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The equality predicates `P(s)`.
+    #[inline]
+    pub fn equality_predicates(&self) -> &[Predicate] {
+        &self.predicates[..self.eq_count]
+    }
+
+    /// The non-equality predicates.
+    #[inline]
+    pub fn inequality_predicates(&self) -> &[Predicate] {
+        &self.predicates[self.eq_count..]
+    }
+
+    /// The set `A(s)` of attributes with equality predicates.
+    #[inline]
+    pub fn equality_schema(&self) -> &AttrSet {
+        &self.eq_schema
+    }
+
+    /// Total number of predicates (the subscription's *size* for clustering).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of equality predicates.
+    #[inline]
+    pub fn equality_count(&self) -> usize {
+        self.eq_count
+    }
+
+    /// Reference semantics: true iff every predicate is matched by the event.
+    ///
+    /// This is the slow, obviously-correct definition used as the oracle in
+    /// tests; the engines must agree with it exactly.
+    pub fn matches_event(&self, event: &Event) -> bool {
+        self.predicates.iter().all(|p| p.matches_event(event))
+    }
+
+    /// Renders the subscription with resolved names.
+    pub fn display<'a>(&'a self, vocab: &'a Vocabulary) -> impl std::fmt::Display + 'a {
+        struct D<'a>(&'a Subscription, &'a Vocabulary);
+        impl std::fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                for (i, p) in self.0.predicates.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{}", p.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, vocab)
+    }
+}
+
+impl Predicate {
+    /// A sort key making subscription canonicalisation deterministic.
+    fn value_sort_key(&self) -> (u8, i64) {
+        match self.value {
+            Value::Int(i) => (0, i),
+            Value::Str(s) => (1, s.0 as i64),
+        }
+    }
+}
+
+/// Incremental builder for [`Subscription`].
+#[derive(Debug, Default)]
+pub struct SubscriptionBuilder {
+    predicates: Vec<Predicate>,
+}
+
+impl SubscriptionBuilder {
+    /// Adds an arbitrary predicate.
+    pub fn predicate(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Adds `(attr, op, value)`.
+    pub fn with(self, attr: AttrId, op: Operator, value: impl Into<Value>) -> Self {
+        self.predicate(Predicate::new(attr, op, value))
+    }
+
+    /// Adds an equality predicate.
+    pub fn eq(self, attr: AttrId, value: impl Into<Value>) -> Self {
+        self.with(attr, Operator::Eq, value)
+    }
+
+    /// Finalises the subscription.
+    pub fn build(self) -> Result<Subscription, TypeError> {
+        Subscription::from_predicates(self.predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // s = (movie = groundhog day) AND (price <= 10) AND (price > 5)
+        let mut v = Vocabulary::new();
+        let movie = v.attr("movie");
+        let price = v.attr("price");
+        let theater = v.attr("theater");
+        let title = v.string("groundhog day");
+        let s = Subscription::builder()
+            .eq(movie, title)
+            .with(price, Operator::Le, 10i64)
+            .with(price, Operator::Gt, 5i64)
+            .build()
+            .unwrap();
+
+        assert_eq!(s.size(), 3);
+        assert_eq!(s.equality_count(), 1);
+        assert_eq!(s.equality_schema().to_sorted_vec(), vec![movie]);
+
+        // Event (movie, groundhog day), (price, 8), (theater, odeon)
+        let odeon = v.string("odeon");
+        let e = Event::builder()
+            .pair(movie, title)
+            .pair(price, 8i64)
+            .pair(theater, odeon)
+            .build()
+            .unwrap();
+        assert!(s.matches_event(&e));
+
+        // price 12 breaks the <= 10 predicate.
+        let e2 = Event::builder()
+            .pair(movie, title)
+            .pair(price, 12i64)
+            .build()
+            .unwrap();
+        assert!(!s.matches_event(&e2));
+    }
+
+    #[test]
+    fn empty_subscription_rejected() {
+        assert!(matches!(
+            Subscription::from_predicates(vec![]),
+            Err(TypeError::EmptySubscription)
+        ));
+    }
+
+    #[test]
+    fn duplicate_predicate_rejected() {
+        let p = Predicate::eq(a(0), 1i64);
+        assert!(matches!(
+            Subscription::from_predicates(vec![p, p]),
+            Err(TypeError::DuplicatePredicate)
+        ));
+    }
+
+    #[test]
+    fn predicates_are_equality_first() {
+        let s = Subscription::builder()
+            .with(a(0), Operator::Lt, 5i64)
+            .eq(a(1), 2i64)
+            .with(a(2), Operator::Ge, 0i64)
+            .eq(a(3), 4i64)
+            .build()
+            .unwrap();
+        assert_eq!(s.equality_count(), 2);
+        assert!(s.predicates()[0].is_equality());
+        assert!(s.predicates()[1].is_equality());
+        assert!(!s.predicates()[2].is_equality());
+        assert_eq!(s.equality_predicates().len(), 2);
+        assert_eq!(s.inequality_predicates().len(), 2);
+    }
+
+    #[test]
+    fn same_attr_two_ops_is_allowed() {
+        // The paper's example has price <= 10 AND price > 5.
+        let s = Subscription::builder()
+            .with(a(0), Operator::Le, 10i64)
+            .with(a(0), Operator::Gt, 5i64)
+            .build()
+            .unwrap();
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.equality_count(), 0);
+        assert!(s.equality_schema().is_empty());
+    }
+
+    #[test]
+    fn canonicalisation_makes_equal_subscriptions_equal() {
+        let s1 = Subscription::builder()
+            .eq(a(1), 2i64)
+            .with(a(0), Operator::Lt, 5i64)
+            .build()
+            .unwrap();
+        let s2 = Subscription::builder()
+            .with(a(0), Operator::Lt, 5i64)
+            .eq(a(1), 2i64)
+            .build()
+            .unwrap();
+        assert_eq!(s1, s2);
+    }
+}

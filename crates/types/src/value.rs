@@ -1,0 +1,164 @@
+//! Predicate and event values.
+
+use crate::interner::{StringInterner, Symbol};
+use std::cmp::Ordering;
+
+/// A value appearing in a predicate or an event pair.
+///
+/// The paper's experiments use positive-integer domains; the running examples
+/// in its introduction use strings ("groundhog day"). We support both.
+/// Strings are interned ([`Symbol`]) so this type is `Copy` and 16 bytes,
+/// keeping the hot path free of allocation and pointer chasing.
+///
+/// Values of different kinds never compare: a predicate `(price, <, 10)` is
+/// simply not matched by an event pair `(price, "cheap")`. This is what
+/// [`Value::typed_cmp`] encodes by returning `None` across kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An interned string.
+    Str(Symbol),
+}
+
+impl Value {
+    /// True if this is an integer value.
+    #[inline]
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+
+    /// True if this is a string value.
+    #[inline]
+    pub fn is_str(&self) -> bool {
+        matches!(self, Value::Str(_))
+    }
+
+    /// Returns the integer payload, if any.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the interned-string payload, if any.
+    #[inline]
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Str(s) => Some(*s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Type-aware comparison.
+    ///
+    /// Integers compare numerically. Interned strings compare by *symbol id*,
+    /// which is consistent (a total order) but not lexicographic; callers that
+    /// need lexicographic order must go through
+    /// [`StringInterner::cmp_lexicographic`]. Cross-kind comparisons return
+    /// `None`, meaning "the predicate does not match".
+    ///
+    /// The inequality index orders string predicates by symbol id too, so as
+    /// long as both sides use the same interner the semantics are coherent:
+    /// `<` on strings means "earlier interned", which is an arbitrary but
+    /// stable total order. Workloads that need true lexicographic inequality
+    /// should pre-sort their vocabulary (interning in sorted order makes
+    /// symbol order lexicographic).
+    #[inline]
+    pub fn typed_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Renders the value using `strings` to resolve symbols.
+    pub fn display<'a>(&'a self, strings: &'a StringInterner) -> impl std::fmt::Display + 'a {
+        struct D<'a>(&'a Value, &'a StringInterner);
+        impl std::fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self.0 {
+                    Value::Int(i) => write!(f, "{i}"),
+                    Value::Str(s) => write!(f, "{:?}", self.1.resolve(*s)),
+                }
+            }
+        }
+        D(self, strings)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_comparison_is_numeric() {
+        assert_eq!(
+            Value::Int(3).typed_cmp(&Value::Int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(5).typed_cmp(&Value::Int(5)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn cross_kind_comparison_is_none() {
+        assert_eq!(Value::Int(3).typed_cmp(&Value::Str(Symbol(0))), None);
+        assert_eq!(Value::Str(Symbol(0)).typed_cmp(&Value::Int(3)), None);
+    }
+
+    #[test]
+    fn string_comparison_uses_symbol_order() {
+        assert_eq!(
+            Value::Str(Symbol(1)).typed_cmp(&Value::Str(Symbol(2))),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn value_is_small_and_copy() {
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::Int(1);
+        let w = v; // Copy
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from(Symbol(3)), Value::Str(Symbol(3)));
+    }
+
+    #[test]
+    fn display_resolves_strings() {
+        let mut si = StringInterner::new();
+        let sym = si.intern("odeon");
+        assert_eq!(Value::Str(sym).display(&si).to_string(), "\"odeon\"");
+        assert_eq!(Value::Int(8).display(&si).to_string(), "8");
+    }
+}

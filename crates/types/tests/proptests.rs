@@ -1,0 +1,134 @@
+//! Property tests for the data model.
+
+use proptest::prelude::*;
+use pubsub_types::{AttrId, AttrSet, Event, Operator, Predicate, Subscription, Symbol, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (0u32..8).prop_map(|s| Value::Str(Symbol(s))),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (
+        0u32..8,
+        prop::sample::select(Operator::ALL.to_vec()),
+        arb_value(),
+    )
+        .prop_map(|(a, op, v)| Predicate::new(AttrId(a), op, v))
+}
+
+proptest! {
+    /// Predicate order never affects subscription semantics or equality.
+    #[test]
+    fn subscription_is_order_independent(
+        preds in prop::collection::hash_set(arb_predicate(), 1..8),
+        shuffle in any::<u64>(),
+        pairs in prop::collection::btree_map(0u32..8, arb_value(), 0..8),
+    ) {
+        let original: Vec<Predicate> = preds.iter().copied().collect();
+        let mut shuffled = original.clone();
+        // Cheap deterministic shuffle.
+        let mut state = shuffle | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let a = Subscription::from_predicates(original).unwrap();
+        let b = Subscription::from_predicates(shuffled).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        let event = Event::from_pairs(
+            pairs.into_iter().map(|(k, v)| (AttrId(k), v)).collect(),
+        ).unwrap();
+        prop_assert_eq!(a.matches_event(&event), b.matches_event(&event));
+    }
+
+    /// A subscription matches exactly when all its predicates do.
+    #[test]
+    fn subscription_matching_is_conjunction(
+        preds in prop::collection::hash_set(arb_predicate(), 1..8),
+        pairs in prop::collection::btree_map(0u32..8, arb_value(), 0..8),
+    ) {
+        let preds: Vec<Predicate> = preds.into_iter().collect();
+        let sub = Subscription::from_predicates(preds.clone()).unwrap();
+        let event = Event::from_pairs(
+            pairs.into_iter().map(|(k, v)| (AttrId(k), v)).collect(),
+        ).unwrap();
+        let want = preds.iter().all(|p| p.matches_event(&event));
+        prop_assert_eq!(sub.matches_event(&event), want);
+    }
+
+    /// Equality-first storage invariant.
+    #[test]
+    fn equality_predicates_come_first(
+        preds in prop::collection::hash_set(arb_predicate(), 1..8),
+    ) {
+        let sub = Subscription::from_predicates(preds.into_iter().collect()).unwrap();
+        let eq_count = sub.equality_count();
+        for (i, p) in sub.predicates().iter().enumerate() {
+            prop_assert_eq!(p.is_equality(), i < eq_count);
+        }
+        // A(s) holds exactly the equality attributes.
+        let schema: AttrSet = sub
+            .equality_predicates()
+            .iter()
+            .map(|p| p.attr)
+            .collect();
+        prop_assert_eq!(&schema, sub.equality_schema());
+    }
+
+    /// Event lookup agrees with a linear scan, and the schema is exact.
+    #[test]
+    fn event_lookup_and_schema(
+        pairs in prop::collection::btree_map(0u32..200, arb_value(), 0..16),
+    ) {
+        let vec_pairs: Vec<(AttrId, Value)> =
+            pairs.iter().map(|(&k, &v)| (AttrId(k), v)).collect();
+        let event = Event::from_pairs(vec_pairs.clone()).unwrap();
+        for a in 0..200u32 {
+            let want = vec_pairs.iter().find(|(k, _)| *k == AttrId(a)).map(|(_, v)| *v);
+            prop_assert_eq!(event.value(AttrId(a)), want);
+            prop_assert_eq!(event.schema().contains(AttrId(a)), want.is_some());
+        }
+        prop_assert_eq!(event.schema().len(), vec_pairs.len());
+    }
+
+    /// AttrSet behaves like a HashSet<u32> under inserts and removes.
+    #[test]
+    fn attrset_matches_hashset(ops in prop::collection::vec((0u32..300, any::<bool>()), 0..80)) {
+        let mut set = AttrSet::new();
+        let mut oracle = std::collections::HashSet::new();
+        for (a, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(AttrId(a)), oracle.insert(a));
+            } else {
+                prop_assert_eq!(set.remove(AttrId(a)), oracle.remove(&a));
+            }
+        }
+        prop_assert_eq!(set.len(), oracle.len());
+        let mut got: Vec<u32> = set.iter().map(|a| a.0).collect();
+        let mut want: Vec<u32> = oracle.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Operator evaluation is consistent with `typed_cmp`.
+    #[test]
+    fn operator_eval_consistency(a in arb_value(), b in arb_value()) {
+        match a.typed_cmp(&b) {
+            Some(ord) => {
+                for op in Operator::ALL {
+                    prop_assert_eq!(op.eval(a, b), op.accepts(ord));
+                }
+            }
+            None => {
+                for op in Operator::ALL {
+                    prop_assert_eq!(op.eval(a, b), op == Operator::Ne);
+                }
+            }
+        }
+    }
+}

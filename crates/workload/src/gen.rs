@@ -1,0 +1,248 @@
+//! The workload generator: draws subscriptions and events from a
+//! [`WorkloadSpec`], deterministically from its seed (paper §6.1).
+
+use crate::spec::WorkloadSpec;
+use pubsub_types::{AttrId, Event, Predicate, Subscription, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws subscriptions and events according to a workload specification.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    /// Scratch: candidate attribute indexes for free predicates.
+    pool: Vec<usize>,
+    /// Scratch: candidate attribute indexes for event pairs.
+    event_attrs: Vec<usize>,
+}
+
+impl WorkloadGen {
+    /// Creates a generator. Panics if the spec is inconsistent.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        spec.validate().expect("invalid workload spec");
+        let (lo, hi) = spec.subs.free_pool;
+        let fixed_attrs: Vec<usize> = spec.subs.fixed.iter().map(|f| f.attr).collect();
+        let pool: Vec<usize> = (lo..hi).filter(|a| !fixed_attrs.contains(a)).collect();
+        let event_attrs: Vec<usize> = (0..spec.n_t).collect();
+        let rng = SmallRng::seed_from_u64(spec.seed);
+        Self {
+            spec,
+            rng,
+            pool,
+            event_attrs,
+        }
+    }
+
+    /// The spec this generator draws from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draws one subscription.
+    pub fn subscription(&mut self) -> Subscription {
+        let subs = &self.spec.subs;
+        let mut preds = Vec::with_capacity(subs.n_p());
+        for f in &subs.fixed {
+            let v = self.rng.gen_range(f.domain.lo..=f.domain.hi);
+            preds.push(Predicate::new(AttrId(f.attr as u32), f.op, Value::Int(v)));
+        }
+        // Free predicates: distinct attributes sampled without replacement
+        // via a partial Fisher-Yates over the scratch pool.
+        let k = subs.free_count;
+        for i in 0..k {
+            let j = self.rng.gen_range(i..self.pool.len());
+            self.pool.swap(i, j);
+        }
+        for i in 0..k {
+            let attr = self.pool[i];
+            let v = self
+                .rng
+                .gen_range(subs.free_domain.lo..=subs.free_domain.hi);
+            preds.push(Predicate::new(
+                AttrId(attr as u32),
+                subs.free_op,
+                Value::Int(v),
+            ));
+        }
+        Subscription::from_predicates(preds).expect("generated subscription is valid")
+    }
+
+    /// Draws one event.
+    pub fn event(&mut self) -> Event {
+        let n_a = self.spec.events.n_a;
+        // Choose which attributes the event values (all of them when
+        // n_a == n_t, as in the paper's runs).
+        if n_a < self.spec.n_t {
+            for i in 0..n_a {
+                let j = self.rng.gen_range(i..self.event_attrs.len());
+                self.event_attrs.swap(i, j);
+            }
+        }
+        let mut pairs = Vec::with_capacity(n_a);
+        for i in 0..n_a {
+            let attr = self.event_attrs[i];
+            let d = self.spec.events.domain_of(attr);
+            let v = self.rng.gen_range(d.lo..=d.hi);
+            pairs.push((AttrId(attr as u32), Value::Int(v)));
+        }
+        Event::from_pairs(pairs).expect("generated event is valid")
+    }
+
+    /// Draws one subscription batch (`n_Sb` subscriptions).
+    pub fn sub_batch(&mut self) -> Vec<Subscription> {
+        let n = self.spec.subs.batch;
+        (0..n).map(|_| self.subscription()).collect()
+    }
+
+    /// Draws one event batch (`n_Eb` events).
+    pub fn event_batch(&mut self) -> Vec<Event> {
+        let n = self.spec.events.batch;
+        (0..n).map(|_| self.event()).collect()
+    }
+
+    /// Iterator over all `n_S` subscriptions of the workload.
+    pub fn all_subscriptions(&mut self) -> impl Iterator<Item = Subscription> + '_ {
+        let n = self.spec.subs.count;
+        (0..n).map(move |_| self.subscription())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use pubsub_types::Operator;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadGen::new(presets::w0(100));
+        let mut b = WorkloadGen::new(presets::w0(100));
+        for _ in 0..50 {
+            assert_eq!(a.subscription(), b.subscription());
+            assert_eq!(a.event(), b.event());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = presets::w0(100);
+        let mut a = WorkloadGen::new(spec.clone());
+        spec.seed += 1;
+        let mut b = WorkloadGen::new(spec);
+        let same = (0..20)
+            .filter(|_| a.subscription() == b.subscription())
+            .count();
+        assert!(same < 20, "different seeds should diverge");
+    }
+
+    #[test]
+    fn w0_subscription_shape() {
+        let mut g = WorkloadGen::new(presets::w0(100));
+        for _ in 0..200 {
+            let s = g.subscription();
+            assert_eq!(s.size(), 5);
+            assert_eq!(s.equality_count(), 5, "W0 is all-equality");
+            // The two fixed attributes are always present.
+            assert!(s.equality_schema().contains(AttrId(0)));
+            assert!(s.equality_schema().contains(AttrId(1)));
+            // Free attributes are distinct (5 distinct attrs total).
+            assert_eq!(s.equality_schema().len(), 5);
+            // All values within 1..=35.
+            for p in s.predicates() {
+                let v = p.value.as_int().unwrap();
+                assert!((1..=35).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn w2_operator_counts() {
+        let mut g = WorkloadGen::new(presets::w2(100));
+        for _ in 0..50 {
+            let s = g.subscription();
+            assert_eq!(s.size(), 9);
+            let lt = s
+                .predicates()
+                .iter()
+                .filter(|p| p.op == Operator::Lt)
+                .count();
+            let gt = s
+                .predicates()
+                .iter()
+                .filter(|p| p.op == Operator::Gt)
+                .count();
+            assert_eq!((lt, gt), (5, 1));
+            assert_eq!(s.equality_count(), 3);
+        }
+    }
+
+    #[test]
+    fn events_value_every_attribute() {
+        let mut g = WorkloadGen::new(presets::w0(100));
+        for _ in 0..50 {
+            let e = g.event();
+            assert_eq!(e.len(), 32);
+            for (a, v) in e.pairs() {
+                assert!(a.index() < 32);
+                let v = v.as_int().unwrap();
+                assert!((1..=35).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_event_schema() {
+        let mut spec = presets::w0(100);
+        spec.events.n_a = 5;
+        let mut g = WorkloadGen::new(spec);
+        for _ in 0..50 {
+            let e = g.event();
+            assert_eq!(e.len(), 5, "n_A honoured");
+        }
+    }
+
+    #[test]
+    fn w6_event_skew_narrows_attribute_0() {
+        let mut g = WorkloadGen::new(presets::w6(100));
+        for _ in 0..100 {
+            let e = g.event();
+            let v0 = e.value(AttrId(0)).unwrap().as_int().unwrap();
+            assert!((1..=2).contains(&v0), "skewed attribute");
+            let v1 = e.value(AttrId(1)).unwrap().as_int().unwrap();
+            assert!((1..=35).contains(&v1));
+        }
+        // Subscription skew too.
+        for _ in 0..100 {
+            let s = g.subscription();
+            let p0 = s.predicates().iter().find(|p| p.attr == AttrId(0)).unwrap();
+            let v = p0.value.as_int().unwrap();
+            assert!((1..=2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn batches_have_spec_sizes() {
+        let mut g = WorkloadGen::new(presets::w0(100));
+        assert_eq!(g.sub_batch().len(), 10_000);
+        assert_eq!(g.event_batch().len(), 100);
+    }
+
+    #[test]
+    fn w3_focuses_on_first_half() {
+        let mut g = WorkloadGen::new(presets::w3(100));
+        for _ in 0..100 {
+            let s = g.subscription();
+            for p in s.predicates() {
+                assert!(p.attr.index() < 16, "W3 attrs in the first half");
+            }
+        }
+        let mut g = WorkloadGen::new(presets::w4(100));
+        for _ in 0..100 {
+            let s = g.subscription();
+            for p in s.predicates() {
+                assert!(p.attr.index() >= 16, "W4 attrs in the second half");
+            }
+        }
+    }
+}

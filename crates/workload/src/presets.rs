@@ -1,0 +1,241 @@
+//! The named workloads of the paper's evaluation (§6.2).
+//!
+//! Every preset takes `n_s` (the subscription count) so experiments can run
+//! at paper scale or scaled down; all other parameters match the paper's
+//! specification verbatim.
+
+use crate::spec::{
+    EventSpec, FixedPredicateSpec, SubscriptionSpec, ValueDomain, WorkloadSpec, DEFAULT_DOMAIN,
+};
+use pubsub_types::Operator;
+
+const N_T: usize = 32;
+const SUB_BATCH: usize = 10_000;
+const EVENT_BATCH: usize = 100;
+
+fn base_events() -> EventSpec {
+    EventSpec {
+        batch: EVENT_BATCH,
+        n_a: N_T,
+        domain: DEFAULT_DOMAIN,
+        overrides: Vec::new(),
+    }
+}
+
+fn fixed_eq(attrs: &[usize]) -> Vec<FixedPredicateSpec> {
+    attrs
+        .iter()
+        .map(|&attr| FixedPredicateSpec {
+            attr,
+            op: Operator::Eq,
+            domain: DEFAULT_DOMAIN,
+        })
+        .collect()
+}
+
+/// `W0`: `n_t = 32`, `n_P = 5` (2 fixed, all equality), `n_A = 32`,
+/// domains `1..=35`, batches 10,000 / 100. The workload of Figures 3(a),
+/// 3(c), 3(d).
+pub fn w0(n_s: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        n_t: N_T,
+        subs: SubscriptionSpec {
+            count: n_s,
+            batch: SUB_BATCH,
+            fixed: fixed_eq(&[0, 1]),
+            free_count: 3,
+            free_op: Operator::Eq,
+            free_domain: DEFAULT_DOMAIN,
+            free_pool: (2, N_T),
+        },
+        events: base_events(),
+        seed: 0xF0,
+    }
+}
+
+/// `W1`: `n_P = 4` — 2 fixed equality, 1 fixed `<`, 1 free equality
+/// (Figure 3(b), the lighter operator mix).
+pub fn w1(n_s: usize) -> WorkloadSpec {
+    let mut fixed = fixed_eq(&[0, 1]);
+    fixed.push(FixedPredicateSpec {
+        attr: 2,
+        op: Operator::Lt,
+        domain: DEFAULT_DOMAIN,
+    });
+    WorkloadSpec {
+        n_t: N_T,
+        subs: SubscriptionSpec {
+            count: n_s,
+            batch: SUB_BATCH,
+            fixed,
+            free_count: 1,
+            free_op: Operator::Eq,
+            free_domain: DEFAULT_DOMAIN,
+            free_pool: (3, N_T),
+        },
+        events: base_events(),
+        seed: 0xF1,
+    }
+}
+
+/// `W2`: `n_P = 9` — 2 fixed equality, 5 fixed `<`, 1 fixed `>`, 1 free
+/// equality (Figure 3(b), the heavier operator mix).
+pub fn w2(n_s: usize) -> WorkloadSpec {
+    let mut fixed = fixed_eq(&[0, 1]);
+    for attr in 2..7 {
+        fixed.push(FixedPredicateSpec {
+            attr,
+            op: Operator::Lt,
+            domain: DEFAULT_DOMAIN,
+        });
+    }
+    fixed.push(FixedPredicateSpec {
+        attr: 7,
+        op: Operator::Gt,
+        domain: DEFAULT_DOMAIN,
+    });
+    WorkloadSpec {
+        n_t: N_T,
+        subs: SubscriptionSpec {
+            count: n_s,
+            batch: SUB_BATCH,
+            fixed,
+            free_count: 1,
+            free_op: Operator::Eq,
+            free_domain: DEFAULT_DOMAIN,
+            free_pool: (8, N_T),
+        },
+        events: base_events(),
+        seed: 0xF2,
+    }
+}
+
+/// `W3`: subscriptions focus on the *first* 16 of 32 attributes
+/// (`n_P = 5`, 1 fixed); events value all 32 attributes (Figure 4(a), the
+/// initial phase).
+pub fn w3(n_s: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        n_t: N_T,
+        subs: SubscriptionSpec {
+            count: n_s,
+            batch: SUB_BATCH,
+            fixed: fixed_eq(&[0]),
+            free_count: 4,
+            free_op: Operator::Eq,
+            free_domain: DEFAULT_DOMAIN,
+            free_pool: (1, 16),
+        },
+        events: base_events(),
+        seed: 0xF3,
+    }
+}
+
+/// `W4`: like `W3` but focused on the *other* 16 attributes (Figure 4(a),
+/// the drifted phase).
+pub fn w4(n_s: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        n_t: N_T,
+        subs: SubscriptionSpec {
+            count: n_s,
+            batch: SUB_BATCH,
+            fixed: fixed_eq(&[16]),
+            free_count: 4,
+            free_op: Operator::Eq,
+            free_domain: DEFAULT_DOMAIN,
+            free_pool: (17, N_T),
+        },
+        events: base_events(),
+        seed: 0xF4,
+    }
+}
+
+/// `W5`: `n_P = 5`, 2 fixed equality, uniform values (Figure 4(b), the
+/// initial phase) — structurally `W0`.
+pub fn w5(n_s: usize) -> WorkloadSpec {
+    let mut spec = w0(n_s);
+    spec.seed = 0xF5;
+    spec
+}
+
+/// `W6`: like `W5` with combined subscription *and* event skew: one of the
+/// two fixed attributes draws from 2 values instead of 35 (Figure 4(b), the
+/// drifted phase).
+pub fn w6(n_s: usize) -> WorkloadSpec {
+    let mut spec = w5(n_s);
+    let skewed = ValueDomain::new(1, 2);
+    spec.subs.fixed[0].domain = skewed;
+    spec.events.overrides.push((0, skewed));
+    spec.seed = 0xF6;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w0_shape_matches_table_1() {
+        let s = w0(6_000_000);
+        assert_eq!(s.n_t, 32);
+        assert_eq!(s.subs.count, 6_000_000);
+        assert_eq!(s.subs.batch, 10_000);
+        assert_eq!(s.subs.n_p(), 5);
+        assert_eq!(s.subs.fixed.len(), 2);
+        assert_eq!(s.events.batch, 100);
+        assert_eq!(s.events.n_a, 32);
+        assert_eq!(s.events.domain.cardinality(), 35);
+    }
+
+    #[test]
+    fn w1_w2_operator_mix() {
+        let w1 = w1(1);
+        assert_eq!(w1.subs.n_p(), 4);
+        let lt = w1
+            .subs
+            .fixed
+            .iter()
+            .filter(|f| f.op == Operator::Lt)
+            .count();
+        assert_eq!(lt, 1);
+
+        let w2 = w2(1);
+        assert_eq!(w2.subs.n_p(), 9);
+        let lt = w2
+            .subs
+            .fixed
+            .iter()
+            .filter(|f| f.op == Operator::Lt)
+            .count();
+        let gt = w2
+            .subs
+            .fixed
+            .iter()
+            .filter(|f| f.op == Operator::Gt)
+            .count();
+        let eq = w2
+            .subs
+            .fixed
+            .iter()
+            .filter(|f| f.op == Operator::Eq)
+            .count();
+        assert_eq!((eq, lt, gt), (2, 5, 1));
+    }
+
+    #[test]
+    fn w3_w4_focus_on_disjoint_halves() {
+        let w3 = w3(1);
+        let w4 = w4(1);
+        assert!(w3.subs.free_pool.1 <= 16);
+        assert!(w4.subs.free_pool.0 >= 16);
+        assert!(w3.subs.fixed[0].attr < 16);
+        assert!(w4.subs.fixed[0].attr >= 16);
+    }
+
+    #[test]
+    fn w6_adds_both_skews() {
+        let w6 = w6(1);
+        assert_eq!(w6.subs.fixed[0].domain.cardinality(), 2);
+        assert_eq!(w6.events.domain_of(0).cardinality(), 2);
+        assert_eq!(w6.events.domain_of(1).cardinality(), 35);
+    }
+}

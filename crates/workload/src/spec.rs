@@ -1,0 +1,234 @@
+//! Workload specifications — the parameter vocabulary of paper Table 1.
+//!
+//! A [`WorkloadSpec`] fixes the attribute universe (`n_t`), the subscription
+//! shape (`n_S`, `n_Sb`, `n_P`, `n_Pfix` with its per-operator breakdown,
+//! per-predicate value domains) and the event shape (`n_Eb`, `n_A`, value
+//! domains). Skew is modelled exactly as in §6.1: by narrowing the value
+//! domain of individual predicates/attributes.
+
+use pubsub_types::Operator;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive integer value domain `[lo, hi]` (`l_P`/`u_P`, `l_A`/`u_A`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueDomain {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl ValueDomain {
+    /// Creates `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty value domain");
+        Self { lo, hi }
+    }
+
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> u64 {
+        (self.hi - self.lo + 1) as u64
+    }
+}
+
+/// The paper's default domain `1..=35` (the workloads of §6.2.1).
+pub const DEFAULT_DOMAIN: ValueDomain = ValueDomain { lo: 1, hi: 35 };
+
+/// One *fixed* predicate: an attribute common to every subscription of the
+/// workload, with a fixed operator and its own value domain
+/// (`n_P_fix=`, `n_P_fix<`, `n_P_fix>` of Table 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FixedPredicateSpec {
+    /// Index of the attribute in the universe.
+    pub attr: usize,
+    /// The operator of this predicate in every subscription.
+    pub op: Operator,
+    /// Value domain the constant is drawn from.
+    pub domain: ValueDomain,
+}
+
+/// Subscription-side parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubscriptionSpec {
+    /// `n_S` — total number of subscriptions the workload provides.
+    pub count: usize,
+    /// `n_Sb` — subscriptions submitted to the system at once.
+    pub batch: usize,
+    /// The fixed (common-attribute) predicates.
+    pub fixed: Vec<FixedPredicateSpec>,
+    /// Number of free predicates, each on an attribute drawn uniformly from
+    /// `free_pool` (without replacement, excluding fixed attributes).
+    pub free_count: usize,
+    /// Operator of the free predicates (the paper's free predicates are
+    /// equality).
+    pub free_op: Operator,
+    /// Value domain of the free predicates.
+    pub free_domain: ValueDomain,
+    /// Half-open index range `[lo, hi)` of the universe that free predicates
+    /// draw attributes from (W3/W4 "focus on 16 of the 32 attributes").
+    pub free_pool: (usize, usize),
+}
+
+impl SubscriptionSpec {
+    /// `n_P` — predicates per subscription.
+    pub fn n_p(&self) -> usize {
+        self.fixed.len() + self.free_count
+    }
+}
+
+/// Event-side parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventSpec {
+    /// `n_Eb` — events submitted to the system at once.
+    pub batch: usize,
+    /// `n_A` — attribute/value pairs per event. Equal to the universe size in
+    /// the paper's runs (events value every attribute); smaller values pick a
+    /// uniform random subset.
+    pub n_a: usize,
+    /// Default value domain for every attribute.
+    pub domain: ValueDomain,
+    /// Per-attribute domain overrides `(attr index, domain)` — the event-skew
+    /// mechanism (W6 narrows one attribute to 2 values).
+    pub overrides: Vec<(usize, ValueDomain)>,
+}
+
+impl EventSpec {
+    /// The value domain in force for attribute `attr`.
+    pub fn domain_of(&self, attr: usize) -> ValueDomain {
+        self.overrides
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, d)| *d)
+            .unwrap_or(self.domain)
+    }
+}
+
+/// A full workload: universe + subscription and event shapes + RNG seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// `n_t` — size of the attribute universe (attributes are `AttrId(0..n_t)`).
+    pub n_t: usize,
+    /// Subscription-side parameters.
+    pub subs: SubscriptionSpec,
+    /// Event-side parameters.
+    pub events: EventSpec,
+    /// RNG seed: runs are fully deterministic given the spec.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Validates internal consistency (attribute indexes within the universe,
+    /// enough free attributes to draw without replacement, …).
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.subs.fixed {
+            if f.attr >= self.n_t {
+                return Err(format!(
+                    "fixed attr {} outside universe {}",
+                    f.attr, self.n_t
+                ));
+            }
+        }
+        let (lo, hi) = self.subs.free_pool;
+        if lo > hi || hi > self.n_t {
+            return Err(format!(
+                "free pool ({lo}, {hi}) outside universe {}",
+                self.n_t
+            ));
+        }
+        let fixed_in_pool = self
+            .subs
+            .fixed
+            .iter()
+            .filter(|f| f.attr >= lo && f.attr < hi)
+            .count();
+        let available = (hi - lo) - fixed_in_pool;
+        if self.subs.free_count > available {
+            return Err(format!(
+                "{} free predicates but only {available} free attributes in the pool",
+                self.subs.free_count
+            ));
+        }
+        if self.events.n_a > self.n_t {
+            return Err(format!(
+                "n_A = {} exceeds universe {}",
+                self.events.n_a, self.n_t
+            ));
+        }
+        for (a, _) in &self.events.overrides {
+            if *a >= self.n_t {
+                return Err(format!("event override attr {a} outside universe"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn domain_cardinality() {
+        assert_eq!(ValueDomain::new(1, 35).cardinality(), 35);
+        assert_eq!(ValueDomain::new(5, 5).cardinality(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value domain")]
+    fn inverted_domain_panics() {
+        ValueDomain::new(3, 2);
+    }
+
+    #[test]
+    fn event_domain_overrides() {
+        let e = EventSpec {
+            batch: 100,
+            n_a: 32,
+            domain: DEFAULT_DOMAIN,
+            overrides: vec![(3, ValueDomain::new(1, 2))],
+        };
+        assert_eq!(e.domain_of(3), ValueDomain::new(1, 2));
+        assert_eq!(e.domain_of(4), DEFAULT_DOMAIN);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for spec in [
+            presets::w0(1000),
+            presets::w1(1000),
+            presets::w2(1000),
+            presets::w3(1000),
+            presets::w4(1000),
+            presets::w5(1000),
+            presets::w6(1000),
+        ] {
+            spec.validate().expect("preset is internally consistent");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = presets::w0(10);
+        spec.subs.fixed[0].attr = 99;
+        assert!(spec.validate().is_err());
+
+        let mut spec = presets::w0(10);
+        spec.subs.free_count = 1000;
+        assert!(spec.validate().is_err());
+
+        let mut spec = presets::w0(10);
+        spec.events.n_a = 99;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let spec = presets::w2(5000);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_t, spec.n_t);
+        assert_eq!(back.subs.n_p(), spec.subs.n_p());
+        assert_eq!(back.seed, spec.seed);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the paper's running example — movie ticket offers.
+//!
+//! A subscription is a conjunction of `(attribute, operator, value)`
+//! predicates; an event is a set of `(attribute, value)` pairs. The broker
+//! returns, for each published event, the subscriptions it satisfies.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fastpubsub::prelude::*;
+
+fn main() {
+    // The dynamic engine is the paper's best performer and the right
+    // default: it adapts its index configuration to the workload.
+    let mut broker = Broker::new(EngineKind::Dynamic);
+
+    let movie = broker.attr("movie");
+    let price = broker.attr("price");
+    let theater = broker.attr("theater");
+    let groundhog_day = broker.string("groundhog day");
+    let odeon = broker.string("odeon");
+
+    // "(movie, groundhog day, =), (price, $10, <=), (price, $5, >)" — the
+    // subscription from §1.1 of the paper.
+    let sub = Subscription::builder()
+        .eq(movie, groundhog_day)
+        .with(price, Operator::Le, 10i64)
+        .with(price, Operator::Gt, 5i64)
+        .build()
+        .expect("valid subscription");
+    println!("subscribing: {}", sub.display(broker.vocabulary()));
+    let id = broker.subscribe(sub, Validity::forever());
+
+    // "(movie, groundhog day), (price, $8), (theater, odeon)" — the event
+    // from §1.1; it satisfies the subscription.
+    let event = Event::builder()
+        .pair(movie, groundhog_day)
+        .pair(price, 8i64)
+        .pair(theater, odeon)
+        .build()
+        .expect("valid event");
+    let matched = broker.publish(&event);
+    println!(
+        "published {} -> matched {:?}",
+        event.display(broker.vocabulary()),
+        matched
+    );
+    assert_eq!(matched, vec![id]);
+
+    // A pricier screening does not match.
+    let pricey = Event::builder()
+        .pair(movie, groundhog_day)
+        .pair(price, 12i64)
+        .build()
+        .unwrap();
+    let matched = broker.publish(&pricey);
+    println!(
+        "published {} -> matched {:?}",
+        pricey.display(broker.vocabulary()),
+        matched
+    );
+    assert!(matched.is_empty());
+
+    println!("quickstart OK");
+}

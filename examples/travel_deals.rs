@@ -1,0 +1,103 @@
+//! Travel deals: short-lived subscriptions and the valid-event store.
+//!
+//! The paper's motivating example (§1): "a user may want to go from New
+//! York to California in the next 24 hours but only if he can get a flight
+//! for under $400. Such a subscription would be short-lived."
+//!
+//! This example shows both directions of the broker:
+//! * events are matched against live subscriptions (notification),
+//! * *new* subscriptions are matched against stored valid events (replay),
+//!
+//! plus validity-driven expiry of both.
+//!
+//! Run with: `cargo run --example travel_deals`
+
+use fastpubsub::broker::LogicalTime;
+use fastpubsub::prelude::*;
+
+fn main() {
+    let mut broker = Broker::new(EngineKind::Dynamic);
+    let from = broker.attr("from");
+    let to = broker.attr("to");
+    let price = broker.attr("price");
+    let airline = broker.attr("airline");
+
+    let nyc = broker.string("NYC");
+    let sfo = broker.string("SFO");
+    let lax = broker.string("LAX");
+    let oceanic = broker.string("Oceanic");
+
+    // One tick = one hour. The bargain hunter's subscription lives 24h.
+    let hunter = Subscription::builder()
+        .eq(from, nyc)
+        .eq(to, sfo)
+        .with(price, Operator::Lt, 400i64)
+        .build()
+        .unwrap();
+    let hunter_id = broker.subscribe(hunter, Validity::starting_at(broker.now(), 24));
+    println!("bargain hunter subscribed (valid 24h) -> {hunter_id}");
+
+    // Offers are published with their own validity (bookable window).
+    let offers = [
+        (nyc, sfo, 520i64, 48u64), // too expensive for the hunter
+        (nyc, lax, 310, 48),       // wrong destination
+        (nyc, sfo, 385, 48),       // the deal
+    ];
+    let mut deal_event = None;
+    for (f, t, p, hours) in offers {
+        let event = Event::builder()
+            .pair(from, f)
+            .pair(to, t)
+            .pair(price, p)
+            .pair(airline, oceanic)
+            .build()
+            .unwrap();
+        let note =
+            broker.publish_with_validity(event.clone(), Validity::starting_at(broker.now(), hours));
+        println!(
+            "offer {} -> notified {:?}",
+            event.display(broker.vocabulary()),
+            note.matched
+        );
+        if p == 385 {
+            assert_eq!(note.matched, vec![hunter_id]);
+            deal_event = note.event;
+        } else {
+            assert!(note.matched.is_empty());
+        }
+    }
+
+    // A second traveller subscribes *after* the offers were published: the
+    // broker replays the stored valid events that already satisfy them.
+    let flexible = Subscription::builder()
+        .eq(from, nyc)
+        .with(price, Operator::Lt, 350i64)
+        .build()
+        .unwrap();
+    let (_, replay) =
+        broker.subscribe_with_replay(flexible, Validity::starting_at(broker.now(), 24));
+    println!("late subscriber replayed {} stored offer(s)", replay.len());
+    assert_eq!(replay.len(), 1, "only the $310 LAX offer is under $350");
+
+    // 24 hours later the hunter's subscription has expired...
+    let (expired_subs, _) = broker.advance_to(LogicalTime(24));
+    println!("t=24h: {expired_subs} subscription(s) expired");
+    let again = Event::builder()
+        .pair(from, nyc)
+        .pair(to, sfo)
+        .pair(price, 385i64)
+        .build()
+        .unwrap();
+    assert!(
+        broker.publish(&again).is_empty(),
+        "expired hunter is not notified"
+    );
+
+    // ... and 48 hours in, the offers leave the store too.
+    let (_, evicted) = broker.advance_to(LogicalTime(48));
+    println!("t=48h: {evicted} stored offer(s) evicted");
+    assert_eq!(broker.stored_event_count(), 0);
+    assert!(deal_event.is_some());
+
+    println!("travel_deals OK");
+}

@@ -1,0 +1,154 @@
+//! End-to-end system tests spanning every crate: broker + engines +
+//! workload generator + validity + event store.
+
+use fastpubsub::broker::LogicalTime;
+use fastpubsub::prelude::*;
+use fastpubsub::workload::{presets, WorkloadGen};
+
+/// The full broker lifecycle works identically on every engine.
+#[test]
+fn broker_lifecycle_all_engines() {
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut broker = Broker::new(kind);
+        let mut gen = WorkloadGen::new(presets::w0(10_000));
+
+        // Load a batch, with a validity horizon.
+        let subs: Vec<Subscription> = (0..2_000).map(|_| gen.subscription()).collect();
+        let ids = broker.subscribe_batch(subs.clone(), Validity::until(LogicalTime(100)));
+        broker.finalize();
+        assert_eq!(
+            broker.subscription_count(),
+            2_000,
+            "{}",
+            broker.engine_name()
+        );
+
+        // Publish a batch and cross-check against definitional matching.
+        let events: Vec<Event> = (0..50).map(|_| gen.event()).collect();
+        let notes = broker.publish_batch(&events);
+        for (event, note) in events.iter().zip(&notes) {
+            let mut got = note.matched.clone();
+            got.sort();
+            let mut want: Vec<SubscriptionId> = ids
+                .iter()
+                .zip(&subs)
+                .filter(|(_, s)| s.matches_event(event))
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "engine {}", broker.engine_name());
+        }
+
+        // Expire everything; nothing matches afterwards.
+        broker.advance_to(LogicalTime(100));
+        assert_eq!(broker.subscription_count(), 0, "{}", broker.engine_name());
+        for event in &events {
+            assert!(broker.publish(event).is_empty());
+        }
+    }
+}
+
+/// Churn at equilibrium keeps every engine consistent with brute force.
+#[test]
+fn churn_consistency_all_engines() {
+    let mut gen = WorkloadGen::new(presets::w1(100_000));
+    // One shared subscription stream so all engines see identical input.
+    let subs: Vec<Subscription> = (0..3_000).map(|_| gen.subscription()).collect();
+    let events: Vec<Event> = (0..40).map(|_| gen.event()).collect();
+
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut broker = Broker::new(kind).without_event_store();
+        let mut live: Vec<(SubscriptionId, usize)> = Vec::new();
+        for (i, sub) in subs.iter().enumerate() {
+            let id = broker.subscribe(sub.clone(), Validity::forever());
+            live.push((id, i));
+            // Interleave removals: drop every third subscription.
+            if i % 3 == 2 {
+                let (victim, _) = live.remove(live.len() / 2);
+                assert!(broker.unsubscribe(victim));
+            }
+        }
+        for event in &events {
+            let mut got = broker.publish(event);
+            got.sort();
+            let mut want: Vec<SubscriptionId> = live
+                .iter()
+                .filter(|(_, i)| subs[*i].matches_event(event))
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "engine {}", broker.engine_name());
+        }
+    }
+}
+
+/// The W2-style operator-heavy workload matches correctly end to end.
+#[test]
+fn inequality_heavy_workload() {
+    let mut gen = WorkloadGen::new(presets::w2(100_000));
+    let subs: Vec<Subscription> = (0..1_000).map(|_| gen.subscription()).collect();
+    let events: Vec<Event> = (0..30).map(|_| gen.event()).collect();
+    let mut expected_total = 0usize;
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut broker = Broker::new(kind).without_event_store();
+        let ids = broker.subscribe_batch(subs.clone(), Validity::forever());
+        broker.finalize();
+        let mut total = 0usize;
+        for event in &events {
+            total += broker.publish(event).len();
+        }
+        let want: usize = events
+            .iter()
+            .map(|e| subs.iter().filter(|s| s.matches_event(e)).count())
+            .sum();
+        assert_eq!(total, want, "engine {}", broker.engine_name());
+        if expected_total == 0 {
+            expected_total = total;
+        } else {
+            assert_eq!(total, expected_total);
+        }
+        drop(ids);
+    }
+}
+
+/// Replay: late subscribers see stored valid events, per §1's two
+/// complementary functionalities.
+#[test]
+fn replay_against_stored_events() {
+    let mut broker = Broker::new(EngineKind::Dynamic);
+    let a = broker.attr("a");
+    for v in 0..10i64 {
+        let e = Event::builder().pair(a, v).build().unwrap();
+        broker.publish_with_validity(e, Validity::until(LogicalTime(50)));
+    }
+    let sub = Subscription::builder()
+        .with(a, Operator::Lt, 3i64)
+        .build()
+        .unwrap();
+    let (_, replay) = broker.subscribe_with_replay(sub.clone(), Validity::forever());
+    assert_eq!(replay.len(), 3, "events 0, 1, 2 are under 3");
+
+    // After the store's horizon, replay returns nothing.
+    broker.advance_to(LogicalTime(50));
+    let (_, replay) = broker.subscribe_with_replay(sub, Validity::forever());
+    assert!(replay.is_empty());
+}
+
+/// Engine stats surface sanity: the phase timers and check counters move.
+#[test]
+fn stats_are_populated() {
+    let mut broker = Broker::new(EngineKind::PropagationPrefetch);
+    let mut gen = WorkloadGen::new(presets::w0(10_000));
+    broker.subscribe_batch(
+        (0..500).map(|_| gen.subscription()).collect::<Vec<_>>(),
+        Validity::forever(),
+    );
+    for _ in 0..20 {
+        broker.publish(&gen.event());
+    }
+    let s = broker.engine_stats();
+    assert_eq!(s.events, 20);
+    assert!(s.subscriptions_checked > 0);
+    assert!(s.phase1_nanos > 0);
+    assert!(s.phase2_nanos > 0);
+}

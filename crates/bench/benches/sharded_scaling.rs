@@ -1,0 +1,88 @@
+//! Shard-count scaling of the parallel matching layer: the same W0
+//! workload matched by a `ShardedMatcher` over the dynamic engine at
+//! 1, 2, 4 and 8 shards, batched and unbatched, against the unsharded
+//! engine as baseline.
+//!
+//! The interesting comparisons:
+//!   * `unsharded` vs `shards/1` — pure fan-out/channel overhead;
+//!   * `shards/1` vs `shards/4` — parallel speedup on the partial match
+//!     phase;
+//!   * `batch_*` vs the per-event rows — how much of the wakeup cost the
+//!     batched pipeline amortises.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pubsub_bench::{load_engine, load_engine_sharded};
+use pubsub_core::EngineKind;
+use pubsub_types::SubscriptionId;
+use pubsub_workload::{presets, WorkloadGen};
+
+const N_SUBS: usize = 100_000;
+const BATCH: usize = 64;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_sharded_match_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_match_event_w0_100k");
+    group.sample_size(20);
+
+    let mut gen = WorkloadGen::new(presets::w0(N_SUBS));
+    let (mut engine, _) = load_engine(EngineKind::Dynamic, &mut gen, N_SUBS);
+    let events: Vec<_> = (0..256).map(|_| gen.event()).collect();
+    let mut out = Vec::new();
+    group.bench_with_input(BenchmarkId::from_parameter("unsharded"), &0, |b, _| {
+        let mut i = 0;
+        b.iter(|| {
+            out.clear();
+            engine.match_event(&events[i % events.len()], &mut out);
+            i += 1;
+            out.len()
+        })
+    });
+
+    for shards in SHARD_COUNTS {
+        let mut gen = WorkloadGen::new(presets::w0(N_SUBS));
+        let (mut engine, _) = load_engine_sharded(EngineKind::Dynamic, shards, &mut gen, N_SUBS);
+        let events: Vec<_> = (0..256).map(|_| gen.event()).collect();
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                out.clear();
+                engine.match_event(&events[i % events.len()], &mut out);
+                i += 1;
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_match_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_match_batch_w0_100k");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    for shards in SHARD_COUNTS {
+        let mut gen = WorkloadGen::new(presets::w0(N_SUBS));
+        let (mut engine, _) = load_engine_sharded(EngineKind::Dynamic, shards, &mut gen, N_SUBS);
+        let batches: Vec<Vec<_>> = (0..8)
+            .map(|_| (0..BATCH).map(|_| gen.event()).collect())
+            .collect();
+        let mut out: Vec<Vec<SubscriptionId>> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batch_shards", shards), &shards, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                engine.match_batch_into(&batches[i % batches.len()], &mut out);
+                i += 1;
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sharded_match_event,
+    bench_sharded_match_batch
+);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Figure 3(a): event matching throughput vs. number of subscriptions,
-//! workload W0, for all five engines.
+//! workload W0, for all five engines — plus the sharding dimension this
+//! reproduction adds on top of the paper.
 //!
 //! The paper's headline numbers at 6,000,000 subscriptions on a 500 MHz
 //! Pentium III: counting 1.1 ev/s, propagation 124 ev/s, propagation-wp
@@ -10,20 +11,36 @@
 //! predicates (phase 1) vs. time to compute matching subscriptions
 //! (phase 2).
 //!
+//! With `--shards N` every engine runs behind a `ShardedMatcher` with `N`
+//! worker threads and events are submitted in batches of `--batch` (the
+//! batched pipeline is what amortises the fan-out cost; see DESIGN.md §3).
+//! With `--json` each data point is emitted as one JSON object (fields:
+//! `figure, workload, engine, subs, shards, batch, events_per_sec,
+//! phase1_ms, phase2_ms`) instead of the text table.
+//!
 //! Usage: `cargo run --release -p pubsub-bench --bin fig3a_throughput --
-//!         [--subs 100000,...] [--events N] [--engines a,b] [--phases]`
+//!         [--subs 100000,...] [--events N] [--engines a,b] [--phases]
+//!         [--shards N] [--batch N] [--json]`
 
-use pubsub_bench::{load_engine, measure_throughput, parse_args, HarnessArgs, SeriesReport};
+use pubsub_bench::{
+    load_engine_sharded, measure_batched_throughput, measure_throughput, parse_args, HarnessArgs,
+    SeriesReport,
+};
 use pubsub_workload::{presets, WorkloadGen};
 
 fn main() {
     let args = parse_args(HarnessArgs::default());
     let series: Vec<String> = args.engines.iter().map(|e| e.label().to_string()).collect();
-    let mut report = SeriesReport::new(
-        "Figure 3(a): throughput (events/s) vs subscriptions, workload W0",
-        "subs",
-        series.clone(),
-    );
+    let title = if args.shards == 0 {
+        "Figure 3(a): throughput (events/s) vs subscriptions, workload W0".to_string()
+    } else {
+        format!(
+            "Figure 3(a) sharded: throughput (events/s) vs subscriptions, W0, \
+             {} shards, batch {}",
+            args.shards, args.batch
+        )
+    };
+    let mut report = SeriesReport::new(title, "subs", series.clone());
     let mut phase_report =
         SeriesReport::new("§6.2.1 split: phase1/phase2 per event (ms)", "subs", series);
 
@@ -39,26 +56,45 @@ fn main() {
                 args.events
             };
             let mut gen = WorkloadGen::new(presets::w0(n));
-            let (mut engine, _) = load_engine(kind, &mut gen, n);
+            let (mut engine, _) = load_engine_sharded(kind, args.shards, &mut gen, n);
             // Warm-up: one small batch, then reset counters.
             measure_throughput(engine.as_mut(), &mut gen, 20);
             engine.reset_stats();
-            let (eps, _) = measure_throughput(engine.as_mut(), &mut gen, events);
+            let (eps, _) = if args.shards == 0 {
+                measure_throughput(engine.as_mut(), &mut gen, events)
+            } else {
+                measure_batched_throughput(engine.as_mut(), &mut gen, events, args.batch)
+            };
             row.push(format!("{eps:.1}"));
             let s = engine.stats();
-            phase_row.push(format!(
-                "{:.3}/{:.3}",
-                s.phase1_nanos as f64 / s.events as f64 / 1e6,
-                s.phase2_nanos as f64 / s.events as f64 / 1e6,
-            ));
-            eprintln!("  [{} @ {n}] {eps:.1} events/s", kind.label());
+            let phase1_ms = s.phase1_nanos as f64 / s.events as f64 / 1e6;
+            let phase2_ms = s.phase2_nanos as f64 / s.events as f64 / 1e6;
+            phase_row.push(format!("{phase1_ms:.3}/{phase2_ms:.3}"));
+            if args.json {
+                println!(
+                    "{{\"figure\": \"3a\", \"workload\": \"w0\", \"engine\": \"{}\", \
+                     \"subs\": {n}, \"shards\": {}, \"batch\": {}, \
+                     \"events_per_sec\": {eps:.1}, \"phase1_ms\": {phase1_ms:.4}, \
+                     \"phase2_ms\": {phase2_ms:.4}}}",
+                    kind.label(),
+                    args.shards,
+                    if args.shards == 0 { 1 } else { args.batch },
+                );
+            }
+            eprintln!(
+                "  [{} @ {n} subs, {} shards] {eps:.1} events/s",
+                kind.label(),
+                args.shards
+            );
         }
         report.push_row(n.to_string(), row);
         phase_report.push_row(n.to_string(), phase_row);
     }
 
-    println!("{}", report.render());
-    if args.phases {
-        println!("{}", phase_report.render());
+    if !args.json {
+        println!("{}", report.render());
+        if args.phases {
+            println!("{}", phase_report.render());
+        }
     }
 }

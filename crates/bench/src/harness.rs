@@ -1,6 +1,6 @@
 //! Harness plumbing: argument parsing, engine loading, series reporting.
 
-use pubsub_core::{EngineKind, MatchEngine};
+use pubsub_core::{EngineKind, MatchEngine, ShardedMatcher};
 use pubsub_types::SubscriptionId;
 use pubsub_workload::WorkloadGen;
 use std::time::{Duration, Instant};
@@ -24,6 +24,14 @@ pub struct HarnessArgs {
     pub tick_ms: u64,
     /// Print per-phase timing split (`--phases`).
     pub phases: bool,
+    /// Shard count for the sharded engine layer (`--shards N`); 0 runs the
+    /// engines unsharded.
+    pub shards: usize,
+    /// Events per publish batch for batched measurements (`--batch N`).
+    pub batch: usize,
+    /// Emit one JSON object per data point instead of the text table
+    /// (`--json`).
+    pub json: bool,
 }
 
 impl Default for HarnessArgs {
@@ -35,6 +43,9 @@ impl Default for HarnessArgs {
             ticks: 120,
             tick_ms: 25,
             phases: false,
+            shards: 0,
+            batch: 64,
+            json: false,
         }
     }
 }
@@ -66,9 +77,13 @@ pub fn parse_args(defaults: HarnessArgs) -> HarnessArgs {
             "--ticks" => args.ticks = value("--ticks").parse().expect("integer"),
             "--tick-ms" => args.tick_ms = value("--tick-ms").parse().expect("integer"),
             "--phases" => args.phases = true,
+            "--shards" => args.shards = value("--shards").parse().expect("integer shard count"),
+            "--batch" => args.batch = value("--batch").parse().expect("integer batch size"),
+            "--json" => args.json = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --subs a,b,c  --events N  --engines a,b  --ticks N  --tick-ms N  --phases"
+                    "flags: --subs a,b,c  --events N  --engines a,b  --ticks N  --tick-ms N  \
+                     --phases  --shards N  --batch N  --json"
                 );
                 std::process::exit(0);
             }
@@ -86,7 +101,31 @@ pub fn load_engine(
     gen: &mut WorkloadGen,
     n_subs: usize,
 ) -> (Box<dyn MatchEngine + Send>, Duration) {
-    let mut engine = kind.build();
+    load_built_engine(kind.build(), gen, n_subs)
+}
+
+/// [`load_engine`] behind a shard dimension: `shards == 0` builds the plain
+/// engine, `shards >= 1` wraps it in a [`ShardedMatcher`] with that many
+/// worker threads (so `--shards 1` measures pure channel overhead).
+pub fn load_engine_sharded(
+    kind: EngineKind,
+    shards: usize,
+    gen: &mut WorkloadGen,
+    n_subs: usize,
+) -> (Box<dyn MatchEngine + Send>, Duration) {
+    let engine: Box<dyn MatchEngine + Send> = if shards == 0 {
+        kind.build()
+    } else {
+        Box::new(ShardedMatcher::new(kind, shards))
+    };
+    load_built_engine(engine, gen, n_subs)
+}
+
+fn load_built_engine(
+    mut engine: Box<dyn MatchEngine + Send>,
+    gen: &mut WorkloadGen,
+    n_subs: usize,
+) -> (Box<dyn MatchEngine + Send>, Duration) {
     let start = Instant::now();
     for i in 0..n_subs {
         let sub = gen.subscription();
@@ -110,6 +149,28 @@ pub fn measure_throughput(
     for e in &batch {
         out.clear();
         engine.match_event(e, &mut out);
+    }
+    let elapsed = start.elapsed();
+    let per_event = elapsed / events as u32;
+    (events as f64 / elapsed.as_secs_f64(), per_event)
+}
+
+/// Measures batched matching throughput: `events` events submitted in
+/// batches of `batch_size` via [`MatchEngine::match_batch_into`]. Result
+/// buffers are reused across batches, so the steady state allocates
+/// nothing. Returns `(events per second, mean match latency)`.
+pub fn measure_batched_throughput(
+    engine: &mut (dyn MatchEngine + Send),
+    gen: &mut WorkloadGen,
+    events: usize,
+    batch_size: usize,
+) -> (f64, Duration) {
+    let batch_size = batch_size.max(1);
+    let batch: Vec<_> = (0..events).map(|_| gen.event()).collect();
+    let mut out: Vec<Vec<SubscriptionId>> = Vec::new();
+    let start = Instant::now();
+    for chunk in batch.chunks(batch_size) {
+        engine.match_batch_into(chunk, &mut out);
     }
     let elapsed = start.elapsed();
     let per_event = elapsed / events as u32;

@@ -14,5 +14,6 @@ pub mod harness;
 
 pub use alloc::CountingAllocator;
 pub use harness::{
-    fmt_bytes, load_engine, measure_throughput, parse_args, HarnessArgs, SeriesReport,
+    fmt_bytes, load_engine, load_engine_sharded, measure_batched_throughput, measure_throughput,
+    parse_args, HarnessArgs, SeriesReport,
 };

@@ -35,7 +35,13 @@ pub struct Broker {
     vocab: Vocabulary,
     engine: Box<dyn MatchEngine + Send>,
     subs: Vec<Option<SubRecord>>,
+    /// Count of ids assigned so far; the next id is
+    /// `id_base + next_id * id_step`.
     next_id: u32,
+    /// First id of this broker's id lane (see [`Broker::with_id_lane`]).
+    id_base: u32,
+    /// Stride of this broker's id lane.
+    id_step: u32,
     live: usize,
     sub_expiry: BinaryHeap<Reverse<(LogicalTime, SubscriptionId)>>,
     events: EventStore,
@@ -62,6 +68,14 @@ impl Broker {
         Self::with_engine(kind.build())
     }
 
+    /// Creates a broker whose engine is a [`pubsub_core::ShardedMatcher`]:
+    /// `shards` worker threads, each running a complete engine of kind
+    /// `inner`. With `shards == 1` this is the single engine plus channel
+    /// overhead; use [`Broker::new`] instead unless measuring that overhead.
+    pub fn new_sharded(inner: EngineKind, shards: usize) -> Self {
+        Self::with_engine(Box::new(pubsub_core::ShardedMatcher::new(inner, shards)))
+    }
+
     /// Creates a broker around a caller-built engine.
     pub fn with_engine(engine: Box<dyn MatchEngine + Send>) -> Self {
         Self {
@@ -69,6 +83,8 @@ impl Broker {
             engine,
             subs: Vec::new(),
             next_id: 0,
+            id_base: 0,
+            id_step: 1,
             live: 0,
             sub_expiry: BinaryHeap::new(),
             events: EventStore::new(),
@@ -81,6 +97,34 @@ impl Broker {
     pub fn without_event_store(mut self) -> Self {
         self.store_events = false;
         self
+    }
+
+    /// Restricts id assignment to the lane `base, base + step, base + 2·step,
+    /// …`. Brokers on disjoint lanes assign globally unique ids with no
+    /// coordination — this is how [`crate::shared::SharedBroker`] gives each
+    /// shard its own id space (`shard = id mod shards`) while keeping each
+    /// shard's subscription table dense.
+    ///
+    /// # Panics
+    /// Panics if `step == 0`, `base >= step`, or a subscription was already
+    /// registered.
+    pub fn with_id_lane(mut self, base: u32, step: u32) -> Self {
+        assert!(step >= 1, "id lane stride must be at least 1");
+        assert!(base < step, "id lane base must be below the stride");
+        assert_eq!(self.next_id, 0, "id lane must be set before subscribing");
+        self.id_base = base;
+        self.id_step = step;
+        self
+    }
+
+    /// The dense storage slot of `id`, or `None` if `id` lies outside this
+    /// broker's id lane.
+    fn slot_of(&self, id: SubscriptionId) -> Option<usize> {
+        let raw = id.0.checked_sub(self.id_base)?;
+        if raw % self.id_step != 0 {
+            return None;
+        }
+        Some((raw / self.id_step) as usize)
     }
 
     // ---- vocabulary ------------------------------------------------------
@@ -124,11 +168,12 @@ impl Broker {
                 break;
             }
             self.sub_expiry.pop();
+            let slot = self.slot_of(id).expect("expiry heap only holds own ids");
             // The record may already be gone (explicit unsubscribe).
-            if let Some(rec) = &self.subs[id.index()] {
+            if let Some(rec) = &self.subs[slot] {
                 if rec.validity.until == Some(until) {
                     self.engine.remove(id);
-                    self.subs[id.index()] = None;
+                    self.subs[slot] = None;
                     self.live -= 1;
                     subs_expired += 1;
                 }
@@ -145,18 +190,20 @@ impl Broker {
 
     // ---- subscriptions -----------------------------------------------------
 
-    /// Registers a subscription; returns its id.
+    /// Registers a subscription; returns its id (drawn from this broker's id
+    /// lane, see [`Broker::with_id_lane`]).
     pub fn subscribe(&mut self, sub: Subscription, validity: Validity) -> SubscriptionId {
-        let id = SubscriptionId(self.next_id);
+        let slot = self.next_id as usize;
+        let id = SubscriptionId(self.id_base + self.next_id * self.id_step);
         self.next_id += 1;
-        if self.subs.len() <= id.index() {
-            self.subs.resize_with(id.index() + 1, || None);
+        if self.subs.len() <= slot {
+            self.subs.resize_with(slot + 1, || None);
         }
         self.engine.insert(id, &sub);
         if let Some(until) = validity.until {
             self.sub_expiry.push(Reverse((until, id)));
         }
-        self.subs[id.index()] = Some(SubRecord { sub, validity });
+        self.subs[slot] = Some(SubRecord { sub, validity });
         self.live += 1;
         id
     }
@@ -188,7 +235,10 @@ impl Broker {
     /// Removes a subscription. Returns `false` if the id was unknown or
     /// already expired.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
-        match self.subs.get_mut(id.index()).and_then(Option::take) {
+        let Some(slot) = self.slot_of(id) else {
+            return false;
+        };
+        match self.subs.get_mut(slot).and_then(Option::take) {
             Some(_) => {
                 self.engine.remove(id);
                 self.live -= 1;
@@ -200,7 +250,7 @@ impl Broker {
 
     /// The subscription behind an id, if still registered.
     pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
-        self.subs.get(id.index())?.as_ref().map(|r| &r.sub)
+        self.subs.get(self.slot_of(id)?)?.as_ref().map(|r| &r.sub)
     }
 
     /// Number of live subscriptions.
@@ -242,15 +292,25 @@ impl Broker {
     }
 
     /// Publishes a batch (`n_Eb` of Table 1); returns one notification per
-    /// event.
+    /// event. Routed through [`MatchEngine::match_batch_into`], so a sharded
+    /// engine pipelines the whole batch through its worker pool in one
+    /// fan-out.
     pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Notification> {
-        events
-            .iter()
-            .map(|e| Notification {
+        let mut matched = Vec::new();
+        self.engine.match_batch_into(events, &mut matched);
+        matched
+            .into_iter()
+            .map(|m| Notification {
                 event: None,
-                matched: self.publish(e),
+                matched: m,
             })
             .collect()
+    }
+
+    /// Publishes a batch into a caller-owned buffer of per-event result
+    /// vectors (zero-allocation steady state; inner vectors are reused).
+    pub fn publish_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        self.engine.match_batch_into(events, out);
     }
 
     /// Number of stored valid events.
@@ -278,6 +338,12 @@ impl Broker {
     /// The engine's name.
     pub fn engine_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// Per-shard subscription counts when the engine is sharded, else
+    /// `None`.
+    pub fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
+        self.engine.shard_subscription_counts()
     }
 
     /// Convenience: builds an event from `(attr, value)` pairs.

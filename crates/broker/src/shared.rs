@@ -1,56 +1,233 @@
-//! A thread-safe broker handle.
+//! A thread-safe, shard-locked broker handle.
 //!
-//! The matching engines are single-writer structures (the paper's system is
-//! one process draining batches). `SharedBroker` wraps a [`Broker`] in a
-//! `parking_lot::Mutex` so multiple producer threads can publish and
-//! subscribe concurrently. Every operation needs exclusive access anyway —
-//! even matching mutates per-event workhorse buffers and statistics — so a
-//! mutex, not an `RwLock`, is the honest primitive.
+//! The matching engines are single-writer structures, so concurrency comes
+//! from partitioning: `SharedBroker` splits the subscription set across `N`
+//! shards, each a complete [`Broker`] behind its own `parking_lot::Mutex`.
+//! Ids are striped (`shard = id mod N` via [`Broker::with_id_lane`]), so
+//! `subscribe`/`unsubscribe` lock only the owning shard and run fully in
+//! parallel across shards. A publish visits the shards one at a time —
+//! never holding more than one lock — and merges the partial match sets
+//! sorted by [`SubscriptionId`], so concurrent publishers pipeline through
+//! the shard array instead of serialising on a global mutex.
+//!
+//! Clock advancement is the one whole-broker operation: it acquires every
+//! shard lock in ascending index order (the only multi-lock path, hence
+//! deadlock-free) and advances all shards atomically with respect to
+//! publishes and subscribes.
+//!
+//! Consequences of shard-local state, documented rather than hidden:
+//!
+//! * A publish is not an atomic snapshot: it may see a subscription added
+//!   to a later shard mid-flight. Per-shard the broker is linearizable,
+//!   which is exactly the guarantee a distributed event broker gives.
+//! * Each shard's engine keeps shard-local optimizer statistics (the
+//!   dynamic algorithm clusters each partition independently).
+//! * Attribute/string interning lives in one shared [`Vocabulary`] so ids
+//!   mean the same thing on every shard.
+//!
+//! This handle is the broker-level twin of the engine-level
+//! [`pubsub_core::ShardedMatcher`]: use `ShardedMatcher` to parallelise one
+//! broker's matching; use `SharedBroker` when many threads drive the broker.
 
 use crate::broker::Broker;
-use crate::time::Validity;
+use crate::time::{LogicalTime, Validity};
 use parking_lot::Mutex;
-use pubsub_types::{Event, Subscription, SubscriptionId};
+use pubsub_core::EngineKind;
+use pubsub_types::{AttrId, Event, Subscription, SubscriptionId, Value, Vocabulary};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// A cloneable, thread-safe handle to a broker.
-#[derive(Clone, Debug)]
+struct Inner {
+    shards: Vec<Mutex<Broker>>,
+    vocab: Mutex<Vocabulary>,
+    /// Round-robin cursor distributing new subscriptions over shards.
+    next_shard: AtomicUsize,
+    /// Recycled per-shard scratch for [`SharedBroker::publish_batch_into`].
+    batch_scratch: Mutex<Vec<Vec<Vec<SubscriptionId>>>>,
+}
+
+/// A cloneable, thread-safe broker handle with per-shard locking.
+#[derive(Clone)]
 pub struct SharedBroker {
-    inner: Arc<Mutex<Broker>>,
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SharedBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBroker")
+            .field("shards", &self.shard_count())
+            .field("subscriptions", &self.subscription_count())
+            .finish()
+    }
 }
 
 impl SharedBroker {
-    /// Wraps a broker.
-    pub fn new(broker: Broker) -> Self {
+    /// Creates a broker partitioned over `shards` independent engines of the
+    /// given kind (clamped to at least 1). Shard brokers run without an
+    /// event store: this handle is the fire-and-forget publish surface.
+    pub fn new(kind: EngineKind, shards: usize) -> Self {
+        let n = shards.max(1);
+        let shards = (0..n)
+            .map(|i| {
+                Mutex::new(
+                    Broker::new(kind)
+                        .with_id_lane(i as u32, n as u32)
+                        .without_event_store(),
+                )
+            })
+            .collect();
         Self {
-            inner: Arc::new(Mutex::new(broker)),
+            inner: Arc::new(Inner {
+                shards,
+                vocab: Mutex::new(Vocabulary::new()),
+                next_shard: AtomicUsize::new(0),
+                batch_scratch: Mutex::new(Vec::new()),
+            }),
         }
     }
 
-    /// Registers a subscription.
+    /// Creates a broker with one shard per available hardware thread.
+    pub fn with_default_shards(kind: EngineKind) -> Self {
+        Self::new(kind, pubsub_core::default_shards())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard owning `id` (ids are striped across shards).
+    fn shard_of(&self, id: SubscriptionId) -> usize {
+        id.0 as usize % self.inner.shards.len()
+    }
+
+    // ---- vocabulary (shared across shards) -------------------------------
+
+    /// Interns an attribute name in the shared vocabulary.
+    pub fn attr(&self, name: &str) -> AttrId {
+        self.inner.vocab.lock().attr(name)
+    }
+
+    /// Interns a string value in the shared vocabulary.
+    pub fn string(&self, s: &str) -> Value {
+        self.inner.vocab.lock().string(s)
+    }
+
+    // ---- subscriptions (lock one shard) ----------------------------------
+
+    /// Registers a subscription, locking only the shard that receives it
+    /// (round-robin assignment keeps shards balanced).
     pub fn subscribe(&self, sub: Subscription, validity: Validity) -> SubscriptionId {
-        self.inner.lock().subscribe(sub, validity)
+        let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.shard_count();
+        self.inner.shards[shard].lock().subscribe(sub, validity)
     }
 
-    /// Removes a subscription.
+    /// Removes a subscription, locking only its owning shard.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        self.inner.lock().unsubscribe(id)
+        self.inner.shards[self.shard_of(id)].lock().unsubscribe(id)
     }
 
-    /// Publishes an event, returning the matched subscriptions.
-    pub fn publish(&self, event: &Event) -> Vec<SubscriptionId> {
-        self.inner.lock().publish(event)
-    }
-
-    /// Number of live subscriptions.
+    /// Number of live subscriptions across all shards.
     pub fn subscription_count(&self) -> usize {
-        self.inner.lock().subscription_count()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().subscription_count())
+            .sum()
     }
 
-    /// Runs `f` with exclusive access to the broker (interning, clock
-    /// control, statistics).
-    pub fn with<R>(&self, f: impl FnOnce(&mut Broker) -> R) -> R {
-        f(&mut self.inner.lock())
+    /// Live subscriptions per shard.
+    pub fn shard_subscription_counts(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().subscription_count())
+            .collect()
+    }
+
+    // ---- events (lock one shard at a time) -------------------------------
+
+    /// Publishes an event, returning the matched subscriptions sorted by id.
+    pub fn publish(&self, event: &Event) -> Vec<SubscriptionId> {
+        let mut out = Vec::new();
+        self.publish_into(event, &mut out);
+        out
+    }
+
+    /// Publishes an event, appending the matched ids to `out` (sorted by id
+    /// within this publish). Locks one shard at a time and allocates nothing
+    /// beyond what `out` needs.
+    pub fn publish_into(&self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        let start = out.len();
+        for shard in &self.inner.shards {
+            shard.lock().publish_into(event, out);
+        }
+        out[start..].sort_unstable();
+    }
+
+    /// Publishes a batch, returning one sorted match set per event. Each
+    /// shard is visited once for the whole batch, amortising locking over
+    /// `events.len()` events.
+    pub fn publish_batch(&self, events: &[Event]) -> Vec<Vec<SubscriptionId>> {
+        let mut out = Vec::new();
+        self.publish_batch_into(events, &mut out);
+        out
+    }
+
+    /// Batched publish into a caller-owned buffer (one inner vector per
+    /// event, reused across calls). Per-shard scratch buffers are recycled
+    /// through an internal pool, so the steady state allocates nothing.
+    pub fn publish_batch_into(&self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        for dst in out.iter_mut() {
+            dst.clear();
+        }
+        if events.is_empty() {
+            return;
+        }
+        let mut scratch = self.inner.batch_scratch.lock().pop().unwrap_or_default();
+        for shard in &self.inner.shards {
+            shard.lock().publish_batch_into(events, &mut scratch);
+            for (dst, src) in out.iter_mut().zip(&scratch) {
+                dst.extend_from_slice(src);
+            }
+        }
+        for dst in out.iter_mut() {
+            dst.sort_unstable();
+        }
+        self.inner.batch_scratch.lock().push(scratch);
+    }
+
+    // ---- clock (lock all shards in fixed order) --------------------------
+
+    /// Current logical time (all shards tick together).
+    pub fn now(&self) -> LogicalTime {
+        self.inner.shards[0].lock().now()
+    }
+
+    /// Advances every shard's clock to `t`, expiring subscriptions whose
+    /// validity ended. Acquires all shard locks in ascending index order —
+    /// the only multi-lock operation, so lock ordering is total and
+    /// deadlock-free. Returns the number of expired subscriptions.
+    pub fn advance_to(&self, t: LogicalTime) -> usize {
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        guards.iter_mut().map(|b| b.advance_to(t).0).sum()
+    }
+
+    /// Advances the clock by one tick. Returns expired subscriptions.
+    pub fn tick(&self) -> usize {
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let t = guards[0].now().plus(1);
+        guards.iter_mut().map(|b| b.advance_to(t).0).sum()
+    }
+
+    // ---- escape hatch ----------------------------------------------------
+
+    /// Runs `f` with exclusive access to one shard broker (statistics,
+    /// engine introspection). Prefer the typed methods for normal use.
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut Broker) -> R) -> R {
+        f(&mut self.inner.shards[shard].lock())
     }
 }
 
@@ -61,8 +238,8 @@ mod tests {
 
     #[test]
     fn concurrent_publishers_and_subscribers() {
-        let broker = SharedBroker::new(Broker::new(EngineKind::Dynamic));
-        let attr = broker.with(|b| b.attr("k"));
+        let broker = SharedBroker::new(EngineKind::Dynamic, 4);
+        let attr = broker.attr("k");
 
         let mut handles = Vec::new();
         for t in 0..4i64 {
@@ -88,11 +265,131 @@ mod tests {
 
     #[test]
     fn clone_shares_state() {
-        let broker = SharedBroker::new(Broker::new(EngineKind::Counting));
+        let broker = SharedBroker::new(EngineKind::Counting, 2);
         let b2 = broker.clone();
-        let attr = broker.with(|b| b.attr("x"));
+        let attr = broker.attr("x");
         let sub = Subscription::builder().eq(attr, 1i64).build().unwrap();
         b2.subscribe(sub, Validity::forever());
         assert_eq!(broker.subscription_count(), 1);
+    }
+
+    #[test]
+    fn ids_stripe_across_shards() {
+        let broker = SharedBroker::new(EngineKind::Counting, 3);
+        let attr = broker.attr("a");
+        let mut ids = Vec::new();
+        for i in 0..9i64 {
+            let sub = Subscription::builder().eq(attr, i).build().unwrap();
+            ids.push(broker.subscribe(sub, Validity::forever()));
+        }
+        let counts = broker.shard_subscription_counts();
+        assert_eq!(counts, vec![3, 3, 3], "round-robin keeps shards balanced");
+        for id in &ids {
+            assert!(broker.unsubscribe(*id));
+        }
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn publish_batch_matches_individual_publishes() {
+        let broker = SharedBroker::new(EngineKind::Dynamic, 3);
+        let attr = broker.attr("v");
+        for i in 0..30i64 {
+            let sub = Subscription::builder().eq(attr, i % 5).build().unwrap();
+            broker.subscribe(sub, Validity::forever());
+        }
+        let events: Vec<Event> = (0..10i64)
+            .map(|i| Event::builder().pair(attr, i % 5).build().unwrap())
+            .collect();
+        let batched = broker.publish_batch(&events);
+        for (event, batch_result) in events.iter().zip(&batched) {
+            assert_eq!(&broker.publish(event), batch_result);
+        }
+    }
+
+    #[test]
+    fn expiry_ticks_all_shards() {
+        let broker = SharedBroker::new(EngineKind::Counting, 4);
+        let attr = broker.attr("e");
+        for i in 0..8i64 {
+            let sub = Subscription::builder().eq(attr, i).build().unwrap();
+            broker.subscribe(sub, Validity::until(LogicalTime(5)));
+        }
+        assert_eq!(broker.subscription_count(), 8);
+        let expired = broker.advance_to(LogicalTime(5));
+        assert_eq!(expired, 8);
+        assert_eq!(broker.subscription_count(), 0);
+        assert_eq!(broker.now(), LogicalTime(5));
+    }
+
+    /// The ISSUE's stress shape: concurrent subscribers, publishers and a
+    /// ticker; must not deadlock and counts must stay consistent.
+    #[test]
+    fn stress_subscribe_publish_tick() {
+        let broker = SharedBroker::new(EngineKind::Dynamic, 4);
+        let attr = broker.attr("s");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        // Subscriber threads: half forever, half expiring.
+        for t in 0..3i64 {
+            let broker = broker.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut kept = 0usize;
+                for i in 0..200i64 {
+                    let sub = Subscription::builder().eq(attr, i % 7).build().unwrap();
+                    if i % 2 == 0 {
+                        broker.subscribe(sub, Validity::forever());
+                        kept += 1;
+                    } else {
+                        let id = broker.subscribe(sub, Validity::forever());
+                        assert!(broker.unsubscribe(id));
+                    }
+                    let _ = t;
+                }
+                kept
+            }));
+        }
+        // Publisher threads.
+        let mut publishers = Vec::new();
+        for _ in 0..2 {
+            let broker = broker.clone();
+            let stop = stop.clone();
+            publishers.push(std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut events = Vec::new();
+                for i in 0..4i64 {
+                    events.push(Event::builder().pair(attr, i % 7).build().unwrap());
+                }
+                let mut batches = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    out.clear();
+                    broker.publish_into(&events[0], &mut out);
+                    assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+                    broker.publish_batch_into(&events, &mut batches);
+                }
+            }));
+        }
+        // Ticker thread: a fixed tick count so progress is deterministic.
+        let ticker = {
+            let broker = broker.clone();
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    broker.tick();
+                }
+                broker.now()
+            })
+        };
+
+        let kept: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(true, Ordering::Relaxed);
+        for p in publishers {
+            p.join().unwrap();
+        }
+        let end = ticker.join().unwrap();
+        assert_eq!(end, LogicalTime(100), "every tick advanced every shard");
+        assert_eq!(broker.subscription_count(), kept);
+        let counts = broker.shard_subscription_counts();
+        assert_eq!(counts.iter().sum::<usize>(), kept);
     }
 }

@@ -15,9 +15,11 @@
 //! quit
 //! ```
 //!
-//! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine]` where
-//! `engine` is one of `counting`, `propagation`, `propagation-wp`, `static`,
-//! `dynamic` (default).
+//! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine] [--shards N]`
+//! where `engine` is one of `counting`, `propagation`, `propagation-wp`,
+//! `static`, `dynamic` (default). `--shards N` partitions the subscription
+//! set across `N` parallel shard engines; `stats` then also reports
+//! per-shard subscription counts.
 
 use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, Validity};
 use pubsub_core::EngineKind;
@@ -30,9 +32,16 @@ struct Cli {
 }
 
 impl Cli {
-    fn new(kind: EngineKind) -> Self {
+    /// `shards == 0` runs the engine unsharded; `shards >= 1` runs it behind
+    /// a sharded worker pool.
+    fn with_shards(kind: EngineKind, shards: usize) -> Self {
+        let broker = if shards == 0 {
+            Broker::new(kind)
+        } else {
+            Broker::new_sharded(kind, shards)
+        };
         Self {
-            broker: Broker::new(kind),
+            broker,
             dnf: DnfRegistry::new(),
         }
     }
@@ -137,7 +146,7 @@ impl Cli {
 
     fn cmd_stats(&mut self) -> Result<String, String> {
         let s = self.broker.engine_stats();
-        Ok(format!(
+        let mut out = format!(
             "engine {}  subscriptions {}  stored-events {}  events {}  checks/event {:.1}  matches {}",
             self.broker.engine_name(),
             self.broker.subscription_count(),
@@ -145,7 +154,14 @@ impl Cli {
             s.events,
             s.checks_per_event(),
             s.matches,
-        ))
+        );
+        if let Some(counts) = self.broker.shard_subscription_counts() {
+            out.push_str(&format!(
+                "\nshards {}  per-shard subscriptions {counts:?}",
+                counts.len()
+            ));
+        }
+        Ok(out)
     }
 }
 
@@ -161,17 +177,35 @@ commands:
   quit           exit";
 
 fn main() {
-    let kind: EngineKind = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().unwrap_or_else(|e| panic!("{e}")))
-        .unwrap_or(EngineKind::Dynamic);
-    let mut cli = Cli::new(kind);
+    let mut kind = EngineKind::Dynamic;
+    let mut shards = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("integer shard count");
+            }
+            other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
+        }
+    }
+    let mut cli = Cli::with_shards(kind, shards);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = std::env::var_os("PUBSUB_NO_PROMPT").is_none();
 
     if interactive {
-        println!("fastpubsub broker ({}). Type `help`.", kind.label());
+        if shards == 0 {
+            println!("fastpubsub broker ({}). Type `help`.", kind.label());
+        } else {
+            println!(
+                "fastpubsub broker ({} x {shards} shards). Type `help`.",
+                kind.label()
+            );
+        }
     }
     loop {
         if interactive {
@@ -204,7 +238,7 @@ mod tests {
 
     #[test]
     fn subscribe_publish_flow() {
-        let mut cli = Cli::new(EngineKind::Dynamic);
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 0);
         let r = run(&mut cli, "sub movie = 'up' AND price <= 10");
         assert_eq!(r, "subscribed s0");
         let r = run(&mut cli, "pub {movie: 'up', price: 8}");
@@ -219,7 +253,7 @@ mod tests {
 
     #[test]
     fn dnf_flow() {
-        let mut cli = Cli::new(EngineKind::Dynamic);
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 0);
         let r = run(&mut cli, "sub from = 'NYC' OR from = 'EWR'");
         assert_eq!(r, "subscribed d0 (2 disjuncts)");
         let r = run(&mut cli, "pub {from: 'EWR'}");
@@ -232,7 +266,7 @@ mod tests {
 
     #[test]
     fn errors_are_reported_not_fatal() {
-        let mut cli = Cli::new(EngineKind::Counting);
+        let mut cli = Cli::with_shards(EngineKind::Counting, 0);
         assert!(run(&mut cli, "sub price <").starts_with("error:"));
         assert!(run(&mut cli, "pub {broken").starts_with("error:"));
         assert!(run(&mut cli, "unsub s99").starts_with("error:"));
@@ -243,7 +277,7 @@ mod tests {
 
     #[test]
     fn tick_and_stats() {
-        let mut cli = Cli::new(EngineKind::Dynamic);
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 0);
         run(&mut cli, "sub a = 1");
         run(&mut cli, "pub {a: 1}");
         let r = run(&mut cli, "tick 3");
@@ -254,8 +288,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_stats_report_per_shard_counts() {
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 3);
+        for i in 0..9 {
+            run(&mut cli, &format!("sub a = {i}"));
+        }
+        run(&mut cli, "pub {a: 4}");
+        let r = run(&mut cli, "stats");
+        assert!(r.contains("engine sharded"), "{r}");
+        assert!(r.contains("subscriptions 9"), "{r}");
+        assert!(r.contains("shards 3"), "{r}");
+        assert!(r.contains("per-shard subscriptions ["), "{r}");
+        assert!(r.contains("matches 1"), "{r}");
+    }
+
+    #[test]
     fn comments_and_blank_lines_ignored() {
-        let mut cli = Cli::new(EngineKind::Dynamic);
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 0);
         assert_eq!(run(&mut cli, "# a comment"), "");
         assert_eq!(run(&mut cli, "   "), "");
         assert!(cli.execute("quit").is_none());

@@ -60,8 +60,31 @@ pub trait MatchEngine {
     fn remove(&mut self, id: SubscriptionId);
 
     /// Appends the ids of all subscriptions satisfied by `event` to `out`
-    /// (in engine-specific order; no duplicates).
+    /// (no duplicates).
+    ///
+    /// # Ordering
+    /// Single-threaded engines append in an engine-specific (but
+    /// deterministic) order. [`crate::sharded::ShardedMatcher`] is the
+    /// exception with a stronger contract: it sorts the merged result by
+    /// [`SubscriptionId`] at the merge point, so its output is identical for
+    /// every shard count. Callers that need a canonical order across engine
+    /// kinds must sort; callers using the sharded engine get it for free.
     fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>);
+
+    /// Matches a batch of events, filling `out` with one result vector per
+    /// event (parallel to `events`; existing inner vectors are reused).
+    ///
+    /// The default implementation loops over [`MatchEngine::match_event`];
+    /// engines with cross-event amortisation opportunities (e.g. the sharded
+    /// engine's fan-out/wakeup cost) override it.
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        for (event, dst) in events.iter().zip(out.iter_mut()) {
+            dst.clear();
+            self.match_event(event, dst);
+        }
+    }
 
     /// Number of registered subscriptions.
     fn len(&self) -> usize;
@@ -83,6 +106,12 @@ pub trait MatchEngine {
 
     /// Approximate heap bytes held by the engine's data structures.
     fn heap_bytes(&self) -> usize;
+
+    /// Per-shard subscription counts, for engines that partition their
+    /// subscription set. `None` for unsharded engines.
+    fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
@@ -98,6 +127,9 @@ impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
     fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
         (**self).match_event(event, out)
     }
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        (**self).match_batch_into(events, out)
+    }
     fn len(&self) -> usize {
         (**self).len()
     }
@@ -112,6 +144,9 @@ impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
     }
     fn heap_bytes(&self) -> usize {
         (**self).heap_bytes()
+    }
+    fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
+        (**self).shard_subscription_counts()
     }
 }
 

@@ -12,6 +12,9 @@
 //!   the cost-based greedy optimizer (static, §3) or maintained online
 //!   (dynamic, §4).
 //! * [`brute::BruteForceMatcher`] — the linear-scan oracle used in tests.
+//! * [`sharded::ShardedMatcher`] — a parallel layer partitioning the
+//!   subscription set across `N` worker threads, each running a complete
+//!   engine of any of the kinds above.
 //!
 //! All implement [`MatchEngine`]; [`EngineKind`] builds them by name.
 
@@ -25,6 +28,7 @@ pub mod counting;
 pub mod engine;
 pub mod prefetch;
 pub mod propagation;
+pub mod sharded;
 pub mod tables;
 
 pub use brute::BruteForceMatcher;
@@ -33,4 +37,5 @@ pub use clustered::{ClusteredMatcher, DynamicConfig};
 pub use counting::CountingMatcher;
 pub use engine::{EngineKind, EngineStats, MatchEngine};
 pub use propagation::PropagationMatcher;
+pub use sharded::{default_shards, ShardedMatcher};
 pub use tables::MultiAttrTable;

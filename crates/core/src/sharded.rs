@@ -1,0 +1,643 @@
+//! Subscription-sharded parallel matching.
+//!
+//! [`ShardedMatcher`] partitions the subscription set across `N` shards by a
+//! hash of the [`SubscriptionId`]; each shard owns a complete, independent
+//! engine of any [`EngineKind`] and runs on its own persistent worker thread.
+//! An event matches the sharded engine iff it matches some shard, because the
+//! shards partition the subscriptions and every paper engine is exact on the
+//! subscriptions it holds — so correctness carries over shard-locally, and
+//! the dynamic optimizer's statistics simply become shard-local statistics.
+//!
+//! # Execution model
+//!
+//! Each shard has a private FIFO request channel; replies funnel into one
+//! shared reply channel. Mutating operations that need no result
+//! (`insert`/`remove`) are fire-and-forget, so bulk loading proceeds in
+//! parallel across shards. `match_event` fans the event out to every shard
+//! and blocks until all `N` partial results arrive, then merges them sorted
+//! by [`SubscriptionId`]. Because the caller blocks for the full fan-in, the
+//! event is passed to workers by raw pointer — no per-event clone.
+//!
+//! [`MatchEngine::match_batch_into`] ships a whole batch to each shard in a
+//! single request, amortising the channel round-trip and thread wakeup over
+//! the batch. Result buffers are recycled through an internal pool, so the
+//! steady state allocates nothing.
+//!
+//! # Panic handling
+//!
+//! A worker whose engine panics (e.g. `remove` of an unknown id) enters a
+//! poisoned state: it answers every subsequent result-bearing request with
+//! the captured panic message, which the matcher re-raises on the calling
+//! thread — but only after every other in-flight shard reply has been
+//! collected, so no worker can still be reading a borrowed event when the
+//! caller unwinds. Panics from fire-and-forget operations therefore surface
+//! at the next synchronous operation rather than immediately.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+use pubsub_types::{Event, Subscription, SubscriptionId};
+
+use crate::engine::{EngineKind, EngineStats, MatchEngine};
+
+// The raw-pointer fan-out below shares `&Event` across threads.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Event>();
+};
+
+/// A borrowed `&[Event]` made sendable for the blocking fan-out/join
+/// protocol.
+///
+/// # Safety
+/// Only constructed inside `match_event`/`match_batch_into`, which do not
+/// return (or unwind) before every worker holding a copy has sent its reply,
+/// and workers drop the reference before replying. The pointee is therefore
+/// live for every dereference.
+#[derive(Clone, Copy)]
+struct EventsRef {
+    ptr: *const Event,
+    len: usize,
+}
+
+unsafe impl Send for EventsRef {}
+
+impl EventsRef {
+    fn new(events: &[Event]) -> Self {
+        Self {
+            ptr: events.as_ptr(),
+            len: events.len(),
+        }
+    }
+
+    /// # Safety
+    /// Caller must be inside the fan-out/join window described on the type.
+    unsafe fn slice<'a>(&self) -> &'a [Event] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+}
+
+/// Reusable per-shard result of a batched match: matches for event `i` live
+/// at `flat[offsets[i - 1]..offsets[i]]` (with an implicit leading 0).
+#[derive(Default)]
+struct BatchBuf {
+    flat: Vec<SubscriptionId>,
+    offsets: Vec<usize>,
+}
+
+enum Request {
+    Insert(SubscriptionId, Subscription),
+    Remove(SubscriptionId),
+    Match(EventsRef, Vec<SubscriptionId>),
+    MatchBatch(EventsRef, BatchBuf),
+    Finalize,
+    ResetStats,
+    HeapBytes,
+}
+
+impl Request {
+    /// Whether the matcher blocks on a reply for this request.
+    fn wants_reply(&self) -> bool {
+        !matches!(self, Request::Insert(..) | Request::Remove(..))
+    }
+}
+
+enum Response {
+    Match {
+        shard: usize,
+        out: Vec<SubscriptionId>,
+        stats: EngineStats,
+    },
+    Batch {
+        shard: usize,
+        buf: BatchBuf,
+        stats: EngineStats,
+    },
+    Ack {
+        shard: usize,
+        stats: EngineStats,
+    },
+    HeapBytes {
+        bytes: usize,
+    },
+    Panic {
+        shard: usize,
+        msg: String,
+    },
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+fn handle_request(
+    engine: &mut Box<dyn MatchEngine + Send>,
+    shard: usize,
+    req: Request,
+    reply: &Sender<Response>,
+) {
+    match req {
+        Request::Insert(id, sub) => engine.insert(id, &sub),
+        Request::Remove(id) => engine.remove(id),
+        Request::Match(events, mut out) => {
+            out.clear();
+            // SAFETY: the matcher blocks in its join loop until this reply.
+            let events = unsafe { events.slice() };
+            engine.match_event(&events[0], &mut out);
+            let stats = *engine.stats();
+            let _ = reply.send(Response::Match { shard, out, stats });
+        }
+        Request::MatchBatch(events, mut buf) => {
+            buf.flat.clear();
+            buf.offsets.clear();
+            // SAFETY: the matcher blocks in its join loop until this reply.
+            let events = unsafe { events.slice() };
+            for event in events {
+                // `match_event` appends, so `flat` accumulates across the
+                // batch and `offsets` records each event's end position.
+                engine.match_event(event, &mut buf.flat);
+                buf.offsets.push(buf.flat.len());
+            }
+            let stats = *engine.stats();
+            let _ = reply.send(Response::Batch { shard, buf, stats });
+        }
+        Request::Finalize => {
+            engine.finalize();
+            let stats = *engine.stats();
+            let _ = reply.send(Response::Ack { shard, stats });
+        }
+        Request::ResetStats => {
+            engine.reset_stats();
+            let stats = *engine.stats();
+            let _ = reply.send(Response::Ack { shard, stats });
+        }
+        Request::HeapBytes => {
+            let bytes = engine.heap_bytes();
+            let _ = reply.send(Response::HeapBytes { bytes });
+        }
+    }
+}
+
+fn run_worker(kind: EngineKind, shard: usize, rx: Receiver<Request>, reply: Sender<Response>) {
+    let mut engine = kind.build();
+    while let Ok(req) = rx.recv() {
+        let wants_reply = req.wants_reply();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&mut engine, shard, req, &reply)
+        }));
+        if let Err(payload) = outcome {
+            let msg = panic_message(payload);
+            if wants_reply {
+                let _ = reply.send(Response::Panic {
+                    shard,
+                    msg: msg.clone(),
+                });
+            }
+            // Poisoned: keep draining so the matcher's sends never fail and
+            // every result-bearing request still gets exactly one reply.
+            while let Ok(req) = rx.recv() {
+                if req.wants_reply() {
+                    let _ = reply.send(Response::Panic {
+                        shard,
+                        msg: msg.clone(),
+                    });
+                }
+            }
+            return;
+        }
+    }
+}
+
+struct ShardHandle {
+    tx: Option<Sender<Request>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A matching engine that partitions subscriptions across `N` independent
+/// shard engines running on persistent worker threads.
+///
+/// See the [module docs](crate::sharded) for the execution model. Unlike the
+/// single-threaded engines, `match_event` output is sorted by
+/// [`SubscriptionId`], so results are identical for every shard count.
+///
+/// `stats()` aggregates shard counters (`events` counts events once, not
+/// once per shard; phase timers sum CPU time across shards and so can exceed
+/// wall clock). Snapshots are refreshed at every synchronous operation
+/// (match, finalize, reset), so maintenance work done by fire-and-forget
+/// inserts appears once the next synchronous call completes.
+pub struct ShardedMatcher {
+    shards: Vec<ShardHandle>,
+    reply_rx: Receiver<Response>,
+    inner: EngineKind,
+    /// Locally tracked: total live subscriptions.
+    len: usize,
+    /// Locally tracked: live subscriptions per shard.
+    shard_lens: Vec<usize>,
+    /// Last stats snapshot received from each shard.
+    shard_stats: Vec<EngineStats>,
+    /// Events seen by the sharded engine itself (each shard also counts
+    /// every event; the aggregate must not multiply by `N`).
+    events_seen: u64,
+    /// Aggregate of `shard_stats`, kept current so `stats()` can borrow it.
+    agg: EngineStats,
+    /// Recycled single-event result buffers.
+    spare_bufs: Vec<Vec<SubscriptionId>>,
+    /// Recycled batched result buffers.
+    spare_batches: Vec<BatchBuf>,
+}
+
+impl ShardedMatcher {
+    /// Creates a sharded engine with `shards` workers, each owning a fresh
+    /// engine of kind `inner`. `shards` is clamped to at least 1.
+    pub fn new(inner: EngineKind, shards: usize) -> Self {
+        let n = shards.max(1);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let shards = (0..n)
+            .map(|i| {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let reply = reply_tx.clone();
+                let join = std::thread::Builder::new()
+                    .name(format!("shard-{i}"))
+                    .spawn(move || run_worker(inner, i, rx, reply))
+                    .expect("spawn shard worker");
+                ShardHandle {
+                    tx: Some(tx),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            reply_rx,
+            inner,
+            len: 0,
+            shard_lens: vec![0; n],
+            shard_stats: vec![EngineStats::default(); n],
+            events_seen: 0,
+            agg: EngineStats::default(),
+            spare_bufs: Vec::new(),
+            spare_batches: Vec::new(),
+        }
+    }
+
+    /// Creates a sharded engine with one shard per available hardware
+    /// thread.
+    pub fn with_default_shards(inner: EngineKind) -> Self {
+        Self::new(inner, default_shards())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine kind each shard runs.
+    pub fn inner_kind(&self) -> EngineKind {
+        self.inner
+    }
+
+    /// Which shard owns `id` (SplitMix64 finalizer over the raw id).
+    fn shard_of(&self, id: SubscriptionId) -> usize {
+        let mut z = (id.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
+    }
+
+    /// Sends to one shard. Workers never exit while the matcher is alive
+    /// (poisoned workers keep draining), so a send failure is a bug.
+    fn send(&self, shard: usize, req: Request) {
+        self.shards[shard]
+            .tx
+            .as_ref()
+            .expect("shard channel present until drop")
+            .send(req)
+            .expect("shard worker alive until drop");
+    }
+
+    /// Receives one reply; `Panic` replies are stashed into `panic_msg`
+    /// instead of unwinding so callers can finish their join loop first.
+    fn recv(&self, panic_msg: &mut Option<String>) -> Option<Response> {
+        match self.reply_rx.recv().expect("shard worker alive until drop") {
+            Response::Panic { shard, msg } => {
+                panic_msg.get_or_insert(format!("shard {shard} worker panicked: {msg}"));
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Recomputes the aggregate stats from the per-shard snapshots.
+    fn refresh_aggregate(&mut self) {
+        let mut agg = EngineStats::default();
+        for s in &self.shard_stats {
+            agg.phase1_nanos += s.phase1_nanos;
+            agg.phase2_nanos += s.phase2_nanos;
+            agg.subscriptions_checked += s.subscriptions_checked;
+            agg.matches += s.matches;
+            agg.tables_created += s.tables_created;
+            agg.tables_deleted += s.tables_deleted;
+            agg.subscription_moves += s.subscription_moves;
+        }
+        agg.events = self.events_seen;
+        self.agg = agg;
+    }
+
+    /// Fans a result-bearing request to every shard via `make`, then joins
+    /// all replies through `on_reply`, re-raising any worker panic only
+    /// after the fan-in completes.
+    fn broadcast(
+        &mut self,
+        make: impl Fn(&mut Self) -> Request,
+        mut on_reply: impl FnMut(&mut Self, Response),
+    ) {
+        for shard in 0..self.shards.len() {
+            let req = make(self);
+            debug_assert!(req.wants_reply());
+            self.send(shard, req);
+        }
+        let mut panic_msg = None;
+        for _ in 0..self.shards.len() {
+            if let Some(resp) = self.recv(&mut panic_msg) {
+                on_reply(self, resp);
+            }
+        }
+        if let Some(msg) = panic_msg {
+            panic!("{msg}");
+        }
+    }
+}
+
+impl MatchEngine for ShardedMatcher {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn insert(&mut self, id: SubscriptionId, sub: &Subscription) {
+        let shard = self.shard_of(id);
+        self.send(shard, Request::Insert(id, sub.clone()));
+        self.shard_lens[shard] += 1;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, id: SubscriptionId) {
+        let shard = self.shard_of(id);
+        self.send(shard, Request::Remove(id));
+        self.shard_lens[shard] = self.shard_lens[shard].saturating_sub(1);
+        self.len = self.len.saturating_sub(1);
+    }
+
+    fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        self.events_seen += 1;
+        let events = EventsRef::new(std::slice::from_ref(event));
+        let merge_start = out.len();
+        self.broadcast(
+            |this| {
+                let buf = this.spare_bufs.pop().unwrap_or_default();
+                Request::Match(events, buf)
+            },
+            |this, resp| match resp {
+                Response::Match {
+                    shard,
+                    out: part,
+                    stats,
+                } => {
+                    out.extend_from_slice(&part);
+                    this.shard_stats[shard] = stats;
+                    this.spare_bufs.push(part);
+                }
+                _ => unreachable!("match fan-out only yields match replies"),
+            },
+        );
+        // Deterministic merge: shards are disjoint, so sorting the
+        // concatenation yields a duplicate-free, shard-count-independent
+        // result.
+        out[merge_start..].sort_unstable();
+        self.refresh_aggregate();
+    }
+
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        for dst in out.iter_mut() {
+            dst.clear();
+        }
+        if events.is_empty() {
+            return;
+        }
+        self.events_seen += events.len() as u64;
+        let events_ref = EventsRef::new(events);
+        self.broadcast(
+            |this| {
+                let buf = this.spare_batches.pop().unwrap_or_default();
+                Request::MatchBatch(events_ref, buf)
+            },
+            |this, resp| match resp {
+                Response::Batch { shard, buf, stats } => {
+                    let mut start = 0;
+                    for (dst, &end) in out.iter_mut().zip(&buf.offsets) {
+                        dst.extend_from_slice(&buf.flat[start..end]);
+                        start = end;
+                    }
+                    this.shard_stats[shard] = stats;
+                    this.spare_batches.push(buf);
+                }
+                _ => unreachable!("batch fan-out only yields batch replies"),
+            },
+        );
+        for dst in out.iter_mut() {
+            dst.sort_unstable();
+        }
+        self.refresh_aggregate();
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn finalize(&mut self) {
+        self.broadcast(
+            |_| Request::Finalize,
+            |this, resp| match resp {
+                Response::Ack { shard, stats } => this.shard_stats[shard] = stats,
+                _ => unreachable!("finalize fan-out only yields acks"),
+            },
+        );
+        self.refresh_aggregate();
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.agg
+    }
+
+    fn reset_stats(&mut self) {
+        self.broadcast(
+            |_| Request::ResetStats,
+            |this, resp| match resp {
+                Response::Ack { shard, stats } => this.shard_stats[shard] = stats,
+                _ => unreachable!("reset fan-out only yields acks"),
+            },
+        );
+        self.events_seen = 0;
+        self.refresh_aggregate();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let mut total = 0;
+        let mut panic_msg = None;
+        for shard in 0..self.shards.len() {
+            self.send(shard, Request::HeapBytes);
+        }
+        for _ in 0..self.shards.len() {
+            if let Some(Response::HeapBytes { bytes }) = self.recv(&mut panic_msg) {
+                total += bytes;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            panic!("{msg}");
+        }
+        total
+    }
+
+    fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
+        Some(self.shard_lens.clone())
+    }
+}
+
+impl Drop for ShardedMatcher {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx = None; // closing the channel stops the worker loop
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// Default shard count: one per available hardware thread.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::{AttrId, EventBuilder, SubscriptionBuilder};
+
+    fn eq_sub(attr: u32, val: i64) -> Subscription {
+        SubscriptionBuilder::default()
+            .eq(AttrId(attr), val)
+            .build()
+            .unwrap()
+    }
+
+    fn event(pairs: &[(u32, i64)]) -> Event {
+        let mut b = EventBuilder::default();
+        for &(attr, val) in pairs {
+            b = b.pair(AttrId(attr), val);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_across_shards_sorted() {
+        let mut m = ShardedMatcher::new(EngineKind::Counting, 3);
+        for i in 0..64 {
+            m.insert(SubscriptionId(i), &eq_sub(0, (i % 2) as i64));
+        }
+        m.finalize();
+        let mut out = Vec::new();
+        m.match_event(&event(&[(0, 0)]), &mut out);
+        let want: Vec<SubscriptionId> = (0..64).step_by(2).map(SubscriptionId).collect();
+        assert_eq!(out, want);
+        assert_eq!(m.len(), 64);
+        let counts = m.shard_subscription_counts().unwrap();
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        // 64 ids over 3 shards: the splitmix hash should not starve a shard.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn batch_agrees_with_single_events() {
+        let mut m = ShardedMatcher::new(EngineKind::Dynamic, 4);
+        for i in 0..40 {
+            m.insert(SubscriptionId(i), &eq_sub(i % 4, (i % 3) as i64));
+        }
+        m.finalize();
+        let events: Vec<Event> = (0..12).map(|i| event(&[(i % 4, i as i64 % 3)])).collect();
+        let mut batch = Vec::new();
+        m.match_batch_into(&events, &mut batch);
+        assert_eq!(batch.len(), events.len());
+        for (e, got) in events.iter().zip(&batch) {
+            let mut single = Vec::new();
+            m.match_event(e, &mut single);
+            assert_eq!(got, &single);
+        }
+    }
+
+    #[test]
+    fn remove_then_match() {
+        let mut m = ShardedMatcher::new(EngineKind::Propagation, 2);
+        for i in 0..10 {
+            m.insert(SubscriptionId(i), &eq_sub(0, 7));
+        }
+        for i in (0..10).step_by(2) {
+            m.remove(SubscriptionId(i));
+        }
+        let mut out = Vec::new();
+        m.match_event(&event(&[(0, 7)]), &mut out);
+        let want: Vec<SubscriptionId> = (1..10).step_by(2).map(SubscriptionId).collect();
+        assert_eq!(out, want);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn stats_count_events_once() {
+        let mut m = ShardedMatcher::new(EngineKind::Counting, 4);
+        m.insert(SubscriptionId(0), &eq_sub(0, 1));
+        for _ in 0..5 {
+            let mut out = Vec::new();
+            m.match_event(&event(&[(0, 1)]), &mut out);
+        }
+        assert_eq!(m.stats().events, 5);
+        assert_eq!(m.stats().matches, 5);
+        m.reset_stats();
+        assert_eq!(m.stats().events, 0);
+        assert_eq!(m.stats().matches, 0);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_on_next_synchronous_op() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut m = ShardedMatcher::new(EngineKind::Counting, 2);
+            m.remove(SubscriptionId(42)); // unknown id: worker panics later
+            let mut out = Vec::new();
+            m.match_event(&event(&[(0, 1)]), &mut out);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_shard_behaves() {
+        let mut m = ShardedMatcher::new(EngineKind::Static, 1);
+        m.insert(SubscriptionId(3), &eq_sub(1, 2));
+        m.finalize();
+        let mut out = Vec::new();
+        m.match_event(&event(&[(1, 2)]), &mut out);
+        assert_eq!(out, vec![SubscriptionId(3)]);
+        assert!(m.heap_bytes() > 0);
+    }
+}

@@ -9,7 +9,6 @@ use crate::hash::FxHashMap;
 /// small (the paper's workloads use `n_t = 32` attributes; we support any
 /// number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttrId(pub u32);
 
 impl AttrId {

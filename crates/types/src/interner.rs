@@ -10,7 +10,6 @@ use crate::hash::FxHashMap;
 
 /// A dense id for an interned string value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Symbol(pub u32);
 
 impl Symbol {

@@ -11,7 +11,6 @@ use std::cmp::Ordering;
 /// clustering, and the predicate phase evaluates them with a hash lookup
 /// instead of a range scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Operator {
     /// `<` — event value strictly less than the predicate constant.
     Lt,

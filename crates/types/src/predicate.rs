@@ -12,7 +12,6 @@ use crate::Vocabulary;
 /// predicate in the system occupies one entry of the predicate bit vector
 /// (paper §2.2), no matter how many subscriptions share it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Predicate {
     /// The attribute the predicate constrains.
     pub attr: AttrId,

@@ -15,7 +15,6 @@ use crate::Vocabulary;
 /// engines index per-subscription state (hit counters, cluster locations) by
 /// plain arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubscriptionId(pub u32);
 
 impl SubscriptionId {

@@ -14,7 +14,6 @@ use std::cmp::Ordering;
 /// simply not matched by an event pair `(price, "cheap")`. This is what
 /// [`Value::typed_cmp`] encodes by returning `None` across kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// A 64-bit signed integer.
     Int(i64),

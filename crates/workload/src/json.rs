@@ -1,0 +1,407 @@
+//! Hand-rolled JSON encoding/decoding for [`WorkloadSpec`].
+//!
+//! The workspace builds without registry access, so instead of `serde` the
+//! spec serializes through this module: a ~100-line recursive-descent JSON
+//! parser plus explicit encode/decode functions. The wire format is stable
+//! and human-editable — specs can be saved next to benchmark results and
+//! replayed later.
+
+use crate::spec::{EventSpec, FixedPredicateSpec, SubscriptionSpec, ValueDomain, WorkloadSpec};
+use pubsub_types::Operator;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the subset the spec format needs: no floats).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (the spec format has no fractional numbers).
+    Int(i64),
+    /// String
+    Str(String),
+    /// Array
+    Array(Vec<Json>),
+    /// Object (order-insensitive).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        usize::try_from(self.as_int()?).map_err(|e| e.to_string())
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Array(a) => Ok(a),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Object(m) => m.get(name).ok_or_else(|| format!("missing field {name:?}")),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+/// Parses one JSON document (trailing content is an error).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        c => return Err(format!("expected , or ] got {:?}", c as char)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    map.insert(key, self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Object(map));
+                        }
+                        c => return Err(format!("expected , or }} got {:?}", c as char)),
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let c = std::str::from_utf8(rest)
+                .map_err(|e| e.to_string())?
+                .chars()
+                .next()
+                .ok_or("unterminated string")?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.bytes.get(self.pos).copied().ok_or("bad escape")?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            char::from_u32(code).ok_or("surrogate \\u escape")?
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    });
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// Escapes and quotes a string for JSON output.
+fn quote(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn encode_domain(d: &ValueDomain, out: &mut String) {
+    let _ = write!(out, r#"{{"lo":{},"hi":{}}}"#, d.lo, d.hi);
+}
+
+fn decode_domain(j: &Json) -> Result<ValueDomain, String> {
+    Ok(ValueDomain::new(
+        j.field("lo")?.as_int()?,
+        j.field("hi")?.as_int()?,
+    ))
+}
+
+impl WorkloadSpec {
+    /// Serializes the spec as a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            r#"{{"n_t":{},"seed":{},"subs":{{"#,
+            self.n_t, self.seed
+        );
+        let s = &self.subs;
+        let _ = write!(
+            out,
+            r#""count":{},"batch":{},"free_count":{},"free_op":"#,
+            s.count, s.batch, s.free_count
+        );
+        quote(s.free_op.symbol(), &mut out);
+        out.push_str(",\"free_domain\":");
+        encode_domain(&s.free_domain, &mut out);
+        let _ = write!(
+            out,
+            r#","free_pool":[{},{}],"fixed":["#,
+            s.free_pool.0, s.free_pool.1
+        );
+        for (i, f) in s.fixed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#"{{"attr":{},"op":"#, f.attr);
+            quote(f.op.symbol(), &mut out);
+            out.push_str(",\"domain\":");
+            encode_domain(&f.domain, &mut out);
+            out.push('}');
+        }
+        out.push_str("]},\"events\":{");
+        let e = &self.events;
+        let _ = write!(out, r#""batch":{},"n_a":{},"domain":"#, e.batch, e.n_a);
+        encode_domain(&e.domain, &mut out);
+        out.push_str(",\"overrides\":[");
+        for (i, (attr, d)) in e.overrides.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, r#"{{"attr":{},"domain":"#, attr);
+            encode_domain(d, &mut out);
+            out.push('}');
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Parses a spec serialized by [`WorkloadSpec::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let j = parse(text)?;
+        let parse_op = |j: &Json| -> Result<Operator, String> {
+            let sym = j.as_str()?;
+            Operator::parse(sym).ok_or_else(|| format!("unknown operator {sym:?}"))
+        };
+        let s = j.field("subs")?;
+        let fixed = s
+            .field("fixed")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                Ok(FixedPredicateSpec {
+                    attr: f.field("attr")?.as_usize()?,
+                    op: parse_op(f.field("op")?)?,
+                    domain: decode_domain(f.field("domain")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let pool = s.field("free_pool")?.as_array()?;
+        if pool.len() != 2 {
+            return Err("free_pool must be a 2-element array".into());
+        }
+        let e = j.field("events")?;
+        let overrides = e
+            .field("overrides")?
+            .as_array()?
+            .iter()
+            .map(|o| {
+                Ok((
+                    o.field("attr")?.as_usize()?,
+                    decode_domain(o.field("domain")?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let spec = WorkloadSpec {
+            n_t: j.field("n_t")?.as_usize()?,
+            seed: j.field("seed")?.as_int()? as u64,
+            subs: SubscriptionSpec {
+                count: s.field("count")?.as_usize()?,
+                batch: s.field("batch")?.as_usize()?,
+                fixed,
+                free_count: s.field("free_count")?.as_usize()?,
+                free_op: parse_op(s.field("free_op")?)?,
+                free_domain: decode_domain(s.field("free_domain")?)?,
+                free_pool: (pool[0].as_usize()?, pool[1].as_usize()?),
+            },
+            events: EventSpec {
+                batch: e.field("batch")?.as_usize()?,
+                n_a: e.field("n_a")?.as_usize()?,
+                domain: decode_domain(e.field("domain")?)?,
+                overrides,
+            },
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(
+            parse(r#""a\"b\\c\ndA""#).unwrap(),
+            Json::Str("a\"b\\c\nd\u{41}".into())
+        );
+        let v = parse(r#"{"xs": [1, 2, {"y": []}]}"#).unwrap();
+        assert_eq!(v.field("xs").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn quoting_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f✓";
+        let mut out = String::new();
+        quote(nasty, &mut out);
+        assert_eq!(parse(&out).unwrap(), Json::Str(nasty.into()));
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(clippy::all)]
 
 pub mod gen;
+pub mod json;
 pub mod presets;
 pub mod spec;
 

@@ -7,10 +7,9 @@
 //! domain of individual predicates/attributes.
 
 use pubsub_types::Operator;
-use serde::{Deserialize, Serialize};
 
 /// An inclusive integer value domain `[lo, hi]` (`l_P`/`u_P`, `l_A`/`u_A`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ValueDomain {
     /// Lower bound (inclusive).
     pub lo: i64,
@@ -37,7 +36,7 @@ pub const DEFAULT_DOMAIN: ValueDomain = ValueDomain { lo: 1, hi: 35 };
 /// One *fixed* predicate: an attribute common to every subscription of the
 /// workload, with a fixed operator and its own value domain
 /// (`n_P_fix=`, `n_P_fix<`, `n_P_fix>` of Table 1).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FixedPredicateSpec {
     /// Index of the attribute in the universe.
     pub attr: usize,
@@ -48,7 +47,7 @@ pub struct FixedPredicateSpec {
 }
 
 /// Subscription-side parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SubscriptionSpec {
     /// `n_S` — total number of subscriptions the workload provides.
     pub count: usize,
@@ -77,7 +76,7 @@ impl SubscriptionSpec {
 }
 
 /// Event-side parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EventSpec {
     /// `n_Eb` — events submitted to the system at once.
     pub batch: usize,
@@ -104,7 +103,7 @@ impl EventSpec {
 }
 
 /// A full workload: universe + subscription and event shapes + RNG seed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// `n_t` — size of the attribute universe (attributes are `AttrId(0..n_t)`).
     pub n_t: usize,
@@ -223,12 +222,15 @@ mod tests {
     }
 
     #[test]
-    fn spec_round_trips_through_serde() {
-        let spec = presets::w2(5000);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.n_t, spec.n_t);
-        assert_eq!(back.subs.n_p(), spec.subs.n_p());
-        assert_eq!(back.seed, spec.seed);
+    fn spec_round_trips_through_json() {
+        for spec in [presets::w0(5000), presets::w2(5000), presets::w6(5000)] {
+            let json = spec.to_json();
+            let back = WorkloadSpec::from_json(&json).unwrap();
+            assert_eq!(back.n_t, spec.n_t);
+            assert_eq!(back.subs.n_p(), spec.subs.n_p());
+            assert_eq!(back.subs.free_pool, spec.subs.free_pool);
+            assert_eq!(back.events.overrides, spec.events.overrides);
+            assert_eq!(back.seed, spec.seed);
+        }
     }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, release build, full test suite.
+#
+# Usage: scripts/check.sh [--online]
+#
+# By default every cargo invocation runs with --offline: the workspace
+# resolves all external dependencies to the in-tree shims (shims/README.md),
+# so a network-less container builds from the committed Cargo.lock alone.
+# Pass --online to let cargo touch the network (e.g. after intentionally
+# updating the lockfile).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE="--offline"
+if [[ "${1:-}" == "--online" ]]; then
+    OFFLINE=""
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy ${OFFLINE} --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build ${OFFLINE} --release --workspace
+
+echo "==> cargo test"
+cargo test ${OFFLINE} --workspace
+
+echo "==> all checks passed"

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `proptest` to this self-contained property-testing harness. It implements
+//! the subset of the proptest 1.x API this workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: integer ranges, `&str` regex literals (a small regex
+//!   subset), tuples, [`prop_oneof!`], `prop::collection::{vec, btree_map,
+//!   hash_set}`, `prop::sample::{select, Index}`, [`any`], `prop_map`,
+//!   `prop_filter`, `Just`.
+//!
+//! Test cases are generated from a deterministic per-test seed, so failures
+//! reproduce across runs. Unlike real proptest there is **no shrinking**: a
+//! failing case is reported verbatim (inputs are printed via `Debug`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// The `prop::` namespace (`prop::collection`, `prop::sample`) as re-exported
+/// by the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body (or any function returning
+/// `Result<_, TestCaseError>`), failing the test case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_l, __pa_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_l == *__pa_r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __pa_l,
+            __pa_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pa_l, __pa_r) = (&$left, &$right);
+        if !(*__pa_l == *__pa_r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                __pa_l,
+                __pa_r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pa_l, __pa_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pa_l != *__pa_r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __pa_l
+        );
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` item
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one arm per test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match __outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n{}",
+                        __case + 1, __config.cases, err, __inputs
+                    ),
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked; inputs:\n{}",
+                            __case + 1, __config.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,47 @@
+//! Sampling strategies: `select` and `Index`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Uniform choice from a fixed list.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from an empty list");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.core().gen_range(0..self.options.len());
+        self.options[i].clone()
+    }
+}
+
+/// An index into a collection whose length is only known at use time —
+/// `idx.index(len)` maps it uniformly into `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Creates an index from raw bits (used by `any::<Index>()`).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self { raw }
+    }
+
+    /// This index mapped into `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}

@@ -1,0 +1,182 @@
+//! String generation from a small regex subset.
+//!
+//! `&'static str` strategies interpret the literal as a regex, like real
+//! proptest. The shim supports the constructs this workspace's tests use:
+//!
+//! * literal characters,
+//! * `.` — any printable character except newline (ASCII plus a small
+//!   unicode sample, including quotes and backslashes),
+//! * `[...]` character classes with ranges (`a-z`) and literals; a leading
+//!   or trailing `-` is literal,
+//! * `{m,n}` bounded repetition of the preceding atom.
+//!
+//! Anything else panics loudly rather than silently generating the wrong
+//! language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Troublesome printable characters `.` deliberately over-samples: quoting
+/// and escaping bugs live here.
+const DOT_EXTRAS: &[char] = &[
+    '"', '\'', '\\', '\t', ' ', 'é', 'ß', '汉', 'Ω', '🦀', '\u{200b}',
+];
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// `.`
+    AnyPrintable,
+    /// `[...]` — inclusive ranges (singletons are `(c, c)`).
+    Ranges(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::AnyPrintable,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut class: Vec<char> = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(c) => class.push(c),
+                        None => panic!("unterminated [class] in regex {pattern:?}"),
+                    }
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        ranges.push((class[i], class[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((class[i], class[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty [class] in regex {pattern:?}");
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling backslash in regex {pattern:?}"));
+                CharSet::Ranges(vec![(c, c)])
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex construct {c:?} not supported by the proptest shim ({pattern:?})")
+            }
+            c => CharSet::Ranges(vec![(c, c)]),
+        };
+        // Optional {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let (m, n) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("only {{m,n}} quantifiers supported ({pattern:?})"));
+            (
+                m.trim().parse().expect("quantifier lower bound"),
+                n.trim().parse().expect("quantifier upper bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn draw_char(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::AnyPrintable => {
+            // 1-in-4: a troublesome character; otherwise printable ASCII.
+            if rng.core().gen_range(0u32..4) == 0 {
+                DOT_EXTRAS[rng.core().gen_range(0..DOT_EXTRAS.len())]
+            } else {
+                char::from_u32(rng.core().gen_range(0x20u32..0x7f)).unwrap()
+            }
+        }
+        CharSet::Ranges(ranges) => {
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut ticket = rng.core().gen_range(0..total);
+            for (a, b) in ranges {
+                let span = *b as u32 - *a as u32 + 1;
+                if ticket < span {
+                    return char::from_u32(*a as u32 + ticket).expect("class range is valid");
+                }
+                ticket -= span;
+            }
+            unreachable!("ticket within class cardinality")
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = rng.core().gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(draw_char(&atom.set, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string-tests", 0)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = generate("[a-z_][a-z0-9_.-]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            let head = cs.next().unwrap();
+            assert!(head.is_ascii_lowercase() || head == '_', "{s:?}");
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_pattern_hits_troublesome_chars() {
+        let mut rng = rng();
+        let mut saw_quote = false;
+        let mut saw_backslash = false;
+        for _ in 0..500 {
+            let s = generate(".{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(!s.contains('\n'));
+            saw_quote |= s.contains('\'') || s.contains('"');
+            saw_backslash |= s.contains('\\');
+        }
+        assert!(saw_quote && saw_backslash);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_constructs_panic() {
+        generate("(a|b)+", &mut rng());
+    }
+}

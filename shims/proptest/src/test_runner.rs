@@ -1,0 +1,79 @@
+//! Test-case plumbing: configuration, failure type, deterministic RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim trades a little coverage
+        // for test-suite latency. Override with `with_cases`.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A test-case failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// Upstream distinguishes rejects from failures; the shim treats a
+    /// reject as a failure (filters retry internally instead).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG for case number `case` of the named test. The
+    /// stream depends only on `(name, case)`, so failures reproduce.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1)))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// The underlying [`rand::RngCore`].
+    pub fn core(&mut self) -> &mut dyn RngCore {
+        &mut self.0
+    }
+}

@@ -1,0 +1,56 @@
+//! Phase-1 evaluator shoot-out: flat snapshot index vs. B+-tree range scans.
+//!
+//! Both paths answer the same question — which ordered predicates does an
+//! event pair satisfy — over identical `PredicateIndex` contents. The
+//! snapshot path resolves each direction with one binary search plus a
+//! contiguous remap-table run (bulk bit-set); the B+-tree path walks linked
+//! leaves testing per-key operator slots. The sweep scales the number of
+//! range predicates per attribute; the acceptance bar is the snapshot
+//! winning from 1k predicates per attribute up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_bench::phase1::{build_range_index, range_events, ATTRS};
+use pubsub_index::PredicateBitVec;
+
+fn bench_phase1_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase1_micro");
+    for &preds_per_attr in &[256usize, 1_024, 4_096] {
+        let idx = build_range_index(ATTRS, preds_per_attr);
+        let events = range_events(ATTRS, preds_per_attr, 64);
+        let mut bits = PredicateBitVec::with_capacity(idx.id_bound());
+        let mut satisfied = Vec::new();
+
+        group.bench_with_input(
+            BenchmarkId::new("snapshot", preds_per_attr),
+            &preds_per_attr,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    satisfied.clear();
+                    idx.eval_into(&events[i % events.len()], &mut bits, &mut satisfied);
+                    bits.clear();
+                    i += 1;
+                    satisfied.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("btree", preds_per_attr),
+            &preds_per_attr,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    satisfied.clear();
+                    idx.eval_into_btree(&events[i % events.len()], &mut bits, &mut satisfied);
+                    bits.clear();
+                    i += 1;
+                    satisfied.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1_micro);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Snapshot vs. B+-tree phase-1 comparison, one JSON line per data point —
+//! the harness behind `results/BENCH_phase1.json` (EXPERIMENTS.md E14).
+//!
+//! Sweeps the number of range predicates per attribute and measures mean
+//! phase-1 nanoseconds per event on both evaluator paths over the identical
+//! `PredicateIndex`. Fields: `bench, preds_per_attr, attrs, path,
+//! ns_per_event, satisfied_per_event, speedup` (speedup only on the
+//! `snapshot` lines, relative to the `btree` line of the same sweep point).
+//!
+//! Usage: `cargo run --release -p pubsub-bench --bin phase1_compare --
+//!         [--preds 256,1024,4096] [--events N] [--rounds N]`
+
+use pubsub_bench::phase1::{build_range_index, measure_phase1, range_events, ATTRS};
+
+fn main() {
+    let mut preds: Vec<usize> = vec![256, 1_024, 4_096, 16_384];
+    let mut events = 64usize;
+    let mut rounds = 40usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--preds" => {
+                preds = value("--preds")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("integer predicate count"))
+                    .collect();
+            }
+            "--events" => events = value("--events").parse().expect("integer"),
+            "--rounds" => rounds = value("--rounds").parse().expect("integer"),
+            "--help" | "-h" => {
+                eprintln!("flags: --preds a,b,c  --events N  --rounds N");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+
+    for &n in &preds {
+        let idx = build_range_index(ATTRS, n);
+        let evts = range_events(ATTRS, n, events);
+        // Warm-up both paths once before timing.
+        measure_phase1(&idx, &evts, 1, false);
+        measure_phase1(&idx, &evts, 1, true);
+        let (tree_ns, tree_sat) = measure_phase1(&idx, &evts, rounds, true);
+        let (snap_ns, snap_sat) = measure_phase1(&idx, &evts, rounds, false);
+        assert_eq!(
+            snap_sat, tree_sat,
+            "paths must satisfy identical predicate sets"
+        );
+        println!(
+            "{{\"bench\": \"phase1\", \"preds_per_attr\": {n}, \"attrs\": {ATTRS}, \
+             \"path\": \"btree\", \"ns_per_event\": {tree_ns:.1}, \
+             \"satisfied_per_event\": {tree_sat:.1}}}"
+        );
+        println!(
+            "{{\"bench\": \"phase1\", \"preds_per_attr\": {n}, \"attrs\": {ATTRS}, \
+             \"path\": \"snapshot\", \"ns_per_event\": {snap_ns:.1}, \
+             \"satisfied_per_event\": {snap_sat:.1}, \"speedup\": {:.2}}}",
+            tree_ns / snap_ns
+        );
+        eprintln!(
+            "  [{n} preds/attr] btree {tree_ns:.0} ns/event, snapshot {snap_ns:.0} ns/event \
+             ({:.2}x)",
+            tree_ns / snap_ns
+        );
+    }
+}

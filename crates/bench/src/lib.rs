@@ -11,6 +11,7 @@
 pub mod alloc;
 pub mod drift;
 pub mod harness;
+pub mod phase1;
 
 pub use alloc::CountingAllocator;
 pub use harness::{

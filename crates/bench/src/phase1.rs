@@ -1,0 +1,97 @@
+//! Shared workload and measurement helpers for the phase-1 evaluator
+//! comparison (the `phase1_micro` Criterion bench and the `phase1_compare`
+//! binary that emits `BENCH_phase1.json`).
+
+use pubsub_index::{PredicateBitVec, PredicateIndex};
+use pubsub_types::{AttrId, Event, Operator, Predicate, Value};
+use std::time::Instant;
+
+/// Attributes in the comparison universe (and per event).
+pub const ATTRS: u32 = 8;
+
+/// The four ordered operators, round-robined over constants.
+const ORDERED: [Operator; 4] = [Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt];
+
+/// Interns exactly `preds_per_attr` range predicates on each of `attrs`
+/// attributes: the four ordered operators cycling over an integer constant
+/// domain of `preds_per_attr / 4` values.
+pub fn build_range_index(attrs: u32, preds_per_attr: usize) -> PredicateIndex {
+    let mut idx = PredicateIndex::new();
+    for a in 0..attrs {
+        for k in 0..preds_per_attr {
+            let op = ORDERED[k % 4];
+            let c = (k / 4) as i64;
+            idx.intern(Predicate::new(AttrId(a), op, c));
+        }
+    }
+    idx
+}
+
+/// Deterministic events over the same domain: every attribute present, values
+/// spread across the constant range so run lengths vary per pair.
+pub fn range_events(attrs: u32, preds_per_attr: usize, n: usize) -> Vec<Event> {
+    let domain = (preds_per_attr / 4).max(1) as i64;
+    (0..n)
+        .map(|i| {
+            Event::from_pairs(
+                (0..attrs)
+                    .map(|a| {
+                        let v = (i as i64 * 131 + a as i64 * 17) % domain;
+                        (AttrId(a), Value::Int(v))
+                    })
+                    .collect(),
+            )
+            .expect("distinct attributes")
+        })
+        .collect()
+}
+
+/// Measures mean phase-1 nanoseconds per event over `rounds` passes of
+/// `events`, on the snapshot path (`btree == false`) or the B+-tree
+/// reference path (`btree == true`). Returns `(ns_per_event,
+/// satisfied_per_event)` — the latter as a self-check that both paths do the
+/// same work.
+pub fn measure_phase1(
+    idx: &PredicateIndex,
+    events: &[Event],
+    rounds: usize,
+    btree: bool,
+) -> (f64, f64) {
+    let mut bits = PredicateBitVec::with_capacity(idx.id_bound());
+    let mut satisfied = Vec::new();
+    let mut total_satisfied = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for e in events {
+            satisfied.clear();
+            if btree {
+                idx.eval_into_btree(e, &mut bits, &mut satisfied);
+            } else {
+                idx.eval_into(e, &mut bits, &mut satisfied);
+            }
+            bits.clear();
+            total_satisfied += satisfied.len() as u64;
+        }
+    }
+    let n = (rounds * events.len()) as f64;
+    (
+        start.elapsed().as_nanos() as f64 / n,
+        total_satisfied as f64 / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_has_expected_size_and_paths_agree() {
+        let idx = build_range_index(3, 64);
+        assert_eq!(idx.len(), 3 * 64);
+        let events = range_events(3, 64, 8);
+        let (_, sat_snap) = measure_phase1(&idx, &events, 1, false);
+        let (_, sat_tree) = measure_phase1(&idx, &events, 1, true);
+        assert_eq!(sat_snap, sat_tree, "both paths satisfy the same set");
+        assert!(sat_snap > 0.0);
+    }
+}

@@ -146,14 +146,24 @@ impl Cli {
 
     fn cmd_stats(&mut self) -> Result<String, String> {
         let s = self.broker.engine_stats();
+        let per_event_us = |nanos: u64| {
+            if s.events == 0 {
+                0.0
+            } else {
+                nanos as f64 / s.events as f64 / 1000.0
+            }
+        };
         let mut out = format!(
-            "engine {}  subscriptions {}  stored-events {}  events {}  checks/event {:.1}  matches {}",
+            "engine {}  subscriptions {}  stored-events {}  events {}  checks/event {:.1}  matches {}\n\
+             phase1/event {:.1}µs  phase2/event {:.1}µs",
             self.broker.engine_name(),
             self.broker.subscription_count(),
             self.broker.stored_event_count(),
             s.events,
             s.checks_per_event(),
             s.matches,
+            per_event_us(s.phase1_nanos),
+            per_event_us(s.phase2_nanos),
         );
         if let Some(counts) = self.broker.shard_subscription_counts() {
             out.push_str(&format!(
@@ -285,6 +295,8 @@ mod tests {
         let r = run(&mut cli, "stats");
         assert!(r.contains("subscriptions 1"), "{r}");
         assert!(r.contains("matches 1"), "{r}");
+        assert!(r.contains("phase1/event"), "{r}");
+        assert!(r.contains("phase2/event"), "{r}");
     }
 
     #[test]

@@ -60,6 +60,46 @@ impl PredicateBitVec {
         self.words[w] |= bit;
     }
 
+    /// Sets the bit of every id in `ids` — the bulk path of the snapshot
+    /// evaluator, which hands over whole remap-table runs at once.
+    ///
+    /// Bits are accumulated into a word-sized mask and flushed once per word
+    /// change, so a run of ids landing in the same word costs one memory
+    /// write instead of one per id. Ids may arrive in any order and may
+    /// repeat words already touched by [`PredicateBitVec::set`]; the touched
+    /// list never gets duplicates (a word is recorded only on its 0 → non-0
+    /// transition), so [`PredicateBitVec::clear`] still resets everything.
+    ///
+    /// # Panics
+    /// Panics if any id is beyond capacity, like [`PredicateBitVec::set`].
+    pub fn set_from_slice(&mut self, ids: &[crate::registry::PredicateId]) {
+        let mut cur_w = usize::MAX;
+        let mut cur_mask = 0u64;
+        for &id in ids {
+            let w = (id.0 / 64) as usize;
+            if w != cur_w {
+                if cur_mask != 0 {
+                    self.or_word(cur_w, cur_mask);
+                }
+                cur_w = w;
+                cur_mask = 0;
+            }
+            cur_mask |= 1u64 << (id.0 % 64);
+        }
+        if cur_mask != 0 {
+            self.or_word(cur_w, cur_mask);
+        }
+    }
+
+    /// ORs `mask` into word `w`, maintaining the touched list.
+    #[inline]
+    fn or_word(&mut self, w: usize, mask: u64) {
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= mask;
+    }
+
     /// Reads bit `i`.
     #[inline]
     pub fn get(&self, i: u32) -> bool {
@@ -136,6 +176,72 @@ mod tests {
         assert_eq!(b.capacity(), cap);
         b.ensure_capacity(1000);
         assert!(b.capacity() >= 1000);
+    }
+
+    fn ids(raw: &[u32]) -> Vec<crate::registry::PredicateId> {
+        raw.iter()
+            .map(|&i| crate::registry::PredicateId(i))
+            .collect()
+    }
+
+    #[test]
+    fn set_from_slice_sets_all_bits() {
+        let mut b = PredicateBitVec::with_capacity(256);
+        b.set_from_slice(&ids(&[0, 1, 63, 64, 200, 3]));
+        for i in [0, 1, 3, 63, 64, 200] {
+            assert!(b.get(i), "bit {i}");
+        }
+        assert!(!b.get(2));
+        assert_eq!(b.count_ones(), 6);
+    }
+
+    #[test]
+    fn set_from_slice_empty_is_noop() {
+        let mut b = PredicateBitVec::with_capacity(64);
+        b.set_from_slice(&[]);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.touched.len(), 0);
+    }
+
+    #[test]
+    fn set_from_slice_batches_words_without_touched_duplicates() {
+        let mut b = PredicateBitVec::with_capacity(192);
+        // 0..64 share a word; 64 and 65 share the next; then back to word 0
+        // (ids are remap-table order, not sorted by id).
+        b.set_from_slice(&ids(&[5, 6, 7, 64, 65, 9]));
+        assert_eq!(b.touched.len(), 2, "each word recorded once");
+        assert_eq!(b.count_ones(), 6);
+    }
+
+    #[test]
+    fn set_from_slice_interacts_with_set_and_clear() {
+        // The touched-word reset interaction: a word first touched by `set`
+        // then extended by `set_from_slice` (and vice versa) must be recorded
+        // exactly once and fully reset by `clear`.
+        let mut b = PredicateBitVec::with_capacity(128);
+        b.set(3);
+        b.set_from_slice(&ids(&[4, 5, 70]));
+        b.set(71);
+        assert_eq!(b.touched.len(), 2);
+        assert_eq!(b.count_ones(), 5);
+        b.clear();
+        for i in [3, 4, 5, 70, 71] {
+            assert!(!b.get(i), "bit {i} must be reset");
+        }
+        assert_eq!(b.count_ones(), 0);
+        // Reusable after the reset.
+        b.set_from_slice(&ids(&[3]));
+        assert!(b.get(3));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn count_ones_counts_across_bulk_and_single_sets() {
+        let mut b = PredicateBitVec::with_capacity(256);
+        b.set_from_slice(&ids(&[0, 1, 2]));
+        b.set(2); // duplicate set must not double-count
+        b.set(130);
+        assert_eq!(b.count_ones(), 4);
     }
 
     #[test]

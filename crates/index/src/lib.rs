@@ -10,6 +10,12 @@
 //! * [`registry`] — predicate interning with reference counts, the
 //!   per-attribute equality / inequality / `≠` indexes, and the phase-1
 //!   evaluator [`PredicateIndex::eval_into`].
+//! * [`snapshot`] — the flat snapshot index for ordered predicates: sorted
+//!   breakpoint arrays whose satisfied set per event value is one contiguous
+//!   run per direction, with a delta overlay and merge-rebuilds. This is the
+//!   structure [`PredicateIndex::eval_into`] actually reads on the hot path;
+//!   the B+-tree remains the reference implementation
+//!   ([`PredicateIndex::eval_into_btree`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -17,6 +23,7 @@
 pub mod bitvec;
 pub mod bptree;
 pub mod registry;
+pub mod snapshot;
 
 pub use bitvec::PredicateBitVec;
 pub use bptree::BPlusTree;

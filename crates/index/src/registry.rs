@@ -19,6 +19,7 @@
 
 use crate::bitvec::PredicateBitVec;
 use crate::bptree::BPlusTree;
+use crate::snapshot::OrderedSnapshot;
 use pubsub_types::{AttrId, Event, FxHashMap, Operator, Predicate, Value};
 use std::ops::Bound;
 
@@ -88,12 +89,22 @@ impl NeIndex {
 }
 
 /// All index structures for one attribute.
+///
+/// Ordered predicates are indexed twice: the B+-trees are the mutation-
+/// friendly reference structure (and the baseline the benchmarks compare
+/// against), while the [`OrderedSnapshot`]s are the flat evaluation fast
+/// path that [`PredicateIndex::eval_into`] actually reads.
 #[derive(Debug, Default)]
 struct AttrIndex {
     eq: FxHashMap<Value, PredicateId>,
     ne: NeIndex,
     ordered_int: BPlusTree<i64, OpSlots>,
     ordered_str: BPlusTree<u32, OpSlots>,
+    snap_int: OrderedSnapshot<i64>,
+    snap_str: OrderedSnapshot<u32>,
+    /// Live predicates on this attribute (any operator); 0 lets the
+    /// evaluator skip the attribute before any hash probe.
+    live: u32,
 }
 
 #[derive(Debug)]
@@ -183,6 +194,7 @@ impl PredicateIndex {
         self.live += 1;
 
         let ai = self.attr_index_mut(pred.attr);
+        ai.live += 1;
         match pred.op {
             Operator::Eq => {
                 ai.eq.insert(pred.value, id);
@@ -193,12 +205,14 @@ impl PredicateIndex {
             op => {
                 let slots = match pred.value {
                     Value::Int(i) => {
+                        ai.snap_int.insert(op, i, id);
                         if ai.ordered_int.get(&i).is_none() {
                             ai.ordered_int.insert(i, OpSlots::default());
                         }
                         ai.ordered_int.get_mut(&i).expect("just inserted")
                     }
                     Value::Str(s) => {
+                        ai.snap_str.insert(op, s.0, id);
                         if ai.ordered_str.get(&s.0).is_none() {
                             ai.ordered_str.insert(s.0, OpSlots::default());
                         }
@@ -228,6 +242,7 @@ impl PredicateIndex {
         self.free.push(id.0);
 
         let ai = self.attr_index_mut(pred.attr);
+        ai.live -= 1;
         match pred.op {
             Operator::Eq => {
                 ai.eq.remove(&pred.value);
@@ -237,6 +252,7 @@ impl PredicateIndex {
             }
             op => match pred.value {
                 Value::Int(i) => {
+                    ai.snap_int.remove(op, i);
                     if let Some(slots) = ai.ordered_int.get_mut(&i) {
                         *slots.slot_mut(op) = None;
                         if slots.is_empty() {
@@ -245,6 +261,7 @@ impl PredicateIndex {
                     }
                 }
                 Value::Str(s) => {
+                    ai.snap_str.remove(op, s.0);
                     if let Some(slots) = ai.ordered_str.get_mut(&s.0) {
                         *slots.slot_mut(op) = None;
                         if slots.is_empty() {
@@ -269,6 +286,12 @@ impl PredicateIndex {
     /// The caller owns both buffers so per-event allocation is zero; `bits`
     /// must have been cleared (or never written) and is grown here if the
     /// registry outgrew it.
+    ///
+    /// Ordered predicates are answered by the flat [`crate::snapshot`]
+    /// evaluator — a binary search per direction plus contiguous remap-table
+    /// runs — never by the B+-tree (which
+    /// [`PredicateIndex::eval_into_btree`] keeps available as the reference
+    /// path).
     pub fn eval_into(
         &self,
         event: &Event,
@@ -280,6 +303,10 @@ impl PredicateIndex {
             let Some(ai) = self.attrs.get(attr.index()) else {
                 continue;
             };
+            // Attribute carries no live predicate: skip before any hash probe.
+            if ai.live == 0 {
+                continue;
+            }
             // Equality: one hash probe.
             if let Some(&id) = ai.eq.get(&value) {
                 bits.set(id.0);
@@ -287,13 +314,51 @@ impl PredicateIndex {
             }
             // Inequality (≠): everything with a different constant matches,
             // including constants of the other kind.
+            if !ai.ne.items.is_empty() {
+                for &(c, id) in &ai.ne.items {
+                    if c != value {
+                        bits.set(id.0);
+                        satisfied.push(id);
+                    }
+                }
+            }
+            // Ordered operators: two snapshot runs on the matching kind.
+            match value {
+                Value::Int(x) => ai.snap_int.eval_into(x, bits, satisfied),
+                Value::Str(s) => ai.snap_str.eval_into(s.0, bits, satisfied),
+            }
+        }
+    }
+
+    /// The pre-snapshot phase-1 evaluator: identical contract to
+    /// [`PredicateIndex::eval_into`], but ordered predicates are resolved by
+    /// two B+-tree range scans per event pair. Kept as the reference
+    /// implementation for the equivalence property tests and as the baseline
+    /// of the `phase1_micro` benchmark.
+    pub fn eval_into_btree(
+        &self,
+        event: &Event,
+        bits: &mut PredicateBitVec,
+        satisfied: &mut Vec<PredicateId>,
+    ) {
+        bits.ensure_capacity(self.entries.len());
+        for &(attr, value) in event.pairs() {
+            let Some(ai) = self.attrs.get(attr.index()) else {
+                continue;
+            };
+            if ai.live == 0 {
+                continue;
+            }
+            if let Some(&id) = ai.eq.get(&value) {
+                bits.set(id.0);
+                satisfied.push(id);
+            }
             for &(c, id) in &ai.ne.items {
                 if c != value {
                     bits.set(id.0);
                     satisfied.push(id);
                 }
             }
-            // Ordered operators: two range scans on the matching kind.
             match value {
                 Value::Int(x) => {
                     scan_ordered(&ai.ordered_int, x, bits, satisfied);
@@ -311,6 +376,41 @@ impl PredicateIndex {
         let mut out = Vec::new();
         self.eval_into(event, &mut bits, &mut out);
         out
+    }
+
+    /// Convenience wrapper for tests: the B+-tree reference evaluation.
+    pub fn eval_btree(&self, event: &Event) -> Vec<PredicateId> {
+        let mut bits = PredicateBitVec::with_capacity(self.entries.len());
+        let mut out = Vec::new();
+        self.eval_into_btree(event, &mut bits, &mut out);
+        out
+    }
+
+    /// Merge-rebuilds every attribute snapshot that has pending delta or
+    /// tombstone state, so subsequent matching runs overlay-free. Useful
+    /// after a bulk load; never required for correctness.
+    pub fn rebuild_snapshots(&mut self) {
+        for ai in &mut self.attrs {
+            ai.snap_int.flush();
+            ai.snap_str.flush();
+        }
+    }
+
+    /// Total snapshot merge-rebuilds performed so far, across all attributes
+    /// (the generation counter of the snapshot index; diagnostics/tests).
+    pub fn snapshot_rebuilds(&self) -> u64 {
+        self.attrs
+            .iter()
+            .map(|ai| ai.snap_int.rebuilds() + ai.snap_str.rebuilds())
+            .sum()
+    }
+
+    /// Heap bytes held by the snapshot arrays and overlays (Fig 3c bookkeeping).
+    pub fn snapshot_heap_bytes(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|ai| ai.snap_int.heap_bytes() + ai.snap_str.heap_bytes())
+            .sum()
     }
 
     /// Iterates over all live `(id, predicate)` pairs.

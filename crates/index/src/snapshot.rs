@@ -1,0 +1,441 @@
+//! Flat snapshot index for ordered predicates — the cache-conscious phase-1
+//! fast path.
+//!
+//! The B+-tree interval index ([`crate::bptree`]) answers an event pair with
+//! two leaf walks that chase pointers and test four `Option` slots per key.
+//! This module flattens each attribute's ordered predicates into immutable
+//! sorted arrays where the satisfied set for any event value is **one
+//! contiguous run per direction**, so evaluation is a branchless binary
+//! search plus a bulk bit-set:
+//!
+//! ```text
+//!              upper direction (<, ≤)            lower direction (≥, >)
+//!   keys: [(c0,r) (c1,r) (c2,r) (c3,r) …]   [(c0,r) (c1,r) (c2,r) …]
+//!   ids:  [ p17    p4     p9     p23   …]   [ p3     p11    p6    …]
+//!                  ▲______________________          ▲________
+//!                  satisfied = suffix run           satisfied = prefix run
+//! ```
+//!
+//! *Run space*: positions in the sorted array. The parallel `ids` vector is
+//! the remap table from run space back to real [`PredicateId`]s; a run
+//! `[lo, hi)` is resolved with `ids[lo..hi]`, which feeds
+//! [`PredicateBitVec::set_from_slice`] and `Vec::extend_from_slice` directly.
+//!
+//! Within one direction the two operators are merged by a tie-break rank so
+//! a single search serves both: for the upper direction `<` sorts before `≤`
+//! at equal constants (rank 0 vs 1), and the satisfied set is exactly the
+//! suffix starting at `partition_point(key < (x, 1))`; symmetrically the
+//! lower direction (`≥` rank 0, `>` rank 1) is the prefix ending there.
+//!
+//! **Mutations** do not rewrite the snapshot. Inserts go to a small sorted
+//! delta overlay (searched the same way at eval time); removals of
+//! snapshot-resident predicates record a *tombstone position*, and the run is
+//! emitted as segments around tombstones. Once an attribute's pending
+//! mutation count exceeds [`rebuild_threshold`], the snapshot and delta are
+//! merge-rebuilt in one O(n) pass — so steady-state matching never touches
+//! the B+-tree, and churn costs amortized O(1) per mutation.
+
+use crate::bitvec::PredicateBitVec;
+use crate::registry::PredicateId;
+use pubsub_types::Operator;
+
+/// Pending mutations (delta inserts + tombstones) an attribute's direction
+/// may accumulate before its snapshot is merge-rebuilt.
+///
+/// Proportional to the snapshot so rebuilds amortize to O(1) per mutation,
+/// floored so tiny attributes don't rebuild on every insert, and capped so
+/// the sorted-insert memmove and the eval-time overlay stay cache-resident.
+pub fn rebuild_threshold(snapshot_len: usize) -> usize {
+    (32 + snapshot_len / 8).min(1024)
+}
+
+/// One direction of one attribute: sorted `(constant, rank)` breakpoints, the
+/// run-space → predicate-id remap table, tombstones, and the delta overlay.
+#[derive(Debug, Default, Clone)]
+struct DirectionIndex<K> {
+    /// Sorted breakpoints; position in this vector is the run space.
+    keys: Vec<(K, u8)>,
+    /// Remap table, parallel to `keys`.
+    ids: Vec<PredicateId>,
+    /// Sorted positions in `keys` whose predicate was released since the
+    /// last rebuild.
+    tombs: Vec<u32>,
+    /// Sorted overlay of breakpoints inserted since the last rebuild.
+    delta_keys: Vec<(K, u8)>,
+    /// Remap table of the overlay, parallel to `delta_keys`.
+    delta_ids: Vec<PredicateId>,
+}
+
+impl<K: Ord + Copy> DirectionIndex<K> {
+    fn pending(&self) -> usize {
+        self.tombs.len() + self.delta_keys.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.keys.len() - self.tombs.len() + self.delta_keys.len()
+    }
+
+    /// Registers a predicate. If the same breakpoint was tombstoned since the
+    /// last rebuild, the snapshot slot is revived in place (the remap entry
+    /// is rewritten — the released id may have been recycled elsewhere);
+    /// otherwise the breakpoint joins the sorted delta overlay.
+    fn insert(&mut self, key: (K, u8), id: PredicateId) {
+        if let Ok(p) = self.keys.binary_search(&key) {
+            let t = self
+                .tombs
+                .binary_search(&(p as u32))
+                .expect("re-inserted breakpoint must be tombstoned (interning dedups live ones)");
+            self.tombs.remove(t);
+            self.ids[p] = id;
+            return;
+        }
+        let at = self
+            .delta_keys
+            .binary_search(&key)
+            .expect_err("breakpoint already present in delta overlay");
+        self.delta_keys.insert(at, key);
+        self.delta_ids.insert(at, id);
+    }
+
+    /// Unregisters a predicate: dropped from the delta if it never made it
+    /// into a snapshot, tombstoned otherwise.
+    fn remove(&mut self, key: (K, u8)) {
+        if let Ok(d) = self.delta_keys.binary_search(&key) {
+            self.delta_keys.remove(d);
+            self.delta_ids.remove(d);
+            return;
+        }
+        let p = self
+            .keys
+            .binary_search(&key)
+            .expect("removed breakpoint must exist") as u32;
+        let t = self
+            .tombs
+            .binary_search(&p)
+            .expect_err("breakpoint already tombstoned");
+        self.tombs.insert(t, p);
+    }
+
+    /// Merges snapshot-minus-tombstones with the delta overlay into a fresh
+    /// snapshot. O(keys + delta), no tree involved.
+    fn rebuild(&mut self) {
+        let mut keys = Vec::with_capacity(self.live_len());
+        let mut ids = Vec::with_capacity(self.live_len());
+        let mut t = 0usize;
+        let mut d = 0usize;
+        for (p, (&k, &id)) in self.keys.iter().zip(&self.ids).enumerate() {
+            if t < self.tombs.len() && self.tombs[t] as usize == p {
+                t += 1;
+                continue;
+            }
+            while d < self.delta_keys.len() && self.delta_keys[d] < k {
+                keys.push(self.delta_keys[d]);
+                ids.push(self.delta_ids[d]);
+                d += 1;
+            }
+            keys.push(k);
+            ids.push(id);
+        }
+        keys.extend_from_slice(&self.delta_keys[d..]);
+        ids.extend_from_slice(&self.delta_ids[d..]);
+        self.keys = keys;
+        self.ids = ids;
+        self.tombs.clear();
+        self.delta_keys.clear();
+        self.delta_ids.clear();
+    }
+
+    /// Emits the run `[lo, hi)` of the snapshot remap table, split around
+    /// tombstones, via the bulk bit-set path.
+    fn emit_run(
+        &self,
+        lo: usize,
+        hi: usize,
+        bits: &mut PredicateBitVec,
+        satisfied: &mut Vec<PredicateId>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mut a = lo;
+        let first = self.tombs.partition_point(|&p| (p as usize) < lo);
+        for &p in &self.tombs[first..] {
+            let p = p as usize;
+            if p >= hi {
+                break;
+            }
+            if p > a {
+                bits.set_from_slice(&self.ids[a..p]);
+                satisfied.extend_from_slice(&self.ids[a..p]);
+            }
+            a = p + 1;
+        }
+        if a < hi {
+            bits.set_from_slice(&self.ids[a..hi]);
+            satisfied.extend_from_slice(&self.ids[a..hi]);
+        }
+    }
+
+    /// Evaluates an event value: one branchless binary search per array, then
+    /// bulk-emits the satisfied run (`suffix` picks the direction's shape).
+    fn eval(
+        &self,
+        x: K,
+        suffix: bool,
+        bits: &mut PredicateBitVec,
+        satisfied: &mut Vec<PredicateId>,
+    ) {
+        let probe = (x, 1u8);
+        if !self.keys.is_empty() {
+            let b = self.keys.partition_point(|k| *k < probe);
+            if suffix {
+                self.emit_run(b, self.keys.len(), bits, satisfied);
+            } else {
+                self.emit_run(0, b, bits, satisfied);
+            }
+        }
+        if !self.delta_keys.is_empty() {
+            let b = self.delta_keys.partition_point(|k| *k < probe);
+            let (lo, hi) = if suffix {
+                (b, self.delta_keys.len())
+            } else {
+                (0, b)
+            };
+            if lo < hi {
+                bits.set_from_slice(&self.delta_ids[lo..hi]);
+                satisfied.extend_from_slice(&self.delta_ids[lo..hi]);
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<(K, u8)>()
+            + self.delta_keys.capacity() * std::mem::size_of::<(K, u8)>()
+            + (self.ids.capacity() + self.delta_ids.capacity() + self.tombs.capacity()) * 4
+    }
+}
+
+/// The snapshot evaluator for the ordered predicates of one attribute and one
+/// key kind (integers or interned-string symbols).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct OrderedSnapshot<K> {
+    /// `<` (rank 0) and `≤` (rank 1): satisfied ids are a suffix run.
+    upper: DirectionIndex<K>,
+    /// `≥` (rank 0) and `>` (rank 1): satisfied ids are a prefix run.
+    lower: DirectionIndex<K>,
+    /// Generation counter: number of merge-rebuilds performed.
+    rebuilds: u64,
+}
+
+/// `(direction is upper, tie-break rank)` for an ordered operator.
+fn direction_rank(op: Operator) -> (bool, u8) {
+    match op {
+        Operator::Lt => (true, 0),
+        Operator::Le => (true, 1),
+        Operator::Ge => (false, 0),
+        Operator::Gt => (false, 1),
+        _ => unreachable!("snapshot stores only ordered operators"),
+    }
+}
+
+impl<K: Ord + Copy> OrderedSnapshot<K> {
+    /// Registers an ordered predicate; rebuilds the affected direction if its
+    /// pending-mutation budget is exhausted.
+    pub(crate) fn insert(&mut self, op: Operator, key: K, id: PredicateId) {
+        let (upper, rank) = direction_rank(op);
+        let dir = if upper {
+            &mut self.upper
+        } else {
+            &mut self.lower
+        };
+        dir.insert((key, rank), id);
+        if dir.pending() > rebuild_threshold(dir.keys.len()) {
+            dir.rebuild();
+            self.rebuilds += 1;
+        }
+    }
+
+    /// Unregisters an ordered predicate; same rebuild policy as insert.
+    pub(crate) fn remove(&mut self, op: Operator, key: K) {
+        let (upper, rank) = direction_rank(op);
+        let dir = if upper {
+            &mut self.upper
+        } else {
+            &mut self.lower
+        };
+        dir.remove((key, rank));
+        if dir.pending() > rebuild_threshold(dir.keys.len()) {
+            dir.rebuild();
+            self.rebuilds += 1;
+        }
+    }
+
+    /// Sets the bit and appends the id of every ordered predicate satisfied
+    /// by event value `x`: two binary searches, two bulk runs.
+    #[inline]
+    pub(crate) fn eval_into(
+        &self,
+        x: K,
+        bits: &mut PredicateBitVec,
+        satisfied: &mut Vec<PredicateId>,
+    ) {
+        self.upper.eval(x, true, bits, satisfied);
+        self.lower.eval(x, false, bits, satisfied);
+    }
+
+    /// Merges any pending delta/tombstones into the snapshots now (e.g.
+    /// after a bulk load, so the first events already run tombstone-free).
+    pub(crate) fn flush(&mut self) {
+        for dir in [&mut self.upper, &mut self.lower] {
+            if dir.pending() > 0 {
+                dir.rebuild();
+                self.rebuilds += 1;
+            }
+        }
+    }
+
+    /// Number of merge-rebuilds performed so far (diagnostics and tests).
+    pub(crate) fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Heap bytes held by the snapshot arrays and overlays.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.upper.heap_bytes() + self.lower.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_ids(snap: &OrderedSnapshot<i64>, x: i64) -> Vec<u32> {
+        let mut bits = PredicateBitVec::with_capacity(4096);
+        let mut sat = Vec::new();
+        snap.eval_into(x, &mut bits, &mut sat);
+        let mut raw: Vec<u32> = sat.iter().map(|id| id.0).collect();
+        // Every emitted id must also have its bit set.
+        for id in &sat {
+            assert!(bits.get(id.0));
+        }
+        raw.sort_unstable();
+        raw
+    }
+
+    /// Brute-force oracle over `(op, constant, id)` triples.
+    fn oracle(preds: &[(Operator, i64, u32)], x: i64) -> Vec<u32> {
+        let mut out: Vec<u32> = preds
+            .iter()
+            .filter(|&&(op, c, _)| match op {
+                Operator::Lt => x < c,
+                Operator::Le => x <= c,
+                Operator::Ge => x >= c,
+                Operator::Gt => x > c,
+                _ => unreachable!(),
+            })
+            .map(|&(_, _, id)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_operators_all_boundaries() {
+        let mut snap = OrderedSnapshot::<i64>::default();
+        let mut preds = Vec::new();
+        let mut next = 0u32;
+        for op in [Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt] {
+            for c in [10i64, 20, 30] {
+                snap.insert(op, c, PredicateId(next));
+                preds.push((op, c, next));
+                next += 1;
+            }
+        }
+        for x in [-5i64, 9, 10, 11, 20, 25, 30, 31, 100] {
+            assert_eq!(eval_ids(&snap, x), oracle(&preds, x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn removal_tombstones_split_the_run() {
+        let mut snap = OrderedSnapshot::<i64>::default();
+        for c in 0..10i64 {
+            snap.insert(Operator::Le, c, PredicateId(c as u32));
+        }
+        // Force everything into the snapshot arrays, then tombstone from the
+        // middle of the run.
+        snap.flush();
+        snap.remove(Operator::Le, 4);
+        snap.remove(Operator::Le, 7);
+        let got = eval_ids(&snap, 2);
+        assert_eq!(got, vec![2, 3, 5, 6, 8, 9], "x ≤ c run minus tombstones");
+    }
+
+    #[test]
+    fn reinsert_after_tombstone_revives_slot_with_new_id() {
+        let mut snap = OrderedSnapshot::<i64>::default();
+        snap.insert(Operator::Ge, 5, PredicateId(0));
+        snap.flush();
+        snap.remove(Operator::Ge, 5);
+        assert!(eval_ids(&snap, 9).is_empty());
+        // Same breakpoint returns under a recycled (different) id.
+        snap.insert(Operator::Ge, 5, PredicateId(42));
+        assert_eq!(eval_ids(&snap, 9), vec![42]);
+        assert!(eval_ids(&snap, 4).is_empty());
+    }
+
+    #[test]
+    fn delta_overlay_and_snapshot_merge_agree_with_oracle() {
+        let mut snap = OrderedSnapshot::<i64>::default();
+        let mut preds = Vec::new();
+        // Interleave inserts and removes way past the rebuild threshold so
+        // the test exercises delta-resident, tombstoned, and merged states.
+        let mut next = 0u32;
+        for round in 0..3 {
+            for i in 0..100i64 {
+                let op = [Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt]
+                    [(i as usize + round) % 4];
+                let c = (i * 7 + round as i64 * 13) % 200;
+                if preds.iter().any(|&(o, k, _)| (o, k) == (op, c)) {
+                    continue;
+                }
+                snap.insert(op, c, PredicateId(next));
+                preds.push((op, c, next));
+                next += 1;
+            }
+            // Remove every third registered predicate.
+            let victims: Vec<(Operator, i64, u32)> = preds.iter().copied().step_by(3).collect();
+            for (op, c, _) in &victims {
+                snap.remove(*op, *c);
+            }
+            preds.retain(|p| !victims.contains(p));
+            for x in [-1i64, 0, 50, 99, 137, 200] {
+                assert_eq!(eval_ids(&snap, x), oracle(&preds, x), "round {round} x {x}");
+            }
+        }
+        assert!(snap.rebuilds() > 0, "churn volume must trigger rebuilds");
+    }
+
+    #[test]
+    fn flush_merges_pending_state() {
+        let mut snap = OrderedSnapshot::<i64>::default();
+        for c in 0..20i64 {
+            snap.insert(Operator::Lt, c, PredicateId(c as u32));
+        }
+        snap.remove(Operator::Lt, 3);
+        let before = eval_ids(&snap, -1);
+        let gens = snap.rebuilds();
+        snap.flush();
+        assert!(snap.rebuilds() > gens);
+        assert_eq!(eval_ids(&snap, -1), before, "flush must not change results");
+        snap.flush();
+        assert_eq!(snap.rebuilds(), gens + 1, "idle flush is a no-op");
+    }
+
+    #[test]
+    fn threshold_is_floored_and_capped() {
+        assert_eq!(rebuild_threshold(0), 32);
+        assert_eq!(rebuild_threshold(80), 42);
+        assert_eq!(rebuild_threshold(1 << 20), 1024);
+    }
+}

@@ -145,3 +145,75 @@ proptest! {
         }
     }
 }
+
+/// One step of the interleaved snapshot-churn workload.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Intern a predicate (duplicates bump the refcount).
+    Intern(Predicate),
+    /// Release the i-th outstanding interning reference (modulo count).
+    Release(prop::sample::Index),
+    /// Evaluate an event on both phase-1 paths and compare.
+    Match(Event),
+    /// Force a merge-rebuild of every attribute snapshot.
+    Flush,
+}
+
+fn churn_ops() -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => arb_predicate().prop_map(ChurnOp::Intern),
+            3 => any::<prop::sample::Index>().prop_map(ChurnOp::Release),
+            2 => arb_event().prop_map(ChurnOp::Match),
+            1 => Just(ChurnOp::Flush),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The snapshot evaluator and the direct B+-tree evaluation must agree
+    /// after every prefix of a random interleaving of interns, releases,
+    /// matches, and forced rebuilds — covering delta-overlay-resident,
+    /// tombstoned, and post-rebuild snapshot states.
+    #[test]
+    fn snapshot_agrees_with_btree_under_churn(ops in churn_ops(), final_events in prop::collection::vec(arb_event(), 1..4)) {
+        let mut idx = PredicateIndex::new();
+        // Outstanding interning references, one entry per un-released intern.
+        let mut outstanding: Vec<pubsub_index::PredicateId> = Vec::new();
+        let mut matches_checked = 0usize;
+        for op in ops {
+            match op {
+                ChurnOp::Intern(p) => outstanding.push(idx.intern(p)),
+                ChurnOp::Release(i) => {
+                    if !outstanding.is_empty() {
+                        let id = outstanding.swap_remove(i.index(outstanding.len()));
+                        idx.release(id);
+                    }
+                }
+                ChurnOp::Match(event) => {
+                    let mut got = idx.eval(&event);
+                    let mut want = idx.eval_btree(&event);
+                    got.sort();
+                    want.sort();
+                    prop_assert_eq!(got, want, "event {:?}", event);
+                    matches_checked += 1;
+                }
+                ChurnOp::Flush => idx.rebuild_snapshots(),
+            }
+        }
+        // Always end with a few comparisons so every generated sequence
+        // checks something, whatever the op mix.
+        for event in &final_events {
+            let mut got = idx.eval(event);
+            let mut want = idx.eval_btree(event);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "final event {:?}", event);
+            matches_checked += 1;
+        }
+        prop_assert!(matches_checked > 0);
+    }
+}

@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, release build, full test suite.
 #
-# Usage: scripts/check.sh [--online]
+# Usage: scripts/check.sh [--online] [--bench-smoke]
 #
 # By default every cargo invocation runs with --offline: the workspace
 # resolves all external dependencies to the in-tree shims (shims/README.md),
 # so a network-less container builds from the committed Cargo.lock alone.
 # Pass --online to let cargo touch the network (e.g. after intentionally
 # updating the lockfile).
+#
+# --bench-smoke additionally runs every Criterion bench target once in test
+# mode (each benchmark body executes a single iteration, no measurement), so
+# bench code can't bit-rot without the gate noticing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE="--offline"
-if [[ "${1:-}" == "--online" ]]; then
-    OFFLINE=""
-fi
+BENCH_SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --online) OFFLINE="" ;;
+        --bench-smoke) BENCH_SMOKE=1 ;;
+        *)
+            echo "unknown flag: $arg (known: --online --bench-smoke)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -27,5 +39,10 @@ cargo build ${OFFLINE} --release --workspace
 
 echo "==> cargo test"
 cargo test ${OFFLINE} --workspace
+
+if [[ "$BENCH_SMOKE" == 1 ]]; then
+    echo "==> bench smoke (one iteration per benchmark)"
+    cargo bench ${OFFLINE} --workspace -- --test
+fi
 
 echo "==> all checks passed"

@@ -149,8 +149,14 @@ impl BenchmarkGroup<'_> {
             println!("{label}: test-mode ok");
             return;
         }
-        // Calibration: grow the iteration count until one sample is long
-        // enough to time reliably.
+        // Calibration: grow the iteration count geometrically until one
+        // sample is long enough to time reliably. The per-iteration estimate
+        // is kept in float nanoseconds: `Duration` division truncates to
+        // whole nanoseconds, so a sub-nanosecond body (a trivial benchmark
+        // in an optimized build) would round up to 1 ns, make `want`
+        // undershoot the current count, and stall the growth at +1 per
+        // round. The `iters * 2` floor guarantees termination in ≤ 30
+        // rounds regardless of the estimate.
         let mut iters: u64 = 1;
         loop {
             let mut b = Bencher {
@@ -161,9 +167,9 @@ impl BenchmarkGroup<'_> {
             if b.elapsed >= WARMUP_BUDGET || iters >= 1 << 30 {
                 break;
             }
-            let per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
-            let want = (WARMUP_BUDGET.as_nanos() / per_iter.as_nanos().max(1)) as u64 + 1;
-            iters = want.clamp(iters + 1, iters * 20);
+            let per_iter_ns = (b.elapsed.as_nanos() as f64 / iters as f64).max(1e-3);
+            let want = (WARMUP_BUDGET.as_nanos() as f64 / per_iter_ns) as u64 + 1;
+            iters = want.clamp(iters * 2, iters * 20);
         }
         // Measurement: split the budget into samples, scaling the calibrated
         // iteration count from the warm-up budget to the per-sample budget.

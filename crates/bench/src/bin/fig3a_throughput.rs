@@ -16,7 +16,10 @@
 //! batched pipeline is what amortises the fan-out cost; see DESIGN.md §3).
 //! With `--json` each data point is emitted as one JSON object (fields:
 //! `figure, workload, engine, subs, shards, batch, events_per_sec,
-//! phase1_ms, phase2_ms`) instead of the text table.
+//! phase1_ms, phase2_ms`) instead of the text table. When the workspace is
+//! built with `--features metrics`, each data point is followed by a
+//! `metrics_snapshot` JSON line carrying the global `MetricsSnapshot`
+//! accumulated during that measurement (metrics are reset between points).
 //!
 //! Usage: `cargo run --release -p pubsub-bench --bin fig3a_throughput --
 //!         [--subs 100000,...] [--events N] [--engines a,b] [--phases]
@@ -26,6 +29,7 @@ use pubsub_bench::{
     load_engine_sharded, measure_batched_throughput, measure_throughput, parse_args, HarnessArgs,
     SeriesReport,
 };
+use pubsub_types::metrics::{self, MetricsSnapshot};
 use pubsub_workload::{presets, WorkloadGen};
 
 fn main() {
@@ -60,6 +64,8 @@ fn main() {
             // Warm-up: one small batch, then reset counters.
             measure_throughput(engine.as_mut(), &mut gen, 20);
             engine.reset_stats();
+            // Scope the metrics snapshot to this data point.
+            metrics::reset_all();
             let (eps, _) = if args.shards == 0 {
                 measure_throughput(engine.as_mut(), &mut gen, events)
             } else {
@@ -80,6 +86,14 @@ fn main() {
                     args.shards,
                     if args.shards == 0 { 1 } else { args.batch },
                 );
+                if metrics::enabled() {
+                    println!(
+                        "{{\"figure\": \"3a\", \"engine\": \"{}\", \"subs\": {n}, \
+                         \"metrics_snapshot\": {}}}",
+                        kind.label(),
+                        MetricsSnapshot::capture().to_json(),
+                    );
+                }
             }
             eprintln!(
                 "  [{} @ {n} subs, {} shards] {eps:.1} events/s",

@@ -5,7 +5,22 @@
 use crate::store::{EventId, EventStore};
 use crate::time::{LogicalTime, Validity};
 use pubsub_core::{EngineKind, EngineStats, MatchEngine};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrId, Event, Subscription, SubscriptionId, TypeError, Value, Vocabulary};
+
+/// Events published through a broker (single events; batched events count
+/// each event in the batch).
+static PUBLISHES: Counter = Counter::new("broker.publishes");
+/// Subscriptions registered.
+static SUBSCRIBES: Counter = Counter::new("broker.subscribes");
+/// Successful unsubscribes.
+static UNSUBSCRIBES: Counter = Counter::new("broker.unsubscribes");
+/// Unsubscribe calls for unknown/expired ids (rejected, not fatal).
+static UNSUBSCRIBE_MISSES: Counter = Counter::new("broker.unsubscribe_misses");
+/// Subscriptions dropped by validity expiry.
+static SUBS_EXPIRED: Counter = Counter::new("broker.subs_expired");
+/// Stored events evicted by validity expiry.
+static EVENTS_EVICTED: Counter = Counter::new("broker.events_evicted");
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -180,6 +195,8 @@ impl Broker {
             }
         }
         let events_evicted = self.events.evict_expired(t);
+        SUBS_EXPIRED.add(subs_expired as u64);
+        EVENTS_EVICTED.add(events_evicted as u64);
         (subs_expired, events_evicted)
     }
 
@@ -193,6 +210,7 @@ impl Broker {
     /// Registers a subscription; returns its id (drawn from this broker's id
     /// lane, see [`Broker::with_id_lane`]).
     pub fn subscribe(&mut self, sub: Subscription, validity: Validity) -> SubscriptionId {
+        SUBSCRIBES.inc();
         let slot = self.next_id as usize;
         let id = SubscriptionId(self.id_base + self.next_id * self.id_step);
         self.next_id += 1;
@@ -236,15 +254,20 @@ impl Broker {
     /// already expired.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
         let Some(slot) = self.slot_of(id) else {
+            UNSUBSCRIBE_MISSES.inc();
             return false;
         };
         match self.subs.get_mut(slot).and_then(Option::take) {
             Some(_) => {
                 self.engine.remove(id);
                 self.live -= 1;
+                UNSUBSCRIBES.inc();
                 true
             }
-            None => false,
+            None => {
+                UNSUBSCRIBE_MISSES.inc();
+                false
+            }
         }
     }
 
@@ -263,6 +286,7 @@ impl Broker {
     /// Publishes an event valid only at this instant: matches it and returns
     /// the matched subscription ids (the notification set).
     pub fn publish(&mut self, event: &Event) -> Vec<SubscriptionId> {
+        PUBLISHES.inc();
         let mut matched = Vec::new();
         self.engine.match_event(event, &mut matched);
         matched
@@ -271,6 +295,7 @@ impl Broker {
     /// Publishes an event, appending matches to a caller-owned buffer
     /// (zero-allocation hot path for benchmarks).
     pub fn publish_into(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        PUBLISHES.inc();
         self.engine.match_event(event, out);
     }
 
@@ -278,6 +303,7 @@ impl Broker {
     /// (if the store is enabled) for future subscription replay, and returns
     /// the notification.
     pub fn publish_with_validity(&mut self, event: Event, validity: Validity) -> Notification {
+        PUBLISHES.inc();
         let mut matched = Vec::new();
         self.engine.match_event(&event, &mut matched);
         let event_id = if self.store_events && !validity.expired_at(self.now) {
@@ -296,6 +322,7 @@ impl Broker {
     /// engine pipelines the whole batch through its worker pool in one
     /// fan-out.
     pub fn publish_batch(&mut self, events: &[Event]) -> Vec<Notification> {
+        PUBLISHES.add(events.len() as u64);
         let mut matched = Vec::new();
         self.engine.match_batch_into(events, &mut matched);
         matched
@@ -310,6 +337,7 @@ impl Broker {
     /// Publishes a batch into a caller-owned buffer of per-event result
     /// vectors (zero-allocation steady state; inner vectors are reused).
     pub fn publish_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        PUBLISHES.add(events.len() as u64);
         self.engine.match_batch_into(events, out);
     }
 

@@ -24,6 +24,7 @@
 use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, Validity};
 use pubsub_core::EngineKind;
 use pubsub_lang::{parse_event, parse_subscription};
+use pubsub_types::metrics::MetricsSnapshot;
 use std::io::{BufRead, Write};
 
 struct Cli {
@@ -62,7 +63,7 @@ impl Cli {
             "pub" | "publish" => self.cmd_publish(rest),
             "unsub" | "unsubscribe" => self.cmd_unsubscribe(rest),
             "tick" => self.cmd_tick(rest),
-            "stats" => self.cmd_stats(),
+            "stats" => self.cmd_stats(rest),
             "help" => Ok(HELP.to_string()),
             "quit" | "exit" => return None,
             other => Err(format!("unknown command `{other}` (try `help`)")),
@@ -144,8 +145,53 @@ impl Cli {
         ))
     }
 
-    fn cmd_stats(&mut self) -> Result<String, String> {
+    /// `stats [--json] [--metrics]`: engine statistics, optionally as a
+    /// single-line JSON document and/or with the global `MetricsSnapshot`.
+    fn cmd_stats(&mut self, rest: &str) -> Result<String, String> {
+        let mut json = false;
+        let mut metrics = false;
+        for tok in rest.split_whitespace() {
+            match tok {
+                "--json" => json = true,
+                "--metrics" => metrics = true,
+                other => {
+                    return Err(format!(
+                        "unknown stats flag `{other}` (known: --json --metrics)"
+                    ))
+                }
+            }
+        }
         let s = self.broker.engine_stats();
+        if json {
+            // Keys in ascending order, pubsub-workload::json conventions.
+            let mut out = format!(
+                "{{\"checks\":{},\"engine\":{:?},\"events\":{},\"matches\":{}",
+                s.subscriptions_checked,
+                self.broker.engine_name(),
+                s.events,
+                s.matches,
+            );
+            if metrics {
+                out.push_str(&format!(
+                    ",\"metrics\":{}",
+                    MetricsSnapshot::capture().to_json()
+                ));
+            }
+            out.push_str(&format!(
+                ",\"phase1_nanos\":{},\"phase2_nanos\":{}",
+                s.phase1_nanos, s.phase2_nanos
+            ));
+            if let Some(counts) = self.broker.shard_subscription_counts() {
+                let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!(",\"shards\":[{}]", list.join(",")));
+            }
+            out.push_str(&format!(
+                ",\"stored_events\":{},\"subscriptions\":{}}}",
+                self.broker.stored_event_count(),
+                self.broker.subscription_count(),
+            ));
+            return Ok(out);
+        }
         let per_event_us = |nanos: u64| {
             if s.events == 0 {
                 0.0
@@ -171,6 +217,20 @@ impl Cli {
                 counts.len()
             ));
         }
+        if metrics {
+            let snap = MetricsSnapshot::capture();
+            if snap.is_empty() {
+                out.push_str("\nmetrics: (empty; build with `--features metrics`)");
+            } else {
+                out.push_str("\nmetrics:");
+                for c in &snap.counters {
+                    out.push_str(&format!("\n  {} = {}", c.name, c.value));
+                }
+                for h in &snap.histograms {
+                    out.push_str(&format!("\n  {} count {} sum {}", h.name, h.count, h.sum));
+                }
+            }
+        }
         Ok(out)
     }
 }
@@ -182,7 +242,9 @@ commands:
   pub <event>    publish an event, e.g.        pub {price: 8, movie: 'up'}
   unsub <id>     remove a subscription by the id printed at sub time
   tick [n]       advance the logical clock (expires validities)
-  stats          engine statistics
+  stats          engine statistics; `--json` for machine-readable output,
+                 `--metrics` to include the global metrics snapshot
+                 (requires building with `--features metrics`)
   help           this text
   quit           exit";
 
@@ -312,6 +374,27 @@ mod tests {
         assert!(r.contains("shards 3"), "{r}");
         assert!(r.contains("per-shard subscriptions ["), "{r}");
         assert!(r.contains("matches 1"), "{r}");
+    }
+
+    #[test]
+    fn stats_json_and_metrics_flags() {
+        let mut cli = Cli::with_shards(EngineKind::Counting, 0);
+        run(&mut cli, "sub a = 1");
+        run(&mut cli, "pub {a: 1}");
+        let r = run(&mut cli, "stats --json");
+        assert!(r.starts_with("{\"checks\":"), "{r}");
+        assert!(r.contains("\"engine\":\"counting\""), "{r}");
+        assert!(r.contains("\"events\":1"), "{r}");
+        assert!(r.ends_with("\"subscriptions\":1}"), "{r}");
+        let r = run(&mut cli, "stats --metrics");
+        assert!(r.contains("metrics"), "{r}");
+        let r = run(&mut cli, "stats --json --metrics");
+        assert!(r.contains("\"metrics\":{\"counters\":{"), "{r}");
+        // With the feature on the snapshot must carry the published event.
+        if pubsub_types::metrics::enabled() {
+            assert!(r.contains("\"broker.publishes\":"), "{r}");
+        }
+        assert!(run(&mut cli, "stats --bogus").starts_with("error:"));
     }
 
     #[test]

@@ -4,8 +4,16 @@
 //! engine against the definitional semantics of §1.1.
 
 use crate::engine::{EngineStats, MatchEngine};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, FxHashMap, Subscription, SubscriptionId};
 use std::time::Instant;
+
+/// Events matched by the brute-force oracle.
+static EVENTS: Counter = Counter::new("core.brute.events");
+/// Subscriptions scanned (every live subscription, every event).
+static VERIFIED: Counter = Counter::new("core.brute.verified");
+/// Subscriptions the oracle reported as matches.
+static MATCHED: Counter = Counter::new("core.brute.matched");
 
 /// Stores subscriptions verbatim and matches by scanning all of them.
 #[derive(Debug, Default)]
@@ -48,7 +56,12 @@ impl MatchEngine for BruteForceMatcher {
         self.stats.events += 1;
         self.stats.subscriptions_checked += self.subs.len() as u64;
         self.stats.matches += (out.len() - before) as u64;
-        self.stats.phase2_nanos += start.elapsed().as_nanos() as u64;
+        let phase2 = start.elapsed().as_nanos() as u64;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(self.subs.len() as u64);
+        MATCHED.add((out.len() - before) as u64);
+        crate::engine::PHASE2_NANOS.record(phase2);
     }
 
     fn len(&self) -> usize {

@@ -17,7 +17,15 @@
 
 use crate::prefetch::prefetch_read;
 use pubsub_index::PredicateBitVec;
+use pubsub_types::metrics::Counter;
 use pubsub_types::SubscriptionId;
+
+/// Candidate subscriptions inspected by the columnwise kernels.
+static CANDIDATES: Counter = Counter::new("core.cluster.candidates");
+/// Subscriptions the kernels emitted as matches.
+static MATCHES: Counter = Counter::new("core.cluster.matches");
+/// Software prefetches issued by the `-wp` kernels.
+static PREFETCHES: Counter = Counter::new("core.cluster.prefetches_issued");
 
 /// Entries per inner chunk: one 64-byte cache line of `u32` bit references.
 pub const UNFOLD: usize = 16;
@@ -105,6 +113,31 @@ impl Cluster {
     /// Returns the number of subscriptions inspected (for the cost
     /// experiments).
     pub fn match_into<const PF: bool>(
+        &self,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let before = out.len();
+        let checked = self.match_dispatch::<PF>(bits, out);
+        CANDIDATES.add(checked as u64);
+        MATCHES.add((out.len() - before) as u64);
+        PREFETCHES.add(self.prefetches_issued::<PF>());
+        checked
+    }
+
+    /// How many `prefetch_read` calls one `match_into::<PF>` pass performs.
+    ///
+    /// Computed from the cluster shape instead of counted in the hot loop:
+    /// one prefetch per (chunk with `j + LOOKAHEAD < n`, prefetched column).
+    fn prefetches_issued<const PF: bool>(&self) -> u64 {
+        if !PF || self.width() == 0 || self.subs.len() <= LOOKAHEAD {
+            return 0;
+        }
+        let chunks = (self.subs.len() - LOOKAHEAD).div_ceil(UNFOLD);
+        (chunks * self.width().min(MAX_PREFETCH_COLS)) as u64
+    }
+
+    fn match_dispatch<const PF: bool>(
         &self,
         bits: &PredicateBitVec,
         out: &mut Vec<SubscriptionId>,

@@ -20,10 +20,29 @@ use pubsub_cost::{
     SubscriptionProfile,
 };
 use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{
     AttrId, AttrSet, Event, FxHashMap, FxHashSet, Subscription, SubscriptionId, Value,
 };
 use std::time::Instant;
+
+/// Events matched by the clustered engine (static or dynamic).
+static EVENTS: Counter = Counter::new("core.clustered.events");
+/// Candidate subscriptions the table/fallback kernels verified.
+static VERIFIED: Counter = Counter::new("core.clustered.verified");
+/// Subscriptions the clustered engine reported as matches.
+static MATCHED: Counter = Counter::new("core.clustered.matched");
+/// Multi- or single-attribute tables created (lazy singletons included).
+static TABLES_CREATED: Counter = Counter::new("core.clustered.tables_created");
+/// Tables dropped (weak-table deletion and redistribution).
+static TABLES_REMOVED: Counter = Counter::new("core.clustered.tables_removed");
+/// Subscriptions relocated between tables/fallback by the optimizer.
+static SUB_MIGRATIONS: Counter = Counter::new("core.clustered.sub_migrations");
+/// Full maintenance passes executed (paper §4).
+static MAINTENANCE_RUNS: Counter = Counter::new("core.clustered.maintenance_runs");
+/// Cluster benefit-margin evaluations (`ν(p_c)·|c|` vs `BMmax`) — the
+/// cost-model inputs of the dynamic algorithm.
+static MARGIN_CHECKS: Counter = Counter::new("core.clustered.margin_checks");
 
 /// Tuning knobs of the dynamic maintenance algorithm (paper §4 thresholds).
 #[derive(Debug, Clone, Copy)]
@@ -233,6 +252,7 @@ impl ClusteredMatcher {
 
     fn create_table(&mut self, schema: AttrSet) -> usize {
         debug_assert!(!self.by_schema.contains_key(&schema));
+        TABLES_CREATED.inc();
         let table = MultiAttrTable::new(schema.clone());
         let idx = if let Some(i) = self.free_tables.pop() {
             self.tables[i] = Some(table);
@@ -246,6 +266,7 @@ impl ClusteredMatcher {
     }
 
     fn drop_table(&mut self, idx: usize) -> MultiAttrTable {
+        TABLES_REMOVED.inc();
         let table = self.tables[idx].take().expect("dropping live table");
         self.by_schema.remove(table.schema());
         self.free_tables.push(idx);
@@ -405,6 +426,7 @@ impl ClusteredMatcher {
         // Moving deletes the vote mark (paper §4's Cluster_distribute).
         self.subs[id.index()].as_mut().expect("live sub").voted = false;
         self.stats.subscription_moves += 1;
+        SUB_MIGRATIONS.inc();
     }
 
     fn current_table_of(&self, id: SubscriptionId) -> Option<usize> {
@@ -424,6 +446,7 @@ impl ClusteredMatcher {
         let Some(list) = table.entry_list(&tuple) else {
             return;
         };
+        MARGIN_CHECKS.inc();
         let mut nu = 1.0f64;
         for (a, v) in table.attrs().iter().zip(tuple.iter()) {
             nu *= self.est.eq_selectivity(*a, *v);
@@ -478,6 +501,7 @@ impl ClusteredMatcher {
     /// can push clusters over `BMmax` without any insertion), create tables
     /// whose accumulated benefit reached `Bcreate`, drop emptied tables.
     pub fn run_maintenance(&mut self) {
+        MAINTENANCE_RUNS.inc();
         self.in_maintenance = true;
         if self.config.decay_stats {
             self.est.halve();
@@ -956,8 +980,15 @@ impl MatchEngine for ClusteredMatcher {
         self.stats.events += 1;
         self.stats.subscriptions_checked += checked as u64;
         self.stats.matches += (out.len() - before) as u64;
-        self.stats.phase1_nanos += (t1 - t0).as_nanos() as u64;
-        self.stats.phase2_nanos += t1.elapsed().as_nanos() as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(checked as u64);
+        MATCHED.add((out.len() - before) as u64);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
         self.bump_ops();
     }
 

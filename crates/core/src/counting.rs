@@ -11,8 +11,16 @@
 
 use crate::engine::{EngineStats, MatchEngine};
 use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, Subscription, SubscriptionId};
 use std::time::Instant;
+
+/// Events matched by the counting engine.
+static EVENTS: Counter = Counter::new("core.counting.events");
+/// Counter increments performed (candidate verifications).
+static VERIFIED: Counter = Counter::new("core.counting.verified");
+/// Subscriptions the counting engine reported as matches.
+static MATCHED: Counter = Counter::new("core.counting.matched");
 
 #[derive(Debug)]
 struct SubEntry {
@@ -158,8 +166,15 @@ impl MatchEngine for CountingMatcher {
         self.stats.events += 1;
         self.stats.subscriptions_checked += increments;
         self.stats.matches += (out.len() - before) as u64;
-        self.stats.phase1_nanos += (t1 - t0).as_nanos() as u64;
-        self.stats.phase2_nanos += t1.elapsed().as_nanos() as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(increments);
+        MATCHED.add((out.len() - before) as u64);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
     }
 
     fn len(&self) -> usize {

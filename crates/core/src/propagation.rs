@@ -14,8 +14,18 @@
 use crate::cluster::ClusterList;
 use crate::engine::{EngineStats, MatchEngine};
 use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, FxHashMap, Subscription, SubscriptionId};
 use std::time::Instant;
+
+/// Events matched by the propagation engine (both variants).
+static EVENTS: Counter = Counter::new("core.propagation.events");
+/// Candidate subscriptions the cluster kernels verified.
+static VERIFIED: Counter = Counter::new("core.propagation.verified");
+/// Subscriptions the propagation engine reported as matches.
+static MATCHED: Counter = Counter::new("core.propagation.matched");
+/// Events that had to scan the no-access-predicate fallback list.
+static FALLBACK_SCANS: Counter = Counter::new("core.propagation.fallback_scans");
 
 #[derive(Debug)]
 struct SubEntry {
@@ -173,6 +183,7 @@ impl MatchEngine for PropagationMatcher {
             }
         }
         if !self.fallback.is_empty() {
+            FALLBACK_SCANS.inc();
             checked += if self.prefetch {
                 self.fallback.match_into::<true>(&self.bits, out)
             } else {
@@ -184,8 +195,15 @@ impl MatchEngine for PropagationMatcher {
         self.stats.events += 1;
         self.stats.subscriptions_checked += checked as u64;
         self.stats.matches += (out.len() - before) as u64;
-        self.stats.phase1_nanos += (t1 - t0).as_nanos() as u64;
-        self.stats.phase2_nanos += t1.elapsed().as_nanos() as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(checked as u64);
+        MATCHED.add((out.len() - before) as u64);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
     }
 
     fn len(&self) -> usize {

@@ -37,9 +37,22 @@ use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::{Receiver, Sender};
 use std::thread::JoinHandle;
 
+use pubsub_types::metrics::{Counter, Histogram};
 use pubsub_types::{Event, Subscription, SubscriptionId};
 
 use crate::engine::{EngineKind, EngineStats, MatchEngine};
+
+/// Events pushed through the sharded fan-out (single and batched).
+static EVENTS: Counter = Counter::new("core.sharded.events");
+/// Match/batch requests fanned out to shard workers.
+static FANOUT_REQUESTS: Counter = Counter::new("core.sharded.fanout_requests");
+/// Fan-in joins completed (one per fan-out broadcast).
+static JOINS: Counter = Counter::new("core.sharded.joins");
+/// Batch sizes submitted to `match_batch_into` (events per batch).
+static BATCH_SIZE: Histogram = Histogram::new("core.sharded.batch_size");
+/// Requests enqueued per shard channel (queue-depth proxy: fire-and-forget
+/// inserts/removes plus fan-out traffic).
+static QUEUED_REQUESTS: Counter = Counter::new("core.sharded.queued_requests");
 
 // The raw-pointer fan-out below shares `&Event` across threads.
 const _: () = {
@@ -314,6 +327,7 @@ impl ShardedMatcher {
     /// Sends to one shard. Workers never exit while the matcher is alive
     /// (poisoned workers keep draining), so a send failure is a bug.
     fn send(&self, shard: usize, req: Request) {
+        QUEUED_REQUESTS.inc();
         self.shards[shard]
             .tx
             .as_ref()
@@ -363,12 +377,14 @@ impl ShardedMatcher {
             debug_assert!(req.wants_reply());
             self.send(shard, req);
         }
+        FANOUT_REQUESTS.add(self.shards.len() as u64);
         let mut panic_msg = None;
         for _ in 0..self.shards.len() {
             if let Some(resp) = self.recv(&mut panic_msg) {
                 on_reply(self, resp);
             }
         }
+        JOINS.inc();
         if let Some(msg) = panic_msg {
             panic!("{msg}");
         }
@@ -396,6 +412,7 @@ impl MatchEngine for ShardedMatcher {
 
     fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
         self.events_seen += 1;
+        EVENTS.inc();
         let events = EventsRef::new(std::slice::from_ref(event));
         let merge_start = out.len();
         self.broadcast(
@@ -433,6 +450,8 @@ impl MatchEngine for ShardedMatcher {
             return;
         }
         self.events_seen += events.len() as u64;
+        EVENTS.add(events.len() as u64);
+        BATCH_SIZE.record(events.len() as u64);
         let events_ref = EventsRef::new(events);
         self.broadcast(
             |this| {

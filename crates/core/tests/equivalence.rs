@@ -100,6 +100,90 @@ fn check_engine(mut engine: Box<dyn MatchEngine + Send>, ops: &[Op]) -> Result<(
     Ok(())
 }
 
+/// The aggressive dynamic configuration: a tiny period and low thresholds
+/// force the §4 maintenance machinery (table create/delete, relocation) to
+/// run constantly, so matching correctness is exercised *mid-churn*.
+fn aggressive_dynamic() -> ClusteredMatcher {
+    ClusteredMatcher::new_dynamic_with(DynamicConfig {
+        period: 3,
+        bm_max: 0.05,
+        b_create: 2,
+        b_delete: 2,
+        max_schema_len: 3,
+        min_gain: 0.0,
+        decay_stats: true,
+    })
+}
+
+proptest! {
+    // The acceptance bar for the differential harness: N ≥ 256 identical
+    // random interleavings through *all five* paper engines at once.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_engines_agree_on_identical_interleavings(ops in arb_ops()) {
+        // One generated subscribe/unsubscribe/publish interleaving drives
+        // every engine; after every publish, every engine's sorted match set
+        // must equal the brute-force oracle's (hence each other's). The
+        // aggressive-dynamic instance covers maintenance running mid-churn,
+        // not just a statically clustered snapshot.
+        let mut engines: Vec<Box<dyn MatchEngine + Send>> = vec![
+            EngineKind::Counting.build(),
+            EngineKind::Propagation.build(),
+            EngineKind::PropagationPrefetch.build(),
+            EngineKind::Static.build(),
+            EngineKind::Dynamic.build(),
+            Box::new(aggressive_dynamic()),
+        ];
+        let mut oracle = EngineKind::BruteForce.build();
+        let mut live: Vec<SubscriptionId> = Vec::new();
+        let mut next_id = 0u32;
+        for op in &ops {
+            match op {
+                Op::Insert(sub) => {
+                    let id = SubscriptionId(next_id);
+                    next_id += 1;
+                    for e in &mut engines {
+                        e.insert(id, sub);
+                    }
+                    oracle.insert(id, sub);
+                    live.push(id);
+                }
+                Op::RemoveNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove(n.index(live.len()));
+                    for e in &mut engines {
+                        e.remove(id);
+                    }
+                    oracle.remove(id);
+                }
+                Op::Match(event) => {
+                    let mut want = Vec::new();
+                    oracle.match_event(event, &mut want);
+                    want.sort();
+                    for e in &mut engines {
+                        let mut got = Vec::new();
+                        e.match_event(event, &mut got);
+                        got.sort();
+                        prop_assert_eq!(
+                            &got,
+                            &want,
+                            "engine {} diverges from oracle on {:?}",
+                            e.name(),
+                            event
+                        );
+                    }
+                }
+            }
+            for e in &engines {
+                prop_assert_eq!(e.len(), oracle.len());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -132,16 +216,7 @@ proptest! {
     fn dynamic_with_aggressive_maintenance_matches_oracle(ops in arb_ops()) {
         // A tiny period and thresholds force maintenance to run constantly,
         // exercising table creation/deletion and relocation under churn.
-        let engine = ClusteredMatcher::new_dynamic_with(DynamicConfig {
-            period: 3,
-            bm_max: 0.05,
-            b_create: 2,
-            b_delete: 2,
-            max_schema_len: 3,
-            min_gain: 0.0,
-            decay_stats: true,
-        });
-        check_engine(Box::new(engine), &ops)?;
+        check_engine(Box::new(aggressive_dynamic()), &ops)?;
     }
 
     // The sharded layer must be exact for every shard count: shards

@@ -11,7 +11,12 @@
 use crate::model::{CostConstants, SubscriptionProfile};
 use crate::stats::SelectivityEstimator;
 use crate::subsets::subsets_up_to;
+use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrSet, FxHashMap, FxHashSet};
+
+/// Full greedy clustering optimizations executed (static engine finalize,
+/// dynamic `reoptimize`).
+static GREEDY_RUNS: Counter = Counter::new("cost.greedy.runs");
 
 /// Configuration for the greedy search.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +76,7 @@ pub fn greedy_clustering<E: SelectivityEstimator + ?Sized>(
     consts: &CostConstants,
     cfg: &GreedyConfig,
 ) -> ClusteringPlan {
+    GREEDY_RUNS.inc();
     // --- Candidate generation -------------------------------------------
     // Group profiles by equality schema; GA(S) is the union of subsets of the
     // distinct schemas.

@@ -13,7 +13,13 @@
 //! counts so the estimates track drifting event patterns (the situation the
 //! dynamic algorithm of §4 adapts to).
 
+use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrId, AttrSet, Event, FxHashMap, Operator, Predicate, Value};
+
+/// Events folded into the selectivity estimator (cost-model inputs).
+static OBSERVATIONS: Counter = Counter::new("cost.stats.observations");
+/// Exponential-decay passes over the estimator.
+static DECAYS: Counter = Counter::new("cost.stats.decays");
 
 /// How selective we assume an equality predicate to be when no event has been
 /// observed yet. 1/35 mirrors the paper's default domain `1..=35`.
@@ -91,6 +97,7 @@ impl EventStatistics {
 
     /// Records one event.
     pub fn observe(&mut self, event: &Event) {
+        OBSERVATIONS.inc();
         self.total += 1.0;
         for &(attr, value) in event.pairs() {
             let idx = attr.index();
@@ -108,6 +115,7 @@ impl EventStatistics {
     /// Called periodically (every maintenance period) so estimates follow
     /// drifting event patterns with a half-life of one period.
     pub fn halve(&mut self) {
+        DECAYS.inc();
         self.total *= 0.5;
         for h in &mut self.attrs {
             h.present *= 0.5;

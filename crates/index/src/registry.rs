@@ -20,8 +20,22 @@
 use crate::bitvec::PredicateBitVec;
 use crate::bptree::BPlusTree;
 use crate::snapshot::OrderedSnapshot;
+use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrId, Event, FxHashMap, Operator, Predicate, Value};
 use std::ops::Bound;
+
+/// Phase-1 evaluations answered by the flat snapshot path.
+static SNAPSHOT_EVALS: Counter = Counter::new("index.phase1.snapshot_evals");
+/// Phase-1 evaluations answered by the B+-tree reference path.
+static BTREE_EVALS: Counter = Counter::new("index.phase1.btree_evals");
+/// Predicate bits set by phase 1 (satisfied predicates, both paths).
+static BITS_SET: Counter = Counter::new("index.phase1.bits_set");
+/// Snapshot merge-rebuilds forced via `rebuild_snapshots`.
+static SNAPSHOT_FLUSHES: Counter = Counter::new("index.snapshot.flushes");
+/// Predicates interned (new id minted or refcount bumped).
+static PREDS_INTERNED: Counter = Counter::new("index.predicates.interned");
+/// Predicates fully released (refcount hit zero).
+static PREDS_RELEASED: Counter = Counter::new("index.predicates.released");
 
 /// Dense id of an interned predicate; indexes the predicate bit vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -170,6 +184,7 @@ impl PredicateIndex {
 
     /// Interns `pred` (or bumps its refcount) and returns its id.
     pub fn intern(&mut self, pred: Predicate) -> PredicateId {
+        PREDS_INTERNED.inc();
         if let Some(&id) = self.by_key.get(&pred) {
             self.entries[id.index()].refcount += 1;
             return id;
@@ -236,6 +251,7 @@ impl PredicateIndex {
             return false;
         }
         e.live = false;
+        PREDS_RELEASED.inc();
         let pred = e.pred;
         self.by_key.remove(&pred);
         self.live -= 1;
@@ -298,6 +314,8 @@ impl PredicateIndex {
         bits: &mut PredicateBitVec,
         satisfied: &mut Vec<PredicateId>,
     ) {
+        SNAPSHOT_EVALS.inc();
+        let satisfied_before = satisfied.len();
         bits.ensure_capacity(self.entries.len());
         for &(attr, value) in event.pairs() {
             let Some(ai) = self.attrs.get(attr.index()) else {
@@ -328,6 +346,7 @@ impl PredicateIndex {
                 Value::Str(s) => ai.snap_str.eval_into(s.0, bits, satisfied),
             }
         }
+        BITS_SET.add((satisfied.len() - satisfied_before) as u64);
     }
 
     /// The pre-snapshot phase-1 evaluator: identical contract to
@@ -341,6 +360,8 @@ impl PredicateIndex {
         bits: &mut PredicateBitVec,
         satisfied: &mut Vec<PredicateId>,
     ) {
+        BTREE_EVALS.inc();
+        let satisfied_before = satisfied.len();
         bits.ensure_capacity(self.entries.len());
         for &(attr, value) in event.pairs() {
             let Some(ai) = self.attrs.get(attr.index()) else {
@@ -368,6 +389,7 @@ impl PredicateIndex {
                 }
             }
         }
+        BITS_SET.add((satisfied.len() - satisfied_before) as u64);
     }
 
     /// Convenience wrapper for tests: evaluates and returns the satisfied set.
@@ -390,6 +412,7 @@ impl PredicateIndex {
     /// tombstone state, so subsequent matching runs overlay-free. Useful
     /// after a bulk load; never required for correctness.
     pub fn rebuild_snapshots(&mut self) {
+        SNAPSHOT_FLUSHES.inc();
         for ai in &mut self.attrs {
             ai.snap_int.flush();
             ai.snap_str.flush();

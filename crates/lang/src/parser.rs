@@ -20,7 +20,15 @@
 
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Token, TokenKind};
+use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, Operator, Predicate, Subscription, Value, Vocabulary};
+
+/// Subscriptions successfully parsed from text.
+static SUBS_PARSED: Counter = Counter::new("lang.subscriptions_parsed");
+/// Events successfully parsed from text.
+static EVENTS_PARSED: Counter = Counter::new("lang.events_parsed");
+/// Parse failures (subscriptions and events).
+static PARSE_ERRORS: Counter = Counter::new("lang.parse_errors");
 
 /// A parsed subscription in disjunctive normal form. A plain conjunction
 /// parses to a single disjunct.
@@ -162,6 +170,13 @@ pub fn parse_subscription(
     input: &str,
     vocab: &mut Vocabulary,
 ) -> Result<ParsedSubscription, ParseError> {
+    parse_subscription_inner(input, vocab).inspect_err(|_| PARSE_ERRORS.inc())
+}
+
+fn parse_subscription_inner(
+    input: &str,
+    vocab: &mut Vocabulary,
+) -> Result<ParsedSubscription, ParseError> {
     let tokens = tokenize(input)?;
     if tokens.is_empty() {
         return Err(ParseError::new(0, "empty subscription"));
@@ -182,11 +197,18 @@ pub fn parse_subscription(
             format!("unexpected {} after subscription", t.kind.describe()),
         ));
     }
+    SUBS_PARSED.inc();
     Ok(ParsedSubscription { disjuncts })
 }
 
 /// Parses an event: `{a: 1, b: "x"}` (braces optional, `=` accepted for `:`).
 pub fn parse_event(input: &str, vocab: &mut Vocabulary) -> Result<Event, ParseError> {
+    parse_event_inner(input, vocab)
+        .inspect(|_| EVENTS_PARSED.inc())
+        .inspect_err(|_| PARSE_ERRORS.inc())
+}
+
+fn parse_event_inner(input: &str, vocab: &mut Vocabulary) -> Result<Event, ParseError> {
     let tokens = tokenize(input)?;
     if tokens.is_empty() {
         return Err(ParseError::new(0, "empty event"));

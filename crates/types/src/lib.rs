@@ -29,6 +29,7 @@ pub mod error;
 pub mod event;
 pub mod hash;
 pub mod interner;
+pub mod metrics;
 pub mod operator;
 pub mod predicate;
 pub mod subscription;

@@ -2,9 +2,15 @@
 //! [`WorkloadSpec`], deterministically from its seed (paper §6.1).
 
 use crate::spec::WorkloadSpec;
+use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrId, Event, Predicate, Subscription, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Subscriptions drawn from the Table-1 generator.
+static SUBS_GENERATED: Counter = Counter::new("workload.subscriptions_generated");
+/// Events drawn from the Table-1 generator.
+static EVENTS_GENERATED: Counter = Counter::new("workload.events_generated");
 
 /// Draws subscriptions and events according to a workload specification.
 #[derive(Debug)]
@@ -41,6 +47,7 @@ impl WorkloadGen {
 
     /// Draws one subscription.
     pub fn subscription(&mut self) -> Subscription {
+        SUBS_GENERATED.inc();
         let subs = &self.spec.subs;
         let mut preds = Vec::with_capacity(subs.n_p());
         for f in &subs.fixed {
@@ -70,6 +77,7 @@ impl WorkloadGen {
 
     /// Draws one event.
     pub fn event(&mut self) -> Event {
+        EVENTS_GENERATED.inc();
         let n_a = self.spec.events.n_a;
         // Choose which attributes the event values (all of them when
         // n_a == n_t, as in the paper's runs).

@@ -11,7 +11,13 @@
 #
 # --bench-smoke additionally runs every Criterion bench target once in test
 # mode (each benchmark body executes a single iteration, no measurement), so
-# bench code can't bit-rot without the gate noticing.
+# bench code can't bit-rot without the gate noticing, and re-runs the
+# cross-engine differential proptest with a bounded case count (via the
+# PROPTEST_CASES cap the proptest shim honours) as a fast smoke lane.
+#
+# The test suite runs twice: once with default features (metrics layer
+# compiled to no-ops) and once with --features metrics (real atomic
+# counters), so both halves of the feature gate stay green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,12 +43,18 @@ cargo clippy ${OFFLINE} --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build ${OFFLINE} --release --workspace
 
-echo "==> cargo test"
+echo "==> cargo test (default features: metrics off)"
 cargo test ${OFFLINE} --workspace
+
+echo "==> cargo test (--features metrics)"
+cargo test ${OFFLINE} --workspace --features metrics
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then
     echo "==> bench smoke (one iteration per benchmark)"
     cargo bench ${OFFLINE} --workspace -- --test
+    echo "==> differential proptest smoke (PROPTEST_CASES=8)"
+    PROPTEST_CASES=8 cargo test ${OFFLINE} -p pubsub-core --test equivalence \
+        all_engines_agree_on_identical_interleavings
 fi
 
 echo "==> all checks passed"

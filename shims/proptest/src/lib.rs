@@ -136,7 +136,8 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $config;
-            for __case in 0..__config.cases {
+            let __cases = __config.effective_cases();
+            for __case in 0..__cases {
                 let mut __rng =
                     $crate::test_runner::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), __case);
                 $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
@@ -154,12 +155,12 @@ macro_rules! __proptest_items {
                     Ok(Ok(())) => {}
                     Ok(Err(err)) => panic!(
                         "proptest case {}/{} failed: {}\ninputs:\n{}",
-                        __case + 1, __config.cases, err, __inputs
+                        __case + 1, __cases, err, __inputs
                     ),
                     Err(panic) => {
                         eprintln!(
                             "proptest case {}/{} panicked; inputs:\n{}",
-                            __case + 1, __config.cases, __inputs
+                            __case + 1, __cases, __inputs
                         );
                         ::std::panic::resume_unwind(panic);
                     }

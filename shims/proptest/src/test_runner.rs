@@ -23,6 +23,21 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count the runner actually uses: `cases`, capped by the
+    /// `PROPTEST_CASES` environment variable when set (upstream proptest
+    /// reads the same variable). Lets fast CI lanes (e.g.
+    /// `scripts/check.sh --bench-smoke`) bound long property tests without
+    /// touching the source.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(cap) => self.cases.min(cap.max(1)),
+                Err(_) => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 /// A failed (or rejected) test case.

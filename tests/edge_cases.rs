@@ -232,3 +232,101 @@ fn string_values_end_to_end() {
     let _ = Value::Str; // keep the import obviously used
     let _ = id;
 }
+
+/// Subscriptions made only of `≠` predicates carry no equality access
+/// predicate, so propagation and clustered engines must route them through
+/// their scan-every-event fallback path — with semantics identical to the
+/// oracle's across all engines.
+#[test]
+fn ne_only_subscriptions_use_fallback_path() {
+    for mut broker in all_engines() {
+        let ne_only = Subscription::builder()
+            .with(AttrId(0), Operator::Ne, 5i64)
+            .with(AttrId(1), Operator::Ne, 0i64)
+            .build()
+            .unwrap();
+        let id = broker.subscribe(ne_only, Validity::forever());
+        let cases = [
+            // (attr0, attr1, matches): both ≠ must hold.
+            (4i64, 1i64, true),
+            (5, 1, false),
+            (4, 0, false),
+            (5, 0, false),
+            (-5, 99, true),
+        ];
+        for (a, b, should) in cases {
+            let e = Event::builder()
+                .pair(AttrId(0), a)
+                .pair(AttrId(1), b)
+                .build()
+                .unwrap();
+            let got = broker.publish(&e) == vec![id];
+            assert_eq!(got, should, "{} event ({a},{b})", broker.engine_name());
+        }
+        // An event missing attr 1 entirely cannot satisfy its ≠ predicate.
+        let e = Event::builder().pair(AttrId(0), 4i64).build().unwrap();
+        assert!(broker.publish(&e).is_empty(), "{}", broker.engine_name());
+    }
+}
+
+/// Duplicate attributes within one event violate the §1.1 "at most one pair
+/// per attribute" model and are rejected at construction — identically via
+/// `from_pairs` and the builder, never panicking, and never reaching an
+/// engine.
+#[test]
+fn duplicate_event_attributes_are_rejected() {
+    use fastpubsub::types::TypeError;
+
+    let dup = vec![
+        (AttrId(3), Value::Int(1)),
+        (AttrId(3), Value::Int(2)),
+        (AttrId(4), Value::Int(9)),
+    ];
+    let err = Event::from_pairs(dup.clone()).unwrap_err();
+    assert!(matches!(err, TypeError::DuplicateEventAttribute(AttrId(3))));
+
+    let mut b = Event::builder();
+    for (a, v) in dup {
+        b = b.pair(a, v);
+    }
+    let err = b.build().unwrap_err();
+    assert!(matches!(err, TypeError::DuplicateEventAttribute(AttrId(3))));
+
+    // Same value counts as a duplicate too (a set of pairs, not a multiset).
+    let err = Event::from_pairs(vec![(AttrId(0), Value::Int(7)), (AttrId(0), Value::Int(7))])
+        .unwrap_err();
+    assert!(matches!(err, TypeError::DuplicateEventAttribute(AttrId(0))));
+
+    // Engines never see the malformed event; brokers stay fully functional.
+    for mut broker in all_engines() {
+        let sub = Subscription::builder().eq(AttrId(3), 1i64).build().unwrap();
+        let id = broker.subscribe(sub, Validity::forever());
+        let ok = Event::builder().pair(AttrId(3), 1i64).build().unwrap();
+        assert_eq!(broker.publish(&ok), vec![id], "{}", broker.engine_name());
+    }
+}
+
+/// Unsubscribing an id that was never issued (or already removed) returns
+/// `false` without panicking, on every engine, and leaves the broker fully
+/// functional — unlike `MatchEngine::remove`, which is allowed to assert.
+#[test]
+fn unsubscribe_of_unknown_id_is_rejected_not_fatal() {
+    for mut broker in all_engines() {
+        let name = broker.engine_name();
+        // Never-issued ids: far past the lane and id 0 before any subscribe.
+        assert!(!broker.unsubscribe(SubscriptionId(0)), "{name}");
+        assert!(!broker.unsubscribe(SubscriptionId(999_999)), "{name}");
+
+        let sub = Subscription::builder().eq(AttrId(0), 1i64).build().unwrap();
+        let id = broker.subscribe(sub, Validity::forever());
+        assert!(broker.unsubscribe(id), "{name}");
+        // Double-unsubscribe of a once-valid id.
+        assert!(!broker.unsubscribe(id), "{name}");
+
+        // Still functional afterwards.
+        let sub = Subscription::builder().eq(AttrId(0), 2i64).build().unwrap();
+        let id2 = broker.subscribe(sub, Validity::forever());
+        let e = Event::builder().pair(AttrId(0), 2i64).build().unwrap();
+        assert_eq!(broker.publish(&e), vec![id2], "{name}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Invariant tests for the feature-gated metrics layer.
+//!
+//! These tests assert *exact* counter values for scripted workloads, so they
+//! live in their own integration-test binary (their own process) and
+//! serialize on a mutex: the metric registry is process-global and any
+//! concurrently running instrumented code would perturb the counts.
+//!
+//! Compiled with `--features metrics` the snapshot must reconcile with the
+//! workload; compiled without, the snapshot must be empty — both halves are
+//! exercised by `scripts/check.sh`, which runs the suite under both feature
+//! sets.
+
+use fastpubsub::prelude::*;
+use fastpubsub::types::metrics::{self, MetricsSnapshot};
+use fastpubsub::types::AttrId;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary; the registry is process-global.
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A tiny deterministic workload: `subs` equality subscriptions on
+/// attribute 0, then `events` publishes alternating hit/miss.
+fn scripted_run(kind: EngineKind, subs: u32, events: u64) -> Vec<SubscriptionId> {
+    let mut broker = Broker::new(kind).without_event_store();
+    for i in 0..subs {
+        let sub = Subscription::builder()
+            .eq(AttrId(0), (i % 4) as i64)
+            .build()
+            .unwrap();
+        broker.subscribe(sub, Validity::forever());
+    }
+    let mut matched = Vec::new();
+    for i in 0..events {
+        let event = Event::builder()
+            .pair(AttrId(0), (i % 8) as i64)
+            .build()
+            .unwrap();
+        matched.extend(broker.publish(&event));
+    }
+    matched
+}
+
+#[cfg(feature = "metrics")]
+mod enabled {
+    use super::*;
+    use fastpubsub::core::{ClusteredMatcher, DynamicConfig, MatchEngine};
+
+    #[test]
+    fn publishes_equal_phase1_invocations() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_all();
+        scripted_run(EngineKind::Counting, 8, 40);
+        let snap = MetricsSnapshot::capture();
+        // Every published event runs phase 1 exactly once (unsharded engine,
+        // no event store), and nothing else in this process publishes.
+        assert_eq!(snap.counter("broker.publishes"), Some(40));
+        assert_eq!(snap.counter("index.phase1.snapshot_evals"), Some(40));
+        assert_eq!(snap.counter("core.counting.events"), Some(40));
+        assert_eq!(snap.counter("broker.subscribes"), Some(8));
+    }
+
+    #[test]
+    fn verified_is_at_least_matched_on_every_engine() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_all();
+        for kind in EngineKind::PAPER_ENGINES {
+            scripted_run(kind, 16, 64);
+        }
+        let snap = MetricsSnapshot::capture();
+        for engine in ["counting", "propagation", "clustered"] {
+            let verified = snap
+                .counter(&format!("core.{engine}.verified"))
+                .unwrap_or(0);
+            let matched = snap.counter(&format!("core.{engine}.matched")).unwrap_or(0);
+            assert!(matched > 0, "{engine}: scripted workload must match");
+            assert!(
+                verified >= matched,
+                "{engine}: verified {verified} < matched {matched}"
+            );
+        }
+        // The scripted workload matches deterministically: 4 of the 8 event
+        // values hit, each hitting the 4 subscriptions on that value, so
+        // each engine contributes (64/8) * 4 * 4 = 128 matches. The counting
+        // engine runs exactly once in PAPER_ENGINES, so its counter is exact.
+        let per_engine = 64 / 8 * 4 * (16 / 4);
+        assert_eq!(
+            snap.counter("core.counting.matched"),
+            Some(per_engine),
+            "counting match count"
+        );
+    }
+
+    #[test]
+    fn dynamic_table_events_reconcile_with_final_table_count() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_all();
+        // Aggressive maintenance so tables are created AND removed.
+        let mut engine = ClusteredMatcher::new_dynamic_with(DynamicConfig {
+            period: 3,
+            bm_max: 0.05,
+            b_create: 2,
+            b_delete: 2,
+            max_schema_len: 3,
+            min_gain: 0.0,
+            decay_stats: true,
+        });
+        let mut out = Vec::new();
+        for i in 0..64u32 {
+            let sub = Subscription::builder()
+                .eq(AttrId(i % 3), (i % 5) as i64)
+                .eq(AttrId(3 + i % 2), (i % 7) as i64)
+                .build()
+                .unwrap();
+            engine.insert(SubscriptionId(i), &sub);
+            let event = Event::builder()
+                .pair(AttrId(i % 3), (i % 5) as i64)
+                .pair(AttrId(3 + i % 2), (i % 7) as i64)
+                .build()
+                .unwrap();
+            engine.match_event(&event, &mut out);
+            out.clear();
+        }
+        for i in 0..32u32 {
+            engine.remove(SubscriptionId(i * 2));
+        }
+        engine.run_maintenance();
+        let snap = MetricsSnapshot::capture();
+        let created = snap.counter("core.clustered.tables_created").unwrap_or(0);
+        let removed = snap.counter("core.clustered.tables_removed").unwrap_or(0);
+        assert!(created > 0, "workload must create tables");
+        assert_eq!(
+            created - removed,
+            engine.table_summary().len() as u64,
+            "create/remove events must reconcile with the live table count"
+        );
+    }
+
+    #[test]
+    fn histograms_record_phase_latencies() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        metrics::reset_all();
+        scripted_run(EngineKind::Dynamic, 8, 32);
+        let snap = MetricsSnapshot::capture();
+        let h = snap
+            .histogram("core.phase1_nanos")
+            .expect("phase1 recorded");
+        assert_eq!(h.count, 32);
+        let total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, h.count, "bucket counts sum to the record count");
+    }
+}
+
+#[cfg(not(feature = "metrics"))]
+mod disabled {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_empty_without_the_feature() {
+        let _guard = METRICS_LOCK.lock().unwrap();
+        scripted_run(EngineKind::Counting, 8, 40);
+        let snap = MetricsSnapshot::capture();
+        assert!(!metrics::enabled());
+        assert!(snap.is_empty(), "metrics-off build must observe nothing");
+        assert_eq!(snap.counter("broker.publishes"), None);
+        assert_eq!(snap.to_json(), "{\"counters\":{},\"histograms\":{}}");
+    }
+}

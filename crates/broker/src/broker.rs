@@ -91,6 +91,18 @@ impl Broker {
         Self::with_engine(Box::new(pubsub_core::ShardedMatcher::new(inner, shards)))
     }
 
+    /// Like [`Broker::new_sharded`] with an explicit supervision/backpressure
+    /// configuration for the sharded engine.
+    pub fn new_sharded_with(
+        inner: EngineKind,
+        shards: usize,
+        config: pubsub_core::ShardedConfig,
+    ) -> Self {
+        Self::with_engine(Box::new(pubsub_core::ShardedMatcher::with_config(
+            inner, shards, config,
+        )))
+    }
+
     /// Creates a broker around a caller-built engine.
     pub fn with_engine(engine: Box<dyn MatchEngine + Send>) -> Self {
         Self {
@@ -372,6 +384,12 @@ impl Broker {
     /// `None`.
     pub fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
         self.engine.shard_subscription_counts()
+    }
+
+    /// Robustness counters when the engine has supervised shard workers,
+    /// else `None`.
+    pub fn shard_health(&self) -> Option<pubsub_core::ShardHealth> {
+        self.engine.shard_health()
     }
 
     /// Convenience: builds an event from `(attr, value)` pairs.

@@ -32,10 +32,15 @@
 use crate::broker::Broker;
 use crate::time::{LogicalTime, Validity};
 use parking_lot::Mutex;
-use pubsub_core::EngineKind;
-use pubsub_types::{AttrId, Event, Subscription, SubscriptionId, Value, Vocabulary};
+use pubsub_core::{Backpressure, EngineKind};
+use pubsub_types::metrics::Counter;
+use pubsub_types::{AttrId, Event, ShardError, Subscription, SubscriptionId, Value, Vocabulary};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Shards skipped by a publish because their lock was contended
+/// (`Shed`/downgraded-`ErrorFast` policies only).
+static SHED_SHARDS: Counter = Counter::new("broker.shared.shed_shards");
 
 struct Inner {
     shards: Vec<Mutex<Broker>>,
@@ -44,6 +49,9 @@ struct Inner {
     next_shard: AtomicUsize,
     /// Recycled per-shard scratch for [`SharedBroker::publish_batch_into`].
     batch_scratch: Mutex<Vec<Vec<Vec<SubscriptionId>>>>,
+    /// Overload policy of the publish paths (subscribe/unsubscribe/clock
+    /// operations always block: they must not lose data).
+    backpressure: Backpressure,
 }
 
 /// A cloneable, thread-safe broker handle with per-shard locking.
@@ -66,6 +74,17 @@ impl SharedBroker {
     /// given kind (clamped to at least 1). Shard brokers run without an
     /// event store: this handle is the fire-and-forget publish surface.
     pub fn new(kind: EngineKind, shards: usize) -> Self {
+        Self::with_backpressure(kind, shards, Backpressure::Block)
+    }
+
+    /// Like [`SharedBroker::new`] with an explicit overload policy for the
+    /// publish paths: `Block` waits for each shard lock (lossless), `Shed`
+    /// skips shards whose lock is contended (bounded latency, possibly
+    /// missing matches), and `ErrorFast` makes
+    /// [`SharedBroker::try_publish_into`] fail with
+    /// [`ShardError::Overloaded`] on the first contended shard. The
+    /// infallible publish methods degrade `ErrorFast` to `Shed`.
+    pub fn with_backpressure(kind: EngineKind, shards: usize, backpressure: Backpressure) -> Self {
         let n = shards.max(1);
         let shards = (0..n)
             .map(|i| {
@@ -82,8 +101,14 @@ impl SharedBroker {
                 vocab: Mutex::new(Vocabulary::new()),
                 next_shard: AtomicUsize::new(0),
                 batch_scratch: Mutex::new(Vec::new()),
+                backpressure,
             }),
         }
+    }
+
+    /// The configured overload policy.
+    pub fn backpressure(&self) -> Backpressure {
+        self.inner.backpressure
     }
 
     /// Creates a broker with one shard per available hardware thread.
@@ -157,12 +182,58 @@ impl SharedBroker {
     /// Publishes an event, appending the matched ids to `out` (sorted by id
     /// within this publish). Locks one shard at a time and allocates nothing
     /// beyond what `out` needs.
+    ///
+    /// Infallible: under [`Backpressure::Shed`] (or `ErrorFast`, which this
+    /// path degrades to `Shed`) contended shards are skipped and counted,
+    /// and the result may be missing their matches.
     pub fn publish_into(&self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        let _ = self.publish_policed(event, out, false);
+    }
+
+    /// Publishes an event honouring the full [`Backpressure`] policy.
+    ///
+    /// Returns the number of shards skipped because their lock was contended
+    /// (always 0 under [`Backpressure::Block`]). Under
+    /// [`Backpressure::ErrorFast`] the first contended shard aborts the
+    /// publish with [`ShardError::Overloaded`] and `out` is left truncated
+    /// to its original length.
+    pub fn try_publish_into(
+        &self,
+        event: &Event,
+        out: &mut Vec<SubscriptionId>,
+    ) -> Result<usize, ShardError> {
+        self.publish_policed(event, out, true)
+    }
+
+    fn publish_policed(
+        &self,
+        event: &Event,
+        out: &mut Vec<SubscriptionId>,
+        error_fast: bool,
+    ) -> Result<usize, ShardError> {
         let start = out.len();
-        for shard in &self.inner.shards {
-            shard.lock().publish_into(event, out);
+        let block = self.inner.backpressure == Backpressure::Block;
+        let error_fast = error_fast && self.inner.backpressure == Backpressure::ErrorFast;
+        let mut skipped = 0usize;
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            if block {
+                shard.lock().publish_into(event, out);
+                continue;
+            }
+            match shard.try_lock() {
+                Some(mut broker) => broker.publish_into(event, out),
+                None if error_fast => {
+                    out.truncate(start);
+                    return Err(ShardError::Overloaded { shard: i });
+                }
+                None => {
+                    skipped += 1;
+                    SHED_SHARDS.inc();
+                }
+            }
         }
         out[start..].sort_unstable();
+        Ok(skipped)
     }
 
     /// Publishes a batch, returning one sorted match set per event. Each
@@ -186,9 +257,23 @@ impl SharedBroker {
         if events.is_empty() {
             return;
         }
+        let block = self.inner.backpressure == Backpressure::Block;
         let mut scratch = self.inner.batch_scratch.lock().pop().unwrap_or_default();
         for shard in &self.inner.shards {
-            shard.lock().publish_batch_into(events, &mut scratch);
+            // Batch publishes degrade ErrorFast to Shed, like `publish_into`.
+            let mut guard = if block {
+                shard.lock()
+            } else {
+                match shard.try_lock() {
+                    Some(guard) => guard,
+                    None => {
+                        SHED_SHARDS.inc();
+                        continue;
+                    }
+                }
+            };
+            guard.publish_batch_into(events, &mut scratch);
+            drop(guard);
             for (dst, src) in out.iter_mut().zip(&scratch) {
                 dst.extend_from_slice(src);
             }
@@ -320,6 +405,70 @@ mod tests {
         assert_eq!(expired, 8);
         assert_eq!(broker.subscription_count(), 0);
         assert_eq!(broker.now(), LogicalTime(5));
+    }
+
+    /// Holds shard 0's lock on this thread while `f` publishes from another
+    /// thread, so the non-blocking policies see real contention.
+    fn with_shard0_contended<R: Send + 'static>(
+        broker: &SharedBroker,
+        f: impl FnOnce(SharedBroker) -> R + Send + 'static,
+    ) -> R {
+        broker.with_shard(0, |_locked| {
+            let clone = broker.clone();
+            std::thread::spawn(move || f(clone)).join().unwrap()
+        })
+    }
+
+    fn two_shard_broker(policy: Backpressure) -> (SharedBroker, Event, Vec<SubscriptionId>) {
+        let broker = SharedBroker::with_backpressure(EngineKind::Counting, 2, policy);
+        let attr = broker.attr("bp");
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            let sub = Subscription::builder().eq(attr, 1i64).build().unwrap();
+            ids.push(broker.subscribe(sub, Validity::forever()));
+        }
+        let event = Event::builder().pair(attr, 1i64).build().unwrap();
+        (broker, event, ids)
+    }
+
+    #[test]
+    fn block_policy_waits_for_every_shard() {
+        let (broker, event, ids) = two_shard_broker(Backpressure::Block);
+        let mut out = Vec::new();
+        let skipped = broker.try_publish_into(&event, &mut out).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(out, ids);
+    }
+
+    #[test]
+    fn shed_policy_skips_contended_shard() {
+        let (broker, event, ids) = two_shard_broker(Backpressure::Shed);
+        let (skipped, out) = with_shard0_contended(&broker, move |b| {
+            let mut out = Vec::new();
+            let skipped = b.try_publish_into(&event, &mut out).unwrap();
+            (skipped, out)
+        });
+        assert_eq!(skipped, 1, "shard 0 was locked");
+        assert_eq!(out, vec![ids[1]], "shard 1 still answered");
+    }
+
+    #[test]
+    fn error_fast_policy_reports_overload() {
+        let (broker, event, ids) = two_shard_broker(Backpressure::ErrorFast);
+        let ev = event.clone();
+        let (err, out) = with_shard0_contended(&broker, move |b| {
+            let mut out = Vec::new();
+            let err = b.try_publish_into(&ev, &mut out).unwrap_err();
+            (err, out)
+        });
+        assert_eq!(err, ShardError::Overloaded { shard: 0 });
+        assert!(out.is_empty(), "aborted publish reports no matches");
+        // The infallible path degrades ErrorFast to Shed under contention…
+        let ev = event.clone();
+        let degraded = with_shard0_contended(&broker, move |b| b.publish(&ev));
+        assert_eq!(degraded, vec![ids[1]]);
+        // …and is exact once the contention clears.
+        assert_eq!(broker.publish(&event), ids);
     }
 
     /// The ISSUE's stress shape: concurrent subscribers, publishers and a

@@ -1,0 +1,131 @@
+//! Broker-level recovery: the expiry clock, explicit unsubscribe and the
+//! supervised sharded engine must agree across shard rebuilds — an id the
+//! broker removed (for either reason) must never be resurrected by the
+//! shard's replay log.
+//!
+//! The rebuild-forcing tests are runtime-gated on the `faults` feature
+//! (`scripts/check.sh --chaos`); without it they reduce to no-ops.
+
+use std::sync::Mutex;
+
+use pubsub_broker::{Broker, LogicalTime, Validity};
+use pubsub_core::{EngineKind, FAULT_WORKER_MATCH};
+use pubsub_types::faults::{self, FaultAction, Schedule};
+use pubsub_types::{AttrId, Operator, Predicate, Subscription, Value};
+
+/// Serializes the tests that arm the process-global fault registry.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn sub(value: i64) -> Subscription {
+    Subscription::from_predicates(vec![Predicate::new(
+        AttrId(0),
+        Operator::Eq,
+        Value::Int(value),
+    )])
+    .unwrap()
+}
+
+#[test]
+fn shard_health_is_none_for_unsharded_and_clean_for_sharded() {
+    let broker = Broker::new(EngineKind::Counting);
+    assert!(broker.shard_health().is_none());
+
+    let broker = Broker::new_sharded(EngineKind::Counting, 2);
+    let health = broker
+        .shard_health()
+        .expect("sharded engines report health");
+    assert_eq!(health.worker_panics, 0);
+    assert_eq!(health.shard_rebuilds, 0);
+    assert_eq!(health.quarantined_events, 0);
+}
+
+/// Expired and explicitly unsubscribed ids must stay gone when a crashed
+/// shard is rebuilt from its subscription log — the log is maintained on
+/// the remove path too, so replay cannot resurrect them.
+#[test]
+fn expiry_and_unsubscribe_survive_shard_rebuild() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    faults::clear();
+
+    let mut broker = Broker::new_sharded(EngineKind::Counting, 2);
+    let mut keep = Vec::new();
+    let mut doomed = Vec::new();
+    for i in 0..16 {
+        if i % 2 == 0 {
+            keep.push(broker.subscribe(sub(1), Validity::forever()));
+        } else {
+            doomed.push(broker.subscribe(sub(1), Validity::until(LogicalTime(10))));
+        }
+    }
+    let dropped = keep.remove(0);
+    assert!(broker.unsubscribe(dropped));
+    let (expired, _) = broker.advance_to(LogicalTime(10));
+    assert_eq!(expired, doomed.len());
+
+    // Crash a shard on the next publish; the supervisor rebuilds it by
+    // replaying the log, which must no longer contain the removed ids.
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Panic,
+        Schedule::Nth(1),
+    );
+    let event = broker.event(vec![(AttrId(0), Value::Int(1))]).unwrap();
+    let matched = broker.publish(&event);
+    assert_eq!(matched, keep, "exact post-rebuild match set");
+
+    let health = broker.shard_health().unwrap();
+    assert!(health.shard_rebuilds >= 1, "the publish forced a rebuild");
+    assert!(health.worker_panics >= 1);
+
+    // The expiry clock keeps working against the rebuilt shard: a second
+    // wave of timed subscriptions dies on schedule.
+    let late = broker.subscribe(sub(1), Validity::until(LogicalTime(20)));
+    let matched = broker.publish(&event);
+    assert!(matched.contains(&late));
+    let (expired, _) = broker.advance_to(LogicalTime(20));
+    assert_eq!(expired, 1);
+    let matched = broker.publish(&event);
+    assert_eq!(matched, keep, "late subscription expired after the rebuild");
+    faults::clear();
+}
+
+/// A rebuild happening *before* the expiry tick must not detach the expiry
+/// heap from the engine: replay restores the still-valid subscription and
+/// the later tick still removes it from the rebuilt shard.
+#[test]
+fn expiry_fires_correctly_after_an_earlier_rebuild() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    faults::clear();
+
+    let mut broker = Broker::new_sharded(EngineKind::Counting, 1);
+    let keep = broker.subscribe(sub(1), Validity::forever());
+    let timed = broker.subscribe(sub(1), Validity::until(LogicalTime(5)));
+
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Panic,
+        Schedule::Nth(1),
+    );
+    let event = broker.event(vec![(AttrId(0), Value::Int(1))]).unwrap();
+    let matched = broker.publish(&event);
+    assert_eq!(matched, vec![keep, timed], "replay restored the timed sub");
+    assert!(broker.shard_health().unwrap().shard_rebuilds >= 1);
+
+    let (expired, _) = broker.advance_to(LogicalTime(5));
+    assert_eq!(expired, 1);
+    let matched = broker.publish(&event);
+    assert_eq!(
+        matched,
+        vec![keep],
+        "expiry removed it from the rebuilt shard"
+    );
+    faults::clear();
+}

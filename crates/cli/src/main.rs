@@ -11,19 +11,26 @@
 //! unsub d0
 //! tick 5
 //! stats
+//! chaos arm core.sharded.worker.match panic nth=1
 //! help
 //! quit
 //! ```
 //!
-//! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine] [--shards N]`
-//! where `engine` is one of `counting`, `propagation`, `propagation-wp`,
-//! `static`, `dynamic` (default). `--shards N` partitions the subscription
-//! set across `N` parallel shard engines; `stats` then also reports
-//! per-shard subscription counts.
+//! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine] [--shards N]
+//! [--backpressure block|shed|error-fast]` where `engine` is one of
+//! `counting`, `propagation`, `propagation-wp`, `static`, `dynamic`
+//! (default). `--shards N` partitions the subscription set across `N`
+//! supervised parallel shard engines; `stats` then also reports per-shard
+//! subscription counts and robustness counters (worker panics, shard
+//! rebuilds, quarantined events). `--backpressure` selects the sharded
+//! engine's overload policy. The `chaos` command drives the deterministic
+//! fault-injection registry when the binary is built with
+//! `--features faults`.
 
 use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, Validity};
-use pubsub_core::EngineKind;
+use pubsub_core::{Backpressure, EngineKind, ShardedConfig};
 use pubsub_lang::{parse_event, parse_subscription};
+use pubsub_types::faults::{self, FaultAction, Schedule};
 use pubsub_types::metrics::MetricsSnapshot;
 use std::io::{BufRead, Write};
 
@@ -34,12 +41,23 @@ struct Cli {
 
 impl Cli {
     /// `shards == 0` runs the engine unsharded; `shards >= 1` runs it behind
-    /// a sharded worker pool.
+    /// a supervised sharded worker pool with the default overload policy.
+    #[cfg(test)]
     fn with_shards(kind: EngineKind, shards: usize) -> Self {
+        Self::with_options(kind, shards, Backpressure::Block)
+    }
+
+    /// Like [`Cli::with_shards`] with an explicit overload policy for the
+    /// sharded engine (ignored when `shards == 0`).
+    fn with_options(kind: EngineKind, shards: usize, backpressure: Backpressure) -> Self {
         let broker = if shards == 0 {
             Broker::new(kind)
         } else {
-            Broker::new_sharded(kind, shards)
+            let config = ShardedConfig {
+                backpressure,
+                ..ShardedConfig::default()
+            };
+            Broker::new_sharded_with(kind, shards, config)
         };
         Self {
             broker,
@@ -64,6 +82,7 @@ impl Cli {
             "unsub" | "unsubscribe" => self.cmd_unsubscribe(rest),
             "tick" => self.cmd_tick(rest),
             "stats" => self.cmd_stats(rest),
+            "chaos" => self.cmd_chaos(rest),
             "help" => Ok(HELP.to_string()),
             "quit" | "exit" => return None,
             other => Err(format!("unknown command `{other}` (try `help`)")),
@@ -145,6 +164,56 @@ impl Cli {
         ))
     }
 
+    /// `chaos [status|clear|arm <point> <action> <schedule> [lane=<n>]]`:
+    /// drives the deterministic fault-injection registry. Actions are
+    /// `panic`, `corrupt`, `delay=<ms>`; schedules are `nth=<n>`,
+    /// `every=<n>`, `seed=<seed>,<ppm>`. Requires `--features faults` to
+    /// arm; `status`/`clear` always work.
+    fn cmd_chaos(&mut self, rest: &str) -> Result<String, String> {
+        let mut toks = rest.split_whitespace();
+        match toks.next() {
+            None | Some("status") => Ok(format!(
+                "fault injection {}; {} rule(s) armed",
+                if faults::enabled() {
+                    "enabled"
+                } else {
+                    "unavailable (build with --features faults)"
+                },
+                faults::armed()
+            )),
+            Some("clear") => {
+                faults::clear();
+                Ok("cleared all fault rules".into())
+            }
+            Some("arm") => {
+                if !faults::enabled() {
+                    return Err(
+                        "fault injection unavailable; rebuild with --features faults".into(),
+                    );
+                }
+                const USAGE: &str = "usage: chaos arm <point> <action> <schedule> [lane=<n>]";
+                let point = toks.next().ok_or(USAGE)?;
+                let action = parse_fault_action(toks.next().ok_or(USAGE)?)?;
+                let schedule = parse_fault_schedule(toks.next().ok_or(USAGE)?)?;
+                let mut lane = None;
+                for tok in toks {
+                    let n = tok
+                        .strip_prefix("lane=")
+                        .ok_or_else(|| format!("unexpected token `{tok}` ({USAGE})"))?;
+                    lane = Some(n.parse::<usize>().map_err(|_| format!("bad lane `{n}`"))?);
+                }
+                faults::arm(point, lane, action, schedule);
+                Ok(format!(
+                    "armed {action:?} on {point} ({} rule(s) armed)",
+                    faults::armed()
+                ))
+            }
+            Some(other) => Err(format!(
+                "unknown chaos subcommand `{other}` (known: status clear arm)"
+            )),
+        }
+    }
+
     /// `stats [--json] [--metrics]`: engine statistics, optionally as a
     /// single-line JSON document and/or with the global `MetricsSnapshot`.
     fn cmd_stats(&mut self, rest: &str) -> Result<String, String> {
@@ -181,6 +250,21 @@ impl Cli {
                 ",\"phase1_nanos\":{},\"phase2_nanos\":{}",
                 s.phase1_nanos, s.phase2_nanos
             ));
+            if let Some(h) = self.broker.shard_health() {
+                out.push_str(&format!(
+                    ",\"robustness\":{{\"degraded_matches\":{},\"quarantined_events\":{},\
+                     \"replayed_subscriptions\":{},\"sealed_shards\":{},\"shard_rebuilds\":{},\
+                     \"shed_requests\":{},\"spawn_fallbacks\":{},\"worker_panics\":{}}}",
+                    h.degraded_matches,
+                    h.quarantined_events,
+                    h.replayed_subscriptions,
+                    h.sealed_shards,
+                    h.shard_rebuilds,
+                    h.shed_requests,
+                    h.spawn_fallbacks,
+                    h.worker_panics,
+                ));
+            }
             if let Some(counts) = self.broker.shard_subscription_counts() {
                 let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
                 out.push_str(&format!(",\"shards\":[{}]", list.join(",")));
@@ -217,6 +301,26 @@ impl Cli {
                 counts.len()
             ));
         }
+        if let Some(h) = self.broker.shard_health() {
+            out.push_str(&format!(
+                "\nrobustness: panics {}  rebuilds {}  replayed {}  quarantined {}  \
+                 degraded {}  shed {}  spawn-fallbacks {}  sealed {}",
+                h.worker_panics,
+                h.shard_rebuilds,
+                h.replayed_subscriptions,
+                h.quarantined_events,
+                h.degraded_matches,
+                h.shed_requests,
+                h.spawn_fallbacks,
+                h.sealed_shards,
+            ));
+            if !h.last_quarantined.is_empty() {
+                out.push_str(&format!(
+                    "  (holding last {} quarantined event(s))",
+                    h.last_quarantined.len()
+                ));
+            }
+        }
         if metrics {
             let snap = MetricsSnapshot::capture();
             if snap.is_empty() {
@@ -235,6 +339,42 @@ impl Cli {
     }
 }
 
+fn parse_fault_action(s: &str) -> Result<FaultAction, String> {
+    if let Some(ms) = s.strip_prefix("delay=") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad delay `{ms}`"))?;
+        return Ok(FaultAction::Delay(ms));
+    }
+    match s {
+        "panic" => Ok(FaultAction::Panic),
+        "corrupt" => Ok(FaultAction::Corrupt),
+        other => Err(format!(
+            "unknown action `{other}` (known: panic corrupt delay=<ms>)"
+        )),
+    }
+}
+
+fn parse_fault_schedule(s: &str) -> Result<Schedule, String> {
+    if let Some(n) = s.strip_prefix("nth=") {
+        let n: u64 = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+        return Ok(Schedule::Nth(n));
+    }
+    if let Some(n) = s.strip_prefix("every=") {
+        let n: u64 = n.parse().map_err(|_| format!("bad count `{n}`"))?;
+        return Ok(Schedule::EveryNth(n));
+    }
+    if let Some(rest) = s.strip_prefix("seed=") {
+        let (seed, ppm) = rest
+            .split_once(',')
+            .ok_or_else(|| format!("bad seed schedule `{rest}` (want seed=<seed>,<ppm>)"))?;
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+        let prob_ppm: u32 = ppm.parse().map_err(|_| format!("bad ppm `{ppm}`"))?;
+        return Ok(Schedule::Seeded { seed, prob_ppm });
+    }
+    Err(format!(
+        "unknown schedule `{s}` (known: nth=<n> every=<n> seed=<seed>,<ppm>)"
+    ))
+}
+
 const HELP: &str = "\
 commands:
   sub <expr>     register a subscription, e.g.  sub price <= 10 AND movie = 'up'
@@ -244,13 +384,23 @@ commands:
   tick [n]       advance the logical clock (expires validities)
   stats          engine statistics; `--json` for machine-readable output,
                  `--metrics` to include the global metrics snapshot
-                 (requires building with `--features metrics`)
+                 (requires building with `--features metrics`); sharded
+                 engines also report robustness counters (panics, rebuilds,
+                 quarantined events)
+  chaos          fault injection (requires `--features faults`):
+                 `chaos status`, `chaos clear`,
+                 `chaos arm <point> <action> <schedule> [lane=<n>]` with
+                 action panic|corrupt|delay=<ms>, schedule
+                 nth=<n>|every=<n>|seed=<seed>,<ppm>; points include
+                 core.sharded.worker.op, core.sharded.worker.match,
+                 core.sharded.spawn (lane = shard index)
   help           this text
   quit           exit";
 
 fn main() {
     let mut kind = EngineKind::Dynamic;
     let mut shards = 0usize;
+    let mut backpressure = Backpressure::Block;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -261,10 +411,17 @@ fn main() {
                     .parse()
                     .expect("integer shard count");
             }
+            "--backpressure" => {
+                backpressure = args
+                    .next()
+                    .expect("--backpressure needs a value")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
             other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
         }
     }
-    let mut cli = Cli::with_shards(kind, shards);
+    let mut cli = Cli::with_options(kind, shards, backpressure);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = std::env::var_os("PUBSUB_NO_PROMPT").is_none();
@@ -395,6 +552,69 @@ mod tests {
             assert!(r.contains("\"broker.publishes\":"), "{r}");
         }
         assert!(run(&mut cli, "stats --bogus").starts_with("error:"));
+    }
+
+    #[test]
+    fn sharded_stats_report_robustness() {
+        let mut cli = Cli::with_options(EngineKind::Counting, 2, Backpressure::Shed);
+        run(&mut cli, "sub a = 1");
+        let r = run(&mut cli, "stats");
+        assert!(r.contains("robustness: panics 0"), "{r}");
+        let r = run(&mut cli, "stats --json");
+        assert!(r.contains("\"robustness\":{\"degraded_matches\":0"), "{r}");
+        assert!(r.contains("\"worker_panics\":0}"), "{r}");
+        // Key order stays ascending around the new key.
+        let robustness = r.find("\"robustness\"").unwrap();
+        assert!(r.find("\"phase2_nanos\"").unwrap() < robustness, "{r}");
+        assert!(robustness < r.find("\"shards\"").unwrap(), "{r}");
+        // Unsharded brokers have no robustness section.
+        let mut plain = Cli::with_shards(EngineKind::Counting, 0);
+        assert!(!run(&mut plain, "stats --json").contains("robustness"));
+    }
+
+    #[test]
+    fn chaos_command_status_arm_clear() {
+        let mut cli = Cli::with_shards(EngineKind::Counting, 2);
+        let r = run(&mut cli, "chaos");
+        assert!(r.contains("fault injection"), "{r}");
+        assert_eq!(run(&mut cli, "chaos clear"), "cleared all fault rules");
+        assert!(run(&mut cli, "chaos bogus").starts_with("error:"));
+        assert!(run(&mut cli, "chaos arm").starts_with("error:"));
+        if !faults::enabled() {
+            // Arming requires the compiled-in registry.
+            let r = run(&mut cli, "chaos arm p panic nth=1");
+            assert!(r.starts_with("error:"), "{r}");
+            return;
+        }
+        run(&mut cli, "sub a = 1");
+        let r = run(&mut cli, "chaos arm core.sharded.worker.match panic nth=1");
+        assert!(r.starts_with("armed Panic"), "{r}");
+        // The armed panic fires at some match fan-out (this publish, unless
+        // a concurrently running test consumed the one-shot rule first);
+        // either way the supervised engine answers exactly.
+        assert_eq!(run(&mut cli, "pub {a: 1}"), "matched: s0");
+        let r = run(&mut cli, "stats --json");
+        assert!(r.contains("\"robustness\":{"), "{r}");
+        run(&mut cli, "chaos clear");
+        assert_eq!(run(&mut cli, "pub {a: 1}"), "matched: s0");
+    }
+
+    #[test]
+    fn chaos_parsers_reject_garbage() {
+        assert!(parse_fault_action("panic").is_ok());
+        assert!(parse_fault_action("corrupt").is_ok());
+        assert_eq!(parse_fault_action("delay=25"), Ok(FaultAction::Delay(25)));
+        assert!(parse_fault_action("explode").is_err());
+        assert_eq!(parse_fault_schedule("nth=3"), Ok(Schedule::Nth(3)));
+        assert_eq!(parse_fault_schedule("every=2"), Ok(Schedule::EveryNth(2)));
+        assert_eq!(
+            parse_fault_schedule("seed=42,1000"),
+            Ok(Schedule::Seeded {
+                seed: 42,
+                prob_ppm: 1000
+            })
+        );
+        assert!(parse_fault_schedule("sometimes").is_err());
     }
 
     #[test]

@@ -118,6 +118,13 @@ pub trait MatchEngine {
     fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
         None
     }
+
+    /// Robustness counters, for engines with supervised fallible workers
+    /// ([`crate::sharded::ShardedMatcher`]). `None` for engines that run in
+    /// the caller's thread and cannot partially fail.
+    fn shard_health(&self) -> Option<crate::sharded::ShardHealth> {
+        None
+    }
 }
 
 impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
@@ -153,6 +160,9 @@ impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
     }
     fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
         (**self).shard_subscription_counts()
+    }
+    fn shard_health(&self) -> Option<crate::sharded::ShardHealth> {
+        (**self).shard_health()
     }
 }
 

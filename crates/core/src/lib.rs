@@ -37,5 +37,8 @@ pub use clustered::{ClusteredMatcher, DynamicConfig};
 pub use counting::CountingMatcher;
 pub use engine::{EngineKind, EngineStats, MatchEngine};
 pub use propagation::PropagationMatcher;
-pub use sharded::{default_shards, ShardedMatcher};
+pub use sharded::{
+    default_shards, Backpressure, MatchReport, QuarantinedEvent, ShardHealth, ShardedConfig,
+    ShardedMatcher, FAULT_SPAWN, FAULT_WORKER_MATCH, FAULT_WORKER_OP,
+};
 pub use tables::MultiAttrTable;

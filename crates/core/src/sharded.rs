@@ -1,4 +1,4 @@
-//! Subscription-sharded parallel matching.
+//! Subscription-sharded parallel matching with shard supervision.
 //!
 //! [`ShardedMatcher`] partitions the subscription set across `N` shards by a
 //! hash of the [`SubscriptionId`]; each shard owns a complete, independent
@@ -10,35 +10,76 @@
 //!
 //! # Execution model
 //!
-//! Each shard has a private FIFO request channel; replies funnel into one
-//! shared reply channel. Mutating operations that need no result
+//! Each shard has a private bounded FIFO request channel; replies funnel into
+//! one shared reply channel. Mutating operations that need no result
 //! (`insert`/`remove`) are fire-and-forget, so bulk loading proceeds in
 //! parallel across shards. `match_event` fans the event out to every shard
-//! and blocks until all `N` partial results arrive, then merges them sorted
-//! by [`SubscriptionId`]. Because the caller blocks for the full fan-in, the
-//! event is passed to workers by raw pointer — no per-event clone.
+//! and blocks until all live shards reply, then merges the partial results
+//! sorted by [`SubscriptionId`]. Because the caller blocks for the full
+//! fan-in, the event is passed to workers by raw pointer — no per-event
+//! clone.
 //!
 //! [`MatchEngine::match_batch_into`] ships a whole batch to each shard in a
 //! single request, amortising the channel round-trip and thread wakeup over
 //! the batch. Result buffers are recycled through an internal pool, so the
 //! steady state allocates nothing.
 //!
-//! # Panic handling
+//! # Supervision & recovery
 //!
-//! A worker whose engine panics (e.g. `remove` of an unknown id) enters a
-//! poisoned state: it answers every subsequent result-bearing request with
-//! the captured panic message, which the matcher re-raises on the calling
-//! thread — but only after every other in-flight shard reply has been
-//! collected, so no worker can still be reading a borrowed event when the
-//! caller unwinds. Panics from fire-and-forget operations therefore surface
-//! at the next synchronous operation rather than immediately.
+//! Shard workers are *supervised, fallible components*. The matcher keeps an
+//! authoritative per-shard subscription log (id → [`Subscription`]) beside
+//! each worker; the log, not the worker's engine, is the source of truth for
+//! the subscription set. When a worker's engine panics (a latent bug, an
+//! injected fault, a `remove` of an unknown id), the panic is contained by
+//! `catch_unwind` on the worker thread: the worker answers outstanding
+//! requests with a `Panic` reply and drains its queue. The matcher detects
+//! the crash at the next fan-in and **rebuilds** the shard: the dead thread
+//! is joined, a fresh worker with a fresh engine is spawned, the log is
+//! replayed into it, and a `Finalize` barrier (bounded by
+//! [`ShardedConfig::rebuild_wait`]) confirms the replay landed. Replies are
+//! tagged with a per-shard *epoch* so late replies from a previous
+//! incarnation are recognised and discarded.
+//!
+//! An event whose match panics a worker is retried once against the rebuilt
+//! shard; if it panics the shard *again* it is **quarantined** — counted,
+//! remembered in a bounded ring ([`ShardHealth::last_quarantined`]) and
+//! excluded from that shard's result — and the publish completes on the
+//! remaining shards with a degraded [`MatchReport`]. A shard whose rebuild
+//! itself fails (respawn error, replay panic, barrier timeout) is **sealed**:
+//! taken out of service, skipped by fan-outs, and lazily revived at the next
+//! synchronous operation.
+//!
+//! # Backpressure
+//!
+//! Request channels are bounded ([`ShardedConfig::queue_capacity`]).
+//! Inserts, removes and log replay always block — bounded memory, and no
+//! subscription is ever dropped. Match fan-outs follow the configured
+//! [`Backpressure`] policy: `Block` waits for queue space, `Shed` skips the
+//! congested shard and reports it in [`MatchReport::skipped_shards`], and
+//! `ErrorFast` makes [`ShardedMatcher::try_match_event`] return
+//! [`ShardError::Overloaded`] without matching (the infallible
+//! [`MatchEngine::match_event`] path degrades `ErrorFast` to `Shed`).
+//!
+//! # Fault injection
+//!
+//! Workers consult the deterministic fault registry
+//! ([`pubsub_types::faults`]) at named points — [`FAULT_WORKER_OP`] before
+//! every request, [`FAULT_WORKER_MATCH`] before match requests only, and
+//! [`FAULT_SPAWN`] at thread spawn — so chaos tests and the CLI `chaos`
+//! command can force panics, state corruption and delays at exact operation
+//! counts. With the `faults` cargo feature off (the default) every hook is
+//! an inlined no-op.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use pubsub_types::faults::{self, FaultAction};
 use pubsub_types::metrics::{Counter, Histogram};
-use pubsub_types::{Event, Subscription, SubscriptionId};
+use pubsub_types::{AttrId, Event, FxHashMap, ShardError, Subscription, SubscriptionId};
 
 use crate::engine::{EngineKind, EngineStats, MatchEngine};
 
@@ -50,9 +91,40 @@ static FANOUT_REQUESTS: Counter = Counter::new("core.sharded.fanout_requests");
 static JOINS: Counter = Counter::new("core.sharded.joins");
 /// Batch sizes submitted to `match_batch_into` (events per batch).
 static BATCH_SIZE: Histogram = Histogram::new("core.sharded.batch_size");
-/// Requests enqueued per shard channel (queue-depth proxy: fire-and-forget
-/// inserts/removes plus fan-out traffic).
+/// Requests enqueued per shard channel (fire-and-forget inserts/removes plus
+/// fan-out traffic plus rebuild replay).
 static QUEUED_REQUESTS: Counter = Counter::new("core.sharded.queued_requests");
+/// Shard request-queue depth observed at each enqueue.
+static QUEUE_DEPTH: Histogram = Histogram::new("core.sharded.queue_depth");
+/// Worker panics observed by the supervisor.
+static WORKER_PANICS: Counter = Counter::new("core.sharded.worker_panics");
+/// Shard rebuild attempts (log replay into a fresh worker).
+static SHARD_REBUILDS: Counter = Counter::new("core.sharded.shard_rebuilds");
+/// Subscriptions replayed from shard logs during rebuilds.
+static REPLAYED_SUBS: Counter = Counter::new("core.sharded.replayed_subscriptions");
+/// Events quarantined after panicking a shard twice.
+static QUARANTINED: Counter = Counter::new("core.sharded.quarantined_events");
+/// Matches that completed without results from at least one shard.
+static DEGRADED: Counter = Counter::new("core.sharded.degraded_matches");
+/// Match requests shed by the `Shed`/downgraded-`ErrorFast` policies.
+static SHED: Counter = Counter::new("core.sharded.shed_requests");
+/// Shard spawns that failed and reduced the shard count.
+static SPAWN_FALLBACKS: Counter = Counter::new("core.sharded.spawn_fallbacks");
+/// Single-event retries against a freshly rebuilt shard.
+static RETRIES: Counter = Counter::new("core.sharded.match_retries");
+/// Shards sealed (taken out of service after a failed rebuild).
+static SEALED: Counter = Counter::new("core.sharded.sealed_shards");
+
+/// Fault point hit once per worker request (insert, remove, match, batch,
+/// finalize, …). Lane = shard index.
+pub const FAULT_WORKER_OP: &str = "core.sharded.worker.op";
+/// Fault point hit once per match/batch request only — replay inserts during
+/// a rebuild never advance its schedules. Lane = shard index.
+pub const FAULT_WORKER_MATCH: &str = "core.sharded.worker.match";
+/// Fault point hit once per worker thread spawn attempt. Lane = the spawn
+/// attempt index (initial construction) or the shard index (rebuilds). Any
+/// armed action makes the spawn fail.
+pub const FAULT_SPAWN: &str = "core.sharded.spawn";
 
 // The raw-pointer fan-out below shares `&Event` across threads.
 const _: () = {
@@ -64,10 +136,11 @@ const _: () = {
 /// protocol.
 ///
 /// # Safety
-/// Only constructed inside `match_event`/`match_batch_into`, which do not
-/// return (or unwind) before every worker holding a copy has sent its reply,
-/// and workers drop the reference before replying. The pointee is therefore
-/// live for every dereference.
+/// Only constructed inside the match paths, which do not return (or unwind)
+/// before every worker holding a copy has sent its reply, and workers drop
+/// the reference before replying. The pointee is therefore live for every
+/// dereference. Replies from *previous* worker incarnations are filtered by
+/// epoch and recycled without ever dereferencing an `EventsRef`.
 #[derive(Clone, Copy)]
 struct EventsRef {
     ptr: *const Event,
@@ -100,7 +173,7 @@ struct BatchBuf {
 }
 
 enum Request {
-    Insert(SubscriptionId, Subscription),
+    Insert(SubscriptionId, Arc<Subscription>),
     Remove(SubscriptionId),
     Match(EventsRef, Vec<SubscriptionId>),
     MatchBatch(EventsRef, BatchBuf),
@@ -114,30 +187,64 @@ impl Request {
     fn wants_reply(&self) -> bool {
         !matches!(self, Request::Insert(..) | Request::Remove(..))
     }
+
+    fn is_match(&self) -> bool {
+        matches!(self, Request::Match(..) | Request::MatchBatch(..))
+    }
 }
 
+/// Every reply carries the worker's `(shard, epoch)` identity so the
+/// supervisor can discard replies from dead incarnations.
 enum Response {
     Match {
         shard: usize,
+        epoch: u64,
         out: Vec<SubscriptionId>,
         stats: EngineStats,
     },
     Batch {
         shard: usize,
+        epoch: u64,
         buf: BatchBuf,
         stats: EngineStats,
     },
     Ack {
         shard: usize,
+        epoch: u64,
         stats: EngineStats,
     },
     HeapBytes {
+        shard: usize,
+        epoch: u64,
         bytes: usize,
     },
     Panic {
         shard: usize,
+        epoch: u64,
         msg: String,
     },
+}
+
+impl Response {
+    fn shard(&self) -> usize {
+        match self {
+            Response::Match { shard, .. }
+            | Response::Batch { shard, .. }
+            | Response::Ack { shard, .. }
+            | Response::HeapBytes { shard, .. }
+            | Response::Panic { shard, .. } => *shard,
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Response::Match { epoch, .. }
+            | Response::Batch { epoch, .. }
+            | Response::Ack { epoch, .. }
+            | Response::HeapBytes { epoch, .. }
+            | Response::Panic { epoch, .. } => *epoch,
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -150,9 +257,42 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Consults the fault registry before a request is handled and performs the
+/// armed action, if any. Panics unwind into the worker's `catch_unwind`.
+fn injected_fault(engine: &mut Box<dyn MatchEngine + Send>, shard: usize, is_match: bool) {
+    // Hit both points unconditionally so each point's hit count depends only
+    // on how often the point is reached, never on what another rule fired.
+    let op = faults::hit(FAULT_WORKER_OP, shard);
+    let mat = if is_match {
+        faults::hit(FAULT_WORKER_MATCH, shard)
+    } else {
+        None
+    };
+    match op.or(mat) {
+        None => {}
+        Some(FaultAction::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::Panic) => panic!("injected fault: worker panic"),
+        Some(FaultAction::Corrupt) => {
+            // Damage the engine before unwinding: insert a junk subscription
+            // that is not in the authoritative log (and may collide with a
+            // live id), so resuming this engine instead of rebuilding from
+            // the log would produce wrong matches.
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let junk = Subscription::builder()
+                    .eq(AttrId(0), i64::MIN)
+                    .build()
+                    .expect("junk subscription is well-formed");
+                engine.insert(SubscriptionId(1), &junk);
+            }));
+            panic!("injected fault: corrupted engine state");
+        }
+    }
+}
+
 fn handle_request(
     engine: &mut Box<dyn MatchEngine + Send>,
     shard: usize,
+    epoch: u64,
     req: Request,
     reply: &Sender<Response>,
 ) {
@@ -165,7 +305,12 @@ fn handle_request(
             let events = unsafe { events.slice() };
             engine.match_event(&events[0], &mut out);
             let stats = *engine.stats();
-            let _ = reply.send(Response::Match { shard, out, stats });
+            let _ = reply.send(Response::Match {
+                shard,
+                epoch,
+                out,
+                stats,
+            });
         }
         Request::MatchBatch(events, mut buf) => {
             buf.flat.clear();
@@ -179,46 +324,77 @@ fn handle_request(
                 buf.offsets.push(buf.flat.len());
             }
             let stats = *engine.stats();
-            let _ = reply.send(Response::Batch { shard, buf, stats });
+            let _ = reply.send(Response::Batch {
+                shard,
+                epoch,
+                buf,
+                stats,
+            });
         }
         Request::Finalize => {
             engine.finalize();
             let stats = *engine.stats();
-            let _ = reply.send(Response::Ack { shard, stats });
+            let _ = reply.send(Response::Ack {
+                shard,
+                epoch,
+                stats,
+            });
         }
         Request::ResetStats => {
             engine.reset_stats();
             let stats = *engine.stats();
-            let _ = reply.send(Response::Ack { shard, stats });
+            let _ = reply.send(Response::Ack {
+                shard,
+                epoch,
+                stats,
+            });
         }
         Request::HeapBytes => {
             let bytes = engine.heap_bytes();
-            let _ = reply.send(Response::HeapBytes { bytes });
+            let _ = reply.send(Response::HeapBytes {
+                shard,
+                epoch,
+                bytes,
+            });
         }
     }
 }
 
-fn run_worker(kind: EngineKind, shard: usize, rx: Receiver<Request>, reply: Sender<Response>) {
+fn run_worker(
+    kind: EngineKind,
+    shard: usize,
+    epoch: u64,
+    rx: Receiver<Request>,
+    reply: Sender<Response>,
+    depth: Arc<AtomicUsize>,
+) {
     let mut engine = kind.build();
     while let Ok(req) = rx.recv() {
+        depth.fetch_sub(1, Ordering::Relaxed);
         let wants_reply = req.wants_reply();
+        let is_match = req.is_match();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&mut engine, shard, req, &reply)
+            injected_fault(&mut engine, shard, is_match);
+            handle_request(&mut engine, shard, epoch, req, &reply)
         }));
         if let Err(payload) = outcome {
             let msg = panic_message(payload);
             if wants_reply {
                 let _ = reply.send(Response::Panic {
                     shard,
+                    epoch,
                     msg: msg.clone(),
                 });
             }
-            // Poisoned: keep draining so the matcher's sends never fail and
-            // every result-bearing request still gets exactly one reply.
+            // Crashed: keep draining so the matcher's sends never block on a
+            // dead queue and every result-bearing request still gets exactly
+            // one reply, until the supervisor closes the channel to rebuild.
             while let Ok(req) = rx.recv() {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 if req.wants_reply() {
                     let _ = reply.send(Response::Panic {
                         shard,
+                        epoch,
                         msg: msg.clone(),
                     });
                 }
@@ -228,31 +404,209 @@ fn run_worker(kind: EngineKind, shard: usize, rx: Receiver<Request>, reply: Send
     }
 }
 
+/// Spawns one shard worker; `lane` feeds the [`FAULT_SPAWN`] injection point.
+fn spawn_worker(
+    kind: EngineKind,
+    shard: usize,
+    epoch: u64,
+    capacity: usize,
+    reply: &Sender<Response>,
+    lane: usize,
+) -> std::io::Result<(SyncSender<Request>, JoinHandle<()>, Arc<AtomicUsize>)> {
+    if faults::hit(FAULT_SPAWN, lane).is_some() {
+        return Err(std::io::Error::other(
+            "injected fault: worker spawn failure",
+        ));
+    }
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+    let reply = reply.clone();
+    let worker_depth = Arc::clone(&depth);
+    let join = std::thread::Builder::new()
+        .name(format!("shard-{shard}"))
+        .spawn(move || run_worker(kind, shard, epoch, rx, reply, worker_depth))?;
+    Ok((tx, join, depth))
+}
+
+/// What a fan-out does when a shard's bounded request queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Wait for queue space (lossless, unbounded latency).
+    #[default]
+    Block,
+    /// Skip the congested shard for this match and report it in
+    /// [`MatchReport::skipped_shards`] (bounded latency, degraded result).
+    Shed,
+    /// Make [`ShardedMatcher::try_match_event`] fail with
+    /// [`ShardError::Overloaded`] so the caller can back off. The infallible
+    /// [`MatchEngine::match_event`] path degrades this policy to [`Shed`].
+    ///
+    /// [`Shed`]: Backpressure::Shed
+    ErrorFast,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backpressure::Block => "block",
+            Backpressure::Shed => "shed",
+            Backpressure::ErrorFast => "error-fast",
+        })
+    }
+}
+
+impl std::str::FromStr for Backpressure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "block" => Backpressure::Block,
+            "shed" => Backpressure::Shed,
+            "error-fast" | "error_fast" | "errorfast" => Backpressure::ErrorFast,
+            other => return Err(format!("unknown backpressure policy: {other}")),
+        })
+    }
+}
+
+/// Tunables for [`ShardedMatcher`] supervision and overload control.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Bound of each shard's request queue.
+    pub queue_capacity: usize,
+    /// Policy applied when a match fan-out finds a shard queue full.
+    pub backpressure: Backpressure,
+    /// How long a rebuild waits for the replay barrier before sealing the
+    /// shard.
+    pub rebuild_wait: Duration,
+    /// How many recently quarantined events [`ShardHealth::last_quarantined`]
+    /// retains.
+    pub quarantine_ring: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
+            rebuild_wait: Duration::from_secs(10),
+            quarantine_ring: 8,
+        }
+    }
+}
+
+/// An event that panicked the same shard twice and was taken out of
+/// circulation.
+#[derive(Debug, Clone)]
+pub struct QuarantinedEvent {
+    /// Shard the event crashed (twice).
+    pub shard: usize,
+    /// The poison event itself.
+    pub event: Event,
+}
+
+/// Cumulative robustness counters of one [`ShardedMatcher`] (all counters
+/// are totals since construction, not gauges).
+#[derive(Debug, Clone, Default)]
+pub struct ShardHealth {
+    /// Worker panics observed by the supervisor.
+    pub worker_panics: u64,
+    /// Shard rebuild attempts (each replays the shard's subscription log
+    /// into a fresh worker).
+    pub shard_rebuilds: u64,
+    /// Subscriptions replayed from logs across all rebuilds.
+    pub replayed_subscriptions: u64,
+    /// Events quarantined after panicking a shard twice.
+    pub quarantined_events: u64,
+    /// Matches that completed without results from at least one shard.
+    pub degraded_matches: u64,
+    /// Match requests dropped by the `Shed` backpressure policy.
+    pub shed_requests: u64,
+    /// Worker spawns that failed during construction, reducing the shard
+    /// count below the requested one.
+    pub spawn_fallbacks: u64,
+    /// Times a shard was sealed (taken out of service by a failed rebuild).
+    pub sealed_shards: u64,
+    /// Most recent quarantined events, oldest first (bounded by
+    /// [`ShardedConfig::quarantine_ring`]).
+    pub last_quarantined: Vec<QuarantinedEvent>,
+    /// Message of the most recent worker panic.
+    pub last_panic: Option<String>,
+}
+
+/// Outcome of a supervised match: which shards contributed no result.
+///
+/// An empty report (`!is_degraded()`) means the match is exact. A degraded
+/// report still contains every match from the responsive shards — shards
+/// partition the subscriptions, so missing shards can only lose matches,
+/// never corrupt the ones reported.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    /// Shards that contributed nothing: sealed, shed by backpressure, or
+    /// crashed and not recovered in time. Sorted, duplicate-free.
+    pub skipped_shards: Vec<usize>,
+    /// Events quarantined during this match.
+    pub quarantined: u64,
+}
+
+impl MatchReport {
+    /// `true` when some shard contributed no result, i.e. the match may be
+    /// missing subscriptions.
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped_shards.is_empty() || self.quarantined > 0
+    }
+}
+
 struct ShardHandle {
-    tx: Option<Sender<Request>>,
+    tx: Option<SyncSender<Request>>,
     join: Option<JoinHandle<()>>,
+    /// Incarnation counter; bumped on every rebuild/seal so replies from
+    /// dead workers are recognisably stale.
+    epoch: u64,
+    /// Out of service after a failed rebuild; revived lazily.
+    sealed: bool,
+    /// Requests currently queued (shared with the worker).
+    depth: Arc<AtomicUsize>,
+    /// Authoritative subscription set of this shard, replayed on rebuild.
+    log: FxHashMap<SubscriptionId, Arc<Subscription>>,
+}
+
+/// Result of `fan_out`: current-epoch replies plus the shards that crashed,
+/// were skipped, or triggered `ErrorFast` overload.
+struct FanOut {
+    replies: Vec<Response>,
+    crashed: Vec<usize>,
+    skipped: Vec<usize>,
+    overload: Option<ShardError>,
+}
+
+enum RetryOutcome {
+    Matched(Vec<SubscriptionId>, EngineStats),
+    Quarantined,
+    Skipped,
 }
 
 /// A matching engine that partitions subscriptions across `N` independent
-/// shard engines running on persistent worker threads.
+/// shard engines running on supervised persistent worker threads.
 ///
-/// See the [module docs](crate::sharded) for the execution model. Unlike the
-/// single-threaded engines, `match_event` output is sorted by
-/// [`SubscriptionId`], so results are identical for every shard count.
+/// See the [module docs](crate::sharded) for the execution, supervision and
+/// backpressure models. Unlike the single-threaded engines, `match_event`
+/// output is sorted by [`SubscriptionId`], so results are identical for
+/// every shard count.
 ///
 /// `stats()` aggregates shard counters (`events` counts events once, not
 /// once per shard; phase timers sum CPU time across shards and so can exceed
 /// wall clock). Snapshots are refreshed at every synchronous operation
 /// (match, finalize, reset), so maintenance work done by fire-and-forget
-/// inserts appears once the next synchronous call completes.
+/// inserts appears once the next synchronous call completes. Robustness
+/// counters are reported by [`ShardedMatcher::health`].
 pub struct ShardedMatcher {
     shards: Vec<ShardHandle>,
+    reply_tx: Sender<Response>,
     reply_rx: Receiver<Response>,
     inner: EngineKind,
-    /// Locally tracked: total live subscriptions.
+    config: ShardedConfig,
+    /// Locally tracked: total live subscriptions (= sum of log sizes).
     len: usize,
-    /// Locally tracked: live subscriptions per shard.
-    shard_lens: Vec<usize>,
     /// Last stats snapshot received from each shard.
     shard_stats: Vec<EngineStats>,
     /// Events seen by the sharded engine itself (each shard also counts
@@ -260,43 +614,77 @@ pub struct ShardedMatcher {
     events_seen: u64,
     /// Aggregate of `shard_stats`, kept current so `stats()` can borrow it.
     agg: EngineStats,
+    /// Robustness counters, exposed via [`ShardedMatcher::health`].
+    health: ShardHealth,
     /// Recycled single-event result buffers.
     spare_bufs: Vec<Vec<SubscriptionId>>,
     /// Recycled batched result buffers.
     spare_batches: Vec<BatchBuf>,
+    /// Recycled per-fan-out sent mask.
+    scratch_sent: Vec<bool>,
 }
 
 impl ShardedMatcher {
     /// Creates a sharded engine with `shards` workers, each owning a fresh
-    /// engine of kind `inner`. `shards` is clamped to at least 1.
+    /// engine of kind `inner`, under the default [`ShardedConfig`].
+    /// `shards` is clamped to at least 1.
     pub fn new(inner: EngineKind, shards: usize) -> Self {
-        let n = shards.max(1);
+        Self::with_config(inner, shards, ShardedConfig::default())
+    }
+
+    /// Creates a sharded engine with an explicit [`ShardedConfig`].
+    ///
+    /// Spawn failures do not abort construction: a shard whose worker thread
+    /// cannot be spawned is dropped and the matcher continues with fewer
+    /// shards (counted in [`ShardHealth::spawn_fallbacks`]).
+    ///
+    /// # Panics
+    /// Panics only if *every* spawn attempt fails, because a matcher with
+    /// zero shards cannot make progress.
+    pub fn with_config(inner: EngineKind, shards: usize, config: ShardedConfig) -> Self {
+        let requested = shards.max(1);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let shards = (0..n)
-            .map(|i| {
-                let (tx, rx) = std::sync::mpsc::channel();
-                let reply = reply_tx.clone();
-                let join = std::thread::Builder::new()
-                    .name(format!("shard-{i}"))
-                    .spawn(move || run_worker(inner, i, rx, reply))
-                    .expect("spawn shard worker");
-                ShardHandle {
+        let mut handles: Vec<ShardHandle> = Vec::with_capacity(requested);
+        let mut spawn_fallbacks = 0u64;
+        for attempt in 0..requested {
+            let shard = handles.len();
+            match spawn_worker(inner, shard, 0, config.queue_capacity, &reply_tx, attempt) {
+                Ok((tx, join, depth)) => handles.push(ShardHandle {
                     tx: Some(tx),
                     join: Some(join),
+                    epoch: 0,
+                    sealed: false,
+                    depth,
+                    log: FxHashMap::default(),
+                }),
+                Err(_) => {
+                    spawn_fallbacks += 1;
+                    SPAWN_FALLBACKS.inc();
                 }
-            })
-            .collect();
+            }
+        }
+        assert!(
+            !handles.is_empty(),
+            "all {requested} shard worker spawns failed"
+        );
+        let n = handles.len();
         Self {
-            shards,
+            shards: handles,
+            reply_tx,
             reply_rx,
             inner,
+            config,
             len: 0,
-            shard_lens: vec![0; n],
             shard_stats: vec![EngineStats::default(); n],
             events_seen: 0,
             agg: EngineStats::default(),
+            health: ShardHealth {
+                spawn_fallbacks,
+                ..ShardHealth::default()
+            },
             spare_bufs: Vec::new(),
             spare_batches: Vec::new(),
+            scratch_sent: Vec::new(),
         }
     }
 
@@ -316,6 +704,21 @@ impl ShardedMatcher {
         self.inner
     }
 
+    /// The supervision/backpressure configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cumulative robustness counters.
+    pub fn health(&self) -> ShardHealth {
+        self.health.clone()
+    }
+
+    /// Number of shards currently sealed (out of service).
+    pub fn sealed_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.sealed).count()
+    }
+
     /// Which shard owns `id` (SplitMix64 finalizer over the raw id).
     fn shard_of(&self, id: SubscriptionId) -> usize {
         let mut z = (id.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -324,27 +727,47 @@ impl ShardedMatcher {
         ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
     }
 
-    /// Sends to one shard. Workers never exit while the matcher is alive
-    /// (poisoned workers keep draining), so a send failure is a bug.
-    fn send(&self, shard: usize, req: Request) {
+    /// Records an enqueue on `depth` and the queue-depth metrics.
+    fn note_send(depth: &AtomicUsize) {
+        let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
         QUEUED_REQUESTS.inc();
-        self.shards[shard]
-            .tx
-            .as_ref()
-            .expect("shard channel present until drop")
-            .send(req)
-            .expect("shard worker alive until drop");
+        QUEUE_DEPTH.record(d as u64);
     }
 
-    /// Receives one reply; `Panic` replies are stashed into `panic_msg`
-    /// instead of unwinding so callers can finish their join loop first.
-    fn recv(&self, panic_msg: &mut Option<String>) -> Option<Response> {
-        match self.reply_rx.recv().expect("shard worker alive until drop") {
-            Response::Panic { shard, msg } => {
-                panic_msg.get_or_insert(format!("shard {shard} worker panicked: {msg}"));
-                None
+    /// Blocking send to one live shard. Returns `false` (instead of
+    /// panicking) if the shard has no channel; crashed workers keep draining
+    /// their queue, so a send to a live channel never fails.
+    fn send_plain(&self, shard: usize, req: Request) -> bool {
+        let handle = &self.shards[shard];
+        match &handle.tx {
+            Some(tx) => {
+                Self::note_send(&handle.depth);
+                if tx.send(req).is_err() {
+                    handle.depth.fetch_sub(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
             }
-            other => Some(other),
+            None => false,
+        }
+    }
+
+    /// Returns a request's buffer to the recycling pools.
+    fn recycle_request(&mut self, req: Request) {
+        match req {
+            Request::Match(_, buf) => self.spare_bufs.push(buf),
+            Request::MatchBatch(_, buf) => self.spare_batches.push(buf),
+            _ => {}
+        }
+    }
+
+    /// Returns a response's buffer to the recycling pools.
+    fn recycle(&mut self, resp: Response) {
+        match resp {
+            Response::Match { out, .. } => self.spare_bufs.push(out),
+            Response::Batch { buf, .. } => self.spare_batches.push(buf),
+            _ => {}
         }
     }
 
@@ -364,30 +787,452 @@ impl ShardedMatcher {
         self.agg = agg;
     }
 
-    /// Fans a result-bearing request to every shard via `make`, then joins
-    /// all replies through `on_reply`, re-raising any worker panic only
-    /// after the fan-in completes.
-    fn broadcast(
-        &mut self,
-        make: impl Fn(&mut Self) -> Request,
-        mut on_reply: impl FnMut(&mut Self, Response),
-    ) {
+    /// Takes `shard` out of service: closes its channel, joins the worker,
+    /// and bumps the epoch so any straggler replies are stale.
+    fn seal(&mut self, shard: usize) {
+        let handle = &mut self.shards[shard];
+        handle.tx = None;
+        if let Some(join) = handle.join.take() {
+            let _ = join.join();
+        }
+        handle.epoch += 1;
+        if !handle.sealed {
+            handle.sealed = true;
+            self.health.sealed_shards += 1;
+            SEALED.inc();
+        }
+    }
+
+    /// Attempts one rebuild of every sealed shard. Called at the start of
+    /// each synchronous operation so sealed shards self-revive as soon as
+    /// the environment allows a successful spawn + replay.
+    fn revive_sealed(&mut self) {
         for shard in 0..self.shards.len() {
+            if self.shards[shard].sealed {
+                let _ = self.rebuild_shard(shard);
+            }
+        }
+    }
+
+    /// Replaces `shard`'s worker with a fresh one and replays the
+    /// authoritative log into it. Returns `true` on success; on failure the
+    /// shard is sealed and `false` is returned.
+    fn rebuild_shard(&mut self, shard: usize) -> bool {
+        self.health.shard_rebuilds += 1;
+        SHARD_REBUILDS.inc();
+        // Retire the old incarnation: closing the channel ends its drain
+        // loop; the epoch bump marks its in-flight replies stale.
+        {
+            let handle = &mut self.shards[shard];
+            handle.tx = None;
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+            handle.epoch += 1;
+            handle.sealed = false;
+        }
+        let epoch = self.shards[shard].epoch;
+        let (tx, join, depth) = match spawn_worker(
+            self.inner,
+            shard,
+            epoch,
+            self.config.queue_capacity,
+            &self.reply_tx,
+            shard,
+        ) {
+            Ok(spawned) => spawned,
+            Err(_) => {
+                self.seal(shard);
+                return false;
+            }
+        };
+        {
+            let handle = &mut self.shards[shard];
+            handle.tx = Some(tx.clone());
+            handle.join = Some(join);
+            handle.depth = Arc::clone(&depth);
+        }
+        // Replay the log. Replay sends always block: the queue bound caps
+        // memory and no subscription may be dropped.
+        let mut replayed = 0u64;
+        let mut send_failed = false;
+        for (&id, sub) in &self.shards[shard].log {
+            Self::note_send(&depth);
+            if tx.send(Request::Insert(id, Arc::clone(sub))).is_err() {
+                send_failed = true;
+                break;
+            }
+            replayed += 1;
+        }
+        // Barrier: a Finalize reply proves the replay landed (and re-runs
+        // the static optimizer where the inner engine has one). Bounded
+        // wait; on timeout or a replay panic the shard is sealed instead of
+        // wedging the publish path.
+        if !send_failed {
+            Self::note_send(&depth);
+            send_failed = tx.send(Request::Finalize).is_err();
+        }
+        // The worker's recv loop only observes disconnection once every
+        // sender is gone, and seal() joins the thread — so this local sender
+        // must die before any of the seal() calls below.
+        drop(tx);
+        self.health.replayed_subscriptions += replayed;
+        REPLAYED_SUBS.add(replayed);
+        if send_failed {
+            self.seal(shard);
+            return false;
+        }
+        loop {
+            match self.reply_rx.recv_timeout(self.config.rebuild_wait) {
+                Ok(resp) => {
+                    if resp.shard() != shard || resp.epoch() != epoch {
+                        self.recycle(resp);
+                        continue;
+                    }
+                    match resp {
+                        Response::Ack { stats, .. } => {
+                            self.shard_stats[shard] = stats;
+                            return true;
+                        }
+                        Response::Panic { msg, .. } => {
+                            self.health.worker_panics += 1;
+                            WORKER_PANICS.inc();
+                            self.health.last_panic = Some(msg);
+                            self.seal(shard);
+                            return false;
+                        }
+                        other => self.recycle(other),
+                    }
+                }
+                Err(_) => {
+                    self.seal(shard);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Fans a result-bearing request to every live shard via `make`, then
+    /// joins all current-epoch replies. Crashed shards are reported, not
+    /// re-raised. `policed` applies the backpressure policy (match paths);
+    /// un-policed fan-outs (finalize, reset) always block.
+    fn fan_out(
+        &mut self,
+        mut make: impl FnMut(&mut Self) -> Request,
+        policed: bool,
+        error_fast: bool,
+    ) -> FanOut {
+        let n = self.shards.len();
+        let mut sent = std::mem::take(&mut self.scratch_sent);
+        sent.clear();
+        sent.resize(n, false);
+        let mut skipped = Vec::new();
+        let mut overload = None;
+        let mut sent_count = 0usize;
+        for (shard, shard_sent) in sent.iter_mut().enumerate() {
+            if self.shards[shard].sealed || self.shards[shard].tx.is_none() {
+                skipped.push(shard);
+                continue;
+            }
             let req = make(self);
             debug_assert!(req.wants_reply());
-            self.send(shard, req);
+            let use_try = policed && self.config.backpressure != Backpressure::Block;
+            if !use_try {
+                if self.send_plain(shard, req) {
+                    *shard_sent = true;
+                    sent_count += 1;
+                } else {
+                    skipped.push(shard);
+                }
+                continue;
+            }
+            // Shed / ErrorFast: never wait on a full queue.
+            let handle = &self.shards[shard];
+            let tx = handle.tx.as_ref().expect("checked above");
+            Self::note_send(&handle.depth);
+            match tx.try_send(req) {
+                Ok(()) => {
+                    *shard_sent = true;
+                    sent_count += 1;
+                }
+                Err(TrySendError::Full(req)) => {
+                    self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+                    if error_fast && self.config.backpressure == Backpressure::ErrorFast {
+                        overload.get_or_insert(ShardError::Overloaded { shard });
+                    } else {
+                        self.health.shed_requests += 1;
+                        SHED.inc();
+                    }
+                    self.recycle_request(req);
+                    skipped.push(shard);
+                }
+                Err(TrySendError::Disconnected(req)) => {
+                    self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+                    self.recycle_request(req);
+                    skipped.push(shard);
+                }
+            }
         }
-        FANOUT_REQUESTS.add(self.shards.len() as u64);
-        let mut panic_msg = None;
-        for _ in 0..self.shards.len() {
-            if let Some(resp) = self.recv(&mut panic_msg) {
-                on_reply(self, resp);
+        FANOUT_REQUESTS.add(sent_count as u64);
+        let mut replies = Vec::with_capacity(sent_count);
+        let mut crashed = Vec::new();
+        let mut received = 0usize;
+        while received < sent_count {
+            let resp = self
+                .reply_rx
+                .recv()
+                .expect("matcher holds a reply sender, channel never closes");
+            let shard = resp.shard();
+            if !sent[shard] || resp.epoch() != self.shards[shard].epoch {
+                self.recycle(resp);
+                continue;
+            }
+            received += 1;
+            if let Response::Panic { msg, .. } = resp {
+                crashed.push(shard);
+                self.health.worker_panics += 1;
+                WORKER_PANICS.inc();
+                self.health.last_panic = Some(msg);
+            } else {
+                replies.push(resp);
             }
         }
         JOINS.inc();
-        if let Some(msg) = panic_msg {
-            panic!("{msg}");
+        self.scratch_sent = sent;
+        FanOut {
+            replies,
+            crashed,
+            skipped,
+            overload,
         }
+    }
+
+    /// Re-issues a single-event match to a freshly rebuilt `shard`. A second
+    /// panic marks the event poisonous: the shard is rebuilt once more and
+    /// `Quarantined` is returned.
+    fn retry_single(&mut self, shard: usize, events: EventsRef) -> RetryOutcome {
+        let epoch = self.shards[shard].epoch;
+        let buf = self.spare_bufs.pop().unwrap_or_default();
+        if !self.send_plain(shard, Request::Match(events, buf)) {
+            return RetryOutcome::Skipped;
+        }
+        FANOUT_REQUESTS.inc();
+        loop {
+            let resp = self
+                .reply_rx
+                .recv()
+                .expect("matcher holds a reply sender, channel never closes");
+            if resp.shard() != shard || resp.epoch() != epoch {
+                self.recycle(resp);
+                continue;
+            }
+            match resp {
+                Response::Match { out, stats, .. } => return RetryOutcome::Matched(out, stats),
+                Response::Panic { msg, .. } => {
+                    self.health.worker_panics += 1;
+                    WORKER_PANICS.inc();
+                    self.health.last_panic = Some(msg);
+                    let _ = self.rebuild_shard(shard);
+                    return RetryOutcome::Quarantined;
+                }
+                other => self.recycle(other),
+            }
+        }
+    }
+
+    /// Records a poison event in the quarantine ring.
+    fn quarantine(&mut self, shard: usize, event: Event) {
+        self.health.quarantined_events += 1;
+        QUARANTINED.inc();
+        self.health
+            .last_quarantined
+            .push(QuarantinedEvent { shard, event });
+        let cap = self.config.quarantine_ring.max(1);
+        while self.health.last_quarantined.len() > cap {
+            self.health.last_quarantined.remove(0);
+        }
+    }
+
+    /// Fallible single-event match honouring the full backpressure policy:
+    /// under [`Backpressure::ErrorFast`] a congested shard makes this return
+    /// [`ShardError::Overloaded`] without matching. On success the
+    /// [`MatchReport`] states which shards (if any) contributed no result.
+    pub fn try_match_event(
+        &mut self,
+        event: &Event,
+        out: &mut Vec<SubscriptionId>,
+    ) -> Result<MatchReport, ShardError> {
+        self.match_event_inner(event, out, true)
+    }
+
+    fn match_event_inner(
+        &mut self,
+        event: &Event,
+        out: &mut Vec<SubscriptionId>,
+        error_fast: bool,
+    ) -> Result<MatchReport, ShardError> {
+        self.revive_sealed();
+        self.events_seen += 1;
+        EVENTS.inc();
+        let events = EventsRef::new(std::slice::from_ref(event));
+        let merge_start = out.len();
+        let fan = self.fan_out(
+            |this| Request::Match(events, this.spare_bufs.pop().unwrap_or_default()),
+            true,
+            error_fast,
+        );
+        if let Some(err) = fan.overload {
+            // Abort: recycle what already arrived and restore service on
+            // crashed shards, but report nothing — the caller backs off.
+            for resp in fan.replies {
+                self.recycle(resp);
+            }
+            for shard in fan.crashed {
+                let _ = self.rebuild_shard(shard);
+            }
+            out.truncate(merge_start);
+            self.events_seen -= 1;
+            return Err(err);
+        }
+        let mut report = MatchReport {
+            skipped_shards: fan.skipped,
+            quarantined: 0,
+        };
+        for resp in fan.replies {
+            match resp {
+                Response::Match {
+                    shard,
+                    out: part,
+                    stats,
+                    ..
+                } => {
+                    out.extend_from_slice(&part);
+                    self.shard_stats[shard] = stats;
+                    self.spare_bufs.push(part);
+                }
+                other => self.recycle(other),
+            }
+        }
+        for shard in fan.crashed {
+            RETRIES.inc();
+            if !self.rebuild_shard(shard) {
+                report.skipped_shards.push(shard);
+                continue;
+            }
+            match self.retry_single(shard, events) {
+                RetryOutcome::Matched(part, stats) => {
+                    out.extend_from_slice(&part);
+                    self.shard_stats[shard] = stats;
+                    self.spare_bufs.push(part);
+                }
+                RetryOutcome::Quarantined => {
+                    self.quarantine(shard, event.clone());
+                    report.quarantined += 1;
+                    report.skipped_shards.push(shard);
+                }
+                RetryOutcome::Skipped => report.skipped_shards.push(shard),
+            }
+        }
+        report.skipped_shards.sort_unstable();
+        report.skipped_shards.dedup();
+        if report.is_degraded() {
+            self.health.degraded_matches += 1;
+            DEGRADED.inc();
+        }
+        // Deterministic merge: shards are disjoint, so sorting the
+        // concatenation yields a duplicate-free, shard-count-independent
+        // result.
+        out[merge_start..].sort_unstable();
+        self.refresh_aggregate();
+        Ok(report)
+    }
+
+    fn match_batch_inner(
+        &mut self,
+        events: &[Event],
+        out: &mut Vec<Vec<SubscriptionId>>,
+    ) -> MatchReport {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        for dst in out.iter_mut() {
+            dst.clear();
+        }
+        if events.is_empty() {
+            return MatchReport::default();
+        }
+        self.revive_sealed();
+        self.events_seen += events.len() as u64;
+        EVENTS.add(events.len() as u64);
+        BATCH_SIZE.record(events.len() as u64);
+        let events_ref = EventsRef::new(events);
+        let fan = self.fan_out(
+            |this| Request::MatchBatch(events_ref, this.spare_batches.pop().unwrap_or_default()),
+            true,
+            false,
+        );
+        let mut report = MatchReport {
+            skipped_shards: fan.skipped,
+            quarantined: 0,
+        };
+        for resp in fan.replies {
+            match resp {
+                Response::Batch {
+                    shard, buf, stats, ..
+                } => {
+                    let mut start = 0;
+                    for (dst, &end) in out.iter_mut().zip(&buf.offsets) {
+                        dst.extend_from_slice(&buf.flat[start..end]);
+                        start = end;
+                    }
+                    self.shard_stats[shard] = stats;
+                    self.spare_batches.push(buf);
+                }
+                other => self.recycle(other),
+            }
+        }
+        // A crashed shard is retried event-by-event so the poison event can
+        // be isolated and quarantined while its innocent neighbours still
+        // contribute their matches.
+        for shard in fan.crashed {
+            RETRIES.inc();
+            if !self.rebuild_shard(shard) {
+                report.skipped_shards.push(shard);
+                continue;
+            }
+            let mut shard_incomplete = false;
+            for (i, event) in events.iter().enumerate() {
+                let single = EventsRef::new(std::slice::from_ref(event));
+                match self.retry_single(shard, single) {
+                    RetryOutcome::Matched(part, stats) => {
+                        out[i].extend_from_slice(&part);
+                        self.shard_stats[shard] = stats;
+                        self.spare_bufs.push(part);
+                    }
+                    RetryOutcome::Quarantined => {
+                        self.quarantine(shard, event.clone());
+                        report.quarantined += 1;
+                        shard_incomplete = true;
+                    }
+                    RetryOutcome::Skipped => {
+                        shard_incomplete = true;
+                    }
+                }
+            }
+            if shard_incomplete {
+                report.skipped_shards.push(shard);
+            }
+        }
+        report.skipped_shards.sort_unstable();
+        report.skipped_shards.dedup();
+        if report.is_degraded() {
+            self.health.degraded_matches += 1;
+            DEGRADED.inc();
+        }
+        for dst in out.iter_mut() {
+            dst.sort_unstable();
+        }
+        self.refresh_aggregate();
+        report
     }
 }
 
@@ -398,83 +1243,42 @@ impl MatchEngine for ShardedMatcher {
 
     fn insert(&mut self, id: SubscriptionId, sub: &Subscription) {
         let shard = self.shard_of(id);
-        self.send(shard, Request::Insert(id, sub.clone()));
-        self.shard_lens[shard] += 1;
-        self.len += 1;
+        let sub = Arc::new(sub.clone());
+        if self.shards[shard]
+            .log
+            .insert(id, Arc::clone(&sub))
+            .is_none()
+        {
+            self.len += 1;
+        }
+        // A sealed shard has no worker; the log entry alone suffices — the
+        // revival replay delivers it.
+        if !self.shards[shard].sealed {
+            self.send_plain(shard, Request::Insert(id, sub));
+        }
     }
 
     fn remove(&mut self, id: SubscriptionId) {
         let shard = self.shard_of(id);
-        self.send(shard, Request::Remove(id));
-        self.shard_lens[shard] = self.shard_lens[shard].saturating_sub(1);
-        self.len = self.len.saturating_sub(1);
+        if self.shards[shard].log.remove(&id).is_some() {
+            self.len -= 1;
+        }
+        // Forwarded even when the log never held `id`: the engine contract
+        // says unknown removes panic, and the supervisor turns that panic
+        // into a rebuild instead of poisoning the caller.
+        if !self.shards[shard].sealed {
+            self.send_plain(shard, Request::Remove(id));
+        }
     }
 
     fn match_event(&mut self, event: &Event, out: &mut Vec<SubscriptionId>) {
-        self.events_seen += 1;
-        EVENTS.inc();
-        let events = EventsRef::new(std::slice::from_ref(event));
-        let merge_start = out.len();
-        self.broadcast(
-            |this| {
-                let buf = this.spare_bufs.pop().unwrap_or_default();
-                Request::Match(events, buf)
-            },
-            |this, resp| match resp {
-                Response::Match {
-                    shard,
-                    out: part,
-                    stats,
-                } => {
-                    out.extend_from_slice(&part);
-                    this.shard_stats[shard] = stats;
-                    this.spare_bufs.push(part);
-                }
-                _ => unreachable!("match fan-out only yields match replies"),
-            },
-        );
-        // Deterministic merge: shards are disjoint, so sorting the
-        // concatenation yields a duplicate-free, shard-count-independent
-        // result.
-        out[merge_start..].sort_unstable();
-        self.refresh_aggregate();
+        // Infallible trait path: ErrorFast degrades to Shed, degraded
+        // results are visible through `health()` and `shard_health()`.
+        let _ = self.match_event_inner(event, out, false);
     }
 
     fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
-        out.resize_with(events.len(), Vec::new);
-        out.truncate(events.len());
-        for dst in out.iter_mut() {
-            dst.clear();
-        }
-        if events.is_empty() {
-            return;
-        }
-        self.events_seen += events.len() as u64;
-        EVENTS.add(events.len() as u64);
-        BATCH_SIZE.record(events.len() as u64);
-        let events_ref = EventsRef::new(events);
-        self.broadcast(
-            |this| {
-                let buf = this.spare_batches.pop().unwrap_or_default();
-                Request::MatchBatch(events_ref, buf)
-            },
-            |this, resp| match resp {
-                Response::Batch { shard, buf, stats } => {
-                    let mut start = 0;
-                    for (dst, &end) in out.iter_mut().zip(&buf.offsets) {
-                        dst.extend_from_slice(&buf.flat[start..end]);
-                        start = end;
-                    }
-                    this.shard_stats[shard] = stats;
-                    this.spare_batches.push(buf);
-                }
-                _ => unreachable!("batch fan-out only yields batch replies"),
-            },
-        );
-        for dst in out.iter_mut() {
-            dst.sort_unstable();
-        }
-        self.refresh_aggregate();
+        let _ = self.match_batch_inner(events, out);
     }
 
     fn len(&self) -> usize {
@@ -482,13 +1286,19 @@ impl MatchEngine for ShardedMatcher {
     }
 
     fn finalize(&mut self) {
-        self.broadcast(
-            |_| Request::Finalize,
-            |this, resp| match resp {
-                Response::Ack { shard, stats } => this.shard_stats[shard] = stats,
-                _ => unreachable!("finalize fan-out only yields acks"),
-            },
-        );
+        self.revive_sealed();
+        let fan = self.fan_out(|_| Request::Finalize, false, false);
+        for resp in fan.replies {
+            match resp {
+                Response::Ack { shard, stats, .. } => self.shard_stats[shard] = stats,
+                other => self.recycle(other),
+            }
+        }
+        // A rebuild ends in a Finalize barrier, so rebuilding a crashed
+        // shard here *is* its finalize.
+        for shard in fan.crashed {
+            let _ = self.rebuild_shard(shard);
+        }
         self.refresh_aggregate();
     }
 
@@ -497,36 +1307,74 @@ impl MatchEngine for ShardedMatcher {
     }
 
     fn reset_stats(&mut self) {
-        self.broadcast(
-            |_| Request::ResetStats,
-            |this, resp| match resp {
-                Response::Ack { shard, stats } => this.shard_stats[shard] = stats,
-                _ => unreachable!("reset fan-out only yields acks"),
-            },
-        );
+        self.revive_sealed();
+        let fan = self.fan_out(|_| Request::ResetStats, false, false);
+        for resp in fan.replies {
+            match resp {
+                Response::Ack { shard, stats, .. } => self.shard_stats[shard] = stats,
+                other => self.recycle(other),
+            }
+        }
+        for shard in fan.crashed {
+            let _ = self.rebuild_shard(shard);
+        }
         self.events_seen = 0;
         self.refresh_aggregate();
     }
 
     fn heap_bytes(&self) -> usize {
-        let mut total = 0;
-        let mut panic_msg = None;
-        for shard in 0..self.shards.len() {
-            self.send(shard, Request::HeapBytes);
-        }
-        for _ in 0..self.shards.len() {
-            if let Some(Response::HeapBytes { bytes }) = self.recv(&mut panic_msg) {
-                total += bytes;
+        // &self path: query live shards, skip sealed ones, never rebuild.
+        // A crashed worker's Panic reply counts as received (contributing 0).
+        let n = self.shards.len();
+        let mut sent = vec![false; n];
+        let mut sent_count = 0usize;
+        let mut total = 0usize;
+        for (shard, handle) in self.shards.iter().enumerate() {
+            // The authoritative log is supervisor-side heap.
+            total += handle.log.len()
+                * (std::mem::size_of::<(SubscriptionId, Arc<Subscription>)>()
+                    + std::mem::size_of::<Subscription>());
+            total += handle
+                .log
+                .values()
+                .map(|s| s.size() * std::mem::size_of::<pubsub_types::Predicate>())
+                .sum::<usize>();
+            if handle.sealed {
+                continue;
+            }
+            if self.send_plain(shard, Request::HeapBytes) {
+                sent[shard] = true;
+                sent_count += 1;
             }
         }
-        if let Some(msg) = panic_msg {
-            panic!("{msg}");
+        let mut received = 0usize;
+        while received < sent_count {
+            let resp = self
+                .reply_rx
+                .recv()
+                .expect("matcher holds a reply sender, channel never closes");
+            let shard = resp.shard();
+            if !sent[shard] || resp.epoch() != self.shards[shard].epoch {
+                continue; // stale; buffers cannot be recycled from &self
+            }
+            match resp {
+                Response::HeapBytes { bytes, .. } => {
+                    total += bytes;
+                    received += 1;
+                }
+                Response::Panic { .. } => received += 1,
+                _ => received += 1,
+            }
         }
         total
     }
 
     fn shard_subscription_counts(&self) -> Option<Vec<usize>> {
-        Some(self.shard_lens.clone())
+        Some(self.shards.iter().map(|s| s.log.len()).collect())
+    }
+
+    fn shard_health(&self) -> Option<ShardHealth> {
+        Some(self.health.clone())
     }
 }
 
@@ -639,14 +1487,72 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_surfaces_on_next_synchronous_op() {
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut m = ShardedMatcher::new(EngineKind::Counting, 2);
-            m.remove(SubscriptionId(42)); // unknown id: worker panics later
-            let mut out = Vec::new();
-            m.match_event(&event(&[(0, 1)]), &mut out);
-        }));
-        assert!(result.is_err());
+    fn worker_panic_self_heals_with_exact_results() {
+        let mut m = ShardedMatcher::new(EngineKind::Counting, 2);
+        for i in 0..32 {
+            m.insert(SubscriptionId(i), &eq_sub(0, (i % 2) as i64));
+        }
+        // Unknown-id removes panic both shard engines. The old matcher
+        // re-raised the panic at the next synchronous op; the supervised one
+        // rebuilds from the log and answers exactly.
+        m.remove(SubscriptionId(1000));
+        m.remove(SubscriptionId(1001));
+        m.remove(SubscriptionId(1002));
+        let mut out = Vec::new();
+        let report = m.try_match_event(&event(&[(0, 1)]), &mut out).unwrap();
+        assert!(!report.is_degraded(), "rebuilt shards answer in full");
+        let want: Vec<SubscriptionId> = (1..32).step_by(2).map(SubscriptionId).collect();
+        assert_eq!(out, want);
+        let health = m.health();
+        assert!(health.shard_rebuilds >= 1);
+        assert!(health.worker_panics >= 1);
+        assert!(health.last_panic.is_some());
+        assert_eq!(health.quarantined_events, 0, "events were innocent");
+        assert_eq!(m.sealed_shard_count(), 0);
+    }
+
+    #[test]
+    fn removed_id_stays_removed_across_rebuild() {
+        let mut m = ShardedMatcher::new(EngineKind::Counting, 1);
+        for i in 0..8 {
+            m.insert(SubscriptionId(i), &eq_sub(0, 5));
+        }
+        m.remove(SubscriptionId(3));
+        // Crash the only shard, forcing a rebuild from the log.
+        m.remove(SubscriptionId(999));
+        let mut out = Vec::new();
+        m.match_event(&event(&[(0, 5)]), &mut out);
+        assert!(!out.contains(&SubscriptionId(3)), "no resurrection");
+        assert_eq!(out.len(), 7);
+        assert!(m.health().shard_rebuilds >= 1);
+    }
+
+    #[test]
+    fn healthy_matcher_reports_clean_health() {
+        let mut m = ShardedMatcher::new(EngineKind::Dynamic, 3);
+        m.insert(SubscriptionId(0), &eq_sub(0, 1));
+        let mut out = Vec::new();
+        let report = m.try_match_event(&event(&[(0, 1)]), &mut out).unwrap();
+        assert!(!report.is_degraded());
+        let health = m.shard_health().unwrap();
+        assert_eq!(health.worker_panics, 0);
+        assert_eq!(health.shard_rebuilds, 0);
+        assert_eq!(health.quarantined_events, 0);
+        assert_eq!(health.degraded_matches, 0);
+        assert!(health.last_quarantined.is_empty());
+    }
+
+    #[test]
+    fn backpressure_parses_and_displays() {
+        for p in [
+            Backpressure::Block,
+            Backpressure::Shed,
+            Backpressure::ErrorFast,
+        ] {
+            let parsed: Backpressure = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("nonsense".parse::<Backpressure>().is_err());
     }
 
     #[test]

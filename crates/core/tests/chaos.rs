@@ -1,0 +1,395 @@
+//! Chaos tests for the supervised sharded engine: deterministic fault
+//! injection (`pubsub_types::faults`) forces worker panics, state
+//! corruption, spawn failures and slow workers, and every test asserts the
+//! matcher recovers to *exact* brute-force equivalence.
+//!
+//! The whole file is runtime-gated on `faults::enabled()`: without
+//! `--features pubsub-types/faults` (or the root `faults` feature) every
+//! test returns immediately, so the default tier-1 lane is unaffected.
+//! `scripts/check.sh --chaos` runs the armed version.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use pubsub_core::{
+    Backpressure, EngineKind, MatchEngine, ShardedConfig, ShardedMatcher, FAULT_SPAWN,
+    FAULT_WORKER_MATCH, FAULT_WORKER_OP,
+};
+use pubsub_types::faults::{self, FaultAction, Schedule};
+use pubsub_types::{
+    AttrId, Event, Operator, Predicate, ShardError, Subscription, SubscriptionId, Value,
+};
+
+/// The fault registry is process-global; every test (and proptest case)
+/// serializes on this lock so one test's rules never fire inside another.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // An assertion failure in one test must not wedge the rest.
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn sub_eq(attr: u32, value: i64) -> Subscription {
+    Subscription::from_predicates(vec![Predicate::new(
+        AttrId(attr),
+        Operator::Eq,
+        Value::Int(value),
+    )])
+    .unwrap()
+}
+
+fn event_eq(attr: u32, value: i64) -> Event {
+    Event::from_pairs(vec![(AttrId(attr), Value::Int(value))]).unwrap()
+}
+
+/// Populates `m` with `n` subscriptions on `attr0 == i % 4` and returns the
+/// ids that match `attr0 == 1`.
+fn seed_subs(m: &mut ShardedMatcher, n: u32) -> Vec<SubscriptionId> {
+    let mut want = Vec::new();
+    for i in 0..n {
+        let sub = sub_eq(0, i64::from(i % 4));
+        m.insert(SubscriptionId(i), &sub);
+        if i % 4 == 1 {
+            want.push(SubscriptionId(i));
+        }
+    }
+    want
+}
+
+/// Acceptance path of the issue: a forced worker panic mid-publish must not
+/// reach the caller; the shard rebuilds and the very same publish returns
+/// the exact match set.
+#[test]
+fn forced_panic_mid_match_self_heals_exactly() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let mut m = ShardedMatcher::new(EngineKind::Counting, 2);
+    let want = seed_subs(&mut m, 32);
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Panic,
+        Schedule::Nth(1),
+    );
+    let mut out = Vec::new();
+    let report = m
+        .try_match_event(&event_eq(0, 1), &mut out)
+        .expect("Block policy never overloads");
+    assert!(!report.is_degraded(), "retry recovered the crashed shard");
+    assert_eq!(out, want, "post-recovery match set is exact");
+    let health = m.health();
+    assert!(health.worker_panics >= 1);
+    assert!(
+        health.shard_rebuilds >= 1,
+        "acceptance: sharded.shard_rebuilds >= 1"
+    );
+    assert_eq!(health.quarantined_events, 0);
+    assert_eq!(m.sealed_shard_count(), 0);
+    faults::clear();
+}
+
+/// An event that panics the same shard twice is quarantined: the publish
+/// still completes (degraded), the ring records the poison event, and the
+/// shard is back in service for the next publish.
+#[test]
+fn double_panic_quarantines_the_event() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let mut m = ShardedMatcher::new(EngineKind::Counting, 1);
+    let want = seed_subs(&mut m, 8);
+    // Per-rule hit counts: the first match consumes Nth(1), the retry after
+    // the rebuild consumes Nth(2) — a double panic on the same event.
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Panic,
+        Schedule::Nth(1),
+    );
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Panic,
+        Schedule::Nth(2),
+    );
+    let mut out = Vec::new();
+    let report = m
+        .try_match_event(&event_eq(0, 1), &mut out)
+        .expect("quarantine degrades, it does not error");
+    assert!(report.is_degraded());
+    assert_eq!(report.quarantined, 1);
+    assert!(out.is_empty(), "the only shard lost this event");
+    let health = m.health();
+    assert_eq!(health.quarantined_events, 1);
+    assert_eq!(health.last_quarantined.len(), 1);
+    assert_eq!(health.last_quarantined[0].shard, 0);
+    assert_eq!(health.worker_panics, 2);
+    // The poison event is not blocklisted — with the rules spent the same
+    // event now matches exactly.
+    out.clear();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(!report.is_degraded());
+    assert_eq!(out, want);
+    faults::clear();
+}
+
+/// `Corrupt` mutates the engine before unwinding; recovery must rebuild
+/// from the authoritative log rather than resume the damaged survivor.
+#[test]
+fn corrupted_shard_state_is_discarded_by_rebuild() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let mut m = ShardedMatcher::new(EngineKind::Counting, 1);
+    let want = seed_subs(&mut m, 8);
+    faults::arm(
+        FAULT_WORKER_MATCH,
+        None,
+        FaultAction::Corrupt,
+        Schedule::Nth(1),
+    );
+    let mut out = Vec::new();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(!report.is_degraded());
+    assert_eq!(out, want);
+    // The junk subscription planted by `Corrupt` matches `attr0 == i64::MIN`;
+    // a rebuilt shard must not know it.
+    out.clear();
+    m.match_event(&event_eq(0, i64::MIN), &mut out);
+    assert!(out.is_empty(), "corrupted state leaked through the rebuild");
+    assert!(m.health().shard_rebuilds >= 1);
+    faults::clear();
+}
+
+/// Builds a one-shard matcher with a capacity-1 queue whose worker is
+/// stalled by a `Delay` fault, plus one queued insert filling the queue.
+/// Returns the matcher and the ids matching `attr0 == 1`.
+fn congested_matcher(policy: Backpressure, delay_ms: u64) -> (ShardedMatcher, Vec<SubscriptionId>) {
+    let config = ShardedConfig {
+        queue_capacity: 1,
+        backpressure: policy,
+        ..ShardedConfig::default()
+    };
+    let mut m = ShardedMatcher::with_config(EngineKind::Counting, 1, config);
+    faults::arm(
+        FAULT_WORKER_OP,
+        None,
+        FaultAction::Delay(delay_ms),
+        Schedule::Nth(1),
+    );
+    // First insert reaches the worker and trips the delay; the second sits
+    // in the queue, leaving it full for the duration of the stall.
+    m.insert(SubscriptionId(1), &sub_eq(0, 1));
+    m.insert(SubscriptionId(2), &sub_eq(0, 1));
+    (m, vec![SubscriptionId(1), SubscriptionId(2)])
+}
+
+#[test]
+fn block_policy_waits_out_congestion_losslessly() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let (mut m, want) = congested_matcher(Backpressure::Block, 150);
+    let mut out = Vec::new();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(!report.is_degraded());
+    assert_eq!(out, want, "Block trades latency for completeness");
+    assert_eq!(m.health().shed_requests, 0);
+    faults::clear();
+}
+
+#[test]
+fn shed_policy_skips_congested_shard_and_reports_it() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let (mut m, want) = congested_matcher(Backpressure::Shed, 400);
+    let mut out = Vec::new();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(report.is_degraded());
+    assert_eq!(report.skipped_shards, vec![0]);
+    assert!(out.is_empty(), "the only shard was shed");
+    assert_eq!(m.health().shed_requests, 1);
+    assert_eq!(m.health().degraded_matches, 1);
+    // finalize() drains the queue (blocking barrier); service is then exact.
+    m.finalize();
+    out.clear();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(!report.is_degraded());
+    assert_eq!(out, want);
+    faults::clear();
+}
+
+#[test]
+fn error_fast_policy_surfaces_overload_to_the_caller() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    let (mut m, want) = congested_matcher(Backpressure::ErrorFast, 400);
+    let mut out = Vec::new();
+    match m.try_match_event(&event_eq(0, 1), &mut out) {
+        Err(ShardError::Overloaded { shard }) => assert_eq!(shard, 0),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(out.is_empty(), "an aborted match reports nothing");
+    // The infallible trait path degrades ErrorFast to Shed instead of
+    // panicking (the queue is still congested by the same delay).
+    m.match_event(&event_eq(0, 1), &mut out);
+    assert!(m.health().shed_requests >= 1);
+    m.finalize();
+    out.clear();
+    let report = m.try_match_event(&event_eq(0, 1), &mut out).unwrap();
+    assert!(!report.is_degraded());
+    assert_eq!(out, want);
+    faults::clear();
+}
+
+/// A spawn failure during construction falls back to fewer shards instead
+/// of failing; the smaller matcher is fully functional.
+#[test]
+fn spawn_failure_falls_back_to_fewer_shards() {
+    if !faults::enabled() {
+        return;
+    }
+    let _g = lock();
+    faults::clear();
+    faults::arm(FAULT_SPAWN, Some(2), FaultAction::Panic, Schedule::Nth(1));
+    let mut m = ShardedMatcher::new(EngineKind::Counting, 4);
+    assert_eq!(m.shard_count(), 3, "attempt 2 failed, three shards remain");
+    assert_eq!(m.health().spawn_fallbacks, 1);
+    let want = seed_subs(&mut m, 16);
+    let mut out = Vec::new();
+    m.match_event(&event_eq(0, 1), &mut out);
+    assert_eq!(out, want);
+    faults::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos property: random fault schedules, every paper engine, shard counts
+// {1, 2, 7} — after the faults are cleared the matcher must be exactly
+// equivalent to the brute-force oracle (honors PROPTEST_CASES).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, i64),
+    RemoveNth(prop::sample::Index),
+    Match(u32, i64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u32..4, 0i64..6).prop_map(|(a, v)| Op::Insert(a, v)),
+            1 => any::<prop::sample::Index>().prop_map(Op::RemoveNth),
+            3 => (0u32..4, 0i64..6).prop_map(|(a, v)| Op::Match(a, v)),
+        ],
+        1..48,
+    )
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        (1u64..6).prop_map(Schedule::EveryNth),
+        (1u64..10).prop_map(Schedule::Nth),
+        any::<u64>().prop_map(|seed| Schedule::Seeded {
+            seed,
+            prob_ppm: 200_000,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_fault_schedules_recover_to_exact_equivalence(
+        ops in arb_ops(),
+        kind_idx in 0usize..5,
+        shards in prop::sample::select(vec![1usize, 2, 7]),
+        on_match_point in any::<bool>(),
+        corrupt in any::<bool>(),
+        schedule in arb_schedule(),
+    ) {
+        if !faults::enabled() {
+            return Ok(());
+        }
+        let _g = lock();
+        faults::clear();
+        let kind = EngineKind::PAPER_ENGINES[kind_idx];
+        let point = if on_match_point { FAULT_WORKER_MATCH } else { FAULT_WORKER_OP };
+        let action = if corrupt { FaultAction::Corrupt } else { FaultAction::Panic };
+        faults::arm(point, None, action, schedule);
+
+        let mut engine = ShardedMatcher::new(kind, shards);
+        let mut oracle = EngineKind::BruteForce.build();
+        let mut live: Vec<SubscriptionId> = Vec::new();
+        let mut next_id = 0u32;
+        let mut probes: Vec<Event> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(a, v) => {
+                    let id = SubscriptionId(next_id);
+                    next_id += 1;
+                    let sub = sub_eq(*a, *v);
+                    engine.insert(id, &sub);
+                    oracle.insert(id, &sub);
+                    live.push(id);
+                }
+                Op::RemoveNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove(n.index(live.len()));
+                    engine.remove(id);
+                    oracle.remove(id);
+                }
+                Op::Match(a, v) => {
+                    let event = event_eq(*a, *v);
+                    let mut got = Vec::new();
+                    let mut want = Vec::new();
+                    engine.match_event(&event, &mut got);
+                    oracle.match_event(&event, &mut want);
+                    want.sort();
+                    // Under active faults a shard may be quarantined out of a
+                    // publish: results may be incomplete but never wrong.
+                    prop_assert!(
+                        got.windows(2).all(|w| w[0] < w[1]),
+                        "sharded output sorted and duplicate-free"
+                    );
+                    prop_assert!(
+                        got.iter().all(|id| want.binary_search(id).is_ok()),
+                        "degraded result contains a wrong id: {got:?} vs {want:?}"
+                    );
+                    probes.push(event);
+                }
+            }
+        }
+
+        // Recovery: with injection off, every probe is exactly equivalent.
+        faults::clear();
+        prop_assert_eq!(engine.len(), oracle.len());
+        for event in &probes {
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            engine.match_event(event, &mut got);
+            oracle.match_event(event, &mut want);
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(engine.sealed_shard_count(), 0, "no shard left sealed");
+    }
+}

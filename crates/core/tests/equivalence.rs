@@ -283,6 +283,51 @@ proptest! {
     }
 
     #[test]
+    fn sharded_recovers_mid_stream_and_stays_equivalent(ops in arb_ops()) {
+        // Crash a shard in the middle of a random op stream (unknown-id
+        // removes panic the shard engine) and keep going: the supervised
+        // rebuild must restore exact equivalence for the rest of the
+        // stream. Split the ops in half and inject the crash between them.
+        let mut engine = ShardedMatcher::new(EngineKind::Counting, 2);
+        let mut oracle = EngineKind::BruteForce.build();
+        let mut live: Vec<SubscriptionId> = Vec::new();
+        let mut next_id = 0u32;
+        let half = ops.len() / 2;
+        for (i, op) in ops.iter().enumerate() {
+            if i == half {
+                engine.remove(SubscriptionId(1_000_000));
+                engine.remove(SubscriptionId(1_000_001));
+            }
+            match op {
+                Op::Insert(sub) => {
+                    let id = SubscriptionId(next_id);
+                    next_id += 1;
+                    engine.insert(id, sub);
+                    oracle.insert(id, sub);
+                    live.push(id);
+                }
+                Op::RemoveNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let id = live.swap_remove(n.index(live.len()));
+                    engine.remove(id);
+                    oracle.remove(id);
+                }
+                Op::Match(event) => {
+                    let mut got = Vec::new();
+                    let mut want = Vec::new();
+                    engine.match_event(event, &mut got);
+                    oracle.match_event(event, &mut want);
+                    want.sort();
+                    prop_assert_eq!(&got, &want, "post-crash divergence on {:?}", event);
+                }
+            }
+            prop_assert_eq!(engine.len(), oracle.len());
+        }
+    }
+
+    #[test]
     fn static_finalize_preserves_semantics(
         subs in prop::collection::vec(arb_subscription(), 1..40),
         events in prop::collection::vec(arb_event(), 1..10),
@@ -310,4 +355,40 @@ proptest! {
             prop_assert_eq!(got, want);
         }
     }
+}
+
+/// Regression: a subscription removed before a shard crash (the broker's
+/// explicit unsubscribe and validity expiry both reduce to
+/// `MatchEngine::remove`) must not be resurrected when the crashed shard is
+/// rebuilt from its authoritative log.
+#[test]
+fn removed_ids_are_not_resurrected_by_shard_rebuild() {
+    let mut m = ShardedMatcher::new(EngineKind::Dynamic, 3);
+    let sub =
+        Subscription::from_predicates(vec![Predicate::new(AttrId(0), Operator::Eq, Value::Int(1))])
+            .unwrap();
+    for i in 0..30 {
+        m.insert(SubscriptionId(i), &sub);
+    }
+    let expired = [0u32, 7, 13, 29];
+    for i in expired {
+        m.remove(SubscriptionId(i));
+    }
+    // Crash the shards (unknown-id removes panic the shard engines); the
+    // supervisor rebuilds each crashed shard by replaying its log, which by
+    // then no longer contains the expired ids.
+    for i in 1000..1010u32 {
+        m.remove(SubscriptionId(i));
+    }
+    let event = Event::from_pairs(vec![(AttrId(0), Value::Int(1))]).unwrap();
+    let mut out = Vec::new();
+    m.match_event(&event, &mut out);
+    let want: Vec<SubscriptionId> = (0..30)
+        .filter(|i| !expired.contains(i))
+        .map(SubscriptionId)
+        .collect();
+    assert_eq!(out, want, "expired ids must stay gone after the rebuild");
+    let health = m.shard_health().unwrap();
+    assert!(health.shard_rebuilds >= 1, "the crash forced a rebuild");
+    assert_eq!(m.len(), 26);
 }

@@ -27,6 +27,7 @@ pub mod attr;
 pub mod attrset;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod hash;
 pub mod interner;
 pub mod metrics;
@@ -37,7 +38,7 @@ pub mod value;
 
 pub use attr::{AttrId, AttributeInterner};
 pub use attrset::AttrSet;
-pub use error::TypeError;
+pub use error::{ShardError, TypeError};
 pub use event::{Event, EventBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interner::{StringInterner, Symbol};

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, release build, full test suite.
 #
-# Usage: scripts/check.sh [--online] [--bench-smoke]
+# Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos]
 #
 # By default every cargo invocation runs with --offline: the workspace
 # resolves all external dependencies to the in-tree shims (shims/README.md),
@@ -18,17 +18,25 @@
 # The test suite runs twice: once with default features (metrics layer
 # compiled to no-ops) and once with --features metrics (real atomic
 # counters), so both halves of the feature gate stay green.
+#
+# --chaos adds the fault-injection lane: build and test the workspace with
+# --features faults,metrics (arming the deterministic fault registry inside
+# the supervised sharded engine) and smoke the chaos recovery proptest with
+# a bounded case count. The runtime-gated tests in crates/core/tests/chaos.rs
+# only exercise injection in this lane.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE="--offline"
 BENCH_SMOKE=0
+CHAOS=0
 for arg in "$@"; do
     case "$arg" in
         --online) OFFLINE="" ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
+        --chaos) CHAOS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos)" >&2
             exit 2
             ;;
     esac
@@ -48,6 +56,16 @@ cargo test ${OFFLINE} --workspace
 
 echo "==> cargo test (--features metrics)"
 cargo test ${OFFLINE} --workspace --features metrics
+
+if [[ "$CHAOS" == 1 ]]; then
+    echo "==> cargo build (--features faults,metrics)"
+    cargo build ${OFFLINE} --workspace --features faults,metrics
+    echo "==> cargo test (--features faults,metrics)"
+    cargo test ${OFFLINE} --workspace --features faults,metrics
+    echo "==> chaos recovery proptest smoke (PROPTEST_CASES=8)"
+    PROPTEST_CASES=8 cargo test ${OFFLINE} -p pubsub-core --features pubsub-types/faults \
+        --test chaos random_fault_schedules_recover_to_exact_equivalence
+fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then
     echo "==> bench smoke (one iteration per benchmark)"

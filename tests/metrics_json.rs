@@ -22,8 +22,20 @@ fn golden_snapshot() -> MetricsSnapshot {
                 value: 42,
             },
             CounterEntry {
+                name: "broker.shared.shed_shards".into(),
+                value: 1,
+            },
+            CounterEntry {
                 name: "core.counting.matched".into(),
                 value: 7,
+            },
+            CounterEntry {
+                name: "core.sharded.quarantined_events".into(),
+                value: 1,
+            },
+            CounterEntry {
+                name: "core.sharded.shard_rebuilds".into(),
+                value: 3,
             },
             CounterEntry {
                 name: "index.phase1.bits_set".into(),
@@ -42,6 +54,12 @@ fn golden_snapshot() -> MetricsSnapshot {
                 count: 5,
                 sum: 320,
                 buckets: vec![(7, 5)],
+            },
+            HistogramEntry {
+                name: "core.sharded.queue_depth".into(),
+                count: 9,
+                sum: 25,
+                buckets: vec![(0, 2), (2, 5), (3, 2)],
             },
         ],
     }

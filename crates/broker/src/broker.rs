@@ -238,6 +238,143 @@ impl Broker {
         id
     }
 
+    /// Whether `id` refers to a live subscription of this broker.
+    pub fn contains(&self, id: SubscriptionId) -> bool {
+        self.slot_of(id)
+            .is_some_and(|slot| self.subs.get(slot).is_some_and(Option::is_some))
+    }
+
+    /// The id the next [`Broker::subscribe`] call will assign. The durable
+    /// broker logs the subscribe record (under this broker's lock) *before*
+    /// applying it, so the id must be observable without consuming it.
+    pub fn peek_next_id(&self) -> SubscriptionId {
+        SubscriptionId(self.id_base + self.next_id * self.id_step)
+    }
+
+    /// One past the largest raw id this broker has assigned (0 when none) —
+    /// the per-shard contribution to a durability snapshot's id high-water
+    /// mark.
+    pub fn assigned_id_high_water(&self) -> u32 {
+        if self.next_id == 0 {
+            0
+        } else {
+            self.id_base + (self.next_id - 1) * self.id_step + 1
+        }
+    }
+
+    /// Forbids assigning any id whose raw value is below `high_water` —
+    /// applied when restoring from a durability snapshot, so ids retired
+    /// before the snapshot (and therefore absent from it) are never reissued
+    /// to new subscribers after recovery.
+    pub fn reserve_ids_below(&mut self, high_water: u32) {
+        if high_water > self.id_base {
+            // Lane ids strictly below `high_water`: ceil((hw - base) / step).
+            let reserved = (high_water - self.id_base).div_ceil(self.id_step);
+            self.next_id = self.next_id.max(reserved);
+        }
+    }
+
+    /// Re-registers a subscription under the id it held before a crash
+    /// (replay of a WAL `Subscribe` record). The id must belong to this
+    /// broker's lane. Replayed ids need not arrive in order — concurrent
+    /// subscribers could have reached the log out of id order — so the
+    /// assignment cursor only ever moves forward.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside this broker's id lane.
+    pub fn restore_subscription(
+        &mut self,
+        id: SubscriptionId,
+        sub: Subscription,
+        validity: Validity,
+    ) {
+        let slot = self
+            .slot_of(id)
+            .expect("restored id must belong to this broker's lane");
+        if self.subs.len() <= slot {
+            self.subs.resize_with(slot + 1, || None);
+        }
+        if self.subs[slot].take().is_some() {
+            // A duplicate id can only come out of a damaged log recovered
+            // under the skip policy; last write wins, like a re-subscribe.
+            self.engine.remove(id);
+            self.live -= 1;
+        }
+        self.next_id = self.next_id.max(slot as u32 + 1);
+        self.engine.insert(id, &sub);
+        if let Some(until) = validity.until {
+            self.sub_expiry.push(Reverse((until, id)));
+        }
+        self.subs[slot] = Some(SubRecord { sub, validity });
+        self.live += 1;
+    }
+
+    /// Bulk-restores a snapshot's subscription set into this (empty) broker
+    /// and sets its clock, feeding the engine through
+    /// [`MatchEngine::rebuild`] so engines with bulk-load optimisations
+    /// (e.g. the static engine's one-shot clustering) use them.
+    ///
+    /// # Panics
+    /// Panics if the broker already holds subscriptions, if the clock has
+    /// already advanced, or if an id is outside this broker's lane.
+    pub fn restore(
+        &mut self,
+        entries: Vec<(SubscriptionId, Subscription, Validity)>,
+        now: LogicalTime,
+    ) {
+        assert_eq!(self.live, 0, "restore requires an empty broker");
+        assert_eq!(
+            self.now,
+            LogicalTime::ZERO,
+            "restore requires a fresh clock"
+        );
+        self.now = now;
+        let mut max_slot = None;
+        for (id, sub, validity) in entries {
+            let slot = self
+                .slot_of(id)
+                .expect("restored id must belong to this broker's lane");
+            if self.subs.len() <= slot {
+                self.subs.resize_with(slot + 1, || None);
+            }
+            assert!(self.subs[slot].is_none(), "snapshot ids are unique");
+            if let Some(until) = validity.until {
+                self.sub_expiry.push(Reverse((until, id)));
+            }
+            self.subs[slot] = Some(SubRecord { sub, validity });
+            self.live += 1;
+            max_slot = max_slot.max(Some(slot));
+        }
+        if let Some(max_slot) = max_slot {
+            self.next_id = self.next_id.max(max_slot as u32 + 1);
+        }
+        let base = self.id_base;
+        let step = self.id_step;
+        let mut iter = self.subs.iter().enumerate().filter_map(|(slot, rec)| {
+            rec.as_ref()
+                .map(|r| (SubscriptionId(base + slot as u32 * step), &r.sub))
+        });
+        self.engine.rebuild(&mut iter);
+    }
+
+    /// Iterates over the live subscriptions with their ids and validities,
+    /// in id order — the payload of a durability snapshot.
+    pub fn live_subscriptions(
+        &self,
+    ) -> impl Iterator<Item = (SubscriptionId, &Subscription, Validity)> {
+        let base = self.id_base;
+        let step = self.id_step;
+        self.subs.iter().enumerate().filter_map(move |(slot, rec)| {
+            rec.as_ref().map(|r| {
+                (
+                    SubscriptionId(base + slot as u32 * step),
+                    &r.sub,
+                    r.validity,
+                )
+            })
+        })
+    }
+
     /// Registers a subscription and immediately evaluates it against the
     /// stored valid events — the complementary functionality of §1. Returns
     /// the id and the stored events it already matches.

@@ -1,0 +1,93 @@
+//! Durable-broker error and status types.
+//!
+//! The durable machinery itself lives in two places: the WAL/snapshot layer
+//! in `pubsub-durability`, and the logging/replay integration in
+//! [`crate::shared::SharedBroker`] (`open_durable`, the `try_*` mutation
+//! methods, `snapshot`). This module holds the shared vocabulary between
+//! them: the broker-level error type and the status block the CLI's `stats`
+//! command renders.
+//!
+//! # Degraded mode
+//!
+//! The durable broker's failure contract is *fail the write, never the
+//! process*: when a WAL append or fsync fails (disk full, I/O error,
+//! injected fault), the broker flips into **degraded read-only mode**
+//! rather than panicking or silently dropping the record. In degraded mode:
+//!
+//! * matching keeps working — publishes touch no durable state,
+//! * every mutation (`try_subscribe`, `try_unsubscribe`, `try_advance_to`,
+//!   `try_tick`, `snapshot`) fails fast with [`BrokerError::Degraded`]
+//!   carrying the original cause,
+//! * the in-memory state remains exactly what the log acknowledges: the op
+//!   whose append failed was never applied, so a later recovery from the
+//!   same directory converges to the same state.
+//!
+//! Degraded mode is sticky for the life of the handle; recovery is
+//! operational (fix the disk, restart, reopen the directory).
+
+use pubsub_durability::{Lsn, RecoveryReport, WalError};
+use std::path::PathBuf;
+
+/// Errors surfaced by the durable broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The broker is in read-only degraded mode: a durability write failed
+    /// (cause enclosed) and mutations are refused until the process restarts
+    /// and recovers. Matching still works.
+    Degraded(WalError),
+    /// Opening the durable broker failed: the WAL or a snapshot could not be
+    /// recovered under the configured corruption policy.
+    Recovery(WalError),
+    /// Writing a snapshot failed but the WAL itself stayed healthy: the
+    /// broker is still writable and every logged operation remains durable —
+    /// only the compaction opportunity was lost. Retry later.
+    Snapshot(WalError),
+    /// A durability-only operation (e.g. [`crate::SharedBroker::snapshot`])
+    /// was invoked on a broker opened without a WAL.
+    NotDurable,
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::Degraded(e) => {
+                write!(f, "broker degraded to read-only: {e}")
+            }
+            BrokerError::Recovery(e) => write!(f, "durable broker recovery failed: {e}"),
+            BrokerError::Snapshot(e) => write!(f, "snapshot failed (broker still writable): {e}"),
+            BrokerError::NotDurable => {
+                write!(f, "operation requires a durable broker (open_durable)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Degraded(e) | BrokerError::Recovery(e) | BrokerError::Snapshot(e) => {
+                Some(e)
+            }
+            BrokerError::NotDurable => None,
+        }
+    }
+}
+
+/// Point-in-time durability status of a [`crate::SharedBroker`]
+/// (the CLI `stats` durability block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// The WAL directory.
+    pub dir: PathBuf,
+    /// LSN the next logged operation will receive (== operations logged
+    /// since the directory was created).
+    pub next_lsn: Lsn,
+    /// Operations logged since the last snapshot (or since open).
+    pub ops_since_snapshot: u64,
+    /// Whether the broker has degraded to read-only mode.
+    pub degraded: bool,
+    /// The cause of degradation, when degraded.
+    pub degraded_cause: Option<WalError>,
+    /// What recovery did when this broker was opened.
+    pub recovery: RecoveryReport,
+}

@@ -12,6 +12,7 @@
 
 pub mod broker;
 pub mod dnf;
+pub mod durable;
 pub mod equilibrium;
 pub mod shared;
 pub mod store;
@@ -19,6 +20,7 @@ pub mod time;
 
 pub use broker::{Broker, Notification};
 pub use dnf::{DnfId, DnfRegistry, DnfSubscription};
+pub use durable::{BrokerError, DurabilityStatus};
 pub use equilibrium::{EquilibriumConfig, EquilibriumSim, TickReport};
 pub use shared::SharedBroker;
 pub use store::{EventId, EventStore};

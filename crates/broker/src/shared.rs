@@ -30,17 +30,66 @@
 //! broker's matching; use `SharedBroker` when many threads drive the broker.
 
 use crate::broker::Broker;
+use crate::durable::{BrokerError, DurabilityStatus};
 use crate::time::{LogicalTime, Validity};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use pubsub_core::{Backpressure, EngineKind};
+use pubsub_durability::{
+    DurabilityConfig, Recovered, RecoveryReport, SnapshotState, Wal, WalError, WalOp,
+};
 use pubsub_types::metrics::Counter;
-use pubsub_types::{AttrId, Event, ShardError, Subscription, SubscriptionId, Value, Vocabulary};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pubsub_types::{
+    AttrId, Event, ShardError, Subscription, SubscriptionId, Symbol, Value, Vocabulary,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shards skipped by a publish because their lock was contended
 /// (`Shed`/downgraded-`ErrorFast` policies only).
 static SHED_SHARDS: Counter = Counter::new("broker.shared.shed_shards");
+
+/// The durability attachment of a [`SharedBroker`].
+///
+/// Lock ordering across the whole handle is `vocab < shards (ascending) <
+/// wal`; every multi-lock path acquires in that order, so adding the WAL
+/// mutex keeps the broker deadlock-free. Mutations append to the WAL
+/// *before* applying in memory (write-ahead discipline): an op that fails
+/// to log is never applied, so recovery can only ever observe a prefix of
+/// the acknowledged history.
+struct DurableState {
+    wal: Mutex<Wal>,
+    /// Sticky read-only flag, set by the first failed durability write.
+    degraded: AtomicBool,
+    /// The error that caused degradation (first one wins).
+    cause: Mutex<Option<WalError>>,
+    /// What recovery did when this broker was opened.
+    recovery: RecoveryReport,
+}
+
+impl DurableState {
+    /// Refuses mutations once degraded.
+    fn check(&self) -> Result<(), BrokerError> {
+        if self.degraded.load(Ordering::Acquire) {
+            let cause = self.cause.lock().clone().unwrap_or(WalError::Poisoned);
+            Err(BrokerError::Degraded(cause))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flips the broker into read-only degraded mode, recording the first
+    /// cause, and returns the error to surface to the caller.
+    fn degrade(&self, e: WalError) -> BrokerError {
+        let mut cause = self.cause.lock();
+        if cause.is_none() {
+            *cause = Some(e.clone());
+        }
+        drop(cause);
+        self.degraded.store(true, Ordering::Release);
+        BrokerError::Degraded(e)
+    }
+}
 
 struct Inner {
     shards: Vec<Mutex<Broker>>,
@@ -52,6 +101,44 @@ struct Inner {
     /// Overload policy of the publish paths (subscribe/unsubscribe/clock
     /// operations always block: they must not lose data).
     backpressure: Backpressure,
+    /// Write-ahead log plus degraded-mode state; `None` for the in-memory
+    /// broker of [`SharedBroker::new`].
+    durable: Option<DurableState>,
+}
+
+/// Captures the full broker state for a point-in-time snapshot. Caller
+/// holds the vocabulary lock and every shard lock, so the state is a
+/// consistent cut.
+fn build_snapshot_state(vocab: &Vocabulary, shards: &[MutexGuard<'_, Broker>]) -> SnapshotState {
+    // Interners assign dense sequential ids; storing names in id order makes
+    // re-interning them in order reproduce identical ids at recovery.
+    let mut attrs: Vec<(AttrId, &str)> = vocab.attrs.iter().collect();
+    attrs.sort_by_key(|(id, _)| id.0);
+    let mut strings: Vec<(Symbol, &str)> = vocab.strings.iter().collect();
+    strings.sort_by_key(|(sym, _)| sym.0);
+    let mut subs: Vec<(SubscriptionId, Subscription, Validity)> = Vec::new();
+    for shard in shards {
+        subs.extend(
+            shard
+                .live_subscriptions()
+                .map(|(id, sub, validity)| (id, sub.clone(), validity)),
+        );
+    }
+    subs.sort_by_key(|(id, _, _)| id.0);
+    SnapshotState {
+        now: shards[0].now(),
+        high_water_id: shards
+            .iter()
+            .map(|shard| shard.assigned_id_high_water())
+            .max()
+            .unwrap_or(0),
+        attrs: attrs
+            .into_iter()
+            .map(|(_, name)| name.to_string())
+            .collect(),
+        strings: strings.into_iter().map(|(_, s)| s.to_string()).collect(),
+        subs,
+    }
 }
 
 /// A cloneable, thread-safe broker handle with per-shard locking.
@@ -102,8 +189,132 @@ impl SharedBroker {
                 next_shard: AtomicUsize::new(0),
                 batch_scratch: Mutex::new(Vec::new()),
                 backpressure,
+                durable: None,
             }),
         }
+    }
+
+    /// Opens (or creates) a durable broker backed by a segmented WAL in
+    /// `dir`, with the default [`DurabilityConfig`]. Recovers any state a
+    /// previous process logged there: the newest decodable snapshot plus the
+    /// surviving WAL tail, with a torn final record truncated away. Returns
+    /// the broker and a [`RecoveryReport`] describing what recovery did.
+    pub fn open_durable(
+        kind: EngineKind,
+        shards: usize,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), BrokerError> {
+        Self::open_durable_with(
+            kind,
+            shards,
+            Backpressure::Block,
+            dir,
+            DurabilityConfig::default(),
+        )
+    }
+
+    /// [`SharedBroker::open_durable`] with an explicit overload policy and
+    /// durability configuration (segment size, fsync cadence, corruption
+    /// policy, automatic snapshot threshold).
+    ///
+    /// The shard count may differ from the one the log was written under:
+    /// ids carry their own identity (`shard = id mod N`), so recovery
+    /// re-partitions the subscription set over the new shard count.
+    pub fn open_durable_with(
+        kind: EngineKind,
+        shards: usize,
+        backpressure: Backpressure,
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), BrokerError> {
+        let n = shards.max(1);
+        let (wal, recovered) = Wal::open(dir, config).map_err(BrokerError::Recovery)?;
+        let Recovered {
+            snapshot,
+            ops,
+            report,
+        } = recovered;
+
+        let mut vocab = Vocabulary::new();
+        let mut brokers: Vec<Broker> = (0..n)
+            .map(|i| {
+                Broker::new(kind)
+                    .with_id_lane(i as u32, n as u32)
+                    .without_event_store()
+            })
+            .collect();
+
+        if let Some(snap) = snapshot {
+            // Re-interning in stored (id) order reproduces identical ids,
+            // so AttrId/Symbol references inside subscriptions stay valid.
+            for name in &snap.attrs {
+                vocab.attr(name);
+            }
+            for s in &snap.strings {
+                vocab.string(s);
+            }
+            let mut per_shard: Vec<Vec<(SubscriptionId, Subscription, Validity)>> =
+                (0..n).map(|_| Vec::new()).collect();
+            for (id, sub, validity) in snap.subs {
+                per_shard[id.0 as usize % n].push((id, sub, validity));
+            }
+            for (broker, entries) in brokers.iter_mut().zip(per_shard) {
+                broker.restore(entries, snap.now);
+            }
+            for broker in &mut brokers {
+                // Ids assigned before the snapshot but already retired are
+                // absent from it; never reissue them to new subscribers.
+                broker.reserve_ids_below(snap.high_water_id);
+            }
+        }
+
+        // Replay the WAL tail. Per-shard op order matches the original apply
+        // order because live mutations append under the owning shard's lock
+        // (clock advances under all of them).
+        for (_lsn, op) in ops {
+            match op {
+                WalOp::InternAttr(name) => {
+                    vocab.attr(&name);
+                }
+                WalOp::InternString(s) => {
+                    vocab.string(&s);
+                }
+                WalOp::Subscribe { id, sub, validity } => {
+                    brokers[id.0 as usize % n].restore_subscription(id, sub, validity);
+                }
+                WalOp::Unsubscribe(id) => {
+                    brokers[id.0 as usize % n].unsubscribe(id);
+                }
+                WalOp::AdvanceTo(t) => {
+                    for broker in brokers.iter_mut() {
+                        // `t == now` advances are real (they expire stale
+                        // validities); the `<` guard only tolerates logs
+                        // recovered under the skip policy, where a surviving
+                        // op may predate the clock.
+                        if t >= broker.now() {
+                            broker.advance_to(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        let broker = Self {
+            inner: Arc::new(Inner {
+                shards: brokers.into_iter().map(Mutex::new).collect(),
+                vocab: Mutex::new(vocab),
+                next_shard: AtomicUsize::new(0),
+                batch_scratch: Mutex::new(Vec::new()),
+                backpressure,
+                durable: Some(DurableState {
+                    wal: Mutex::new(wal),
+                    degraded: AtomicBool::new(false),
+                    cause: Mutex::new(None),
+                    recovery: report,
+                }),
+            }),
+        };
+        Ok((broker, report))
     }
 
     /// The configured overload policy.
@@ -129,27 +340,134 @@ impl SharedBroker {
     // ---- vocabulary (shared across shards) -------------------------------
 
     /// Interns an attribute name in the shared vocabulary.
+    ///
+    /// On a durable broker a *new* name is logged before being interned, so
+    /// recovery reassigns the same [`AttrId`]. Interning stays infallible:
+    /// if the log write fails the broker degrades (mutations start refusing)
+    /// but the id is still returned — safe because a degraded broker never
+    /// logs another op that could reference the unlogged id.
     pub fn attr(&self, name: &str) -> AttrId {
-        self.inner.vocab.lock().attr(name)
+        let mut vocab = self.inner.vocab.lock();
+        if let Some(id) = vocab.attrs.get(name) {
+            return id;
+        }
+        self.log_intern(|| WalOp::InternAttr(name.to_string()));
+        vocab.attr(name)
     }
 
-    /// Interns a string value in the shared vocabulary.
+    /// Interns a string value in the shared vocabulary (durable brokers log
+    /// new strings first — see [`SharedBroker::attr`]).
     pub fn string(&self, s: &str) -> Value {
-        self.inner.vocab.lock().string(s)
+        let mut vocab = self.inner.vocab.lock();
+        if let Some(sym) = vocab.strings.get(s) {
+            return Value::Str(sym);
+        }
+        self.log_intern(|| WalOp::InternString(s.to_string()));
+        vocab.string(s)
+    }
+
+    /// Logs an interning op on durable brokers, degrading silently on
+    /// failure. Caller holds the vocabulary lock (lock order: vocab < wal).
+    fn log_intern(&self, op: impl FnOnce() -> WalOp) {
+        if let Some(durable) = &self.inner.durable {
+            if !durable.degraded.load(Ordering::Acquire) {
+                if let Err(e) = durable.wal.lock().append(&op()) {
+                    let _ = durable.degrade(e);
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with mutable access to the shared vocabulary — the escape
+    /// hatch for parsers that intern whole expressions at once. On durable
+    /// brokers every interner entry `f` adds is logged afterwards (interner
+    /// ids are dense and sequential, so the additions are exactly the id
+    /// range grown during the call), with the same silent-degrade contract
+    /// as [`SharedBroker::attr`].
+    pub fn with_vocab<R>(&self, f: impl FnOnce(&mut Vocabulary) -> R) -> R {
+        let mut vocab = self.inner.vocab.lock();
+        let attrs_before = vocab.attrs.universe();
+        let strings_before = vocab.strings.len();
+        let out = f(&mut vocab);
+        for raw in attrs_before..vocab.attrs.universe() {
+            let name = vocab.attrs.name(AttrId(raw as u32)).to_string();
+            self.log_intern(move || WalOp::InternAttr(name));
+        }
+        for raw in strings_before..vocab.strings.len() {
+            let s = vocab.strings.resolve(Symbol(raw as u32)).to_string();
+            self.log_intern(move || WalOp::InternString(s));
+        }
+        out
     }
 
     // ---- subscriptions (lock one shard) ----------------------------------
 
     /// Registers a subscription, locking only the shard that receives it
     /// (round-robin assignment keeps shards balanced).
+    ///
+    /// # Panics
+    /// Panics if this is a durable broker in degraded mode; use
+    /// [`SharedBroker::try_subscribe`] to handle degradation gracefully.
     pub fn subscribe(&self, sub: Subscription, validity: Validity) -> SubscriptionId {
+        self.try_subscribe(sub, validity)
+            .expect("subscribe failed: durable broker is degraded")
+    }
+
+    /// Registers a subscription, logging it to the WAL first on durable
+    /// brokers. Fails with [`BrokerError::Degraded`] when the broker has
+    /// degraded to read-only mode (a previous durability write failed), or
+    /// degrades it now if this op's log write fails — in which case the
+    /// subscription is *not* registered.
+    pub fn try_subscribe(
+        &self,
+        sub: Subscription,
+        validity: Validity,
+    ) -> Result<SubscriptionId, BrokerError> {
         let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.shard_count();
-        self.inner.shards[shard].lock().subscribe(sub, validity)
+        let mut broker = self.inner.shards[shard].lock();
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            // Log under the shard lock so this shard's WAL order equals its
+            // apply order; the id is peeked (not consumed) so a failed
+            // append leaves no gap.
+            let id = broker.peek_next_id();
+            let op = WalOp::Subscribe {
+                id,
+                sub: sub.clone(),
+                validity,
+            };
+            if let Err(e) = durable.wal.lock().append(&op) {
+                return Err(durable.degrade(e));
+            }
+        }
+        Ok(broker.subscribe(sub, validity))
     }
 
     /// Removes a subscription, locking only its owning shard.
+    ///
+    /// # Panics
+    /// Panics if this is a durable broker in degraded mode; use
+    /// [`SharedBroker::try_unsubscribe`] to handle degradation gracefully.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        self.inner.shards[self.shard_of(id)].lock().unsubscribe(id)
+        self.try_unsubscribe(id)
+            .expect("unsubscribe failed: durable broker is degraded")
+    }
+
+    /// Removes a subscription, logging the removal first on durable brokers.
+    /// A miss (unknown or already-removed id) returns `Ok(false)` without
+    /// logging anything.
+    pub fn try_unsubscribe(&self, id: SubscriptionId) -> Result<bool, BrokerError> {
+        let mut broker = self.inner.shards[self.shard_of(id)].lock();
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            if !broker.contains(id) {
+                return Ok(false);
+            }
+            if let Err(e) = durable.wal.lock().append(&WalOp::Unsubscribe(id)) {
+                return Err(durable.degrade(e));
+            }
+        }
+        Ok(broker.unsubscribe(id))
     }
 
     /// Number of live subscriptions across all shards.
@@ -292,19 +610,154 @@ impl SharedBroker {
     }
 
     /// Advances every shard's clock to `t`, expiring subscriptions whose
-    /// validity ended. Acquires all shard locks in ascending index order —
-    /// the only multi-lock operation, so lock ordering is total and
-    /// deadlock-free. Returns the number of expired subscriptions.
+    /// validity ended. Acquires all shard locks in ascending index order
+    /// (plus the vocabulary and WAL locks on durable brokers, respecting
+    /// the global `vocab < shards < wal` order), so lock ordering is total
+    /// and deadlock-free. Returns the number of expired subscriptions.
+    ///
+    /// # Panics
+    /// Panics if this is a durable broker in degraded mode; use
+    /// [`SharedBroker::try_advance_to`] to handle degradation gracefully.
     pub fn advance_to(&self, t: LogicalTime) -> usize {
-        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
-        guards.iter_mut().map(|b| b.advance_to(t).0).sum()
+        self.try_advance_to(t)
+            .expect("advance_to failed: durable broker is degraded")
     }
 
     /// Advances the clock by one tick. Returns expired subscriptions.
+    ///
+    /// # Panics
+    /// Panics if this is a durable broker in degraded mode; use
+    /// [`SharedBroker::try_tick`] to handle degradation gracefully.
     pub fn tick(&self) -> usize {
+        self.try_tick()
+            .expect("tick failed: durable broker is degraded")
+    }
+
+    /// Advances every shard's clock to `t`, logging the advance first on
+    /// durable brokers. Expired subscriptions are *not* logged individually:
+    /// expiry is deterministic given the validities already in the log, so
+    /// recovery re-derives it by replaying the clock.
+    pub fn try_advance_to(&self, t: LogicalTime) -> Result<usize, BrokerError> {
+        self.advance_locked(Some(t))
+    }
+
+    /// Advances the clock by one tick, logging it first on durable brokers.
+    /// Returns expired subscriptions.
+    pub fn try_tick(&self) -> Result<usize, BrokerError> {
+        self.advance_locked(None)
+    }
+
+    /// The clock path shared by [`SharedBroker::try_advance_to`] (explicit
+    /// target) and [`SharedBroker::try_tick`] (`now + 1`, computed under the
+    /// locks). Also the automatic-snapshot trigger point: with every lock
+    /// already held, a due snapshot costs no extra synchronisation.
+    fn advance_locked(&self, t: Option<LogicalTime>) -> Result<usize, BrokerError> {
+        // The vocabulary lock is only needed for a potential auto-snapshot,
+        // but the global lock order (vocab < shards < wal) requires taking
+        // it before the shard locks — durable brokers pay that tiny cost.
+        let vocab = self.inner.durable.as_ref().map(|_| self.inner.vocab.lock());
         let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
-        let t = guards[0].now().plus(1);
-        guards.iter_mut().map(|b| b.advance_to(t).0).sum()
+        let t = t.unwrap_or_else(|| guards[0].now().plus(1));
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            // Validate before logging so a bad target never reaches the log.
+            // Even `t == now` is logged: it can expire subscriptions whose
+            // validity was already stale when they were registered, and
+            // recovery must reproduce that.
+            assert!(t >= guards[0].now(), "clock cannot go backwards");
+            if let Err(e) = durable.wal.lock().append(&WalOp::AdvanceTo(t)) {
+                return Err(durable.degrade(e));
+            }
+        }
+        let expired = guards.iter_mut().map(|b| b.advance_to(t).0).sum();
+        if let Some(durable) = &self.inner.durable {
+            let mut wal = durable.wal.lock();
+            if wal.wants_snapshot() {
+                let state =
+                    build_snapshot_state(vocab.as_ref().expect("durable holds vocab"), &guards);
+                if let Err(e) = wal.snapshot(&state) {
+                    // The advance itself is already durable; a failed
+                    // snapshot only degrades the broker if it poisoned the
+                    // WAL (torn append during the pre-snapshot sync path).
+                    if wal.is_poisoned() {
+                        drop(wal);
+                        return Err(durable.degrade(e));
+                    }
+                }
+            }
+        }
+        Ok(expired)
+    }
+
+    // ---- durability ------------------------------------------------------
+
+    /// Whether this broker was opened with [`SharedBroker::open_durable`].
+    pub fn is_durable(&self) -> bool {
+        self.inner.durable.is_some()
+    }
+
+    /// Whether a durability write has failed, flipping the broker into
+    /// read-only degraded mode (always `false` for in-memory brokers).
+    pub fn is_degraded(&self) -> bool {
+        self.inner
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.degraded.load(Ordering::Acquire))
+    }
+
+    /// The durability failure that degraded this broker, if any.
+    pub fn degraded_cause(&self) -> Option<WalError> {
+        self.inner
+            .durable
+            .as_ref()
+            .and_then(|d| d.cause.lock().clone())
+    }
+
+    /// What recovery did when this durable broker was opened (`None` for
+    /// in-memory brokers).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.inner.durable.as_ref().map(|d| d.recovery)
+    }
+
+    /// Point-in-time durability status (`None` for in-memory brokers).
+    pub fn durability(&self) -> Option<DurabilityStatus> {
+        self.inner.durable.as_ref().map(|d| {
+            let wal = d.wal.lock();
+            DurabilityStatus {
+                dir: wal.dir().to_path_buf(),
+                next_lsn: wal.next_lsn(),
+                ops_since_snapshot: wal.ops_since_snapshot(),
+                degraded: d.degraded.load(Ordering::Acquire),
+                degraded_cause: d.cause.lock().clone(),
+                recovery: d.recovery,
+            }
+        })
+    }
+
+    /// Writes a point-in-time snapshot of the full broker state (clock,
+    /// vocabulary, live subscriptions with validities), then compacts WAL
+    /// segments the snapshot supersedes. Takes every lock, so it is a
+    /// stop-the-world operation — size snapshots via
+    /// [`DurabilityConfig::snapshot_every_ops`] or call this in quiet
+    /// periods. Returns the snapshot file path.
+    pub fn snapshot(&self) -> Result<PathBuf, BrokerError> {
+        let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
+        durable.check()?;
+        let vocab = self.inner.vocab.lock();
+        let guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let mut wal = durable.wal.lock();
+        let state = build_snapshot_state(&vocab, &guards);
+        match wal.snapshot(&state) {
+            Ok(path) => Ok(path),
+            Err(e) => {
+                if wal.is_poisoned() {
+                    drop(wal);
+                    Err(durable.degrade(e))
+                } else {
+                    Err(BrokerError::Snapshot(e))
+                }
+            }
+        }
     }
 
     // ---- escape hatch ----------------------------------------------------

@@ -11,31 +11,52 @@
 //! unsub d0
 //! tick 5
 //! stats
+//! wal verify /var/lib/pubsub
 //! chaos arm core.sharded.worker.match panic nth=1
 //! help
 //! quit
 //! ```
 //!
 //! Start with `cargo run -p pubsub-cli --bin pubsub -- [engine] [--shards N]
-//! [--backpressure block|shed|error-fast]` where `engine` is one of
-//! `counting`, `propagation`, `propagation-wp`, `static`, `dynamic`
-//! (default). `--shards N` partitions the subscription set across `N`
-//! supervised parallel shard engines; `stats` then also reports per-shard
-//! subscription counts and robustness counters (worker panics, shard
-//! rebuilds, quarantined events). `--backpressure` selects the sharded
-//! engine's overload policy. The `chaos` command drives the deterministic
-//! fault-injection registry when the binary is built with
+//! [--backpressure block|shed|error-fast] [--durable <dir>]` where `engine`
+//! is one of `counting`, `propagation`, `propagation-wp`, `static`,
+//! `dynamic` (default). `--shards N` partitions the subscription set across
+//! `N` supervised parallel shard engines; `stats` then also reports
+//! per-shard subscription counts and robustness counters (worker panics,
+//! shard rebuilds, quarantined events). `--backpressure` selects the
+//! sharded engine's overload policy. The `chaos` command drives the
+//! deterministic fault-injection registry when the binary is built with
 //! `--features faults`.
+//!
+//! `--durable <dir>` opens a crash-recoverable broker: every subscription,
+//! unsubscription and clock advance is written to a segmented write-ahead
+//! log in `dir` before it is applied, and restarting the binary against the
+//! same directory recovers the exact acknowledged state (a torn final
+//! record from a crash is truncated away). The `wal` command inspects and
+//! maintains such directories — `wal verify`/`wal dump` work offline on any
+//! directory, `wal snapshot` compacts the running broker's log. Durable
+//! mode supports conjunctive subscriptions only (no OR).
 
-use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, Validity};
+use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, SharedBroker, Validity};
 use pubsub_core::{Backpressure, EngineKind, ShardedConfig};
+use pubsub_durability::{DurabilityConfig, Wal};
 use pubsub_lang::{parse_event, parse_subscription};
 use pubsub_types::faults::{self, FaultAction, Schedule};
 use pubsub_types::metrics::MetricsSnapshot;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+/// The broker behind the REPL: a single-threaded engine, or a durable
+/// shard-locked handle writing a WAL. Boxed: a `Broker` embeds its whole
+/// engine while `SharedBroker` is an `Arc`, and one REPL holds exactly one
+/// backend, so the indirection costs nothing.
+enum Backend {
+    Volatile(Box<Broker>),
+    Durable(SharedBroker),
+}
 
 struct Cli {
-    broker: Broker,
+    backend: Backend,
     dnf: DnfRegistry,
 }
 
@@ -60,9 +81,34 @@ impl Cli {
             Broker::new_sharded_with(kind, shards, config)
         };
         Self {
-            broker,
+            backend: Backend::Volatile(Box::new(broker)),
             dnf: DnfRegistry::new(),
         }
+    }
+
+    /// Opens a durable broker over `dir`, recovering previous state. Prints
+    /// nothing here; the caller reports the recovery summary.
+    fn durable(
+        kind: EngineKind,
+        shards: usize,
+        backpressure: Backpressure,
+        dir: &std::path::Path,
+    ) -> Result<(Self, pubsub_durability::RecoveryReport), String> {
+        let (broker, report) = SharedBroker::open_durable_with(
+            kind,
+            shards.max(1),
+            backpressure,
+            dir,
+            DurabilityConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok((
+            Self {
+                backend: Backend::Durable(broker),
+                dnf: DnfRegistry::new(),
+            },
+            report,
+        ))
     }
 
     /// Executes one command line; returns the response text, or `None` to
@@ -82,6 +128,7 @@ impl Cli {
             "unsub" | "unsubscribe" => self.cmd_unsubscribe(rest),
             "tick" => self.cmd_tick(rest),
             "stats" => self.cmd_stats(rest),
+            "wal" => self.cmd_wal(rest),
             "chaos" => self.cmd_chaos(rest),
             "help" => Ok(HELP.to_string()),
             "quit" | "exit" => return None,
@@ -90,35 +137,61 @@ impl Cli {
         Some(out.unwrap_or_else(|e| format!("error: {e}")))
     }
 
-    fn vocab_mut(&mut self) -> &mut pubsub_types::Vocabulary {
-        // The broker owns the vocabulary; the parser needs mutable access.
-        // Broker exposes interning via attr()/string(); for parsing whole
-        // expressions we reach the vocabulary through a dedicated handle.
-        self.broker.vocabulary_mut()
-    }
-
     fn cmd_subscribe(&mut self, expr: &str) -> Result<String, String> {
-        let parsed = parse_subscription(expr, self.vocab_mut()).map_err(|e| e.render(expr))?;
-        if parsed.is_conjunctive() {
-            let id = self
-                .broker
-                .subscribe(parsed.into_conjunction(), Validity::forever());
-            Ok(format!("subscribed {id}"))
-        } else {
-            let dnf = DnfSubscription::new(parsed.disjuncts).expect("non-empty");
-            let n = dnf.disjuncts().len();
-            let id = self
-                .dnf
-                .subscribe(&mut self.broker, dnf, Validity::forever());
-            Ok(format!("subscribed {id} ({n} disjuncts)"))
+        match &mut self.backend {
+            Backend::Durable(shared) => {
+                let parsed = shared
+                    .with_vocab(|vocab| parse_subscription(expr, vocab))
+                    .map_err(|e| e.render(expr))?;
+                if !parsed.is_conjunctive() {
+                    return Err(
+                        "durable mode supports conjunctive subscriptions only; split the OR \
+                         into separate `sub` commands or drop --durable"
+                            .into(),
+                    );
+                }
+                let id = shared
+                    .try_subscribe(parsed.into_conjunction(), Validity::forever())
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("subscribed {id}"))
+            }
+            Backend::Volatile(broker) => {
+                let parsed = parse_subscription(expr, broker.vocabulary_mut())
+                    .map_err(|e| e.render(expr))?;
+                if parsed.is_conjunctive() {
+                    let id = broker.subscribe(parsed.into_conjunction(), Validity::forever());
+                    Ok(format!("subscribed {id}"))
+                } else {
+                    let dnf = DnfSubscription::new(parsed.disjuncts).expect("non-empty");
+                    let n = dnf.disjuncts().len();
+                    let id = self.dnf.subscribe(broker, dnf, Validity::forever());
+                    Ok(format!("subscribed {id} ({n} disjuncts)"))
+                }
+            }
         }
     }
 
     fn cmd_publish(&mut self, expr: &str) -> Result<String, String> {
-        let event = parse_event(expr, self.vocab_mut()).map_err(|e| e.render(expr))?;
-        let (dnf_hits, plain) = self.dnf.publish(&mut self.broker, &event);
-        let mut names: Vec<String> = plain.iter().map(|s| s.to_string()).collect();
-        names.extend(dnf_hits.iter().map(|d| d.to_string()));
+        let names: Vec<String> = match &mut self.backend {
+            Backend::Durable(shared) => {
+                let event = shared
+                    .with_vocab(|vocab| parse_event(expr, vocab))
+                    .map_err(|e| e.render(expr))?;
+                shared
+                    .publish(&event)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            }
+            Backend::Volatile(broker) => {
+                let event =
+                    parse_event(expr, broker.vocabulary_mut()).map_err(|e| e.render(expr))?;
+                let (dnf_hits, plain) = self.dnf.publish(broker, &event);
+                let mut names: Vec<String> = plain.iter().map(|s| s.to_string()).collect();
+                names.extend(dnf_hits.iter().map(|d| d.to_string()));
+                names
+            }
+        };
         if names.is_empty() {
             Ok("matched: (none)".into())
         } else {
@@ -129,14 +202,25 @@ impl Cli {
     fn cmd_unsubscribe(&mut self, id: &str) -> Result<String, String> {
         let ok = if let Some(num) = id.strip_prefix('d') {
             let n: u64 = num.parse().map_err(|_| format!("bad id `{id}`"))?;
-            self.dnf.unsubscribe(&mut self.broker, DnfId(n))
+            match &mut self.backend {
+                Backend::Durable(_) => {
+                    return Err("durable mode has no DNF subscriptions".into());
+                }
+                Backend::Volatile(broker) => self.dnf.unsubscribe(broker, DnfId(n)),
+            }
         } else {
             let n: u32 = id
                 .strip_prefix('s')
                 .unwrap_or(id)
                 .parse()
                 .map_err(|_| format!("bad id `{id}`"))?;
-            self.broker.unsubscribe(pubsub_types::SubscriptionId(n))
+            let sid = pubsub_types::SubscriptionId(n);
+            match &mut self.backend {
+                Backend::Durable(shared) => {
+                    shared.try_unsubscribe(sid).map_err(|e| e.to_string())?
+                }
+                Backend::Volatile(broker) => broker.unsubscribe(sid),
+            }
         };
         if ok {
             Ok(format!("unsubscribed {id}"))
@@ -151,22 +235,148 @@ impl Cli {
         } else {
             arg.parse().map_err(|_| format!("bad tick count `{arg}`"))?
         };
-        let mut subs = 0;
-        let mut events = 0;
-        for _ in 0..n {
-            let (s, e) = self.broker.tick();
-            subs += s;
-            events += e;
+        match &mut self.backend {
+            Backend::Durable(shared) => {
+                let mut subs = 0;
+                for _ in 0..n {
+                    subs += shared.try_tick().map_err(|e| e.to_string())?;
+                }
+                Ok(format!(
+                    "now {}; expired {subs} subscription(s)",
+                    shared.now()
+                ))
+            }
+            Backend::Volatile(broker) => {
+                let mut subs = 0;
+                let mut events = 0;
+                for _ in 0..n {
+                    let (s, e) = broker.tick();
+                    subs += s;
+                    events += e;
+                }
+                Ok(format!(
+                    "now {}; expired {subs} subscription(s), {events} event(s)",
+                    broker.now()
+                ))
+            }
         }
-        Ok(format!(
-            "now {}; expired {subs} subscription(s), {events} event(s)",
-            self.broker.now()
-        ))
+    }
+
+    /// `wal <verify|dump|compact|snapshot> [dir]`: WAL inspection and
+    /// maintenance. `verify` and `dump` are read-only and work on any
+    /// directory (defaulting to the running broker's in durable mode);
+    /// `compact` opens a directory offline and drops segments superseded by
+    /// its newest snapshot; `snapshot` asks the running durable broker for a
+    /// point-in-time snapshot (which also compacts).
+    fn cmd_wal(&mut self, rest: &str) -> Result<String, String> {
+        const USAGE: &str = "usage: wal <verify|dump|compact|snapshot> [dir]";
+        let mut toks = rest.split_whitespace();
+        let sub = toks.next().ok_or(USAGE)?;
+        let dir_arg: Option<PathBuf> = toks.next().map(PathBuf::from);
+        if toks.next().is_some() {
+            return Err(USAGE.into());
+        }
+        let own_dir = || match &self.backend {
+            Backend::Durable(shared) => shared.durability().map(|d| d.dir),
+            Backend::Volatile(_) => None,
+        };
+        let resolve = |dir_arg: Option<PathBuf>| {
+            dir_arg.or_else(own_dir).ok_or_else(|| {
+                "no WAL directory: pass one explicitly or run with --durable <dir>".to_string()
+            })
+        };
+        match sub {
+            "verify" => {
+                let dir = resolve(dir_arg)?;
+                let report = Wal::verify(&dir).map_err(|e| e.to_string())?;
+                let mut out = format!(
+                    "{}: {} segment(s), {} snapshot(s), {} record(s); {}",
+                    dir.display(),
+                    report.segments.len(),
+                    report.snapshots.len(),
+                    report.total_records(),
+                    if report.healthy() {
+                        "healthy"
+                    } else {
+                        "DAMAGED"
+                    },
+                );
+                for seg in &report.segments {
+                    out.push_str(&format!(
+                        "\n  {}  first-lsn {}  records {}  bytes {}{}",
+                        seg.file,
+                        seg.first_lsn,
+                        seg.records,
+                        seg.bytes,
+                        match &seg.damage {
+                            Some(d) => format!("  DAMAGED: {d}"),
+                            None => String::new(),
+                        }
+                    ));
+                }
+                for snap in &report.snapshots {
+                    out.push_str(&format!(
+                        "\n  {}  lsn {}  {}  subs {}",
+                        snap.file,
+                        snap.lsn,
+                        if snap.valid { "valid" } else { "INVALID" },
+                        snap.subs,
+                    ));
+                }
+                Ok(out)
+            }
+            "dump" => {
+                let dir = resolve(dir_arg)?;
+                let ops = Wal::dump(&dir).map_err(|e| e.to_string())?;
+                if ops.is_empty() {
+                    return Ok(format!("{}: empty log", dir.display()));
+                }
+                let lines: Vec<String> = ops
+                    .iter()
+                    .map(|(lsn, op)| format!("{lsn:>8}  {op}"))
+                    .collect();
+                Ok(lines.join("\n"))
+            }
+            "compact" => {
+                let dir = dir_arg.ok_or("wal compact needs an explicit <dir> (offline only)")?;
+                if own_dir().is_some_and(|own| own == dir) {
+                    return Err(
+                        "this broker holds that directory open; use `wal snapshot` instead".into(),
+                    );
+                }
+                let (mut wal, _) =
+                    Wal::open(&dir, DurabilityConfig::default()).map_err(|e| e.to_string())?;
+                let removed = wal.compact().map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "compacted {}: removed {removed} file(s)",
+                    dir.display()
+                ))
+            }
+            "snapshot" => {
+                if dir_arg.is_some() {
+                    return Err(
+                        "wal snapshot takes no directory (snapshots the running broker)".into(),
+                    );
+                }
+                match &self.backend {
+                    Backend::Durable(shared) => {
+                        let path = shared.snapshot().map_err(|e| e.to_string())?;
+                        Ok(format!("snapshot written: {}", path.display()))
+                    }
+                    Backend::Volatile(_) => {
+                        Err("snapshots need a durable broker (run with --durable <dir>)".into())
+                    }
+                }
+            }
+            other => Err(format!(
+                "unknown wal subcommand `{other}` (known: verify dump compact snapshot)"
+            )),
+        }
     }
 
     /// `chaos [status|clear|arm <point> <action> <schedule> [lane=<n>]]`:
     /// drives the deterministic fault-injection registry. Actions are
-    /// `panic`, `corrupt`, `delay=<ms>`; schedules are `nth=<n>`,
+    /// `panic`, `corrupt`, `fail`, `delay=<ms>`; schedules are `nth=<n>`,
     /// `every=<n>`, `seed=<seed>,<ppm>`. Requires `--features faults` to
     /// arm; `status`/`clear` always work.
     fn cmd_chaos(&mut self, rest: &str) -> Result<String, String> {
@@ -230,13 +440,113 @@ impl Cli {
                 }
             }
         }
-        let s = self.broker.engine_stats();
+        match &mut self.backend {
+            Backend::Durable(shared) => Self::stats_durable(shared, json, metrics),
+            Backend::Volatile(broker) => Self::stats_volatile(broker, json, metrics),
+        }
+    }
+
+    fn stats_durable(shared: &SharedBroker, json: bool, metrics: bool) -> Result<String, String> {
+        // Aggregate the shard engines' counters into one view. Work done
+        // (checks, matches, nanos) sums across shards; every shard sees
+        // every published event, so the event count is the max, not the sum.
+        let mut s = pubsub_core::EngineStats::default();
+        let mut name = "";
+        for shard in 0..shared.shard_count() {
+            shared.with_shard(shard, |b| {
+                let e = b.engine_stats();
+                s.events = s.events.max(e.events);
+                s.phase1_nanos += e.phase1_nanos;
+                s.phase2_nanos += e.phase2_nanos;
+                s.subscriptions_checked += e.subscriptions_checked;
+                s.matches += e.matches;
+                name = b.engine_name();
+            });
+        }
+        let d = shared.durability().expect("durable backend");
+        let counts = shared.shard_subscription_counts();
+        let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+        if json {
+            // Keys in ascending order, pubsub-workload::json conventions.
+            let mut out = format!(
+                "{{\"checks\":{},\"durability\":{{\"degraded\":{},\"dir\":{:?},\"next_lsn\":{},\
+                 \"ops_since_snapshot\":{},\"recovery\":{{\"bytes_abandoned\":{},\
+                 \"records_replayed\":{},\"records_skipped\":{},\"segments_removed\":{},\
+                 \"segments_scanned\":{},\"snapshot_lsn\":{},\"snapshots_discarded\":{},\
+                 \"torn_tail_truncated\":{}}}}},\"engine\":{:?},\"events\":{},\"matches\":{}",
+                s.subscriptions_checked,
+                d.degraded,
+                d.dir.display().to_string(),
+                d.next_lsn,
+                d.ops_since_snapshot,
+                d.recovery.bytes_abandoned,
+                d.recovery.records_replayed,
+                d.recovery.records_skipped,
+                d.recovery.segments_removed,
+                d.recovery.segments_scanned,
+                fmt_opt(d.recovery.snapshot_lsn),
+                d.recovery.snapshots_discarded,
+                fmt_opt(d.recovery.torn_tail_truncated),
+                name,
+                s.events,
+                s.matches,
+            );
+            if metrics {
+                out.push_str(&format!(
+                    ",\"metrics\":{}",
+                    MetricsSnapshot::capture().to_json()
+                ));
+            }
+            let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!(
+                ",\"phase1_nanos\":{},\"phase2_nanos\":{},\"shards\":[{}],\"subscriptions\":{}}}",
+                s.phase1_nanos,
+                s.phase2_nanos,
+                list.join(","),
+                shared.subscription_count(),
+            ));
+            return Ok(out);
+        }
+        let mut out = format!(
+            "engine {name} (durable)  subscriptions {}  events {}  checks/event {:.1}  matches {}\n\
+             shards {}  per-shard subscriptions {counts:?}\n\
+             durability: dir {}  next-lsn {}  since-snapshot {}  degraded {}\n\
+             recovery: replayed {}  skipped {}  torn-truncated {}  snapshots-discarded {}  \
+             segments-scanned {}",
+            shared.subscription_count(),
+            s.events,
+            s.checks_per_event(),
+            s.matches,
+            counts.len(),
+            d.dir.display(),
+            d.next_lsn,
+            d.ops_since_snapshot,
+            if d.degraded { "YES" } else { "no" },
+            d.recovery.records_replayed,
+            d.recovery.records_skipped,
+            d.recovery
+                .torn_tail_truncated
+                .map_or("none".to_string(), |b| format!("{b}B")),
+            d.recovery.snapshots_discarded,
+            d.recovery.segments_scanned,
+        );
+        if let Some(cause) = &d.degraded_cause {
+            out.push_str(&format!("\ndegraded cause: {cause}"));
+        }
+        if metrics {
+            Self::push_metrics_text(&mut out);
+        }
+        Ok(out)
+    }
+
+    fn stats_volatile(broker: &Broker, json: bool, metrics: bool) -> Result<String, String> {
+        let s = broker.engine_stats();
         if json {
             // Keys in ascending order, pubsub-workload::json conventions.
             let mut out = format!(
                 "{{\"checks\":{},\"engine\":{:?},\"events\":{},\"matches\":{}",
                 s.subscriptions_checked,
-                self.broker.engine_name(),
+                broker.engine_name(),
                 s.events,
                 s.matches,
             );
@@ -250,7 +560,7 @@ impl Cli {
                 ",\"phase1_nanos\":{},\"phase2_nanos\":{}",
                 s.phase1_nanos, s.phase2_nanos
             ));
-            if let Some(h) = self.broker.shard_health() {
+            if let Some(h) = broker.shard_health() {
                 out.push_str(&format!(
                     ",\"robustness\":{{\"degraded_matches\":{},\"quarantined_events\":{},\
                      \"replayed_subscriptions\":{},\"sealed_shards\":{},\"shard_rebuilds\":{},\
@@ -265,14 +575,14 @@ impl Cli {
                     h.worker_panics,
                 ));
             }
-            if let Some(counts) = self.broker.shard_subscription_counts() {
+            if let Some(counts) = broker.shard_subscription_counts() {
                 let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
                 out.push_str(&format!(",\"shards\":[{}]", list.join(",")));
             }
             out.push_str(&format!(
                 ",\"stored_events\":{},\"subscriptions\":{}}}",
-                self.broker.stored_event_count(),
-                self.broker.subscription_count(),
+                broker.stored_event_count(),
+                broker.subscription_count(),
             ));
             return Ok(out);
         }
@@ -286,22 +596,22 @@ impl Cli {
         let mut out = format!(
             "engine {}  subscriptions {}  stored-events {}  events {}  checks/event {:.1}  matches {}\n\
              phase1/event {:.1}µs  phase2/event {:.1}µs",
-            self.broker.engine_name(),
-            self.broker.subscription_count(),
-            self.broker.stored_event_count(),
+            broker.engine_name(),
+            broker.subscription_count(),
+            broker.stored_event_count(),
             s.events,
             s.checks_per_event(),
             s.matches,
             per_event_us(s.phase1_nanos),
             per_event_us(s.phase2_nanos),
         );
-        if let Some(counts) = self.broker.shard_subscription_counts() {
+        if let Some(counts) = broker.shard_subscription_counts() {
             out.push_str(&format!(
                 "\nshards {}  per-shard subscriptions {counts:?}",
                 counts.len()
             ));
         }
-        if let Some(h) = self.broker.shard_health() {
+        if let Some(h) = broker.shard_health() {
             out.push_str(&format!(
                 "\nrobustness: panics {}  rebuilds {}  replayed {}  quarantined {}  \
                  degraded {}  shed {}  spawn-fallbacks {}  sealed {}",
@@ -322,20 +632,24 @@ impl Cli {
             }
         }
         if metrics {
-            let snap = MetricsSnapshot::capture();
-            if snap.is_empty() {
-                out.push_str("\nmetrics: (empty; build with `--features metrics`)");
-            } else {
-                out.push_str("\nmetrics:");
-                for c in &snap.counters {
-                    out.push_str(&format!("\n  {} = {}", c.name, c.value));
-                }
-                for h in &snap.histograms {
-                    out.push_str(&format!("\n  {} count {} sum {}", h.name, h.count, h.sum));
-                }
-            }
+            Self::push_metrics_text(&mut out);
         }
         Ok(out)
+    }
+
+    fn push_metrics_text(out: &mut String) {
+        let snap = MetricsSnapshot::capture();
+        if snap.is_empty() {
+            out.push_str("\nmetrics: (empty; build with `--features metrics`)");
+        } else {
+            out.push_str("\nmetrics:");
+            for c in &snap.counters {
+                out.push_str(&format!("\n  {} = {}", c.name, c.value));
+            }
+            for h in &snap.histograms {
+                out.push_str(&format!("\n  {} count {} sum {}", h.name, h.count, h.sum));
+            }
+        }
     }
 }
 
@@ -347,8 +661,9 @@ fn parse_fault_action(s: &str) -> Result<FaultAction, String> {
     match s {
         "panic" => Ok(FaultAction::Panic),
         "corrupt" => Ok(FaultAction::Corrupt),
+        "fail" => Ok(FaultAction::Fail),
         other => Err(format!(
-            "unknown action `{other}` (known: panic corrupt delay=<ms>)"
+            "unknown action `{other}` (known: panic corrupt fail delay=<ms>)"
         )),
     }
 }
@@ -378,7 +693,7 @@ fn parse_fault_schedule(s: &str) -> Result<Schedule, String> {
 const HELP: &str = "\
 commands:
   sub <expr>     register a subscription, e.g.  sub price <= 10 AND movie = 'up'
-                 (use OR for disjunctions)
+                 (use OR for disjunctions; conjunctive-only under --durable)
   pub <event>    publish an event, e.g.        pub {price: 8, movie: 'up'}
   unsub <id>     remove a subscription by the id printed at sub time
   tick [n]       advance the logical clock (expires validities)
@@ -386,14 +701,22 @@ commands:
                  `--metrics` to include the global metrics snapshot
                  (requires building with `--features metrics`); sharded
                  engines also report robustness counters (panics, rebuilds,
-                 quarantined events)
+                 quarantined events); durable brokers report a durability
+                 block (WAL position, recovery summary, degraded state)
+  wal            WAL inspection/maintenance for --durable brokers:
+                 `wal verify [dir]`, `wal dump [dir]` (read-only, any
+                 directory), `wal compact <dir>` (offline), `wal snapshot`
+                 (snapshot + compact the running durable broker)
   chaos          fault injection (requires `--features faults`):
                  `chaos status`, `chaos clear`,
                  `chaos arm <point> <action> <schedule> [lane=<n>]` with
-                 action panic|corrupt|delay=<ms>, schedule
+                 action panic|corrupt|fail|delay=<ms>, schedule
                  nth=<n>|every=<n>|seed=<seed>,<ppm>; points include
                  core.sharded.worker.op, core.sharded.worker.match,
-                 core.sharded.spawn (lane = shard index)
+                 core.sharded.spawn (lane = shard index), and the durability
+                 points durability.wal.append, durability.wal.fsync,
+                 durability.wal.rotate, durability.wal.read,
+                 durability.snapshot.write
   help           this text
   quit           exit";
 
@@ -401,6 +724,7 @@ fn main() {
     let mut kind = EngineKind::Dynamic;
     let mut shards = 0usize;
     let mut backpressure = Backpressure::Block;
+    let mut durable_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -418,24 +742,49 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|e| panic!("{e}"));
             }
+            "--durable" => {
+                durable_dir = Some(PathBuf::from(args.next().expect("--durable needs a dir")));
+            }
             other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
         }
     }
-    let mut cli = Cli::with_options(kind, shards, backpressure);
+    let interactive = std::env::var_os("PUBSUB_NO_PROMPT").is_none();
+    let mut cli = match &durable_dir {
+        Some(dir) => {
+            let (cli, report) =
+                Cli::durable(kind, shards, backpressure, dir).unwrap_or_else(|e| panic!("{e}"));
+            if interactive {
+                println!(
+                    "fastpubsub durable broker ({}, {}). Recovered {} op(s){}. Type `help`.",
+                    kind.label(),
+                    dir.display(),
+                    report.records_replayed,
+                    match report.torn_tail_truncated {
+                        Some(b) => format!(", truncated {b}B torn tail"),
+                        None => String::new(),
+                    }
+                );
+            }
+            cli
+        }
+        None => {
+            let cli = Cli::with_options(kind, shards, backpressure);
+            if interactive {
+                if shards == 0 {
+                    println!("fastpubsub broker ({}). Type `help`.", kind.label());
+                } else {
+                    println!(
+                        "fastpubsub broker ({} x {shards} shards). Type `help`.",
+                        kind.label()
+                    );
+                }
+            }
+            cli
+        }
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    let interactive = std::env::var_os("PUBSUB_NO_PROMPT").is_none();
 
-    if interactive {
-        if shards == 0 {
-            println!("fastpubsub broker ({}). Type `help`.", kind.label());
-        } else {
-            println!(
-                "fastpubsub broker ({} x {shards} shards). Type `help`.",
-                kind.label()
-            );
-        }
-    }
     loop {
         if interactive {
             print!("> ");
@@ -463,6 +812,19 @@ mod tests {
 
     fn run(cli: &mut Cli, line: &str) -> String {
         cli.execute(line).expect("not a quit command")
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fp-cli-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_cli(dir: &std::path::Path) -> Cli {
+        Cli::durable(EngineKind::Dynamic, 2, Backpressure::Block, dir)
+            .expect("open durable")
+            .0
     }
 
     #[test]
@@ -603,6 +965,7 @@ mod tests {
     fn chaos_parsers_reject_garbage() {
         assert!(parse_fault_action("panic").is_ok());
         assert!(parse_fault_action("corrupt").is_ok());
+        assert_eq!(parse_fault_action("fail"), Ok(FaultAction::Fail));
         assert_eq!(parse_fault_action("delay=25"), Ok(FaultAction::Delay(25)));
         assert!(parse_fault_action("explode").is_err());
         assert_eq!(parse_fault_schedule("nth=3"), Ok(Schedule::Nth(3)));
@@ -623,5 +986,112 @@ mod tests {
         assert_eq!(run(&mut cli, "# a comment"), "");
         assert_eq!(run(&mut cli, "   "), "");
         assert!(cli.execute("quit").is_none());
+    }
+
+    #[test]
+    fn durable_state_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let mut cli = durable_cli(&dir);
+        assert_eq!(
+            run(&mut cli, "sub movie = 'up' AND price <= 10"),
+            "subscribed s0"
+        );
+        assert_eq!(run(&mut cli, "pub {movie: 'up', price: 8}"), "matched: s0");
+        run(&mut cli, "tick 2");
+        drop(cli);
+
+        // A fresh process over the same directory sees the same broker.
+        let mut cli = durable_cli(&dir);
+        assert_eq!(run(&mut cli, "pub {movie: 'up', price: 8}"), "matched: s0");
+        let r = run(&mut cli, "tick");
+        assert!(r.contains("now t3"), "clock recovered: {r}");
+        assert_eq!(run(&mut cli, "unsub s0"), "unsubscribed s0");
+        drop(cli);
+
+        let mut cli = durable_cli(&dir);
+        assert_eq!(
+            run(&mut cli, "pub {movie: 'up', price: 8}"),
+            "matched: (none)"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_rejects_dnf() {
+        let dir = temp_dir("no-dnf");
+        let mut cli = durable_cli(&dir);
+        let r = run(&mut cli, "sub a = 1 OR b = 2");
+        assert!(r.starts_with("error:") && r.contains("conjunctive"), "{r}");
+        assert!(run(&mut cli, "unsub d0").starts_with("error:"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_stats_block() {
+        let dir = temp_dir("stats");
+        let mut cli = durable_cli(&dir);
+        run(&mut cli, "sub a = 1");
+        run(&mut cli, "pub {a: 1}");
+        let r = run(&mut cli, "stats");
+        assert!(r.contains("(durable)"), "{r}");
+        assert!(r.contains("durability: dir"), "{r}");
+        assert!(r.contains("degraded no"), "{r}");
+        assert!(r.contains("recovery: replayed 0"), "{r}");
+        let r = run(&mut cli, "stats --json");
+        assert!(r.starts_with("{\"checks\":"), "{r}");
+        assert!(r.contains("\"durability\":{\"degraded\":false"), "{r}");
+        assert!(r.contains("\"next_lsn\":2"), "two ops logged: {r}");
+        assert!(r.contains("\"recovery\":{\"bytes_abandoned\":0"), "{r}");
+        assert!(r.ends_with("\"subscriptions\":1}"), "{r}");
+        // Key order stays ascending around the durability block.
+        assert!(r.find("\"checks\"").unwrap() < r.find("\"durability\"").unwrap());
+        assert!(r.find("\"durability\"").unwrap() < r.find("\"engine\"").unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_command_verify_dump_snapshot() {
+        let dir = temp_dir("walcmd");
+        let mut cli = durable_cli(&dir);
+        run(&mut cli, "sub a = 1");
+        run(&mut cli, "sub b = 2");
+        run(&mut cli, "tick");
+        let r = run(&mut cli, "wal verify");
+        assert!(r.contains("healthy"), "{r}");
+        // Two interns + two subscribes + one advance.
+        assert!(r.contains("5 record(s)"), "{r}");
+        let r = run(&mut cli, "wal dump");
+        assert!(r.contains("subscribe"), "{r}");
+        assert!(r.contains("advance"), "{r}");
+        let r = run(&mut cli, "wal snapshot");
+        assert!(r.starts_with("snapshot written:"), "{r}");
+        let r = run(&mut cli, "wal verify");
+        assert!(r.contains("1 snapshot(s)"), "{r}");
+        // Guard rails.
+        assert!(run(&mut cli, "wal").starts_with("error:"));
+        assert!(run(&mut cli, "wal bogus").starts_with("error:"));
+        assert!(
+            run(&mut cli, "wal compact").starts_with("error:"),
+            "needs dir"
+        );
+        let own = format!("wal compact {}", dir.display());
+        assert!(
+            run(&mut cli, &own).contains("holds that directory"),
+            "guarded"
+        );
+        drop(cli);
+        // Offline compact over the closed directory works.
+        let mut offline = Cli::with_shards(EngineKind::Counting, 0);
+        let r = run(&mut offline, &own);
+        assert!(r.starts_with("compacted"), "{r}");
+        assert!(
+            run(&mut offline, "wal verify").starts_with("error:"),
+            "no dir"
+        );
+        assert!(
+            run(&mut offline, "wal snapshot").starts_with("error:"),
+            "not durable"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

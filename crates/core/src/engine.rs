@@ -104,6 +104,22 @@ pub trait MatchEngine {
     /// cost-based optimization here; every other engine is a no-op.
     fn finalize(&mut self) {}
 
+    /// Bulk-loads a recovered subscription set into an empty engine — the
+    /// crash-recovery path of the durable broker, which replays a snapshot
+    /// into fresh engines before applying the WAL tail.
+    ///
+    /// The default is insert-then-[`finalize`](MatchEngine::finalize), which
+    /// every engine supports; engines with a cheaper bulk path (or ones that
+    /// defer index construction, like the static engine's cost-based
+    /// clustering) get it via the `finalize` call without further work.
+    /// Implementations may assume the engine is empty.
+    fn rebuild(&mut self, subs: &mut dyn Iterator<Item = (SubscriptionId, &Subscription)>) {
+        for (id, sub) in subs {
+            self.insert(id, sub);
+        }
+        self.finalize();
+    }
+
     /// Performance counters.
     fn stats(&self) -> &EngineStats;
 
@@ -148,6 +164,9 @@ impl<T: MatchEngine + ?Sized> MatchEngine for Box<T> {
     }
     fn finalize(&mut self) {
         (**self).finalize()
+    }
+    fn rebuild(&mut self, subs: &mut dyn Iterator<Item = (SubscriptionId, &Subscription)>) {
+        (**self).rebuild(subs)
     }
     fn stats(&self) -> &EngineStats {
         (**self).stats()

@@ -286,6 +286,10 @@ fn injected_fault(engine: &mut Box<dyn MatchEngine + Send>, shard: usize, is_mat
             }));
             panic!("injected fault: corrupted engine state");
         }
+        // `Fail` is an I/O-site action (durability WAL); a worker has no
+        // error channel to surface it on, so treat it like a panic — the
+        // supervisor recovers the shard either way.
+        Some(FaultAction::Fail) => panic!("injected fault: worker failure"),
     }
 }
 

@@ -1,0 +1,233 @@
+//! Logical WAL records and their physical framing.
+//!
+//! A [`WalOp`] is one broker-state mutation. The set is deliberately small:
+//! everything the broker's in-memory engines hold is a deterministic function
+//! of this op stream, including the vocabulary — attribute and string-symbol
+//! ids are assigned in interning order, so the ops that intern names must be
+//! logged too, or replay would assign different ids than the original run.
+//!
+//! On disk each op is framed as
+//!
+//! ```text
+//! [u32 payload_len (LE)] [u32 crc32c(payload) (LE)] [payload]
+//! ```
+//!
+//! and identified by its **LSN** — its zero-based index in the op stream
+//! across all segments. LSNs are dense: every append (including ops later
+//! undone, like an unsubscribe) consumes one.
+
+use pubsub_types::codec::{self, Reader};
+use pubsub_types::error::CodecError;
+use pubsub_types::time::{LogicalTime, Validity};
+use pubsub_types::{Subscription, SubscriptionId};
+
+/// A log sequence number: the zero-based index of a record in the op stream.
+pub type Lsn = u64;
+
+/// Bytes of framing overhead per record (`len` + `crc`).
+pub const RECORD_HEADER_BYTES: u64 = 8;
+
+/// Upper bound on a record payload. Nothing legitimate comes close (the
+/// largest op is a subscription of a few dozen predicates); the bound exists
+/// so a corrupt length prefix cannot make the recovery scanner allocate or
+/// skip gigabytes.
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+const TAG_INTERN_ATTR: u8 = 1;
+const TAG_INTERN_STRING: u8 = 2;
+const TAG_SUBSCRIBE: u8 = 3;
+const TAG_UNSUBSCRIBE: u8 = 4;
+const TAG_ADVANCE_TO: u8 = 5;
+
+/// One durable broker-state mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// An attribute name was interned; replay assigns the next `AttrId`.
+    InternAttr(String),
+    /// A string value was interned; replay assigns the next `Symbol`.
+    InternString(String),
+    /// A subscription was installed under an explicitly-recorded id (ids are
+    /// chosen by the broker's lane arithmetic, not by replay order).
+    Subscribe {
+        /// The id the broker assigned.
+        id: SubscriptionId,
+        /// The canonicalised subscription.
+        sub: Subscription,
+        /// Its validity interval.
+        validity: Validity,
+    },
+    /// A subscription was removed.
+    Unsubscribe(SubscriptionId),
+    /// The logical clock advanced (expiring subscriptions as it went; the
+    /// expiries themselves are *not* logged — replay re-derives them from the
+    /// validities, keeping the log append-rate independent of churn).
+    AdvanceTo(LogicalTime),
+}
+
+impl WalOp {
+    /// Encodes this op's payload (tag byte + body) into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::InternAttr(name) => {
+                out.push(TAG_INTERN_ATTR);
+                codec::put_str(out, name);
+            }
+            WalOp::InternString(name) => {
+                out.push(TAG_INTERN_STRING);
+                codec::put_str(out, name);
+            }
+            WalOp::Subscribe { id, sub, validity } => {
+                out.push(TAG_SUBSCRIBE);
+                codec::put_subscription_id(out, *id);
+                codec::put_validity(out, *validity);
+                codec::put_subscription(out, sub);
+            }
+            WalOp::Unsubscribe(id) => {
+                out.push(TAG_UNSUBSCRIBE);
+                codec::put_subscription_id(out, *id);
+            }
+            WalOp::AdvanceTo(t) => {
+                out.push(TAG_ADVANCE_TO);
+                codec::put_time(out, *t);
+            }
+        }
+    }
+
+    /// Decodes an op payload produced by [`WalOp::encode`]. Rejects trailing
+    /// garbage — a record must be exactly one op.
+    pub fn decode(payload: &[u8]) -> Result<WalOp, CodecError> {
+        let mut r = Reader::new(payload);
+        let op = match r.u8()? {
+            TAG_INTERN_ATTR => WalOp::InternAttr(r.str()?.to_string()),
+            TAG_INTERN_STRING => WalOp::InternString(r.str()?.to_string()),
+            TAG_SUBSCRIBE => {
+                let id = codec::get_subscription_id(&mut r)?;
+                let validity = codec::get_validity(&mut r)?;
+                let sub = codec::get_subscription(&mut r)?;
+                WalOp::Subscribe { id, sub, validity }
+            }
+            TAG_UNSUBSCRIBE => WalOp::Unsubscribe(codec::get_subscription_id(&mut r)?),
+            TAG_ADVANCE_TO => WalOp::AdvanceTo(codec::get_time(&mut r)?),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "wal op",
+                    tag,
+                })
+            }
+        };
+        if !r.is_empty() {
+            return Err(CodecError::BadTag {
+                what: "wal op trailing bytes",
+                tag: 0,
+            });
+        }
+        Ok(op)
+    }
+
+    /// Frames this op as a complete on-disk record (`len`, `crc`, payload).
+    pub fn to_record(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode(&mut payload);
+        let mut rec = Vec::with_capacity(payload.len() + RECORD_HEADER_BYTES as usize);
+        codec::put_u32(&mut rec, payload.len() as u32);
+        codec::put_u32(&mut rec, codec::crc32c(&payload));
+        rec.extend_from_slice(&payload);
+        rec
+    }
+}
+
+impl std::fmt::Display for WalOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalOp::InternAttr(name) => write!(f, "intern-attr {name:?}"),
+            WalOp::InternString(name) => write!(f, "intern-str {name:?}"),
+            WalOp::Subscribe { id, sub, validity } => {
+                write!(
+                    f,
+                    "subscribe s{} ({} predicates, {})",
+                    id.0,
+                    sub.predicates().len(),
+                    match validity.until {
+                        Some(u) => format!("until {u}"),
+                        None => "forever".to_string(),
+                    }
+                )
+            }
+            WalOp::Unsubscribe(id) => write!(f, "unsubscribe s{}", id.0),
+            WalOp::AdvanceTo(t) => write!(f, "advance-to {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::{AttrId, Operator, SubscriptionBuilder, Symbol, Value};
+
+    fn sample_ops() -> Vec<WalOp> {
+        let sub = SubscriptionBuilder::default()
+            .eq(AttrId(0), Value::Str(Symbol(1)))
+            .with(AttrId(2), Operator::Gt, 5i64)
+            .build()
+            .unwrap();
+        vec![
+            WalOp::InternAttr("exchange".to_string()),
+            WalOp::InternString("nyse".to_string()),
+            WalOp::Subscribe {
+                id: SubscriptionId(7),
+                sub,
+                validity: Validity::until(LogicalTime(30)),
+            },
+            WalOp::Unsubscribe(SubscriptionId(7)),
+            WalOp::AdvanceTo(LogicalTime(31)),
+        ]
+    }
+
+    #[test]
+    fn ops_round_trip() {
+        for op in sample_ops() {
+            let mut payload = Vec::new();
+            op.encode(&mut payload);
+            assert_eq!(WalOp::decode(&payload).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Vec::new();
+        WalOp::AdvanceTo(LogicalTime(1)).encode(&mut payload);
+        payload.push(0);
+        assert!(WalOp::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            WalOp::decode(&[99, 0, 0]),
+            Err(CodecError::BadTag { what: "wal op", .. })
+        ));
+    }
+
+    #[test]
+    fn record_framing_checks_out() {
+        for op in sample_ops() {
+            let rec = op.to_record();
+            let len = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            assert_eq!(len, rec.len() - RECORD_HEADER_BYTES as usize);
+            assert_eq!(crc, pubsub_types::codec::crc32c(&rec[8..]));
+            assert_eq!(WalOp::decode(&rec[8..]).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_record_is_detected() {
+        let rec = sample_ops()[2].to_record();
+        for byte in 8..rec.len() {
+            let mut torn = rec.clone();
+            torn[byte] ^= 0x10;
+            let crc = u32::from_le_bytes(torn[4..8].try_into().unwrap());
+            assert_ne!(pubsub_types::codec::crc32c(&torn[8..]), crc);
+        }
+    }
+}

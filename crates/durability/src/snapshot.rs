@@ -1,0 +1,292 @@
+//! Point-in-time snapshots of full broker state.
+//!
+//! A snapshot is the checkpoint half of the WAL + checkpoint pair: it
+//! captures everything replay would otherwise have to reconstruct from the
+//! beginning of the log, so recovery cost is bounded by the log tail written
+//! since the last snapshot, and [`crate::Wal::compact`] can retire the
+//! segments underneath it.
+//!
+//! The captured state is exactly what the broker cannot re-derive from an
+//! empty start:
+//!
+//! * the **vocabulary** (attribute names and string values, in id order, so
+//!   re-interning reproduces identical `AttrId`s/`Symbol`s),
+//! * the **logical clock**,
+//! * the **id high-water mark** — one past the largest subscription id ever
+//!   assigned, including ids unsubscribed or expired before the snapshot.
+//!   Without it, a recovered broker could re-issue a retired id and a
+//!   pre-crash acknowledgement would suddenly name a different subscription,
+//! * the **live subscriptions** with their validity intervals (the expiry
+//!   heap and quarantine state are re-derived from these on restore).
+//!
+//! On disk a snapshot is a single file, `snap-<lsn>.snap`, where `<lsn>` is
+//! the log position the snapshot covers (replay resumes there). The file is
+//! written to a temp name, fsynced, then renamed into place — readers never
+//! observe a half-written snapshot, and a crash mid-write leaves only a
+//! `.tmp` that recovery ignores. The payload carries its own CRC32C, so a
+//! damaged snapshot is detected and recovery falls back to the next older
+//! one (or to a full log replay).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pubsub_types::codec::{self, Reader};
+use pubsub_types::error::CodecError;
+use pubsub_types::faults::{self, FaultAction};
+use pubsub_types::metrics::Counter;
+use pubsub_types::time::{LogicalTime, Validity};
+use pubsub_types::{Subscription, SubscriptionId};
+
+use crate::record::Lsn;
+use crate::{WalError, FAULT_SNAPSHOT};
+
+/// Snapshots successfully written (`snapshot.written`).
+pub static SNAPSHOT_WRITTEN: Counter = Counter::new("snapshot.written");
+
+const MAGIC: &[u8; 8] = b"FPSNAP1\0";
+const HEADER_BYTES: usize = 8 + 8 + 4 + 4; // magic, lsn, payload_len, crc
+
+/// A point-in-time capture of full broker state.
+///
+/// This is the durability layer's view: plain vectors, no engine structures.
+/// The broker produces one by walking its interners and live-subscription
+/// table, and consumes one by re-interning and re-inserting in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotState {
+    /// The logical clock at capture time.
+    pub now: LogicalTime,
+    /// One past the largest raw subscription id ever assigned (0 = none).
+    pub high_water_id: u32,
+    /// Attribute names in `AttrId` order.
+    pub attrs: Vec<String>,
+    /// String values in `Symbol` order.
+    pub strings: Vec<String>,
+    /// Live subscriptions with their ids and validities.
+    pub subs: Vec<(SubscriptionId, Subscription, Validity)>,
+}
+
+impl SnapshotState {
+    /// Encodes the snapshot payload (everything after the file header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_time(&mut out, self.now);
+        codec::put_u32(&mut out, self.high_water_id);
+        codec::put_u32(&mut out, self.attrs.len() as u32);
+        for a in &self.attrs {
+            codec::put_str(&mut out, a);
+        }
+        codec::put_u32(&mut out, self.strings.len() as u32);
+        for s in &self.strings {
+            codec::put_str(&mut out, s);
+        }
+        codec::put_u32(&mut out, self.subs.len() as u32);
+        for (id, sub, validity) in &self.subs {
+            codec::put_subscription_id(&mut out, *id);
+            codec::put_validity(&mut out, *validity);
+            codec::put_subscription(&mut out, sub);
+        }
+        out
+    }
+
+    /// Decodes a snapshot payload. Rejects trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let now = codec::get_time(&mut r)?;
+        let high_water_id = r.u32()?;
+        let mut state = SnapshotState {
+            now,
+            high_water_id,
+            ..Default::default()
+        };
+        let n_attrs = guarded_count(&mut r)?;
+        for _ in 0..n_attrs {
+            state.attrs.push(r.str()?.to_string());
+        }
+        let n_strings = guarded_count(&mut r)?;
+        for _ in 0..n_strings {
+            state.strings.push(r.str()?.to_string());
+        }
+        let n_subs = guarded_count(&mut r)?;
+        for _ in 0..n_subs {
+            let id = codec::get_subscription_id(&mut r)?;
+            let validity = codec::get_validity(&mut r)?;
+            let sub = codec::get_subscription(&mut r)?;
+            state.subs.push((id, sub, validity));
+        }
+        if !r.is_empty() {
+            return Err(CodecError::BadTag {
+                what: "snapshot trailing bytes",
+                tag: 0,
+            });
+        }
+        Ok(state)
+    }
+}
+
+/// Reads an element count, bounding it by the bytes actually present so a
+/// corrupt count cannot drive a huge allocation.
+fn guarded_count(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(CodecError::ShortRead {
+            needed: n - r.remaining(),
+        });
+    }
+    Ok(n)
+}
+
+/// The file name of a snapshot covering `lsn`.
+pub(crate) fn file_name(lsn: Lsn) -> String {
+    format!("snap-{lsn:020}.snap")
+}
+
+/// Parses a snapshot file name back to its LSN.
+pub(crate) fn parse_file_name(name: &str) -> Option<Lsn> {
+    let digits = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Writes `state` as the snapshot covering `lsn`, atomically (temp file +
+/// fsync + rename). Returns the final path.
+pub(crate) fn write(
+    dir: &Path,
+    lsn: Lsn,
+    state: &SnapshotState,
+    fsync: bool,
+) -> Result<PathBuf, WalError> {
+    let final_path = dir.join(file_name(lsn));
+    if let Some(FaultAction::Fail) = faults::hit(FAULT_SNAPSHOT, 0) {
+        return Err(WalError::injected("snapshot", final_path));
+    }
+
+    let payload = state.encode();
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    codec::put_u64(&mut bytes, lsn);
+    codec::put_u32(&mut bytes, payload.len() as u32);
+    codec::put_u32(&mut bytes, codec::crc32c(&payload));
+    bytes.extend_from_slice(&payload);
+
+    let tmp_path = dir.join(format!("{}.tmp", file_name(lsn)));
+    let mut tmp = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(|e| WalError::io("snapshot", tmp_path.clone(), e))?;
+    tmp.write_all(&bytes)
+        .map_err(|e| WalError::io("snapshot", tmp_path.clone(), e))?;
+    if fsync {
+        tmp.sync_data()
+            .map_err(|e| WalError::io("snapshot", tmp_path.clone(), e))?;
+    }
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| WalError::io("snapshot", final_path.clone(), e))?;
+    if fsync {
+        // Make the rename itself durable. Directory fsync is best-effort:
+        // some filesystems refuse it, and the rename is already atomic.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    SNAPSHOT_WRITTEN.inc();
+    Ok(final_path)
+}
+
+/// Reads and validates a snapshot file. `Ok(None)` means the file is damaged
+/// or not a snapshot (callers fall back to an older one); `Err` is a real
+/// I/O failure.
+pub(crate) fn read(path: &Path) -> Result<Option<(Lsn, SnapshotState)>, WalError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::io("read snapshot", path, e)),
+    };
+    if bytes.len() < HEADER_BYTES || &bytes[0..8] != MAGIC {
+        return Ok(None);
+    }
+    let mut r = Reader::new(&bytes[8..HEADER_BYTES]);
+    let lsn = r.u64().expect("sized above");
+    let payload_len = r.u32().expect("sized above") as usize;
+    let crc = r.u32().expect("sized above");
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() != payload_len || codec::crc32c(payload) != crc {
+        return Ok(None);
+    }
+    match SnapshotState::decode(payload) {
+        Ok(state) => Ok(Some((lsn, state))),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_types::{AttrId, Operator, SubscriptionBuilder, Symbol, Value};
+
+    fn sample() -> SnapshotState {
+        let sub = SubscriptionBuilder::default()
+            .eq(AttrId(0), Value::Str(Symbol(0)))
+            .with(AttrId(1), Operator::Le, 9i64)
+            .build()
+            .unwrap();
+        SnapshotState {
+            now: LogicalTime(42),
+            high_water_id: 17,
+            attrs: vec!["exchange".into(), "price".into()],
+            strings: vec!["nyse".into()],
+            subs: vec![(SubscriptionId(3), sub, Validity::until(LogicalTime(99)))],
+        }
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let s = sample();
+        assert_eq!(SnapshotState::decode(&s.encode()).unwrap(), s);
+        let empty = SnapshotState::default();
+        assert_eq!(SnapshotState::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = sample().encode();
+        payload.push(7);
+        assert!(SnapshotState::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn file_names_round_trip_and_sort() {
+        assert_eq!(parse_file_name(&file_name(0)), Some(0));
+        assert_eq!(parse_file_name(&file_name(123_456)), Some(123_456));
+        assert_eq!(parse_file_name("snap-12.snap"), None, "unpadded");
+        assert_eq!(parse_file_name("wal-00000000000000000000.log"), None);
+        assert!(file_name(9) < file_name(10), "zero-padding keeps order");
+    }
+
+    #[test]
+    fn write_read_round_trips_and_damage_is_detected() {
+        let dir = std::env::temp_dir().join(format!("fp-snap-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let s = sample();
+        let path = write(&dir, 5, &s, true).unwrap();
+        assert_eq!(read(&path).unwrap(), Some((5, s)));
+
+        // Flip one payload byte: the snapshot must read as damaged, not Err.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read(&path).unwrap(), None);
+
+        // A truncated header is damage too.
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert_eq!(read(&path).unwrap(), None);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,234 @@
+//! Crash-recovery sweeps at the WAL layer.
+//!
+//! The contract under test: killing the process after any byte prefix of
+//! the log has reached disk recovers exactly the longest prefix of
+//! operations whose records fully survive — never a partial op, never an
+//! error, never a panic. The broker-level proptest
+//! (`crates/broker/tests/durability.rs`) layers engine-state equivalence on
+//! top; this sweep pins the byte-level property exhaustively, at **every**
+//! truncation offset of a single-segment log and across record boundaries
+//! of a multi-segment log.
+
+use std::fs::{self, OpenOptions};
+use std::path::PathBuf;
+
+use pubsub_durability::{DurabilityConfig, FsyncPolicy, Wal, WalOp};
+use pubsub_types::time::{LogicalTime, Validity};
+use pubsub_types::{AttrId, Operator, SubscriptionBuilder, SubscriptionId, Symbol, Value};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp-walrec-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A varied op stream: interning, subscriptions of different shapes,
+/// unsubscribes, clock advances.
+fn op_stream(n: usize) -> Vec<WalOp> {
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => WalOp::InternAttr(format!("attribute-{i}")),
+            1 => WalOp::InternString(format!("value-{i}")),
+            2 => {
+                let mut b = SubscriptionBuilder::default()
+                    .eq(AttrId(i as u32 % 3), Value::Str(Symbol(i as u32 % 2)));
+                if i % 2 == 0 {
+                    b = b.with(AttrId(3), Operator::Gt, i as i64);
+                }
+                WalOp::Subscribe {
+                    id: SubscriptionId(i as u32),
+                    sub: b.build().unwrap(),
+                    validity: if i % 4 == 2 {
+                        Validity::until(LogicalTime(i as u64 + 10))
+                    } else {
+                        Validity::forever()
+                    },
+                }
+            }
+            3 => WalOp::Unsubscribe(SubscriptionId(i as u32 / 2)),
+            _ => WalOp::AdvanceTo(LogicalTime(i as u64)),
+        })
+        .collect()
+}
+
+/// Byte offset (within the single segment file) at which each record ends.
+/// `boundaries[k]` = end of record `k`; a truncation at byte `t` preserves
+/// exactly the records with `boundaries[k] <= t`.
+fn record_boundaries(ops: &[WalOp]) -> Vec<u64> {
+    let mut off = 16u64; // segment header
+    ops.iter()
+        .map(|op| {
+            off += op.to_record().len() as u64;
+            off
+        })
+        .collect()
+}
+
+#[test]
+fn truncation_at_every_byte_recovers_the_longest_surviving_prefix() {
+    let dir = temp_dir("every-byte");
+    let cfg = DurabilityConfig {
+        segment_bytes: u64::MAX, // keep everything in one segment
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let ops = op_stream(15);
+    let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+    for op in &ops {
+        wal.append(op).unwrap();
+    }
+    drop(wal);
+    let boundaries = record_boundaries(&ops);
+    let seg_path = dir.join("wal-00000000000000000000.log");
+    let pristine = fs::read(&seg_path).unwrap();
+    assert_eq!(*boundaries.last().unwrap(), pristine.len() as u64);
+
+    for cut in 0..=pristine.len() as u64 {
+        // Restore the pristine file, then kill it at byte `cut`.
+        fs::write(&seg_path, &pristine).unwrap();
+        let f = OpenOptions::new().write(true).open(&seg_path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let (wal, rec) =
+            Wal::open(&dir, cfg).unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let expected = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(
+            rec.ops.len(),
+            expected,
+            "cut at byte {cut}: wrong surviving prefix"
+        );
+        assert!(
+            rec.ops.iter().map(|(_, op)| op).eq(ops[..expected].iter()),
+            "cut at byte {cut}: surviving ops are not the exact prefix"
+        );
+        assert_eq!(wal.next_lsn(), expected as u64);
+        drop(wal);
+        // Reopening the recovered log must be clean: truncation healed it.
+        let (_, rec2) = Wal::open(&dir, cfg).unwrap();
+        assert_eq!(
+            rec2.report.torn_tail_truncated, None,
+            "cut {cut} left a tear"
+        );
+        assert_eq!(rec2.ops.len(), expected);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_sweep_across_multiple_segments() {
+    let dir = temp_dir("multi-seg");
+    let cfg = DurabilityConfig {
+        segment_bytes: 96, // force several segments
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let ops = op_stream(30);
+    let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+    for op in &ops {
+        wal.append(op).unwrap();
+    }
+    drop(wal);
+
+    // Collect segment files; sweep truncation offsets within the LAST one
+    // (earlier segments are not tails — damage there is mid-log corruption,
+    // covered by the policy tests).
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    segs.sort();
+    assert!(segs.len() > 2, "want several segments, got {}", segs.len());
+    let last = segs.last().unwrap().clone();
+    let pristine = fs::read(&last).unwrap();
+    let first_lsn: u64 = last
+        .file_stem()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .strip_prefix("wal-")
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    // Record boundaries inside the last segment.
+    let mut boundaries = Vec::new();
+    let mut off = 16u64;
+    for op in &ops[first_lsn as usize..] {
+        off += op.to_record().len() as u64;
+        boundaries.push(off);
+    }
+    assert_eq!(off, pristine.len() as u64);
+
+    for cut in 0..=pristine.len() as u64 {
+        fs::write(&last, &pristine).unwrap();
+        let f = OpenOptions::new().write(true).open(&last).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let (_, rec) =
+            Wal::open(&dir, cfg).unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let survived_in_last = boundaries.iter().filter(|&&b| b <= cut).count();
+        let expected = first_lsn as usize + survived_in_last;
+        assert_eq!(rec.ops.len(), expected, "cut at byte {cut} of last segment");
+        assert!(rec.ops.iter().map(|(_, op)| op).eq(ops[..expected].iter()));
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_behind_a_snapshot_still_recovers_the_snapshot() {
+    let dir = temp_dir("snap-cut");
+    let cfg = DurabilityConfig {
+        segment_bytes: u64::MAX,
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let ops = op_stream(10);
+    let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+    for op in &ops {
+        wal.append(op).unwrap();
+    }
+    let state = pubsub_durability::SnapshotState {
+        now: LogicalTime(9),
+        high_water_id: 10,
+        attrs: vec!["attribute-0".into()],
+        strings: vec!["value-1".into()],
+        subs: Vec::new(),
+    };
+    wal.snapshot(&state).unwrap();
+    let tail = op_stream(4);
+    for op in &tail {
+        wal.append(op).unwrap();
+    }
+    drop(wal);
+
+    // The active segment starts at LSN 10 (post-snapshot). Truncating it at
+    // any byte keeps the snapshot and a prefix of the tail.
+    let seg = dir.join(format!("wal-{:020}.log", 10));
+    let pristine = fs::read(&seg).unwrap();
+    let mut boundaries = Vec::new();
+    let mut off = 16u64;
+    for op in &tail {
+        off += op.to_record().len() as u64;
+        boundaries.push(off);
+    }
+    for cut in 0..=pristine.len() as u64 {
+        fs::write(&seg, &pristine).unwrap();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        let (_, rec) = Wal::open(&dir, cfg).unwrap();
+        assert_eq!(
+            rec.snapshot.as_ref(),
+            Some(&state),
+            "cut {cut} lost the snapshot"
+        );
+        let expected = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(rec.ops.len(), expected);
+        assert!(rec.ops.iter().map(|(_, op)| op).eq(tail[..expected].iter()));
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

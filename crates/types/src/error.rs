@@ -30,6 +30,56 @@ impl std::fmt::Display for TypeError {
 
 impl std::error::Error for TypeError {}
 
+/// Errors decoding the binary record format of [`crate::codec`].
+///
+/// Encoding is infallible; decoding consumes bytes that may come from a
+/// truncated or corrupted write-ahead log, so every reader reports malformed
+/// input through this type instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value was complete. Carries the number of
+    /// additional bytes the decoder needed.
+    ShortRead {
+        /// Bytes missing from the input.
+        needed: usize,
+    },
+    /// An enum discriminant byte had no defined meaning.
+    BadTag {
+        /// What was being decoded (e.g. `"value"`, `"operator"`).
+        what: &'static str,
+        /// The unexpected discriminant.
+        tag: u8,
+    },
+    /// An embedded string was not valid UTF-8.
+    BadUtf8,
+    /// A decoded structure violated its own invariants (e.g. an empty
+    /// subscription or a duplicate predicate).
+    BadStructure(TypeError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::ShortRead { needed } => {
+                write!(f, "record truncated ({needed} more byte(s) needed)")
+            }
+            CodecError::BadTag { what, tag } => {
+                write!(f, "bad {what} tag byte 0x{tag:02x}")
+            }
+            CodecError::BadUtf8 => write!(f, "embedded string is not valid UTF-8"),
+            CodecError::BadStructure(e) => write!(f, "decoded structure invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<TypeError> for CodecError {
+    fn from(e: TypeError) -> Self {
+        CodecError::BadStructure(e)
+    }
+}
+
 /// Errors surfaced by a sharded engine or broker instead of panicking the
 /// caller: shard workers are supervised, fallible components, and the publish
 /// path reports their state through this type rather than unwinding.

@@ -51,6 +51,12 @@ pub enum FaultAction {
     /// Sleep for this many milliseconds before proceeding normally (models
     /// a slow or wedged worker for backpressure tests).
     Delay(u64),
+    /// Fail the operation with an injected I/O-style error instead of
+    /// performing it. Durability sites interpret this per point: a failed
+    /// append leaves a torn record prefix on disk, a failed fsync or
+    /// rotation reports the error without touching the file. The caller is
+    /// expected to surface a typed error (degraded mode), never to panic.
+    Fail,
 }
 
 /// When an armed rule fires, in per-rule hit counts (1-based).

@@ -76,6 +76,15 @@ impl StringInterner {
     pub fn cmp_lexicographic(&self, a: Symbol, b: Symbol) -> std::cmp::Ordering {
         self.resolve(a).cmp(self.resolve(b))
     }
+
+    /// Iterates over `(symbol, string)` pairs in symbol order — the order a
+    /// snapshot must re-intern them in to reproduce identical ids.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
 }
 
 #[cfg(test)]

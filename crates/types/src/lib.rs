@@ -25,6 +25,7 @@
 
 pub mod attr;
 pub mod attrset;
+pub mod codec;
 pub mod error;
 pub mod event;
 pub mod faults;
@@ -34,17 +35,19 @@ pub mod metrics;
 pub mod operator;
 pub mod predicate;
 pub mod subscription;
+pub mod time;
 pub mod value;
 
 pub use attr::{AttrId, AttributeInterner};
 pub use attrset::AttrSet;
-pub use error::{ShardError, TypeError};
+pub use error::{CodecError, ShardError, TypeError};
 pub use event::{Event, EventBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interner::{StringInterner, Symbol};
 pub use operator::Operator;
 pub use predicate::Predicate;
 pub use subscription::{Subscription, SubscriptionBuilder, SubscriptionId};
+pub use time::{LogicalTime, Validity};
 pub use value::Value;
 
 /// A convenient bundle of the two interners every component needs.

@@ -1,0 +1,121 @@
+//! Logical time and validity intervals.
+//!
+//! "Each subscription and each event is associated with a time interval
+//! during which it is considered valid" (paper §1). The broker runs on an
+//! injectable logical clock so experiments (and the 16-hour equilibrium runs
+//! of §6.2.2) are simulated deterministically instead of in wall time.
+
+/// A point in logical time (ticks; the equilibrium experiments treat one
+/// tick as one second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalTime(pub u64);
+
+impl LogicalTime {
+    /// The epoch.
+    pub const ZERO: LogicalTime = LogicalTime(0);
+
+    /// `self + ticks`.
+    pub fn plus(self, ticks: u64) -> LogicalTime {
+        LogicalTime(self.0 + ticks)
+    }
+}
+
+impl std::fmt::Display for LogicalTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A half-open validity interval `[from, until)`; `until = None` means
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity {
+    /// First instant at which the item is valid.
+    pub from: LogicalTime,
+    /// First instant at which the item is no longer valid (exclusive);
+    /// `None` = never expires.
+    pub until: Option<LogicalTime>,
+}
+
+impl Validity {
+    /// Valid from the epoch, forever.
+    pub fn forever() -> Self {
+        Self {
+            from: LogicalTime::ZERO,
+            until: None,
+        }
+    }
+
+    /// Valid from the epoch until `until` (exclusive).
+    pub fn until(until: LogicalTime) -> Self {
+        Self {
+            from: LogicalTime::ZERO,
+            until: Some(until),
+        }
+    }
+
+    /// Valid on `[from, until)`.
+    pub fn between(from: LogicalTime, until: LogicalTime) -> Self {
+        assert!(from < until, "empty validity interval");
+        Self {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// Valid for `ticks` starting at `from`.
+    pub fn starting_at(from: LogicalTime, ticks: u64) -> Self {
+        Self {
+            from,
+            until: Some(from.plus(ticks)),
+        }
+    }
+
+    /// True if the interval covers instant `t`.
+    pub fn contains(&self, t: LogicalTime) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+
+    /// True if the interval is entirely in the past at instant `t`.
+    pub fn expired_at(&self, t: LogicalTime) -> bool {
+        self.until.is_some_and(|u| u <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forever_never_expires() {
+        let v = Validity::forever();
+        assert!(v.contains(LogicalTime(0)));
+        assert!(v.contains(LogicalTime(u64::MAX)));
+        assert!(!v.expired_at(LogicalTime(u64::MAX)));
+    }
+
+    #[test]
+    fn interval_is_half_open() {
+        let v = Validity::between(LogicalTime(5), LogicalTime(10));
+        assert!(!v.contains(LogicalTime(4)));
+        assert!(v.contains(LogicalTime(5)));
+        assert!(v.contains(LogicalTime(9)));
+        assert!(!v.contains(LogicalTime(10)));
+        assert!(!v.expired_at(LogicalTime(9)));
+        assert!(v.expired_at(LogicalTime(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty validity interval")]
+    fn empty_interval_panics() {
+        Validity::between(LogicalTime(5), LogicalTime(5));
+    }
+
+    #[test]
+    fn starting_at_spans_ticks() {
+        let v = Validity::starting_at(LogicalTime(100), 16 * 3600);
+        assert!(v.contains(LogicalTime(100)));
+        assert!(v.contains(LogicalTime(100 + 16 * 3600 - 1)));
+        assert!(!v.contains(LogicalTime(100 + 16 * 3600)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Golden-file assertions with a blessing path.
+//!
+//! Golden tests pin an encoding (a JSON schema, an on-disk format) to a
+//! committed fixture so it cannot drift silently. When the change *is*
+//! deliberate, regenerating fixtures by hand is error-prone; instead run the
+//! test with `UPDATE_GOLDEN=1` (or `scripts/check.sh --bless`) and the
+//! helpers below rewrite the fixture from the live value, then re-run
+//! without the variable to confirm the blessed file round-trips.
+
+use std::path::Path;
+
+/// Whether this run should rewrite fixtures instead of asserting.
+///
+/// Any non-empty value other than `0` blesses.
+pub fn blessing() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Asserts that `actual` matches the text fixture at `path`, or rewrites the
+/// fixture when [`blessing`].
+///
+/// Comparison ignores a single trailing newline (fixtures are stored
+/// newline-terminated; generators usually aren't).
+///
+/// # Panics
+///
+/// On mismatch (with a hint to re-run under `UPDATE_GOLDEN=1`), or when the
+/// fixture is missing/unwritable.
+pub fn assert_or_bless(path: impl AsRef<Path>, actual: &str) {
+    let path = path.as_ref();
+    if blessing() {
+        std::fs::write(path, format!("{}\n", actual.trim_end_matches('\n')))
+            .unwrap_or_else(|e| panic!("blessing {} failed: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end_matches('\n'),
+        golden.trim_end_matches('\n'),
+        "output drifted from golden file {}; if the change is deliberate, re-bless \
+         with UPDATE_GOLDEN=1 (scripts/check.sh --bless)",
+        path.display()
+    );
+}
+
+/// Byte-exact variant of [`assert_or_bless`] for binary fixtures (e.g. a WAL
+/// segment pinning the on-disk record framing).
+///
+/// # Panics
+///
+/// On mismatch (reporting the first differing offset), or when the fixture
+/// is missing/unwritable.
+pub fn assert_or_bless_bytes(path: impl AsRef<Path>, actual: &[u8]) {
+    let path = path.as_ref();
+    if blessing() {
+        std::fs::write(path, actual)
+            .unwrap_or_else(|e| panic!("blessing {} failed: {e}", path.display()));
+        eprintln!("blessed {} ({} bytes)", path.display(), actual.len());
+        return;
+    }
+    let golden = std::fs::read(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if actual != golden.as_slice() {
+        let diverge = actual
+            .iter()
+            .zip(&golden)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| actual.len().min(golden.len()));
+        panic!(
+            "binary output drifted from golden file {} (len {} vs {}, first difference at \
+             byte {diverge}); if the format change is deliberate, re-bless with \
+             UPDATE_GOLDEN=1 (scripts/check.sh --bless)",
+            path.display(),
+            actual.len(),
+            golden.len(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_text_passes_modulo_trailing_newline() {
+        let dir = std::env::temp_dir().join(format!("fp-golden-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("text.golden");
+        std::fs::write(&path, "hello\nworld\n").unwrap();
+        assert_or_bless(&path, "hello\nworld");
+        assert_or_bless(&path, "hello\nworld\n");
+        let bytes = dir.join("bytes.golden");
+        std::fs::write(&bytes, [1u8, 2, 3]).unwrap();
+        assert_or_bless_bytes(&bytes, &[1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "drifted from golden file")]
+    fn mismatching_text_panics_with_bless_hint() {
+        let dir = std::env::temp_dir().join(format!("fp-golden-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("text.golden");
+        std::fs::write(&path, "expected\n").unwrap();
+        assert_or_bless(&path, "got");
+    }
+}

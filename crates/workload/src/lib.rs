@@ -4,12 +4,16 @@
 //! (`n_t, n_S, n_Sb, n_P, n_Pfix`, per-predicate value domains, `n_Eb, n_A`,
 //! event domains and skew); [`presets`] provides the named workloads W0–W6
 //! used by the evaluation; [`gen`] draws deterministic subscription and
-//! event streams from a spec.
+//! event streams from a spec; [`golden`] holds the golden-file assertion
+//! helpers (with the `UPDATE_GOLDEN=1` blessing path) used by the
+//! workspace's fixture-pinned tests; [`json`] is the workspace's JSON
+//! reader for `--json` tool output.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod gen;
+pub mod golden;
 pub mod json;
 pub mod presets;
 pub mod spec;

@@ -1,46 +1,73 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, release build, full test suite.
 #
-# Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos]
+# Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos] [--durability]
+#                         [--bless]
+#
+# Lanes
+#   (default)      fmt + clippy + release build + tests with default features
+#                  and with --features metrics (both halves of that gate).
+#   --bench-smoke  every Criterion bench target once in test mode (one
+#                  iteration, no measurement) so bench code can't bit-rot,
+#                  plus the cross-engine differential proptest with a
+#                  bounded case count.
+#   --chaos        fault-injection lane: build and test the workspace with
+#                  --features faults,metrics (arming the deterministic fault
+#                  registry inside the supervised sharded engine) and smoke
+#                  the chaos recovery proptest. The runtime-gated tests in
+#                  crates/core/tests/chaos.rs only exercise injection here.
+#   --durability   crash-recovery lane: build and test with --features
+#                  faults,metrics so the WAL's fault points (append/fsync/
+#                  snapshot failures -> degraded read-only mode) actually
+#                  fire, then run the kill-at-any-byte recovery suite and
+#                  its randomized proptest with a bounded case count.
+#   --bless        regenerate the golden fixtures (tests/golden/*: the
+#                  MetricsSnapshot JSON schema and the WAL on-disk format
+#                  pins) from the current code by running the golden tests
+#                  under UPDATE_GOLDEN=1, then re-run them without it to
+#                  prove the blessed files round-trip. Only for deliberate
+#                  format/schema changes — review the diff before committing.
+#
+# Environment knobs
+#   PROPTEST_CASES  caps randomized-test case counts (the proptest shim
+#                   honours it); the smoke lanes above set it themselves.
+#   UPDATE_GOLDEN   =1 rewrites golden fixtures instead of asserting
+#                   (what --bless does for you).
 #
 # By default every cargo invocation runs with --offline: the workspace
 # resolves all external dependencies to the in-tree shims (shims/README.md),
 # so a network-less container builds from the committed Cargo.lock alone.
 # Pass --online to let cargo touch the network (e.g. after intentionally
 # updating the lockfile).
-#
-# --bench-smoke additionally runs every Criterion bench target once in test
-# mode (each benchmark body executes a single iteration, no measurement), so
-# bench code can't bit-rot without the gate noticing, and re-runs the
-# cross-engine differential proptest with a bounded case count (via the
-# PROPTEST_CASES cap the proptest shim honours) as a fast smoke lane.
-#
-# The test suite runs twice: once with default features (metrics layer
-# compiled to no-ops) and once with --features metrics (real atomic
-# counters), so both halves of the feature gate stay green.
-#
-# --chaos adds the fault-injection lane: build and test the workspace with
-# --features faults,metrics (arming the deterministic fault registry inside
-# the supervised sharded engine) and smoke the chaos recovery proptest with
-# a bounded case count. The runtime-gated tests in crates/core/tests/chaos.rs
-# only exercise injection in this lane.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE="--offline"
 BENCH_SMOKE=0
 CHAOS=0
+DURABILITY=0
+BLESS=0
 for arg in "$@"; do
     case "$arg" in
         --online) OFFLINE="" ;;
         --bench-smoke) BENCH_SMOKE=1 ;;
         --chaos) CHAOS=1 ;;
+        --durability) DURABILITY=1 ;;
+        --bless) BLESS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke --chaos)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --bless)" >&2
             exit 2
             ;;
     esac
 done
+
+if [[ "$BLESS" == 1 ]]; then
+    echo "==> blessing golden fixtures (UPDATE_GOLDEN=1)"
+    UPDATE_GOLDEN=1 cargo test ${OFFLINE} --test metrics_json --test wal_golden
+    echo "==> verifying blessed fixtures round-trip"
+    cargo test ${OFFLINE} --test metrics_json --test wal_golden
+    git --no-pager diff --stat -- tests/golden || true
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -65,6 +92,18 @@ if [[ "$CHAOS" == 1 ]]; then
     echo "==> chaos recovery proptest smoke (PROPTEST_CASES=8)"
     PROPTEST_CASES=8 cargo test ${OFFLINE} -p pubsub-core --features pubsub-types/faults \
         --test chaos random_fault_schedules_recover_to_exact_equivalence
+fi
+
+if [[ "$DURABILITY" == 1 ]]; then
+    echo "==> cargo test -p pubsub-durability -p pubsub-broker (--features faults,metrics)"
+    cargo test ${OFFLINE} -p pubsub-durability -p pubsub-broker \
+        --features pubsub-types/faults,pubsub-types/metrics
+    echo "==> kill-at-any-byte recovery suite"
+    cargo test ${OFFLINE} -p pubsub-broker --test durability \
+        kill_at_any_byte_recovers_across_all_engines_and_shard_counts
+    echo "==> randomized crash-recovery proptest smoke (PROPTEST_CASES=16)"
+    PROPTEST_CASES=16 cargo test ${OFFLINE} -p pubsub-broker --test durability \
+        random_workload_survives_a_random_cut
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

@@ -16,6 +16,8 @@
 //!   optimizer.
 //! * [`workload`] — the SIGMOD 2001 Table-1 workload generator.
 //! * [`broker`] — the surrounding publish/subscribe system.
+//! * [`durability`] — the segmented write-ahead log and snapshots behind
+//!   [`broker::SharedBroker::open_durable`].
 //! * [`lang`] — a textual subscription/event language.
 //!
 //! ## Quickstart
@@ -47,6 +49,7 @@
 pub use pubsub_broker as broker;
 pub use pubsub_core as core;
 pub use pubsub_cost as cost;
+pub use pubsub_durability as durability;
 pub use pubsub_index as index;
 pub use pubsub_lang as lang;
 pub use pubsub_types as types;
@@ -54,7 +57,7 @@ pub use pubsub_workload as workload;
 
 /// The most common imports, in one place.
 pub mod prelude {
-    pub use pubsub_broker::{Broker, Notification, Validity};
+    pub use pubsub_broker::{Broker, BrokerError, Notification, SharedBroker, Validity};
     pub use pubsub_core::{EngineKind, MatchEngine};
     pub use pubsub_types::{
         AttrId, Event, Operator, Predicate, Subscription, SubscriptionId, Value, Vocabulary,

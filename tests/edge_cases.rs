@@ -306,6 +306,101 @@ fn duplicate_event_attributes_are_rejected() {
     }
 }
 
+/// An unsubscribe racing a validity expiry on the same tick: whichever side
+/// wins, the subscription is gone exactly once, the loser reports `false`/
+/// zero, and the broker never double-removes or panics on the expiry heap's
+/// stale entry.
+#[test]
+fn unsubscribe_racing_expiry_on_the_same_tick() {
+    use fastpubsub::broker::LogicalTime;
+
+    for kind in EngineKind::PAPER_ENGINES {
+        // Expiry first: the tick at t=1 reaps the subscription, so the
+        // unsubscribe that "raced in late" finds nothing.
+        let mut broker = Broker::new(kind).without_event_store();
+        let name = broker.engine_name();
+        let sub = Subscription::builder().eq(AttrId(0), 1i64).build().unwrap();
+        let id = broker.subscribe(sub.clone(), Validity::until(LogicalTime(1)));
+        let (expired, _) = broker.tick();
+        assert_eq!(expired, 1, "{name}");
+        assert!(!broker.unsubscribe(id), "{name}: expired id must be gone");
+        assert_eq!(broker.subscription_count(), 0, "{name}");
+
+        // Unsubscribe first: the tick then finds the heap's entry already
+        // dead and must report zero expiries, not one.
+        let id = broker.subscribe(sub, Validity::until(LogicalTime(2)));
+        assert!(broker.unsubscribe(id), "{name}");
+        let (expired, _) = broker.tick();
+        assert_eq!(expired, 0, "{name}: removed id must not count as expired");
+        assert_eq!(broker.subscription_count(), 0, "{name}");
+        let e = Event::builder().pair(AttrId(0), 1i64).build().unwrap();
+        assert!(broker.publish(&e).is_empty(), "{name}");
+    }
+}
+
+/// A re-subscribe after an expiry gets a fresh id — the old id must stay
+/// dead (no resurrection through slot reuse), and notifications for the new
+/// subscription carry only the new id.
+#[test]
+fn resubscribe_after_expiry_does_not_resurrect_the_old_id() {
+    use fastpubsub::broker::LogicalTime;
+
+    for kind in EngineKind::PAPER_ENGINES {
+        let mut broker = Broker::new(kind).without_event_store();
+        let name = broker.engine_name();
+        let sub = Subscription::builder().eq(AttrId(0), 1i64).build().unwrap();
+        let old = broker.subscribe(sub.clone(), Validity::until(LogicalTime(1)));
+        let (expired, _) = broker.tick();
+        assert_eq!(expired, 1, "{name}");
+
+        let new = broker.subscribe(sub, Validity::forever());
+        assert_ne!(new, old, "{name}: ids are never reissued");
+        let e = Event::builder().pair(AttrId(0), 1i64).build().unwrap();
+        assert_eq!(broker.publish(&e), vec![new], "{name}");
+        assert!(!broker.unsubscribe(old), "{name}: old id stays dead");
+        assert!(broker.unsubscribe(new), "{name}");
+    }
+}
+
+/// Duplicate predicates within one subscription: an exact `(attr, op,
+/// value)` repeat is rejected at construction (it adds no information and
+/// would distort size-based clustering), while distinct predicates on the
+/// same attribute — even redundant ones — are legal and match correctly.
+#[test]
+fn duplicate_predicates_in_one_subscription() {
+    use fastpubsub::types::TypeError;
+
+    let err = Subscription::builder()
+        .eq(AttrId(0), 1i64)
+        .eq(AttrId(0), 1i64)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TypeError::DuplicatePredicate));
+    let err = Subscription::builder()
+        .with(AttrId(2), Operator::Ge, 5i64)
+        .with(AttrId(2), Operator::Ge, 5i64)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, TypeError::DuplicatePredicate));
+
+    // Same attribute, overlapping-but-distinct predicates: legal, and every
+    // engine applies them all conjunctively.
+    for mut broker in all_engines() {
+        let name = broker.engine_name();
+        let sub = Subscription::builder()
+            .with(AttrId(2), Operator::Ge, 5i64)
+            .with(AttrId(2), Operator::Gt, 4i64)
+            .with(AttrId(2), Operator::Le, 9i64)
+            .build()
+            .unwrap();
+        let id = broker.subscribe(sub, Validity::forever());
+        for (v, should) in [(4i64, false), (5, true), (9, true), (10, false)] {
+            let e = Event::builder().pair(AttrId(2), v).build().unwrap();
+            assert_eq!(broker.publish(&e) == vec![id], should, "{name} value {v}");
+        }
+    }
+}
+
 /// Unsubscribing an id that was never issued (or already removed) returns
 /// `false` without panicking, on every engine, and leaves the broker fully
 /// functional — unlike `MatchEngine::remove`, which is allowed to assert.

@@ -11,6 +11,7 @@
 //! live capture is gated.
 
 use fastpubsub::types::metrics::{CounterEntry, HistogramEntry, MetricsSnapshot};
+use fastpubsub::workload::golden::assert_or_bless;
 use fastpubsub::workload::json::{parse, Json};
 
 /// The snapshot encoded by the golden file, built by hand.
@@ -41,6 +42,34 @@ fn golden_snapshot() -> MetricsSnapshot {
                 name: "index.phase1.bits_set".into(),
                 value: 9000,
             },
+            CounterEntry {
+                name: "recovery.records_replayed".into(),
+                value: 12,
+            },
+            CounterEntry {
+                name: "recovery.torn_tail_truncated".into(),
+                value: 1,
+            },
+            CounterEntry {
+                name: "snapshot.written".into(),
+                value: 2,
+            },
+            CounterEntry {
+                name: "wal.appends".into(),
+                value: 13,
+            },
+            CounterEntry {
+                name: "wal.bytes".into(),
+                value: 388,
+            },
+            CounterEntry {
+                name: "wal.fsyncs".into(),
+                value: 4,
+            },
+            CounterEntry {
+                name: "wal.rotations".into(),
+                value: 2,
+            },
         ],
         histograms: vec![
             HistogramEntry {
@@ -67,12 +96,14 @@ fn golden_snapshot() -> MetricsSnapshot {
 
 #[test]
 fn encoding_matches_the_golden_file() {
-    let golden = include_str!("golden/metrics_snapshot.json");
-    assert_eq!(
-        golden_snapshot().to_json(),
-        golden.trim_end(),
-        "MetricsSnapshot JSON schema drifted; update tests/golden/metrics_snapshot.json \
-         only on a deliberate schema change"
+    // Blessable (UPDATE_GOLDEN=1 / scripts/check.sh --bless): the fixture
+    // only moves on a deliberate schema or counter-set change.
+    assert_or_bless(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/metrics_snapshot.json"
+        ),
+        &golden_snapshot().to_json(),
     );
 }
 

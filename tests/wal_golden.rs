@@ -1,0 +1,124 @@
+//! Golden-file test pinning the WAL's on-disk format.
+//!
+//! A durable broker's log must stay readable across releases: a byte-level
+//! format change silently strands every existing `--durable` directory. Two
+//! fixtures pin the format from both sides:
+//!
+//! * `tests/golden/wal_segment.bin` — the exact segment bytes produced by
+//!   writing a fixed op sequence (write-side pin: today's writer emits the
+//!   committed encoding).
+//! * `tests/golden/wal_dump.txt` — `Wal::dump` of that segment (read-side
+//!   pin: today's reader decodes a segment committed by a past writer, and
+//!   the `wal dump` rendering the CLI exposes stays stable).
+//!
+//! Deliberate format changes re-bless both with `UPDATE_GOLDEN=1`
+//! (`scripts/check.sh --bless`) — and should bump the segment magic.
+
+use fastpubsub::broker::{LogicalTime, Validity};
+use fastpubsub::durability::{DurabilityConfig, Wal, WalOp};
+use fastpubsub::types::{AttrId, Operator, Subscription, SubscriptionId, Symbol, Value};
+use fastpubsub::workload::golden::{assert_or_bless, assert_or_bless_bytes, blessing};
+use std::path::PathBuf;
+
+const SEGMENT_FILE: &str = "wal-00000000000000000000.log";
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp-wal-golden-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fixed op sequence covering every record tag, with a string-valued
+/// equality, a range predicate, a finite validity, an unsubscribe and a
+/// clock advance.
+fn golden_ops() -> Vec<WalOp> {
+    let eq_sub = Subscription::builder()
+        .eq(AttrId(0), Value::Str(Symbol(0)))
+        .with(AttrId(1), Operator::Le, 10i64)
+        .build()
+        .unwrap();
+    let range_sub = Subscription::builder()
+        .with(AttrId(1), Operator::Gt, -3i64)
+        .with(AttrId(1), Operator::Lt, 400i64)
+        .build()
+        .unwrap();
+    vec![
+        WalOp::InternAttr("movie".to_string()),
+        WalOp::InternAttr("price".to_string()),
+        WalOp::InternString("groundhog day".to_string()),
+        WalOp::Subscribe {
+            id: SubscriptionId(0),
+            sub: eq_sub,
+            validity: Validity::forever(),
+        },
+        WalOp::Subscribe {
+            id: SubscriptionId(1),
+            sub: range_sub,
+            validity: Validity::until(LogicalTime(5)),
+        },
+        WalOp::Unsubscribe(SubscriptionId(0)),
+        WalOp::AdvanceTo(LogicalTime(5)),
+    ]
+}
+
+fn write_golden_wal(dir: &std::path::Path) {
+    let (mut wal, recovered) = Wal::open(dir, DurabilityConfig::default()).unwrap();
+    assert!(recovered.ops.is_empty(), "fresh directory");
+    for op in golden_ops() {
+        wal.append(&op).unwrap();
+    }
+    wal.sync().unwrap();
+}
+
+/// Write-side pin: the writer reproduces the committed segment bytes.
+#[test]
+fn writer_reproduces_the_golden_segment() {
+    let dir = temp_dir("write");
+    write_golden_wal(&dir);
+    let bytes = std::fs::read(dir.join(SEGMENT_FILE)).unwrap();
+    assert_or_bless_bytes(golden_dir().join("wal_segment.bin"), &bytes);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Read-side pin: the reader decodes the committed segment — a log written
+/// by a past build of the workspace — back to the exact op stream, and the
+/// `wal dump` rendering stays stable.
+#[test]
+fn reader_decodes_the_golden_segment() {
+    if blessing() {
+        // The write-side test refreshes the fixture; nothing to read against
+        // until it has (test order is not guaranteed within a bless run).
+        let dir = temp_dir("bless");
+        write_golden_wal(&dir);
+        let bytes = std::fs::read(dir.join(SEGMENT_FILE)).unwrap();
+        std::fs::write(golden_dir().join("wal_segment.bin"), &bytes).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    let dir = temp_dir("read");
+    std::fs::copy(golden_dir().join("wal_segment.bin"), dir.join(SEGMENT_FILE)).unwrap();
+
+    let ops = Wal::dump(&dir).unwrap();
+    let expected: Vec<(u64, WalOp)> = golden_ops()
+        .into_iter()
+        .enumerate()
+        .map(|(i, op)| (i as u64, op))
+        .collect();
+    assert_eq!(ops, expected, "recovered op stream drifted");
+
+    let rendered: Vec<String> = ops
+        .iter()
+        .map(|(lsn, op)| format!("{lsn:>8}  {op}"))
+        .collect();
+    assert_or_bless(golden_dir().join("wal_dump.txt"), &rendered.join("\n"));
+
+    // The verifier agrees the fixture is healthy and fully accounted for.
+    let report = Wal::verify(&dir).unwrap();
+    assert!(report.healthy(), "{report:?}");
+    assert_eq!(report.total_records(), golden_ops().len() as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

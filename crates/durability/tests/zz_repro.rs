@@ -1,0 +1,52 @@
+use pubsub_durability::{DurabilityConfig, FsyncPolicy, Wal, WalOp};
+use pubsub_types::time::LogicalTime;
+use std::fs;
+
+#[test]
+fn next_lsn_can_fall_below_snapshot_lsn() {
+    let dir = std::env::temp_dir().join(format!("fp-repro-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+    for i in 0..10u64 {
+        wal.append(&WalOp::AdvanceTo(LogicalTime(i))).unwrap();
+    }
+    // Save the pre-snapshot segment (compaction will delete it).
+    let seg0 = dir.join("wal-00000000000000000000.log");
+    let seg0_bytes = fs::read(&seg0).unwrap();
+    wal.snapshot(&Default::default()).unwrap(); // snapshot at LSN 10, rotates to wal-10
+    drop(wal);
+
+    // Simulate an OsManaged crash where: the snapshot rename persisted, the
+    // new segment (wal-10) never persisted, compaction's delete of wal-0
+    // never persisted, and wal-0's last 3 records never persisted.
+    let _ = fs::remove_file(dir.join("wal-00000000000000000010.log"));
+    let mut truncated = seg0_bytes.clone();
+    // Each AdvanceTo record is 8 (frame) + 9 (payload) = 17 bytes.
+    truncated.truncate(truncated.len() - 3 * 17);
+    fs::write(&seg0, &truncated).unwrap();
+
+    let (mut wal, rec) = Wal::open(&dir, cfg).unwrap();
+    println!(
+        "snapshot_lsn={:?} next_lsn={}",
+        rec.report.snapshot_lsn,
+        wal.next_lsn()
+    );
+    // Append 3 new acknowledged ops after recovery.
+    for i in 0..3u64 {
+        let lsn = wal.append(&WalOp::AdvanceTo(LogicalTime(100 + i))).unwrap();
+        println!("new op got lsn {lsn}");
+    }
+    wal.sync().unwrap();
+    drop(wal);
+
+    // Second recovery: are the new ops replayed?
+    let (_, rec2) = Wal::open(&dir, cfg).unwrap();
+    println!("second recovery replayed {} ops", rec2.ops.len());
+    assert_eq!(rec2.ops.len(), 3, "post-recovery appends must survive");
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -7,10 +7,15 @@
 //! leaves testing per-key operator slots. The sweep scales the number of
 //! range predicates per attribute; the acceptance bar is the snapshot
 //! winning from 1k predicates per attribute up.
+//!
+//! The `snapshot_batched64` rows drive the same workload through the
+//! attribute-major `eval_batch_into` path, 64 events per iteration (divide
+//! by 64 for per-event time); the reusable `Phase1Batch` scratch lives
+//! across iterations, so steady-state allocation is zero.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pubsub_bench::phase1::{build_range_index, range_events, ATTRS};
-use pubsub_index::PredicateBitVec;
+use pubsub_index::{Phase1Batch, PredicateBitVec};
 
 fn bench_phase1_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("phase1_micro");
@@ -31,6 +36,23 @@ fn bench_phase1_micro(c: &mut Criterion) {
                     bits.clear();
                     i += 1;
                     satisfied.len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("snapshot_batched64", preds_per_attr),
+            &preds_per_attr,
+            |b, _| {
+                let mut batch = Phase1Batch::new();
+                b.iter(|| {
+                    idx.eval_batch_into(&events, &mut batch);
+                    let mut total = 0usize;
+                    for i in 0..events.len() {
+                        idx.materialize(&mut batch, i);
+                        total += batch.satisfied(i).len();
+                        batch.clear_event(i);
+                    }
+                    total
                 })
             },
         );

@@ -21,6 +21,12 @@
 //! `metrics_snapshot` JSON line carrying the global `MetricsSnapshot`
 //! accumulated during that measurement (metrics are reset between points).
 //!
+//! Each `--json` data point is also followed by a `phase1_amortization`
+//! line: the same workload re-run per-event and through
+//! `match_batch_into`, comparing mean phase-1 ns/event (fields:
+//! `phase1_scalar_ns, phase1_batched_ns, phase1_batch,
+//! phase1_amortization`) — the batch-major amortization win in situ.
+//!
 //! Usage: `cargo run --release -p pubsub-bench --bin fig3a_throughput --
 //!         [--subs 100000,...] [--events N] [--engines a,b] [--phases]
 //!         [--shards N] [--batch N] [--json]`
@@ -94,6 +100,30 @@ fn main() {
                         MetricsSnapshot::capture().to_json(),
                     );
                 }
+                // Phase-1 batch amortization probe: same workload, same
+                // warmed engine, per-event vs. batched submission.
+                let amort_batch = if args.shards == 0 {
+                    64
+                } else {
+                    args.batch.max(1)
+                };
+                engine.reset_stats();
+                measure_throughput(engine.as_mut(), &mut gen, events);
+                let s1 = engine.stats();
+                let scalar_ns = s1.phase1_nanos as f64 / s1.events.max(1) as f64;
+                engine.reset_stats();
+                measure_batched_throughput(engine.as_mut(), &mut gen, events, amort_batch);
+                let s2 = engine.stats();
+                let batched_ns = s2.phase1_nanos as f64 / s2.events.max(1) as f64;
+                println!(
+                    "{{\"figure\": \"3a\", \"engine\": \"{}\", \"subs\": {n}, \
+                     \"phase1_scalar_ns\": {scalar_ns:.1}, \
+                     \"phase1_batched_ns\": {batched_ns:.1}, \
+                     \"phase1_batch\": {amort_batch}, \
+                     \"phase1_amortization\": {:.2}}}",
+                    kind.label(),
+                    scalar_ns / batched_ns.max(f64::MIN_POSITIVE),
+                );
             }
             eprintln!(
                 "  [{} @ {n} subs, {} shards] {eps:.1} events/s",

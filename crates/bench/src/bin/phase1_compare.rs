@@ -7,15 +7,24 @@
 //! ns_per_event, satisfied_per_event, speedup` (speedup only on the
 //! `snapshot` lines, relative to the `btree` line of the same sweep point).
 //!
+//! `batched` lines additionally carry `batch` (events per
+//! `eval_batch_into` call), `speedup` (vs. the `btree` line) and
+//! `vs_snapshot` (vs. the per-event `snapshot` line) — the amortization win
+//! of the attribute-major batch path at each batch size.
+//!
 //! Usage: `cargo run --release -p pubsub-bench --bin phase1_compare --
-//!         [--preds 256,1024,4096] [--events N] [--rounds N]`
+//!         [--preds 256,1024,4096] [--events N] [--rounds N]
+//!         [--batches 1,16,64,256]`
 
-use pubsub_bench::phase1::{build_range_index, measure_phase1, range_events, ATTRS};
+use pubsub_bench::phase1::{
+    build_range_index, measure_phase1, measure_phase1_batched, range_events, ATTRS,
+};
 
 fn main() {
     let mut preds: Vec<usize> = vec![256, 1_024, 4_096, 16_384];
-    let mut events = 64usize;
+    let mut events = 256usize;
     let mut rounds = 40usize;
+    let mut batches: Vec<usize> = vec![1, 16, 64, 256];
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -31,8 +40,14 @@ fn main() {
             }
             "--events" => events = value("--events").parse().expect("integer"),
             "--rounds" => rounds = value("--rounds").parse().expect("integer"),
+            "--batches" => {
+                batches = value("--batches")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("integer batch size"))
+                    .collect();
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --preds a,b,c  --events N  --rounds N");
+                eprintln!("flags: --preds a,b,c  --events N  --rounds N  --batches a,b,c");
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other} (try --help)"),
@@ -67,5 +82,26 @@ fn main() {
              ({:.2}x)",
             tree_ns / snap_ns
         );
+        for &batch in &batches {
+            measure_phase1_batched(&idx, &evts, 1, batch); // warm-up
+            let (bat_ns, bat_sat) = measure_phase1_batched(&idx, &evts, rounds, batch);
+            assert_eq!(
+                bat_sat, snap_sat,
+                "batched path must satisfy identical predicate sets"
+            );
+            println!(
+                "{{\"bench\": \"phase1\", \"preds_per_attr\": {n}, \"attrs\": {ATTRS}, \
+                 \"path\": \"batched\", \"batch\": {batch}, \"ns_per_event\": {bat_ns:.1}, \
+                 \"satisfied_per_event\": {bat_sat:.1}, \"speedup\": {:.2}, \
+                 \"vs_snapshot\": {:.2}}}",
+                tree_ns / bat_ns,
+                snap_ns / bat_ns
+            );
+            eprintln!(
+                "  [{n} preds/attr] batched({batch}) {bat_ns:.0} ns/event \
+                 ({:.2}x vs snapshot)",
+                snap_ns / bat_ns
+            );
+        }
     }
 }

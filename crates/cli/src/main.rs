@@ -172,6 +172,9 @@ impl Cli {
     }
 
     fn cmd_publish(&mut self, expr: &str) -> Result<String, String> {
+        if expr.contains(';') {
+            return self.cmd_publish_batch(expr);
+        }
         let names: Vec<String> = match &mut self.backend {
             Backend::Durable(shared) => {
                 let event = shared
@@ -197,6 +200,66 @@ impl Cli {
         } else {
             Ok(format!("matched: {}", names.join(", ")))
         }
+    }
+
+    /// `pub e1; e2; ...` — all events parsed up front, then matched in one
+    /// batched publish (`publish_batch`), which rides the attribute-major
+    /// phase-1 path and visits each shard once for the whole batch. Output
+    /// is one `[i] matched: ...` line per event, in submission order.
+    fn cmd_publish_batch(&mut self, expr: &str) -> Result<String, String> {
+        let exprs: Vec<&str> = expr
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if exprs.is_empty() {
+            return Err("empty batch: nothing between the `;`s".into());
+        }
+        let per_event: Vec<Vec<String>> = match &mut self.backend {
+            Backend::Durable(shared) => {
+                let events = shared.with_vocab(|vocab| {
+                    exprs
+                        .iter()
+                        .map(|e| parse_event(e, vocab).map_err(|err| err.render(e)))
+                        .collect::<Result<Vec<_>, _>>()
+                })?;
+                shared
+                    .publish_batch(&events)
+                    .iter()
+                    .map(|m| m.iter().map(|s| s.to_string()).collect())
+                    .collect()
+            }
+            Backend::Volatile(broker) => {
+                let events = exprs
+                    .iter()
+                    .map(|e| parse_event(e, broker.vocabulary_mut()).map_err(|err| err.render(e)))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let notifications = broker.publish_batch(&events);
+                notifications
+                    .iter()
+                    .map(|n| {
+                        let mut dnf_hits = Vec::new();
+                        let mut plain = Vec::new();
+                        self.dnf.translate(&n.matched, &mut dnf_hits, &mut plain);
+                        let mut names: Vec<String> = plain.iter().map(|s| s.to_string()).collect();
+                        names.extend(dnf_hits.iter().map(|d| d.to_string()));
+                        names
+                    })
+                    .collect()
+            }
+        };
+        let lines: Vec<String> = per_event
+            .iter()
+            .enumerate()
+            .map(|(i, names)| {
+                if names.is_empty() {
+                    format!("[{i}] matched: (none)")
+                } else {
+                    format!("[{i}] matched: {}", names.join(", "))
+                }
+            })
+            .collect();
+        Ok(lines.join("\n"))
     }
 
     fn cmd_unsubscribe(&mut self, id: &str) -> Result<String, String> {
@@ -695,6 +758,9 @@ commands:
   sub <expr>     register a subscription, e.g.  sub price <= 10 AND movie = 'up'
                  (use OR for disjunctions; conjunctive-only under --durable)
   pub <event>    publish an event, e.g.        pub {price: 8, movie: 'up'}
+                 separate several events with `;` to publish them as one
+                 batch (amortized phase 1, one fan-out per shard):
+                 pub {price: 8}; {price: 80}
   unsub <id>     remove a subscription by the id printed at sub time
   tick [n]       advance the logical clock (expires validities)
   stats          engine statistics; `--json` for machine-readable output,
@@ -840,6 +906,37 @@ mod tests {
         assert_eq!(r, "unsubscribed s0");
         let r = run(&mut cli, "pub {movie: 'up', price: 8}");
         assert_eq!(r, "matched: (none)");
+    }
+
+    #[test]
+    fn batched_publish_flow() {
+        let mut cli = Cli::with_shards(EngineKind::Dynamic, 0);
+        assert_eq!(run(&mut cli, "sub price <= 10"), "subscribed s0");
+        assert_eq!(
+            run(&mut cli, "sub from = 'NYC' OR from = 'EWR'"),
+            "subscribed d0 (2 disjuncts)"
+        );
+        let r = run(
+            &mut cli,
+            "pub {price: 8}; {price: 80}; {from: 'EWR', price: 3}",
+        );
+        assert_eq!(
+            r,
+            "[0] matched: s0\n[1] matched: (none)\n[2] matched: s0, d0"
+        );
+        // A parse error anywhere in the batch rejects the whole batch.
+        assert!(run(&mut cli, "pub {a: 1}; {broken").starts_with("error:"));
+        assert!(run(&mut cli, "pub ; ;").starts_with("error:"));
+    }
+
+    #[test]
+    fn batched_publish_flow_durable() {
+        let dir = temp_dir("batch-pub");
+        let mut cli = durable_cli(&dir);
+        assert_eq!(run(&mut cli, "sub price <= 10"), "subscribed s0");
+        let r = run(&mut cli, "pub {price: 8}; {price: 80}");
+        assert_eq!(r, "[0] matched: s0\n[1] matched: (none)");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

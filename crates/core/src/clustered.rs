@@ -19,7 +19,7 @@ use pubsub_cost::{
     greedy_clustering, CostConstants, EventStatistics, GreedyConfig, SelectivityEstimator,
     SubscriptionProfile,
 };
-use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_index::{Phase1Batch, PredicateBitVec, PredicateId, PredicateIndex};
 use pubsub_types::metrics::Counter;
 use pubsub_types::{
     AttrId, AttrSet, Event, FxHashMap, FxHashSet, Subscription, SubscriptionId, Value,
@@ -166,6 +166,8 @@ pub struct ClusteredMatcher {
     // Per-event workhorse buffers.
     bits: PredicateBitVec,
     satisfied: Vec<PredicateId>,
+    /// Reusable scratch for the batched phase-1 path.
+    batch: Phase1Batch,
     probe_buf: Vec<Value>,
     /// Dense attr → value view of the current event (cleared after each
     /// match).
@@ -215,6 +217,7 @@ impl ClusteredMatcher {
             in_maintenance: false,
             bits: PredicateBitVec::new(),
             satisfied: Vec::new(),
+            batch: Phase1Batch::new(),
             probe_buf: Vec::new(),
             view: Vec::new(),
             stats_frozen: false,
@@ -835,6 +838,57 @@ impl ClusteredMatcher {
         }
     }
 
+    // ---- matching ---------------------------------------------------------
+
+    /// Phase 2: probes every table whose schema the event covers (plus the
+    /// fallback list) against `bits`. Returns candidates checked.
+    fn phase2(
+        &mut self,
+        event: &Event,
+        bits: &PredicateBitVec,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let mut checked = 0usize;
+        let schema = event.schema();
+        // Dense attr → value view: probing every table per event must not
+        // pay a binary search per schema attribute.
+        for &(a, v) in event.pairs() {
+            if self.view.len() <= a.index() {
+                self.view.resize(a.index() + 1, None);
+            }
+            self.view[a.index()] = Some(v);
+        }
+        for table in self.tables.iter().flatten() {
+            if !table.schema().is_subset(schema) {
+                continue;
+            }
+            if let Some(list) = table.probe_view(&self.view, &mut self.probe_buf) {
+                checked += list.match_into::<true>(bits, out);
+            }
+        }
+        for &(a, _) in event.pairs() {
+            self.view[a.index()] = None;
+        }
+        if !self.fallback.is_empty() {
+            checked += self.fallback.match_into::<true>(bits, out);
+        }
+        checked
+    }
+
+    /// Folds one event's timings and counts into the stats and metrics.
+    fn record_event(&mut self, phase1: u64, phase2: u64, checked: u64, matched: u64) {
+        self.stats.events += 1;
+        self.stats.subscriptions_checked += checked;
+        self.stats.matches += matched;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(checked);
+        MATCHED.add(matched);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
+    }
+
     // ---- static optimization (paper §3.2) -----------------------------------
 
     /// Runs the greedy cost-based optimizer over the full subscription set
@@ -951,45 +1005,46 @@ impl MatchEngine for ClusteredMatcher {
         let t1 = Instant::now();
 
         let before = out.len();
-        let mut checked = 0usize;
-        let schema = event.schema();
-        // Dense attr → value view: probing every table per event must not
-        // pay a binary search per schema attribute.
-        for &(a, v) in event.pairs() {
-            if self.view.len() <= a.index() {
-                self.view.resize(a.index() + 1, None);
-            }
-            self.view[a.index()] = Some(v);
-        }
-        for table in self.tables.iter().flatten() {
-            if !table.schema().is_subset(schema) {
-                continue;
-            }
-            if let Some(list) = table.probe_view(&self.view, &mut self.probe_buf) {
-                checked += list.match_into::<true>(&self.bits, out);
-            }
-        }
-        for &(a, _) in event.pairs() {
-            self.view[a.index()] = None;
-        }
-        if !self.fallback.is_empty() {
-            checked += self.fallback.match_into::<true>(&self.bits, out);
-        }
+        let bits = std::mem::take(&mut self.bits);
+        let checked = self.phase2(event, &bits, out);
+        self.bits = bits;
         self.bits.clear();
 
-        self.stats.events += 1;
-        self.stats.subscriptions_checked += checked as u64;
-        self.stats.matches += (out.len() - before) as u64;
+        let matched = (out.len() - before) as u64;
         let phase1 = (t1 - t0).as_nanos() as u64;
         let phase2 = t1.elapsed().as_nanos() as u64;
-        self.stats.phase1_nanos += phase1;
-        self.stats.phase2_nanos += phase2;
-        EVENTS.inc();
-        VERIFIED.add(checked as u64);
-        MATCHED.add((out.len() - before) as u64);
-        crate::engine::PHASE1_NANOS.record(phase1);
-        crate::engine::PHASE2_NANOS.record(phase2);
+        self.record_event(phase1, phase2, checked as u64, matched);
         self.bump_ops();
+    }
+
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        if !self.stats_frozen {
+            for event in events {
+                self.est.observe(event);
+            }
+        }
+        let mut batch = std::mem::take(&mut self.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, (event, dst)) in events.iter().zip(out.iter_mut()).enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let checked = self.phase2(event, batch.bits(i), dst);
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            self.record_event(phase1_i, phase2, checked as u64, dst.len() as u64);
+            self.bump_ops();
+        }
+        self.batch = batch;
     }
 
     fn len(&self) -> usize {

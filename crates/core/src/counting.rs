@@ -10,7 +10,7 @@
 //! valid only if its stamp equals the current event's epoch.
 
 use crate::engine::{EngineStats, MatchEngine};
-use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_index::{Phase1Batch, PredicateBitVec, PredicateId, PredicateIndex};
 use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, Subscription, SubscriptionId};
 use std::time::Instant;
@@ -47,6 +47,8 @@ pub struct CountingMatcher {
     // Per-event workhorse buffers.
     bits: PredicateBitVec,
     satisfied: Vec<PredicateId>,
+    /// Reusable scratch for the batched phase-1 path.
+    batch: Phase1Batch,
     live: usize,
     stats: EngineStats,
 }
@@ -71,6 +73,52 @@ impl CountingMatcher {
         if self.assoc.len() <= pid.index() {
             self.assoc.resize_with(pid.index() + 1, Vec::new);
         }
+    }
+
+    /// Phase 2: walks the satisfied predicates' association lists, bumping
+    /// epoch-stamped counters and reporting subscriptions whose counter
+    /// reaches their arity. Returns the number of increments performed.
+    fn phase2(&mut self, satisfied: &[PredicateId], out: &mut Vec<SubscriptionId>) -> u64 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: invalidate everything explicitly once per
+            // 2^32 events.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let mut increments = 0u64;
+        for &pid in satisfied {
+            for &sid in &self.assoc[pid.index()] {
+                let i = sid.index();
+                increments += 1;
+                let c = if self.stamps[i] == epoch {
+                    self.counts[i] + 1
+                } else {
+                    self.stamps[i] = epoch;
+                    1
+                };
+                self.counts[i] = c;
+                if c == self.arity[i] {
+                    out.push(sid);
+                }
+            }
+        }
+        increments
+    }
+
+    /// Folds one event's timings and counts into the stats and metrics.
+    fn record_event(&mut self, phase1: u64, phase2: u64, checked: u64, matched: u64) {
+        self.stats.events += 1;
+        self.stats.subscriptions_checked += checked;
+        self.stats.matches += matched;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(checked);
+        MATCHED.add(matched);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
     }
 }
 
@@ -136,45 +184,39 @@ impl MatchEngine for CountingMatcher {
         self.bits.clear(); // counting does not read the bit vector
         let t1 = Instant::now();
 
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // Stamp wrap-around: invalidate everything explicitly once per
-            // 2^32 events.
-            self.stamps.fill(0);
-            self.epoch = 1;
-        }
-        let epoch = self.epoch;
         let before = out.len();
-        let mut increments = 0u64;
-        for &pid in &self.satisfied {
-            for &sid in &self.assoc[pid.index()] {
-                let i = sid.index();
-                increments += 1;
-                let c = if self.stamps[i] == epoch {
-                    self.counts[i] + 1
-                } else {
-                    self.stamps[i] = epoch;
-                    1
-                };
-                self.counts[i] = c;
-                if c == self.arity[i] {
-                    out.push(sid);
-                }
-            }
-        }
+        let satisfied = std::mem::take(&mut self.satisfied);
+        let increments = self.phase2(&satisfied, out);
+        self.satisfied = satisfied;
 
-        self.stats.events += 1;
-        self.stats.subscriptions_checked += increments;
-        self.stats.matches += (out.len() - before) as u64;
+        let matched = (out.len() - before) as u64;
         let phase1 = (t1 - t0).as_nanos() as u64;
         let phase2 = t1.elapsed().as_nanos() as u64;
-        self.stats.phase1_nanos += phase1;
-        self.stats.phase2_nanos += phase2;
-        EVENTS.inc();
-        VERIFIED.add(increments);
-        MATCHED.add((out.len() - before) as u64);
-        crate::engine::PHASE1_NANOS.record(phase1);
-        crate::engine::PHASE2_NANOS.record(phase2);
+        self.record_event(phase1, phase2, increments, matched);
+    }
+
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut self.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, dst) in out.iter_mut().enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let increments = self.phase2(batch.satisfied(i), dst);
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            self.record_event(phase1_i, phase2, increments, dst.len() as u64);
+        }
+        self.batch = batch;
     }
 
     fn len(&self) -> usize {

@@ -13,7 +13,7 @@
 
 use crate::cluster::ClusterList;
 use crate::engine::{EngineStats, MatchEngine};
-use pubsub_index::{PredicateBitVec, PredicateId, PredicateIndex};
+use pubsub_index::{Phase1Batch, PredicateBitVec, PredicateId, PredicateIndex};
 use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, FxHashMap, Subscription, SubscriptionId};
 use std::time::Instant;
@@ -52,6 +52,8 @@ pub struct PropagationMatcher {
     // Per-event workhorse buffers.
     bits: PredicateBitVec,
     satisfied: Vec<PredicateId>,
+    /// Reusable scratch for the batched phase-1 path.
+    batch: Phase1Batch,
     stats: EngineStats,
 }
 
@@ -96,6 +98,49 @@ impl PropagationMatcher {
             debug_assert_eq!(e.width, width);
             e.slot = slot;
         }
+    }
+
+    /// Phase 2: scans the cluster lists of the satisfied access predicates
+    /// (plus the fallback list) against `bits`. Returns candidates checked.
+    fn phase2(
+        &self,
+        bits: &PredicateBitVec,
+        satisfied: &[PredicateId],
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
+        let mut checked = 0usize;
+        for &pid in satisfied {
+            if let Some(list) = self.access.get(&pid) {
+                checked += if self.prefetch {
+                    list.match_into::<true>(bits, out)
+                } else {
+                    list.match_into::<false>(bits, out)
+                };
+            }
+        }
+        if !self.fallback.is_empty() {
+            FALLBACK_SCANS.inc();
+            checked += if self.prefetch {
+                self.fallback.match_into::<true>(bits, out)
+            } else {
+                self.fallback.match_into::<false>(bits, out)
+            };
+        }
+        checked
+    }
+
+    /// Folds one event's timings and counts into the stats and metrics.
+    fn record_event(&mut self, phase1: u64, phase2: u64, checked: u64, matched: u64) {
+        self.stats.events += 1;
+        self.stats.subscriptions_checked += checked;
+        self.stats.matches += matched;
+        self.stats.phase1_nanos += phase1;
+        self.stats.phase2_nanos += phase2;
+        EVENTS.inc();
+        VERIFIED.add(checked);
+        MATCHED.add(matched);
+        crate::engine::PHASE1_NANOS.record(phase1);
+        crate::engine::PHASE2_NANOS.record(phase2);
     }
 }
 
@@ -172,38 +217,41 @@ impl MatchEngine for PropagationMatcher {
         let t1 = Instant::now();
 
         let before = out.len();
-        let mut checked = 0usize;
-        for &pid in &self.satisfied {
-            if let Some(list) = self.access.get(&pid) {
-                checked += if self.prefetch {
-                    list.match_into::<true>(&self.bits, out)
-                } else {
-                    list.match_into::<false>(&self.bits, out)
-                };
-            }
-        }
-        if !self.fallback.is_empty() {
-            FALLBACK_SCANS.inc();
-            checked += if self.prefetch {
-                self.fallback.match_into::<true>(&self.bits, out)
-            } else {
-                self.fallback.match_into::<false>(&self.bits, out)
-            };
-        }
+        let bits = std::mem::take(&mut self.bits);
+        let satisfied = std::mem::take(&mut self.satisfied);
+        let checked = self.phase2(&bits, &satisfied, out);
+        self.bits = bits;
+        self.satisfied = satisfied;
         self.bits.clear();
 
-        self.stats.events += 1;
-        self.stats.subscriptions_checked += checked as u64;
-        self.stats.matches += (out.len() - before) as u64;
+        let matched = (out.len() - before) as u64;
         let phase1 = (t1 - t0).as_nanos() as u64;
         let phase2 = t1.elapsed().as_nanos() as u64;
-        self.stats.phase1_nanos += phase1;
-        self.stats.phase2_nanos += phase2;
-        EVENTS.inc();
-        VERIFIED.add(checked as u64);
-        MATCHED.add((out.len() - before) as u64);
-        crate::engine::PHASE1_NANOS.record(phase1);
-        crate::engine::PHASE2_NANOS.record(phase2);
+        self.record_event(phase1, phase2, checked as u64, matched);
+    }
+
+    fn match_batch_into(&mut self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut self.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, dst) in out.iter_mut().enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let checked = self.phase2(batch.bits(i), batch.satisfied(i), dst);
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            self.record_event(phase1_i, phase2, checked as u64, dst.len() as u64);
+        }
+        self.batch = batch;
     }
 
     fn len(&self) -> usize {

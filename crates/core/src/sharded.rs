@@ -299,6 +299,7 @@ fn handle_request(
     epoch: u64,
     req: Request,
     reply: &Sender<Response>,
+    scratch: &mut Vec<Vec<SubscriptionId>>,
 ) {
     match req {
         Request::Insert(id, sub) => engine.insert(id, &sub),
@@ -321,10 +322,13 @@ fn handle_request(
             buf.offsets.clear();
             // SAFETY: the matcher blocks in its join loop until this reply.
             let events = unsafe { events.slice() };
-            for event in events {
-                // `match_event` appends, so `flat` accumulates across the
-                // batch and `offsets` records each event's end position.
-                engine.match_event(event, &mut buf.flat);
+            // One batched call (engines amortise phase 1 across the whole
+            // batch), flattened into the reply buffer. `scratch` lives for
+            // the worker's lifetime, so its inner vectors are reused across
+            // batches — zero steady-state allocation in this loop.
+            engine.match_batch_into(events, scratch);
+            for dst in scratch.iter().take(events.len()) {
+                buf.flat.extend_from_slice(dst);
                 buf.offsets.push(buf.flat.len());
             }
             let stats = *engine.stats();
@@ -373,13 +377,15 @@ fn run_worker(
     depth: Arc<AtomicUsize>,
 ) {
     let mut engine = kind.build();
+    // Per-worker batch scratch, reused across every MatchBatch request.
+    let mut batch_scratch: Vec<Vec<SubscriptionId>> = Vec::new();
     while let Ok(req) = rx.recv() {
         depth.fetch_sub(1, Ordering::Relaxed);
         let wants_reply = req.wants_reply();
         let is_match = req.is_match();
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             injected_fault(&mut engine, shard, is_match);
-            handle_request(&mut engine, shard, epoch, req, &reply)
+            handle_request(&mut engine, shard, epoch, req, &reply, &mut batch_scratch)
         }));
         if let Err(payload) = outcome {
             let msg = panic_message(payload);

@@ -100,6 +100,85 @@ fn check_engine(mut engine: Box<dyn MatchEngine + Send>, ops: &[Op]) -> Result<(
     Ok(())
 }
 
+/// Like [`check_engine`], but events are buffered and delivered through
+/// [`MatchEngine::match_batch_into`] in batches of `batch_size` (flushed
+/// before every mutation, mirroring the broker's batched publish): the
+/// batched phase-1 path must produce exactly the oracle's per-event match
+/// sets.
+fn check_engine_batched(
+    mut engine: Box<dyn MatchEngine + Send>,
+    ops: &[Op],
+    batch_size: usize,
+) -> Result<(), TestCaseError> {
+    let mut oracle = EngineKind::BruteForce.build();
+    let mut live: Vec<SubscriptionId> = Vec::new();
+    let mut next_id = 0u32;
+    let mut pending: Vec<Event> = Vec::new();
+    let mut results: Vec<Vec<SubscriptionId>> = Vec::new();
+
+    fn flush(
+        engine: &mut Box<dyn MatchEngine + Send>,
+        oracle: &mut Box<dyn MatchEngine + Send>,
+        pending: &mut Vec<Event>,
+        results: &mut Vec<Vec<SubscriptionId>>,
+    ) -> Result<(), TestCaseError> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        engine.match_batch_into(pending, results);
+        prop_assert_eq!(results.len(), pending.len());
+        for (event, got) in pending.iter().zip(results.iter_mut()) {
+            let mut want = Vec::new();
+            oracle.match_event(event, &mut want);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(
+                &*got,
+                &want,
+                "batched engine {} disagrees with oracle on {:?}",
+                engine.name(),
+                event
+            );
+            let mut dedup = got.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), got.len(), "duplicate matches");
+        }
+        pending.clear();
+        Ok(())
+    }
+
+    for op in ops {
+        match op {
+            Op::Insert(sub) => {
+                flush(&mut engine, &mut oracle, &mut pending, &mut results)?;
+                let id = SubscriptionId(next_id);
+                next_id += 1;
+                engine.insert(id, sub);
+                oracle.insert(id, sub);
+                live.push(id);
+            }
+            Op::RemoveNth(n) => {
+                flush(&mut engine, &mut oracle, &mut pending, &mut results)?;
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(n.index(live.len()));
+                engine.remove(id);
+                oracle.remove(id);
+            }
+            Op::Match(event) => {
+                pending.push(event.clone());
+                if pending.len() >= batch_size {
+                    flush(&mut engine, &mut oracle, &mut pending, &mut results)?;
+                }
+            }
+        }
+    }
+    flush(&mut engine, &mut oracle, &mut pending, &mut results)?;
+    prop_assert_eq!(engine.len(), oracle.len());
+    Ok(())
+}
+
 /// The aggressive dynamic configuration: a tiny period and low thresholds
 /// force the §4 maintenance machinery (table create/delete, relocation) to
 /// run constantly, so matching correctness is exercised *mid-churn*.
@@ -217,6 +296,71 @@ proptest! {
         // A tiny period and thresholds force maintenance to run constantly,
         // exercising table creation/deletion and relocation under churn.
         check_engine(Box::new(aggressive_dynamic()), &ops)?;
+    }
+
+    // Batched lanes: the same interleavings delivered through
+    // `match_batch_into`, across every paper engine and batch sizes
+    // {1, 7, 64} (proptest samples all sizes across cases). Batch size 1
+    // pins the batched path's per-event degenerate case; 64 crosses the
+    // block-mask boundary of the snapshot index.
+
+    #[test]
+    fn counting_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(EngineKind::Counting.build(), &ops, batch)?;
+    }
+
+    #[test]
+    fn propagation_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(EngineKind::Propagation.build(), &ops, batch)?;
+    }
+
+    #[test]
+    fn propagation_wp_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(EngineKind::PropagationPrefetch.build(), &ops, batch)?;
+    }
+
+    #[test]
+    fn static_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(EngineKind::Static.build(), &ops, batch)?;
+    }
+
+    #[test]
+    fn dynamic_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(EngineKind::Dynamic.build(), &ops, batch)?;
+    }
+
+    #[test]
+    fn aggressive_dynamic_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        // Maintenance (table create/delete, relocation) firing *between*
+        // events of one batch must not corrupt the remaining events'
+        // phase-1 results.
+        check_engine_batched(Box::new(aggressive_dynamic()), &ops, batch)?;
+    }
+
+    #[test]
+    fn sharded_batched_matches_oracle(
+        ops in arb_ops(),
+        batch in prop::sample::select(vec![1usize, 7, 64]),
+    ) {
+        check_engine_batched(Box::new(ShardedMatcher::new(EngineKind::Dynamic, 3)), &ops, batch)?;
     }
 
     // The sharded layer must be exact for every shard count: shards

@@ -91,6 +91,45 @@ impl PredicateBitVec {
         }
     }
 
+    /// Sets every bit in `[lo, hi)` word-parallel: full interior words are
+    /// OR-ed with `!0`, the partial edge words with range masks — no
+    /// per-bit loop or branch.
+    ///
+    /// # Panics
+    /// Panics if `hi` exceeds capacity, like [`PredicateBitVec::set`].
+    pub fn set_from_range(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = ((lo / 64) as usize, ((hi - 1) / 64) as usize);
+        let head = !0u64 << (lo % 64);
+        let tail = !0u64 >> (63 - ((hi - 1) % 64));
+        if wl == wh {
+            self.or_word(wl, head & tail);
+            return;
+        }
+        self.or_word(wl, head);
+        for w in wl + 1..wh {
+            self.or_word(w, !0);
+        }
+        self.or_word(wh, tail);
+    }
+
+    /// ORs precomputed `(word index, mask)` pairs — the snapshot index's
+    /// block-mask path: one memory OR per touched word no matter how many
+    /// bits the word carries. Zero masks are skipped (tombstone patches can
+    /// empty an entry) so the touched list records only real transitions.
+    ///
+    /// # Panics
+    /// Panics if a word index is beyond capacity.
+    pub fn or_masks(&mut self, entries: &[(u32, u64)]) {
+        for &(w, mask) in entries {
+            if mask != 0 {
+                self.or_word(w as usize, mask);
+            }
+        }
+    }
+
     /// ORs `mask` into word `w`, maintaining the touched list.
     #[inline]
     fn or_word(&mut self, w: usize, mask: u64) {
@@ -242,6 +281,49 @@ mod tests {
         b.set(2); // duplicate set must not double-count
         b.set(130);
         assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn set_from_range_matches_per_bit_sets() {
+        for (lo, hi) in [
+            (0u32, 0u32),
+            (5, 5),
+            (0, 1),
+            (0, 64),
+            (3, 61),
+            (3, 64),
+            (60, 70),
+            (0, 200),
+            (63, 65),
+            (64, 128),
+            (130, 131),
+        ] {
+            let mut bulk = PredicateBitVec::with_capacity(256);
+            let mut single = PredicateBitVec::with_capacity(256);
+            bulk.set_from_range(lo, hi);
+            for i in lo..hi {
+                single.set(i);
+            }
+            for i in 0..256 {
+                assert_eq!(bulk.get(i), single.get(i), "bit {i} of [{lo}, {hi})");
+            }
+            assert_eq!(bulk.count_ones(), (hi - lo) as usize);
+            bulk.clear();
+            assert_eq!(bulk.count_ones(), 0, "clear resets range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn or_masks_sets_words_and_skips_zero_masks() {
+        let mut b = PredicateBitVec::with_capacity(256);
+        b.or_masks(&[(0, 0b101), (2, 0), (3, 1 << 63), (0, 0b010)]);
+        for i in [0, 1, 2, 192 + 63] {
+            assert!(b.get(i), "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.touched.len(), 2, "zero mask must not touch its word");
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
     }
 
     #[test]

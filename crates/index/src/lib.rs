@@ -16,15 +16,20 @@
 //!   structure [`PredicateIndex::eval_into`] actually reads on the hot path;
 //!   the B+-tree remains the reference implementation
 //!   ([`PredicateIndex::eval_into_btree`]).
+//! * [`kernels`] — word-parallel lower-bound kernels (portable
+//!   auto-vectorized default, `std::arch` SSE2/AVX2 behind the `simd`
+//!   feature) backing the batched evaluator
+//!   [`PredicateIndex::eval_batch_into`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod bitvec;
 pub mod bptree;
+pub mod kernels;
 pub mod registry;
 pub mod snapshot;
 
 pub use bitvec::PredicateBitVec;
 pub use bptree::BPlusTree;
-pub use registry::{PredicateId, PredicateIndex};
+pub use registry::{Phase1Batch, PredicateId, PredicateIndex};

@@ -3,7 +3,7 @@
 //! predicate evaluation.
 
 use proptest::prelude::*;
-use pubsub_index::{BPlusTree, PredicateIndex};
+use pubsub_index::{kernels, BPlusTree, Phase1Batch, PredicateIndex};
 use pubsub_types::{AttrId, Event, Operator, Predicate, Symbol, Value};
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -215,5 +215,168 @@ proptest! {
             matches_checked += 1;
         }
         prop_assert!(matches_checked > 0);
+    }
+}
+
+/// Flushes `pending` through the batched evaluator and compares every event
+/// against both the per-event snapshot path and the B+-tree reference.
+fn check_batch(
+    idx: &PredicateIndex,
+    batch: &mut Phase1Batch,
+    pending: &mut Vec<Event>,
+) -> Result<usize, TestCaseError> {
+    if pending.is_empty() {
+        return Ok(0);
+    }
+    idx.eval_batch_into(pending, batch);
+    for (i, event) in pending.iter().enumerate() {
+        idx.materialize(batch, i);
+        let mut got: Vec<_> = batch.satisfied(i).to_vec();
+        let mut scalar = idx.eval(event);
+        let mut btree = idx.eval_btree(event);
+        got.sort();
+        scalar.sort();
+        btree.sort();
+        prop_assert_eq!(&got, &scalar, "batched vs scalar, event {:?}", event);
+        prop_assert_eq!(&got, &btree, "batched vs btree, event {:?}", event);
+        for &id in &got {
+            prop_assert!(batch.bits(i).get(id.0), "bit {:?} unset", id);
+        }
+        prop_assert_eq!(batch.bits(i).count_ones(), got.len(), "spurious bits");
+        batch.clear_event(i);
+    }
+    let n = pending.len();
+    pending.clear();
+    Ok(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batched evaluator must agree with both the per-event snapshot
+    /// path and the B+-tree reference over interleaved intern/release/match
+    /// churn, at several batch sizes (events are buffered and flushed as a
+    /// batch before every mutation, so batches always see a consistent
+    /// index — exactly the broker's usage pattern).
+    #[test]
+    fn batched_agrees_with_scalar_and_btree_under_churn(
+        ops in churn_ops(),
+        batch_size in prop::sample::select(vec![1usize, 7, 64]),
+        final_events in prop::collection::vec(arb_event(), 1..4),
+    ) {
+        let mut idx = PredicateIndex::new();
+        let mut outstanding: Vec<pubsub_index::PredicateId> = Vec::new();
+        let mut batch = Phase1Batch::new();
+        let mut pending: Vec<Event> = Vec::new();
+        let mut matches_checked = 0usize;
+        for op in ops {
+            match op {
+                ChurnOp::Intern(p) => {
+                    matches_checked += check_batch(&idx, &mut batch, &mut pending)?;
+                    outstanding.push(idx.intern(p));
+                }
+                ChurnOp::Release(i) => {
+                    matches_checked += check_batch(&idx, &mut batch, &mut pending)?;
+                    if !outstanding.is_empty() {
+                        let id = outstanding.swap_remove(i.index(outstanding.len()));
+                        idx.release(id);
+                    }
+                }
+                ChurnOp::Match(event) => {
+                    pending.push(event);
+                    if pending.len() >= batch_size {
+                        matches_checked += check_batch(&idx, &mut batch, &mut pending)?;
+                    }
+                }
+                ChurnOp::Flush => {
+                    matches_checked += check_batch(&idx, &mut batch, &mut pending)?;
+                    idx.rebuild_snapshots();
+                }
+            }
+        }
+        pending.extend(final_events.iter().cloned());
+        matches_checked += check_batch(&idx, &mut batch, &mut pending)?;
+        prop_assert!(matches_checked > 0);
+        prop_assert!(
+            batch.scratch_regrowths() <= 64,
+            "scratch regrew {} times",
+            batch.scratch_regrowths()
+        );
+    }
+
+    /// Edge case: an index holding only `≠` predicates (no ordered
+    /// breakpoints at all — the snapshot arrays stay empty) must still agree
+    /// across all three paths, including for single-event batches.
+    #[test]
+    fn batched_all_ne_index_agrees(
+        constants in prop::collection::vec(arb_value(), 1..12),
+        events in prop::collection::vec(arb_event(), 1..6),
+    ) {
+        let mut idx = PredicateIndex::new();
+        for (i, v) in constants.iter().enumerate() {
+            idx.intern(Predicate::new(AttrId((i % 3) as u32), Operator::Ne, *v));
+        }
+        let mut batch = Phase1Batch::new();
+        let mut pending = events.clone();
+        check_batch(&idx, &mut batch, &mut pending)?;
+        // And one event at a time (batch size 1).
+        for e in &events {
+            let mut single = vec![e.clone()];
+            check_batch(&idx, &mut batch, &mut single)?;
+        }
+    }
+
+    /// Edge case: exactly one breakpoint per direction — the smallest
+    /// non-empty snapshot the gallop and kernels can see.
+    #[test]
+    fn batched_single_breakpoint_agrees(
+        op in prop::sample::select(vec![Operator::Lt, Operator::Le, Operator::Ge, Operator::Gt]),
+        c in 0i64..30,
+        events in prop::collection::vec(arb_event(), 1..6),
+    ) {
+        let mut idx = PredicateIndex::new();
+        idx.intern(Predicate::new(AttrId(0), op, c));
+        let mut batch = Phase1Batch::new();
+        let mut pending = events;
+        check_batch(&idx, &mut batch, &mut pending)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every lower-bound kernel must agree with `slice::partition_point` on
+    /// arbitrary sorted inputs and targets, including targets outside the
+    /// array range and exact-hit duplicates. With `--features simd` this
+    /// pins the SSE2 and (where the CPU has it) AVX2 kernels bit-identically
+    /// to the scalar reference.
+    #[test]
+    fn lower_bound_kernels_agree(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        targets in prop::collection::vec(any::<u64>(), 1..8),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let mut a = a;
+        a.sort_unstable();
+        // Probe arbitrary targets plus values actually present (duplicates
+        // must land on the first occurrence) and their neighbours.
+        let mut probes = targets;
+        if !a.is_empty() {
+            let x = a[pick.index(a.len())];
+            probes.extend([x, x.wrapping_add(1), x.wrapping_sub(1)]);
+        }
+        probes.extend([0, 1 << 63, u64::MAX]);
+        for t in probes {
+            let want = kernels::lower_bound_scalar(&a, t);
+            prop_assert_eq!(kernels::lower_bound_portable(&a, t), want, "portable, t={}", t);
+            prop_assert_eq!(kernels::lower_bound_u64(&a, t), want, "dispatch, t={}", t);
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            {
+                prop_assert_eq!(kernels::lower_bound_sse2(&a, t), want, "sse2, t={}", t);
+                if let Some(got) = kernels::lower_bound_avx2(&a, t) {
+                    prop_assert_eq!(got, want, "avx2, t={}", t);
+                }
+            }
+        }
     }
 }

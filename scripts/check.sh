@@ -5,12 +5,16 @@
 #                         [--bless]
 #
 # Lanes
-#   (default)      fmt + clippy + release build + tests with default features
-#                  and with --features metrics (both halves of that gate).
+#   (default)      fmt + clippy + release build + tests with default features,
+#                  with --features metrics, and with --features simd and
+#                  simd,metrics (the explicit-SIMD phase-1 kernels with
+#                  runtime CPU detection — same tests, vectorized path).
 #   --bench-smoke  every Criterion bench target once in test mode (one
 #                  iteration, no measurement) so bench code can't bit-rot,
-#                  plus the cross-engine differential proptest with a
-#                  bounded case count.
+#                  a second phase1_micro pass with the simd feature so the
+#                  batched/vectorized variant runs too, plus the
+#                  cross-engine differential proptest with a bounded case
+#                  count.
 #   --chaos        fault-injection lane: build and test the workspace with
 #                  --features faults,metrics (arming the deterministic fault
 #                  registry inside the supervised sharded engine) and smoke
@@ -84,6 +88,15 @@ cargo test ${OFFLINE} --workspace
 echo "==> cargo test (--features metrics)"
 cargo test ${OFFLINE} --workspace --features metrics
 
+echo "==> cargo build (--features simd)"
+cargo build ${OFFLINE} --workspace --features simd
+
+echo "==> cargo test (--features simd)"
+cargo test ${OFFLINE} --workspace --features simd
+
+echo "==> cargo test (--features simd,metrics)"
+cargo test ${OFFLINE} --workspace --features simd,metrics
+
 if [[ "$CHAOS" == 1 ]]; then
     echo "==> cargo build (--features faults,metrics)"
     cargo build ${OFFLINE} --workspace --features faults,metrics
@@ -109,6 +122,9 @@ fi
 if [[ "$BENCH_SMOKE" == 1 ]]; then
     echo "==> bench smoke (one iteration per benchmark)"
     cargo bench ${OFFLINE} --workspace -- --test
+    echo "==> batched phase1_micro smoke (one iteration, simd kernels)"
+    cargo bench ${OFFLINE} -p pubsub-bench --features pubsub-index/simd \
+        --bench phase1_micro -- --test snapshot_batched64
     echo "==> differential proptest smoke (PROPTEST_CASES=8)"
     PROPTEST_CASES=8 cargo test ${OFFLINE} -p pubsub-core --test equivalence \
         all_engines_agree_on_identical_interleavings

@@ -39,6 +39,14 @@ fn golden_snapshot() -> MetricsSnapshot {
                 value: 3,
             },
             CounterEntry {
+                name: "index.phase1.batch_events".into(),
+                value: 96,
+            },
+            CounterEntry {
+                name: "index.phase1.batches".into(),
+                value: 6,
+            },
+            CounterEntry {
                 name: "index.phase1.bits_set".into(),
                 value: 9000,
             },
@@ -83,6 +91,12 @@ fn golden_snapshot() -> MetricsSnapshot {
                 count: 5,
                 sum: 320,
                 buckets: vec![(7, 5)],
+            },
+            HistogramEntry {
+                name: "index.phase1.batch_size".into(),
+                count: 6,
+                sum: 96,
+                buckets: vec![(1, 2), (5, 4)],
             },
             HistogramEntry {
                 name: "core.sharded.queue_depth".into(),

@@ -1,7 +1,8 @@
 //! Harness plumbing: argument parsing, engine loading, series reporting.
 
-use pubsub_core::{EngineKind, MatchEngine, ShardedMatcher};
-use pubsub_types::SubscriptionId;
+use pubsub_broker::{PublishMode, SharedBroker, Validity};
+use pubsub_core::{Backpressure, EngineKind, MatchEngine, ShardedMatcher};
+use pubsub_types::{Event, SubscriptionId};
 use pubsub_workload::WorkloadGen;
 use std::time::{Duration, Instant};
 
@@ -32,6 +33,9 @@ pub struct HarnessArgs {
     /// Emit one JSON object per data point instead of the text table
     /// (`--json`).
     pub json: bool,
+    /// Publisher-thread counts for the contention sweep
+    /// (`--publishers 1,2,4,8`); empty runs the harness's normal figure.
+    pub publishers: Vec<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -46,6 +50,7 @@ impl Default for HarnessArgs {
             shards: 0,
             batch: 64,
             json: false,
+            publishers: Vec::new(),
         }
     }
 }
@@ -80,10 +85,16 @@ pub fn parse_args(defaults: HarnessArgs) -> HarnessArgs {
             "--shards" => args.shards = value("--shards").parse().expect("integer shard count"),
             "--batch" => args.batch = value("--batch").parse().expect("integer batch size"),
             "--json" => args.json = true,
+            "--publishers" => {
+                args.publishers = value("--publishers")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("integer publisher count"))
+                    .collect();
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --subs a,b,c  --events N  --engines a,b  --ticks N  --tick-ms N  \
-                     --phases  --shards N  --batch N  --json"
+                     --phases  --shards N  --batch N  --json  --publishers a,b,c"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +186,47 @@ pub fn measure_batched_throughput(
     let elapsed = start.elapsed();
     let per_event = elapsed / events as u32;
     (events as f64 / elapsed.as_secs_f64(), per_event)
+}
+
+/// Loads `n_subs` subscriptions from `gen` into a [`SharedBroker`] running
+/// in the given publish mode, then compacts, so RCU measurements start from
+/// a merged snapshot (no brute-forced delta).
+pub fn load_shared_broker(
+    kind: EngineKind,
+    shards: usize,
+    mode: PublishMode,
+    gen: &mut WorkloadGen,
+    n_subs: usize,
+) -> SharedBroker {
+    let broker = SharedBroker::with_publish_mode(kind, shards.max(1), Backpressure::Block, mode);
+    for _ in 0..n_subs {
+        broker.subscribe(gen.subscription(), Validity::forever());
+    }
+    broker.compact();
+    broker
+}
+
+/// Aggregate publish throughput with `publishers` concurrent threads, each
+/// publishing every event in `events` once. Returns total events/second —
+/// the contention figure: under the locked mode threads serialize on the
+/// shard locks, under RCU they read independent snapshot pins.
+pub fn measure_publish_scaling(broker: &SharedBroker, events: &[Event], publishers: usize) -> f64 {
+    let publishers = publishers.max(1);
+    let total = (events.len() * publishers) as f64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..publishers {
+            let broker = broker.clone();
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for e in events {
+                    out.clear();
+                    broker.publish_into(e, &mut out);
+                }
+            });
+        }
+    });
+    total / start.elapsed().as_secs_f64()
 }
 
 /// A printable series: one row per x-value, one column per engine.

@@ -9,8 +9,10 @@ use pubsub_types::metrics::Counter;
 use pubsub_types::{AttrId, Event, Subscription, SubscriptionId, TypeError, Value, Vocabulary};
 
 /// Events published through a broker (single events; batched events count
-/// each event in the batch).
-static PUBLISHES: Counter = Counter::new("broker.publishes");
+/// each event in the batch). `pub(crate)` so the RCU publish path of
+/// [`crate::shared::SharedBroker`], which bypasses the shard brokers, still
+/// counts its publishes here.
+pub(crate) static PUBLISHES: Counter = Counter::new("broker.publishes");
 /// Subscriptions registered.
 static SUBSCRIBES: Counter = Counter::new("broker.subscribes");
 /// Successful unsubscribes.
@@ -187,6 +189,17 @@ impl Broker {
     /// Advances the clock, expiring subscriptions and events whose validity
     /// ended. Returns `(subscriptions expired, events evicted)`.
     pub fn advance_to(&mut self, t: LogicalTime) -> (usize, usize) {
+        self.advance_to_collect(t, None)
+    }
+
+    /// [`Broker::advance_to`] that additionally appends the ids of expired
+    /// subscriptions to `expired` — the RCU snapshot writer needs them to
+    /// tombstone the published shard snapshots.
+    pub fn advance_to_collect(
+        &mut self,
+        t: LogicalTime,
+        mut expired: Option<&mut Vec<SubscriptionId>>,
+    ) -> (usize, usize) {
         assert!(t >= self.now, "clock cannot go backwards");
         self.now = t;
         let mut subs_expired = 0;
@@ -203,6 +216,9 @@ impl Broker {
                     self.subs[slot] = None;
                     self.live -= 1;
                     subs_expired += 1;
+                    if let Some(ids) = expired.as_deref_mut() {
+                        ids.push(id);
+                    }
                 }
             }
         }

@@ -14,6 +14,7 @@ pub mod broker;
 pub mod dnf;
 pub mod durable;
 pub mod equilibrium;
+pub mod rcu;
 pub mod shared;
 pub mod store;
 pub mod time;
@@ -22,6 +23,7 @@ pub use broker::{Broker, Notification};
 pub use dnf::{DnfId, DnfRegistry, DnfSubscription};
 pub use durable::{BrokerError, DurabilityStatus};
 pub use equilibrium::{EquilibriumConfig, EquilibriumSim, TickReport};
+pub use rcu::{PublishMode, RcuStatus};
 pub use shared::SharedBroker;
 pub use store::{EventId, EventStore};
 pub use time::{LogicalTime, Validity};

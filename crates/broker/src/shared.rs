@@ -1,25 +1,35 @@
-//! A thread-safe, shard-locked broker handle.
+//! A thread-safe broker handle with a lock-free read-mostly publish path.
 //!
-//! The matching engines are single-writer structures, so concurrency comes
-//! from partitioning: `SharedBroker` splits the subscription set across `N`
-//! shards, each a complete [`Broker`] behind its own `parking_lot::Mutex`.
-//! Ids are striped (`shard = id mod N` via [`Broker::with_id_lane`]), so
-//! `subscribe`/`unsubscribe` lock only the owning shard and run fully in
-//! parallel across shards. A publish visits the shards one at a time —
-//! never holding more than one lock — and merges the partial match sets
-//! sorted by [`SubscriptionId`], so concurrent publishers pipeline through
-//! the shard array instead of serialising on a global mutex.
+//! The matching engines are single-writer structures. `SharedBroker` splits
+//! the subscription set across `N` shards, each a complete [`Broker`]
+//! behind its own `parking_lot::Mutex`. Ids are striped (`shard = id mod N`
+//! via [`Broker::with_id_lane`]), so `subscribe`/`unsubscribe` lock only the
+//! owning shard and run fully in parallel across shards.
+//!
+//! **Publishes take no locks at all** in the default
+//! [`PublishMode::Rcu`]: every mutation publishes an immutable
+//! [`crate::rcu::BrokerSnapshot`] through an epoch-protected
+//! [`pubsub_core::RcuCell`], and publishers pin the current snapshot, match
+//! it with per-thread scratch ([`pubsub_core::MatchView`]) and unpin — zero
+//! contention between concurrent publishers, and between publishers and
+//! mutators. Mutators serialize on a small writer mutex, layer the change
+//! as a delta/tombstone on the frozen per-shard base engines (merging the
+//! delta back once it outgrows a threshold), and flip the snapshot pointer;
+//! old snapshots are reclaimed once every reader epoch has passed. See
+//! DESIGN.md §12 for the full protocol. [`PublishMode::Locked`] keeps the
+//! historical lock-the-shards publish path for comparison benchmarks and
+//! for the lock-contention backpressure policies.
 //!
 //! Clock advancement is the one whole-broker operation: it acquires every
-//! shard lock in ascending index order (the only multi-lock path, hence
-//! deadlock-free) and advances all shards atomically with respect to
-//! publishes and subscribes.
+//! shard lock in ascending index order and advances all shards atomically
+//! with respect to subscribes; the resulting expiries land in the same
+//! single snapshot flip, so publishers see them atomically too.
 //!
 //! Consequences of shard-local state, documented rather than hidden:
 //!
-//! * A publish is not an atomic snapshot: it may see a subscription added
-//!   to a later shard mid-flight. Per-shard the broker is linearizable,
-//!   which is exactly the guarantee a distributed event broker gives.
+//! * Under RCU, a publish observes one immutable snapshot — it never sees a
+//!   torn cut of a concurrent mutation. Mutations become visible in their
+//!   serialization order, one flip each.
 //! * Each shard's engine keeps shard-local optimizer statistics (the
 //!   dynamic algorithm clusters each partition independently).
 //! * Attribute/string interning lives in one shared [`Vocabulary`] so ids
@@ -31,9 +41,10 @@
 
 use crate::broker::Broker;
 use crate::durable::{BrokerError, DurabilityStatus};
+use crate::rcu::{BrokerSnapshot, PublishMode, RcuStatus, ShardSnap};
 use crate::time::{LogicalTime, Validity};
 use parking_lot::{Mutex, MutexGuard};
-use pubsub_core::{Backpressure, EngineKind};
+use pubsub_core::{Backpressure, EngineKind, EngineStats, RcuCell, ViewScratch};
 use pubsub_durability::{
     DurabilityConfig, Recovered, RecoveryReport, SnapshotState, Wal, WalError, WalOp,
 };
@@ -41,22 +52,81 @@ use pubsub_types::metrics::Counter;
 use pubsub_types::{
     AttrId, Event, ShardError, Subscription, SubscriptionId, Symbol, Value, Vocabulary,
 };
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shards skipped by a publish because their lock was contended
-/// (`Shed`/downgraded-`ErrorFast` policies only).
+/// ([`PublishMode::Locked`] with `Shed`/downgraded-`ErrorFast` only).
 static SHED_SHARDS: Counter = Counter::new("broker.shared.shed_shards");
+/// Snapshot pointer flips performed by the RCU writer path.
+static SNAPSHOT_FLIPS: Counter = Counter::new("broker.shared.snapshot_flips");
+
+/// Per-thread scratch for the publish paths: the [`ViewScratch`] the RCU
+/// read path matches with, plus recycled per-shard result buffers for the
+/// batch paths. Thread-local (not a shared pool), so concurrent publishers
+/// never serialize on scratch acquisition.
+#[derive(Default)]
+struct PublishScratch {
+    view: ViewScratch,
+    shard_results: Vec<Vec<SubscriptionId>>,
+}
+
+thread_local! {
+    static PUBLISH_SCRATCH: RefCell<PublishScratch> = RefCell::new(PublishScratch::default());
+}
+
+/// Relaxed aggregate of the per-thread [`ViewScratch`] engine stats folded
+/// in after each RCU publish — the broker-level replacement for the
+/// per-shard engine counters the locked path accumulates.
+#[derive(Default)]
+struct RcuStatsAgg {
+    events: AtomicU64,
+    phase1_nanos: AtomicU64,
+    phase2_nanos: AtomicU64,
+    checked: AtomicU64,
+    matches: AtomicU64,
+}
+
+impl RcuStatsAgg {
+    fn fold(&self, s: EngineStats) {
+        if s.events == 0 {
+            return;
+        }
+        self.events.fetch_add(s.events, Ordering::Relaxed);
+        self.phase1_nanos
+            .fetch_add(s.phase1_nanos, Ordering::Relaxed);
+        self.phase2_nanos
+            .fetch_add(s.phase2_nanos, Ordering::Relaxed);
+        self.checked
+            .fetch_add(s.subscriptions_checked, Ordering::Relaxed);
+        self.matches.fetch_add(s.matches, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> EngineStats {
+        EngineStats {
+            events: self.events.load(Ordering::Relaxed),
+            phase1_nanos: self.phase1_nanos.load(Ordering::Relaxed),
+            phase2_nanos: self.phase2_nanos.load(Ordering::Relaxed),
+            subscriptions_checked: self.checked.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            ..EngineStats::default()
+        }
+    }
+}
 
 /// The durability attachment of a [`SharedBroker`].
 ///
-/// Lock ordering across the whole handle is `vocab < shards (ascending) <
-/// wal`; every multi-lock path acquires in that order, so adding the WAL
-/// mutex keeps the broker deadlock-free. Mutations append to the WAL
-/// *before* applying in memory (write-ahead discipline): an op that fails
-/// to log is never applied, so recovery can only ever observe a prefix of
-/// the acknowledged history.
+/// Lock ordering across the whole handle is `writer < vocab < shards
+/// (ascending) < wal`; every multi-lock path acquires in that order, so
+/// adding the WAL mutex keeps the broker deadlock-free. Mutations append to
+/// the WAL *before* applying in memory (write-ahead discipline): an op that
+/// fails to log is never applied, so recovery can only ever observe a
+/// prefix of the acknowledged history. The RCU snapshot flip happens *after*
+/// the in-memory apply, still under the writer lock — so a publish can
+/// trail the WAL (a logged subscription not yet visible to matching) but
+/// never lead it.
 struct DurableState {
     wal: Mutex<Wal>,
     /// Sticky read-only flag, set by the first failed durability write.
@@ -96,14 +166,29 @@ struct Inner {
     vocab: Mutex<Vocabulary>,
     /// Round-robin cursor distributing new subscriptions over shards.
     next_shard: AtomicUsize,
-    /// Recycled per-shard scratch for [`SharedBroker::publish_batch_into`].
-    batch_scratch: Mutex<Vec<Vec<Vec<SubscriptionId>>>>,
     /// Overload policy of the publish paths (subscribe/unsubscribe/clock
-    /// operations always block: they must not lose data).
+    /// operations always block: they must not lose data). Only meaningful
+    /// in [`PublishMode::Locked`]; RCU publishes never contend.
     backpressure: Backpressure,
     /// Write-ahead log plus degraded-mode state; `None` for the in-memory
     /// broker of [`SharedBroker::new`].
     durable: Option<DurableState>,
+    /// Engine kind, needed to build fresh frozen bases at merge time.
+    kind: EngineKind,
+    /// How publishes execute (RCU snapshots vs. per-shard locks).
+    mode: PublishMode,
+    /// The writer-side authoritative next snapshot (first in the lock
+    /// order: `writer < vocab < shards < wal`). Mutators update it in place
+    /// and publish a clone through `published`.
+    writer: Mutex<Vec<ShardSnap>>,
+    /// The epoch-protected snapshot the RCU publish path reads.
+    published: RcuCell<BrokerSnapshot>,
+    /// Snapshot flips, mirrored outside the metrics feature so `stats` can
+    /// always report it.
+    flips: AtomicU64,
+    /// Aggregated read-path engine stats (RCU publishes bypass the shard
+    /// engines, so their counters live here instead).
+    rcu_stats: RcuStatsAgg,
 }
 
 /// Captures the full broker state for a point-in-time snapshot. Caller
@@ -171,9 +256,27 @@ impl SharedBroker {
     /// [`SharedBroker::try_publish_into`] fail with
     /// [`ShardError::Overloaded`] on the first contended shard. The
     /// infallible publish methods degrade `ErrorFast` to `Shed`.
+    ///
+    /// The policy only distinguishes behaviour in [`PublishMode::Locked`]:
+    /// the default RCU mode never takes a lock on the publish path, so
+    /// every policy behaves like `Block` minus the blocking — publishes
+    /// always see every shard and never shed, error, or wait.
     pub fn with_backpressure(kind: EngineKind, shards: usize, backpressure: Backpressure) -> Self {
+        Self::with_publish_mode(kind, shards, backpressure, PublishMode::default())
+    }
+
+    /// [`SharedBroker::with_backpressure`] with an explicit [`PublishMode`]
+    /// — `Locked` restores the historical lock-the-shards publish path
+    /// (required for the lock-contention semantics of `Shed`/`ErrorFast`,
+    /// and used by the contention benchmarks as the baseline).
+    pub fn with_publish_mode(
+        kind: EngineKind,
+        shards: usize,
+        backpressure: Backpressure,
+        mode: PublishMode,
+    ) -> Self {
         let n = shards.max(1);
-        let shards = (0..n)
+        let shards: Vec<Mutex<Broker>> = (0..n)
             .map(|i| {
                 Mutex::new(
                     Broker::new(kind)
@@ -182,14 +285,22 @@ impl SharedBroker {
                 )
             })
             .collect();
+        let snaps: Vec<ShardSnap> = (0..n).map(|_| ShardSnap::empty(kind)).collect();
         Self {
             inner: Arc::new(Inner {
                 shards,
                 vocab: Mutex::new(Vocabulary::new()),
                 next_shard: AtomicUsize::new(0),
-                batch_scratch: Mutex::new(Vec::new()),
                 backpressure,
                 durable: None,
+                kind,
+                mode,
+                published: RcuCell::new(Arc::new(BrokerSnapshot {
+                    shards: snaps.clone(),
+                })),
+                writer: Mutex::new(snaps),
+                flips: AtomicU64::new(0),
+                rcu_stats: RcuStatsAgg::default(),
             }),
         }
     }
@@ -299,12 +410,22 @@ impl SharedBroker {
             }
         }
 
+        // Freeze the recovered state as the first published snapshot, so
+        // lock-free publishes see the pre-crash subscription set from the
+        // first event onward.
+        let snaps: Vec<ShardSnap> = brokers
+            .iter()
+            .map(|b| {
+                let mut snap = ShardSnap::empty(kind);
+                snap.rebuild_from(b, kind);
+                snap
+            })
+            .collect();
         let broker = Self {
             inner: Arc::new(Inner {
                 shards: brokers.into_iter().map(Mutex::new).collect(),
                 vocab: Mutex::new(vocab),
                 next_shard: AtomicUsize::new(0),
-                batch_scratch: Mutex::new(Vec::new()),
                 backpressure,
                 durable: Some(DurableState {
                     wal: Mutex::new(wal),
@@ -312,6 +433,14 @@ impl SharedBroker {
                     cause: Mutex::new(None),
                     recovery: report,
                 }),
+                kind,
+                mode: PublishMode::default(),
+                published: RcuCell::new(Arc::new(BrokerSnapshot {
+                    shards: snaps.clone(),
+                })),
+                writer: Mutex::new(snaps),
+                flips: AtomicU64::new(0),
+                rcu_stats: RcuStatsAgg::default(),
             }),
         };
         Ok((broker, report))
@@ -335,6 +464,80 @@ impl SharedBroker {
     /// The shard owning `id` (ids are striped across shards).
     fn shard_of(&self, id: SubscriptionId) -> usize {
         id.0 as usize % self.inner.shards.len()
+    }
+
+    // ---- RCU snapshot plumbing -------------------------------------------
+
+    /// Takes the writer lock when running in RCU mode (`None` in locked
+    /// mode, where publishes read the shard brokers directly). First lock in
+    /// the global order `writer < vocab < shards < wal`.
+    fn writer_lock(&self) -> Option<MutexGuard<'_, Vec<ShardSnap>>> {
+        (self.inner.mode == PublishMode::Rcu).then(|| self.inner.writer.lock())
+    }
+
+    /// Publishes the writer state as a new immutable snapshot. Caller holds
+    /// the writer lock, which serializes flips.
+    fn flip(&self, snaps: &[ShardSnap]) {
+        self.inner.published.publish(Arc::new(BrokerSnapshot {
+            shards: snaps.to_vec(),
+        }));
+        self.inner.flips.fetch_add(1, Ordering::Relaxed);
+        SNAPSHOT_FLIPS.inc();
+    }
+
+    /// Folds a read's scratch stats into the broker-level aggregate.
+    fn fold_stats(&self, view: &mut ViewScratch) {
+        self.inner.rcu_stats.fold(view.stats);
+        view.stats.reset();
+    }
+
+    /// The configured publish mode.
+    pub fn publish_mode(&self) -> PublishMode {
+        self.inner.mode
+    }
+
+    /// Point-in-time view of the RCU machinery: flips, epoch, deferred
+    /// reclamation and pinned readers.
+    pub fn rcu_status(&self) -> RcuStatus {
+        RcuStatus {
+            mode: self.inner.mode,
+            flips: self.inner.flips.load(Ordering::Relaxed),
+            epoch: self.inner.published.epoch(),
+            retired: self.inner.published.retired_len(),
+            active_readers: self.inner.published.active_readers(),
+        }
+    }
+
+    /// Aggregated engine stats of the RCU publish path. The lock-free reads
+    /// bypass the shard engines (their own counters only see writer-side
+    /// traffic), so per-event counts and phase timings are folded in here
+    /// from every publishing thread's scratch.
+    pub fn rcu_stats(&self) -> EngineStats {
+        self.inner.rcu_stats.load()
+    }
+
+    /// Merges every shard's pending delta/tombstones into fresh frozen
+    /// bases and drains reclaimable snapshot garbage. Publishes stay
+    /// lock-free throughout. No-op in locked mode. Useful before latency
+    /// measurements (a merged snapshot has no brute-forced delta) and in
+    /// quiet periods.
+    pub fn compact(&self) {
+        let Some(mut writer) = self.writer_lock() else {
+            return;
+        };
+        let mut changed = false;
+        for (i, snap) in writer.iter_mut().enumerate() {
+            if snap.has_pending() {
+                let broker = self.inner.shards[i].lock();
+                snap.rebuild_from(&broker, self.inner.kind);
+                changed = true;
+            }
+        }
+        if changed {
+            self.flip(&writer);
+        }
+        drop(writer);
+        self.inner.published.reclaim();
     }
 
     // ---- vocabulary (shared across shards) -------------------------------
@@ -423,6 +626,7 @@ impl SharedBroker {
         sub: Subscription,
         validity: Validity,
     ) -> Result<SubscriptionId, BrokerError> {
+        let mut writer = self.writer_lock();
         let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.shard_count();
         let mut broker = self.inner.shards[shard].lock();
         if let Some(durable) = &self.inner.durable {
@@ -440,7 +644,14 @@ impl SharedBroker {
                 return Err(durable.degrade(e));
             }
         }
-        Ok(broker.subscribe(sub, validity))
+        let snap_sub = writer.is_some().then(|| Arc::new(sub.clone()));
+        let id = broker.subscribe(sub, validity);
+        if let Some(snaps) = writer.as_deref_mut() {
+            snaps[shard].note_insert(id, snap_sub.expect("built above"), &broker, self.inner.kind);
+            drop(broker);
+            self.flip(snaps);
+        }
+        Ok(id)
     }
 
     /// Removes a subscription, locking only its owning shard.
@@ -457,7 +668,9 @@ impl SharedBroker {
     /// A miss (unknown or already-removed id) returns `Ok(false)` without
     /// logging anything.
     pub fn try_unsubscribe(&self, id: SubscriptionId) -> Result<bool, BrokerError> {
-        let mut broker = self.inner.shards[self.shard_of(id)].lock();
+        let mut writer = self.writer_lock();
+        let shard = self.shard_of(id);
+        let mut broker = self.inner.shards[shard].lock();
         if let Some(durable) = &self.inner.durable {
             durable.check()?;
             if !broker.contains(id) {
@@ -467,7 +680,15 @@ impl SharedBroker {
                 return Err(durable.degrade(e));
             }
         }
-        Ok(broker.unsubscribe(id))
+        let removed = broker.unsubscribe(id);
+        if removed {
+            if let Some(snaps) = writer.as_deref_mut() {
+                snaps[shard].note_remove(id, &broker, self.inner.kind);
+                drop(broker);
+                self.flip(snaps);
+            }
+        }
+        Ok(removed)
     }
 
     /// Number of live subscriptions across all shards.
@@ -515,6 +736,10 @@ impl SharedBroker {
     /// [`Backpressure::ErrorFast`] the first contended shard aborts the
     /// publish with [`ShardError::Overloaded`] and `out` is left truncated
     /// to its original length.
+    ///
+    /// In the default [`PublishMode::Rcu`] there are no shard locks to
+    /// contend on: this never sheds and never errors, reporting 0 skipped
+    /// shards for every policy.
     pub fn try_publish_into(
         &self,
         event: &Event,
@@ -523,12 +748,37 @@ impl SharedBroker {
         self.publish_policed(event, out, true)
     }
 
+    /// Lock-free publish: pin the current snapshot, match every shard's
+    /// view with this thread's scratch, unpin, sort. Nothing here blocks or
+    /// contends — the pin is two atomic writes to a thread-owned slot.
+    fn publish_rcu(&self, event: &Event, out: &mut Vec<SubscriptionId>) {
+        crate::broker::PUBLISHES.inc();
+        let start = out.len();
+        let snap = self.inner.published.pin();
+        PUBLISH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for shard in &snap.shards {
+                shard.match_into(event, &mut scratch.view, out);
+            }
+            // Every shard view recorded the event; the aggregate counts it
+            // once, matching the locked path's max-across-shards convention.
+            scratch.view.stats.events = 1;
+            self.fold_stats(&mut scratch.view);
+        });
+        drop(snap);
+        out[start..].sort_unstable();
+    }
+
     fn publish_policed(
         &self,
         event: &Event,
         out: &mut Vec<SubscriptionId>,
         error_fast: bool,
     ) -> Result<usize, ShardError> {
+        if self.inner.mode == PublishMode::Rcu {
+            self.publish_rcu(event, out);
+            return Ok(0);
+        }
         let start = out.len();
         let block = self.inner.backpressure == Backpressure::Block;
         let error_fast = error_fast && self.inner.backpressure == Backpressure::ErrorFast;
@@ -564,8 +814,9 @@ impl SharedBroker {
     }
 
     /// Batched publish into a caller-owned buffer (one inner vector per
-    /// event, reused across calls). Per-shard scratch buffers are recycled
-    /// through an internal pool, so the steady state allocates nothing.
+    /// event, reused across calls). Per-shard scratch buffers are
+    /// thread-local, so concurrent batch publishers never serialize on
+    /// scratch acquisition and the steady state allocates nothing.
     pub fn publish_batch_into(&self, events: &[Event], out: &mut Vec<Vec<SubscriptionId>>) {
         out.resize_with(events.len(), Vec::new);
         out.truncate(events.len());
@@ -575,31 +826,59 @@ impl SharedBroker {
         if events.is_empty() {
             return;
         }
-        let block = self.inner.backpressure == Backpressure::Block;
-        let mut scratch = self.inner.batch_scratch.lock().pop().unwrap_or_default();
-        for shard in &self.inner.shards {
-            // Batch publishes degrade ErrorFast to Shed, like `publish_into`.
-            let mut guard = if block {
-                shard.lock()
-            } else {
-                match shard.try_lock() {
-                    Some(guard) => guard,
-                    None => {
-                        SHED_SHARDS.inc();
-                        continue;
-                    }
-                }
-            };
-            guard.publish_batch_into(events, &mut scratch);
-            drop(guard);
-            for (dst, src) in out.iter_mut().zip(&scratch) {
-                dst.extend_from_slice(src);
-            }
+        if self.inner.mode == PublishMode::Rcu {
+            return self.publish_batch_rcu(events, out);
         }
+        let block = self.inner.backpressure == Backpressure::Block;
+        PUBLISH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for shard in &self.inner.shards {
+                // Batch publishes degrade ErrorFast to Shed, like
+                // `publish_into`.
+                let mut guard = if block {
+                    shard.lock()
+                } else {
+                    match shard.try_lock() {
+                        Some(guard) => guard,
+                        None => {
+                            SHED_SHARDS.inc();
+                            continue;
+                        }
+                    }
+                };
+                guard.publish_batch_into(events, &mut scratch.shard_results);
+                drop(guard);
+                for (dst, src) in out.iter_mut().zip(&scratch.shard_results) {
+                    dst.extend_from_slice(src);
+                }
+            }
+        });
         for dst in out.iter_mut() {
             dst.sort_unstable();
         }
-        self.inner.batch_scratch.lock().push(scratch);
+    }
+
+    /// Lock-free batched publish: one snapshot pin covers the whole batch,
+    /// so every event in it matches against the same consistent cut.
+    fn publish_batch_rcu(&self, events: &[Event], out: &mut [Vec<SubscriptionId>]) {
+        crate::broker::PUBLISHES.add(events.len() as u64);
+        let snap = self.inner.published.pin();
+        PUBLISH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            for shard in &snap.shards {
+                shard.match_batch_into(events, &mut scratch.view, &mut scratch.shard_results);
+                for (dst, src) in out.iter_mut().zip(&scratch.shard_results) {
+                    dst.extend_from_slice(src);
+                }
+            }
+            // Count each published event once, not once per shard view.
+            scratch.view.stats.events = events.len() as u64;
+            self.fold_stats(&mut scratch.view);
+        });
+        drop(snap);
+        for dst in out.iter_mut() {
+            dst.sort_unstable();
+        }
     }
 
     // ---- clock (lock all shards in fixed order) --------------------------
@@ -652,9 +931,10 @@ impl SharedBroker {
     /// locks). Also the automatic-snapshot trigger point: with every lock
     /// already held, a due snapshot costs no extra synchronisation.
     fn advance_locked(&self, t: Option<LogicalTime>) -> Result<usize, BrokerError> {
+        let mut writer = self.writer_lock();
         // The vocabulary lock is only needed for a potential auto-snapshot,
-        // but the global lock order (vocab < shards < wal) requires taking
-        // it before the shard locks — durable brokers pay that tiny cost.
+        // but the global lock order (writer < vocab < shards < wal) requires
+        // taking it before the shard locks — durable brokers pay that cost.
         let vocab = self.inner.durable.as_ref().map(|_| self.inner.vocab.lock());
         let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         let t = t.unwrap_or_else(|| guards[0].now().plus(1));
@@ -669,7 +949,27 @@ impl SharedBroker {
                 return Err(durable.degrade(e));
             }
         }
-        let expired = guards.iter_mut().map(|b| b.advance_to(t).0).sum();
+        let expired = if let Some(snaps) = writer.as_deref_mut() {
+            // Tombstone every expiry into the snapshot state; all shards'
+            // expiries land in the single flip below, so publishers observe
+            // the clock advance atomically.
+            let mut expired_ids = Vec::new();
+            let mut total = 0usize;
+            for (snap, b) in snaps.iter_mut().zip(guards.iter_mut()) {
+                expired_ids.clear();
+                let (n, _) = b.advance_to_collect(t, Some(&mut expired_ids));
+                total += n;
+                for &id in &expired_ids {
+                    snap.note_remove(id, b, self.inner.kind);
+                }
+            }
+            total
+        } else {
+            guards.iter_mut().map(|b| b.advance_to(t).0).sum()
+        };
+        if let Some(snaps) = writer.as_deref() {
+            self.flip(snaps);
+        }
         if let Some(durable) = &self.inner.durable {
             let mut wal = durable.wal.lock();
             if wal.wants_snapshot() {
@@ -872,8 +1172,11 @@ mod tests {
         })
     }
 
+    /// Backpressure policies act on shard-lock contention, so these tests
+    /// pin the locked publish path; under RCU publishes never contend.
     fn two_shard_broker(policy: Backpressure) -> (SharedBroker, Event, Vec<SubscriptionId>) {
-        let broker = SharedBroker::with_backpressure(EngineKind::Counting, 2, policy);
+        let broker =
+            SharedBroker::with_publish_mode(EngineKind::Counting, 2, policy, PublishMode::Locked);
         let attr = broker.attr("bp");
         let mut ids = Vec::new();
         for _ in 0..2 {

@@ -1,0 +1,394 @@
+//! Stress and differential tests for the lock-free (RCU) publish path.
+//!
+//! Three layers of evidence that snapshot publishing is correct:
+//!
+//! 1. **Racing invariants** — publishers run full speed against
+//!    subscribe/unsubscribe/advance churn and assert, *per publish*, that a
+//!    set of pinned forever-subscriptions always matches exactly: no torn
+//!    match sets, no duplicates, no ids from the churn population (whose
+//!    predicates target a disjoint value space), and in particular no ids
+//!    from subscriptions that were removed and reclaimed.
+//! 2. **Post-quiescence oracle equality** — once the churn threads join, the
+//!    broker's answer for every value is compared against a brute-force
+//!    model of the surviving subscription set.
+//! 3. **Reclamation** — retired snapshots are actually freed: the retired
+//!    list drains to zero at quiescence instead of accumulating one garbage
+//!    snapshot per mutation.
+//!
+//! The full matrix runs all five paper engines × shard counts {1, 2, 7}.
+
+use pubsub_broker::{LogicalTime, PublishMode, SharedBroker, Validity};
+use pubsub_core::EngineKind;
+use pubsub_types::{AttrId, Event, Subscription, SubscriptionId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Values the pinned (never-removed) subscriptions listen on.
+const PINNED_VALUES: i64 = 6;
+/// Pinned subscriptions per value.
+const PINNED_PER_VALUE: usize = 3;
+/// Values the churned subscriptions listen on — disjoint from the pinned
+/// space so racing publishers can assert exact match sets.
+const CHURN_BASE: i64 = 1_000;
+const CHURN_VALUES: i64 = 6;
+
+fn event(attr: AttrId, v: i64) -> Event {
+    Event::builder().pair(attr, v).build().unwrap()
+}
+
+fn sub(attr: AttrId, v: i64) -> Subscription {
+    Subscription::builder().eq(attr, v).build().unwrap()
+}
+
+/// Registers the pinned population and returns value → sorted ids.
+fn pin_subscriptions(broker: &SharedBroker, attr: AttrId) -> BTreeMap<i64, Vec<SubscriptionId>> {
+    let mut pinned: BTreeMap<i64, Vec<SubscriptionId>> = BTreeMap::new();
+    for v in 0..PINNED_VALUES {
+        for _ in 0..PINNED_PER_VALUE {
+            pinned
+                .entry(v)
+                .or_default()
+                .push(broker.subscribe(sub(attr, v), Validity::forever()));
+        }
+    }
+    for ids in pinned.values_mut() {
+        ids.sort_unstable();
+    }
+    pinned
+}
+
+/// What the churn thread did to one subscription, for the quiescence oracle.
+struct ChurnRecord {
+    id: SubscriptionId,
+    value: i64,
+    until: Option<LogicalTime>,
+    removed: bool,
+}
+
+/// Runs subscribe/unsubscribe/advance churn; returns the full op log.
+fn run_churn(broker: &SharedBroker, attr: AttrId, seed: u64, ops: usize) -> Vec<ChurnRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut log: Vec<ChurnRecord> = Vec::new();
+    for _ in 0..ops {
+        match rng.gen_range(0u32..10) {
+            // Subscribe in the churn value space, sometimes with an expiry.
+            0..=5 => {
+                let value = CHURN_BASE + rng.gen_range(0..CHURN_VALUES);
+                let until = rng
+                    .gen_bool(0.4)
+                    .then(|| broker.now().plus(rng.gen_range(1..12)));
+                let validity = match until {
+                    Some(u) => Validity::until(u),
+                    None => Validity::forever(),
+                };
+                let id = broker.subscribe(sub(attr, value), validity);
+                log.push(ChurnRecord {
+                    id,
+                    value,
+                    until,
+                    removed: false,
+                });
+            }
+            // Unsubscribe one of our own earlier subscriptions.
+            6..=8 => {
+                if log.is_empty() {
+                    continue;
+                }
+                let pick = rng.gen_range(0..log.len());
+                let rec = &mut log[pick];
+                if !rec.removed {
+                    // `false` means an expiry got there first; either way the
+                    // subscription is gone and the oracle treats it as such.
+                    broker.unsubscribe(rec.id);
+                    rec.removed = true;
+                }
+            }
+            // Advance the clock, expiring bounded-validity churn subs.
+            _ => {
+                broker.tick();
+            }
+        }
+    }
+    log
+}
+
+/// The racing publishers + churn stress for one engine × shard combination.
+fn stress_combo(kind: EngineKind, shards: usize) {
+    let broker = SharedBroker::new(kind, shards);
+    assert_eq!(broker.publish_mode(), PublishMode::Rcu);
+    let attr = broker.attr("stress");
+    let pinned = Arc::new(pin_subscriptions(&broker, attr));
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Fixed round counts rather than a stop flag: on a single-core box the
+    // churn loop can finish before a publisher is ever scheduled, and both
+    // sides must actually run for the race to mean anything.
+    let mut publishers = Vec::new();
+    for t in 0..2u64 {
+        let broker = broker.clone();
+        let pinned = Arc::clone(&pinned);
+        let failures = Arc::clone(&failures);
+        publishers.push(std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(0xF00D + t);
+            for rounds in 1u64..=300 {
+                let v = rng.gen_range(0..PINNED_VALUES);
+                let expected = &pinned[&v];
+                // Alternate the single-event and batched read paths.
+                let results = if rounds % 4 == 0 {
+                    let batch = [event(attr, v), event(attr, CHURN_BASE + (v % CHURN_VALUES))];
+                    broker.publish_batch(&batch)
+                } else {
+                    vec![broker.publish(&event(attr, v))]
+                };
+                let got = &results[0];
+                if got != expected {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("value {v}: got {got:?}, want {expected:?}"));
+                    return;
+                }
+                // Churn-space results race with mutators, so only structural
+                // invariants hold: sorted, duplicate-free, never a pinned id.
+                for out in &results[1..] {
+                    if !out.windows(2).all(|w| w[0] < w[1]) {
+                        failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("unsorted or duplicated churn matches: {out:?}"));
+                        return;
+                    }
+                    if out
+                        .iter()
+                        .any(|id| pinned.values().flatten().any(|p| p == id))
+                    {
+                        failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("pinned id matched a churn-space event: {out:?}"));
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+
+    let log = run_churn(&broker, attr, 0xC0FFEE ^ shards as u64, 250);
+    for p in publishers {
+        p.join().unwrap();
+    }
+    let failures = failures.lock().unwrap();
+    assert!(
+        failures.is_empty(),
+        "[{kind:?} × {shards} shards] racing publisher saw inconsistent matches:\n{}",
+        failures.join("\n")
+    );
+
+    // ---- post-quiescence oracle equality -----------------------------------
+    // One last tick expires everything with `until <= now + 1`, then the
+    // broker must agree with a brute-force model of the op log.
+    broker.tick();
+    let now = broker.now();
+    let mut alive: BTreeMap<i64, Vec<SubscriptionId>> = BTreeMap::new();
+    for rec in &log {
+        if !rec.removed && rec.until.is_none_or(|u| u > now) {
+            alive.entry(rec.value).or_default().push(rec.id);
+        }
+    }
+    for ids in alive.values_mut() {
+        ids.sort_unstable();
+    }
+    for v in 0..PINNED_VALUES {
+        assert_eq!(
+            broker.publish(&event(attr, v)),
+            pinned[&v],
+            "[{kind:?} × {shards} shards] pinned value {v} diverged at quiescence"
+        );
+    }
+    for v in CHURN_BASE..CHURN_BASE + CHURN_VALUES {
+        let expected = alive.get(&v).cloned().unwrap_or_default();
+        assert_eq!(
+            broker.publish(&event(attr, v)),
+            expected,
+            "[{kind:?} × {shards} shards] churn value {v} diverged at quiescence"
+        );
+    }
+
+    // ---- reclamation -------------------------------------------------------
+    let status = broker.rcu_status();
+    assert!(status.flips > 0, "mutations must flip the snapshot");
+    assert_eq!(status.epoch, status.flips + 1);
+    assert_eq!(status.active_readers, 0, "no publisher left pinned");
+    broker.compact();
+    let status = broker.rcu_status();
+    assert_eq!(
+        status.retired, 0,
+        "[{kind:?} × {shards} shards] retired snapshots must drain at quiescence"
+    );
+}
+
+#[test]
+fn racing_publishers_see_consistent_snapshots_counting() {
+    for shards in SHARD_COUNTS {
+        stress_combo(EngineKind::Counting, shards);
+    }
+}
+
+#[test]
+fn racing_publishers_see_consistent_snapshots_propagation() {
+    for shards in SHARD_COUNTS {
+        stress_combo(EngineKind::Propagation, shards);
+    }
+}
+
+#[test]
+fn racing_publishers_see_consistent_snapshots_propagation_prefetch() {
+    for shards in SHARD_COUNTS {
+        stress_combo(EngineKind::PropagationPrefetch, shards);
+    }
+}
+
+#[test]
+fn racing_publishers_see_consistent_snapshots_static() {
+    for shards in SHARD_COUNTS {
+        stress_combo(EngineKind::Static, shards);
+    }
+}
+
+#[test]
+fn racing_publishers_see_consistent_snapshots_dynamic() {
+    for shards in SHARD_COUNTS {
+        stress_combo(EngineKind::Dynamic, shards);
+    }
+}
+
+/// Single-threaded randomized differential churn: every operation is
+/// mirrored into a plain model map, and every publish must return exactly
+/// the model's answer. Exercises base/delta/tombstone bookkeeping and the
+/// merge threshold without scheduling noise.
+fn differential_combo(kind: EngineKind, shards: usize, seed: u64) {
+    let broker = SharedBroker::new(kind, shards);
+    let attr = broker.attr("diff");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // id → (value, until); engines drop a bounded sub only when the clock
+    // passes `until`, so the model prunes on tick, not lazily.
+    let mut model: BTreeMap<SubscriptionId, (i64, Option<LogicalTime>)> = BTreeMap::new();
+    for _ in 0..500 {
+        match rng.gen_range(0u32..10) {
+            0..=4 => {
+                let value = rng.gen_range(0i64..16);
+                let until = rng
+                    .gen_bool(0.3)
+                    .then(|| broker.now().plus(rng.gen_range(1..8)));
+                let validity = match until {
+                    Some(u) => Validity::until(u),
+                    None => Validity::forever(),
+                };
+                let id = broker.subscribe(sub(attr, value), validity);
+                model.insert(id, (value, until));
+            }
+            5..=6 => {
+                if let Some(&id) = model.keys().nth(rng.gen_range(0..model.len().max(1))) {
+                    assert!(broker.unsubscribe(id), "model said {id} was live");
+                    model.remove(&id);
+                }
+            }
+            7 => {
+                broker.tick();
+                let now = broker.now();
+                model.retain(|_, (_, until)| until.is_none_or(|u| u > now));
+            }
+            _ => {
+                let v = rng.gen_range(0i64..16);
+                let mut expected: Vec<SubscriptionId> = model
+                    .iter()
+                    .filter(|(_, (value, _))| *value == v)
+                    .map(|(&id, _)| id)
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(
+                    broker.publish(&event(attr, v)),
+                    expected,
+                    "[{kind:?} × {shards} shards, seed {seed}] diverged from model"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_churn_matches_model_for_every_engine_and_shard_count() {
+    for kind in EngineKind::PAPER_ENGINES {
+        for shards in SHARD_COUNTS {
+            differential_combo(kind, shards, 0xD1FF ^ ((shards as u64) << 8));
+        }
+    }
+}
+
+/// The RCU and locked publish paths must agree on identical histories.
+#[test]
+fn rcu_and_locked_modes_agree() {
+    use pubsub_core::Backpressure;
+    let rcu = SharedBroker::new(EngineKind::Counting, 3);
+    let locked = SharedBroker::with_publish_mode(
+        EngineKind::Counting,
+        3,
+        Backpressure::Block,
+        PublishMode::Locked,
+    );
+    assert_eq!(locked.publish_mode(), PublishMode::Locked);
+    assert_eq!(locked.rcu_status().flips, 0, "locked mode never flips");
+    let attr_r = rcu.attr("m");
+    let attr_l = locked.attr("m");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut ids: Vec<(SubscriptionId, SubscriptionId)> = Vec::new();
+    for _ in 0..200 {
+        if rng.gen_bool(0.7) || ids.is_empty() {
+            let v = rng.gen_range(0i64..8);
+            ids.push((
+                rcu.subscribe(sub(attr_r, v), Validity::forever()),
+                locked.subscribe(sub(attr_l, v), Validity::forever()),
+            ));
+        } else {
+            let (a, b) = ids.swap_remove(rng.gen_range(0..ids.len()));
+            assert!(rcu.unsubscribe(a));
+            assert!(locked.unsubscribe(b));
+        }
+        let v = rng.gen_range(0i64..8);
+        assert_eq!(
+            rcu.publish(&event(attr_r, v)),
+            locked.publish(&event(attr_l, v)),
+            "modes diverged (subscribe order is identical, so ids align)"
+        );
+    }
+}
+
+/// Old snapshots must be freed as mutations retire them — the retired list
+/// stays bounded during churn instead of growing by one per flip.
+#[test]
+fn retired_snapshots_do_not_accumulate() {
+    let broker = SharedBroker::new(EngineKind::Counting, 2);
+    let attr = broker.attr("r");
+    let mut ids = Vec::new();
+    for i in 0..400i64 {
+        ids.push(broker.subscribe(sub(attr, i % 5), Validity::forever()));
+        if i % 3 == 0 {
+            broker.unsubscribe(ids.swap_remove(0));
+        }
+        // With no reader pinned, each flip reclaims its predecessor: the
+        // retired list never holds more than the one snapshot just replaced.
+        assert!(
+            broker.rcu_status().retired <= 1,
+            "unbounded epoch garbage at mutation {i}: {:?}",
+            broker.rcu_status()
+        );
+    }
+    let status = broker.rcu_status();
+    assert!(status.flips >= 400 + 400 / 3);
+    broker.compact();
+    assert_eq!(broker.rcu_status().retired, 0);
+}

@@ -37,7 +37,9 @@
 //! directory, `wal snapshot` compacts the running broker's log. Durable
 //! mode supports conjunctive subscriptions only (no OR).
 
-use pubsub_broker::{Broker, DnfId, DnfRegistry, DnfSubscription, SharedBroker, Validity};
+use pubsub_broker::{
+    Broker, DnfId, DnfRegistry, DnfSubscription, PublishMode, SharedBroker, Validity,
+};
 use pubsub_core::{Backpressure, EngineKind, ShardedConfig};
 use pubsub_durability::{DurabilityConfig, Wal};
 use pubsub_lang::{parse_event, parse_subscription};
@@ -526,6 +528,20 @@ impl Cli {
                 name = b.engine_name();
             });
         }
+        // Under the RCU publish mode the shard engines see no read traffic
+        // (publishes match the published snapshot), so fold in the
+        // snapshot-side aggregate too. Zero in locked mode, and vice versa.
+        let r = shared.rcu_stats();
+        s.events = s.events.max(r.events);
+        s.phase1_nanos += r.phase1_nanos;
+        s.phase2_nanos += r.phase2_nanos;
+        s.subscriptions_checked += r.subscriptions_checked;
+        s.matches += r.matches;
+        let rcu = shared.rcu_status();
+        let mode = match rcu.mode {
+            PublishMode::Rcu => "rcu",
+            PublishMode::Locked => "locked",
+        };
         let d = shared.durability().expect("durable backend");
         let counts = shared.shard_subscription_counts();
         let fmt_opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
@@ -562,9 +578,16 @@ impl Cli {
             }
             let list: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
             out.push_str(&format!(
-                ",\"phase1_nanos\":{},\"phase2_nanos\":{},\"shards\":[{}],\"subscriptions\":{}}}",
+                ",\"phase1_nanos\":{},\"phase2_nanos\":{},\"rcu\":{{\"active_readers\":{},\
+                 \"epoch\":{},\"flips\":{},\"mode\":\"{}\",\"retired\":{}}},\
+                 \"shards\":[{}],\"subscriptions\":{}}}",
                 s.phase1_nanos,
                 s.phase2_nanos,
+                rcu.active_readers,
+                rcu.epoch,
+                rcu.flips,
+                mode,
+                rcu.retired,
                 list.join(","),
                 shared.subscription_count(),
             ));
@@ -593,6 +616,10 @@ impl Cli {
             d.recovery.snapshots_discarded,
             d.recovery.segments_scanned,
         );
+        out.push_str(&format!(
+            "\nrcu: mode {mode}  flips {}  epoch {}  retired {}  active-readers {}",
+            rcu.flips, rcu.epoch, rcu.retired, rcu.active_readers,
+        ));
         if let Some(cause) = &d.degraded_cause {
             out.push_str(&format!("\ndegraded cause: {cause}"));
         }
@@ -1134,15 +1161,27 @@ mod tests {
         assert!(r.contains("durability: dir"), "{r}");
         assert!(r.contains("degraded no"), "{r}");
         assert!(r.contains("recovery: replayed 0"), "{r}");
+        // The durable backend publishes through the RCU snapshot: the
+        // matching work must show up in the aggregate even though the shard
+        // engines saw no reads, and the rcu block must be reported.
+        assert!(r.contains("events 1"), "{r}");
+        assert!(r.contains("matches 1"), "{r}");
+        assert!(r.contains("rcu: mode rcu  flips"), "{r}");
         let r = run(&mut cli, "stats --json");
         assert!(r.starts_with("{\"checks\":"), "{r}");
         assert!(r.contains("\"durability\":{\"degraded\":false"), "{r}");
         assert!(r.contains("\"next_lsn\":2"), "two ops logged: {r}");
         assert!(r.contains("\"recovery\":{\"bytes_abandoned\":0"), "{r}");
+        assert!(r.contains("\"events\":1"), "{r}");
+        assert!(r.contains("\"rcu\":{\"active_readers\":0"), "{r}");
+        assert!(r.contains("\"mode\":\"rcu\""), "{r}");
+        assert!(r.contains("\"retired\":0"), "{r}");
         assert!(r.ends_with("\"subscriptions\":1}"), "{r}");
-        // Key order stays ascending around the durability block.
+        // Key order stays ascending around the durability and rcu blocks.
         assert!(r.find("\"checks\"").unwrap() < r.find("\"durability\"").unwrap());
         assert!(r.find("\"durability\"").unwrap() < r.find("\"engine\"").unwrap());
+        assert!(r.find("\"phase2_nanos\"").unwrap() < r.find("\"rcu\"").unwrap());
+        assert!(r.find("\"rcu\"").unwrap() < r.find("\"shards\"").unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

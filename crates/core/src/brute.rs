@@ -84,6 +84,29 @@ impl MatchEngine for BruteForceMatcher {
     }
 }
 
+impl crate::view::MatchView for BruteForceMatcher {
+    fn match_view(
+        &self,
+        event: &Event,
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        let start = Instant::now();
+        let before = out.len();
+        for (id, sub) in &self.subs {
+            if sub.matches_event(event) {
+                out.push(*id);
+            }
+        }
+        let matched = (out.len() - before) as u64;
+        let phase2 = start.elapsed().as_nanos() as u64;
+        EVENTS.inc();
+        VERIFIED.add(self.subs.len() as u64);
+        MATCHED.add(matched);
+        scratch.record_event(0, phase2, self.subs.len() as u64, matched);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

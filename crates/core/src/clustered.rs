@@ -848,26 +848,45 @@ impl ClusteredMatcher {
         bits: &PredicateBitVec,
         out: &mut Vec<SubscriptionId>,
     ) -> usize {
+        let mut view = std::mem::take(&mut self.view);
+        let mut probe_buf = std::mem::take(&mut self.probe_buf);
+        let checked = self.phase2_with(event, bits, &mut view, &mut probe_buf, out);
+        self.view = view;
+        self.probe_buf = probe_buf;
+        checked
+    }
+
+    /// [`ClusteredMatcher::phase2`] with caller-owned probe buffers, so the
+    /// read-only [`crate::view::MatchView`] path can share `self` across
+    /// threads. `view` and `probe_buf` are pure scratch (left cleared).
+    fn phase2_with(
+        &self,
+        event: &Event,
+        bits: &PredicateBitVec,
+        view: &mut Vec<Option<Value>>,
+        probe_buf: &mut Vec<Value>,
+        out: &mut Vec<SubscriptionId>,
+    ) -> usize {
         let mut checked = 0usize;
         let schema = event.schema();
         // Dense attr → value view: probing every table per event must not
         // pay a binary search per schema attribute.
         for &(a, v) in event.pairs() {
-            if self.view.len() <= a.index() {
-                self.view.resize(a.index() + 1, None);
+            if view.len() <= a.index() {
+                view.resize(a.index() + 1, None);
             }
-            self.view[a.index()] = Some(v);
+            view[a.index()] = Some(v);
         }
         for table in self.tables.iter().flatten() {
             if !table.schema().is_subset(schema) {
                 continue;
             }
-            if let Some(list) = table.probe_view(&self.view, &mut self.probe_buf) {
+            if let Some(list) = table.probe_view(view, probe_buf) {
                 checked += list.match_into::<true>(bits, out);
             }
         }
         for &(a, _) in event.pairs() {
-            self.view[a.index()] = None;
+            view[a.index()] = None;
         }
         if !self.fallback.is_empty() {
             checked += self.fallback.match_into::<true>(bits, out);
@@ -1074,6 +1093,81 @@ impl MatchEngine for ClusteredMatcher {
             .map(|e| e.pred_ids.capacity() * 4 + e.eq_pairs.capacity() * 24 + 48)
             .sum();
         tables + self.fallback.heap_bytes() + entries + self.bits.heap_bytes()
+    }
+}
+
+impl crate::view::MatchView for ClusteredMatcher {
+    /// Read-only matching. Unlike [`MatchEngine::match_event`] this neither
+    /// feeds the selectivity estimator nor ticks the maintenance clock —
+    /// under RCU the snapshot is immutable, so dynamic maintenance is driven
+    /// solely by writer-side subscription churn (see DESIGN.md §12).
+    fn match_view(
+        &self,
+        event: &Event,
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        let t0 = Instant::now();
+        scratch.satisfied.clear();
+        self.index
+            .eval_into(event, &mut scratch.bits, &mut scratch.satisfied);
+        let t1 = Instant::now();
+
+        let before = out.len();
+        let checked = self.phase2_with(
+            event,
+            &scratch.bits,
+            &mut scratch.view,
+            &mut scratch.probe_buf,
+            out,
+        );
+        scratch.bits.clear();
+
+        let matched = (out.len() - before) as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        EVENTS.inc();
+        VERIFIED.add(checked as u64);
+        MATCHED.add(matched);
+        scratch.record_event(phase1, phase2, checked as u64, matched);
+    }
+
+    fn match_batch_view(
+        &self,
+        events: &[Event],
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<Vec<SubscriptionId>>,
+    ) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut scratch.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, (event, dst)) in events.iter().zip(out.iter_mut()).enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let checked = self.phase2_with(
+                event,
+                batch.bits(i),
+                &mut scratch.view,
+                &mut scratch.probe_buf,
+                dst,
+            );
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            EVENTS.inc();
+            VERIFIED.add(checked as u64);
+            MATCHED.add(dst.len() as u64);
+            scratch.record_event(phase1_i, phase2, checked as u64, dst.len() as u64);
+        }
+        scratch.batch = batch;
     }
 }
 

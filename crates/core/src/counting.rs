@@ -107,6 +107,45 @@ impl CountingMatcher {
         increments
     }
 
+    /// Phase 2 against caller-owned counters — the [`MatchView`] twin of
+    /// [`CountingMatcher::phase2`], reading only the association table and
+    /// arities from `self`.
+    fn phase2_view(
+        &self,
+        satisfied: &[PredicateId],
+        counts: &mut Vec<u32>,
+        stamps: &mut Vec<u32>,
+        epoch: &mut u32,
+        out: &mut Vec<SubscriptionId>,
+    ) -> u64 {
+        counts.resize(self.arity.len(), 0);
+        stamps.resize(self.arity.len(), 0);
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamps.fill(0);
+            *epoch = 1;
+        }
+        let epoch = *epoch;
+        let mut increments = 0u64;
+        for &pid in satisfied {
+            for &sid in &self.assoc[pid.index()] {
+                let i = sid.index();
+                increments += 1;
+                let c = if stamps[i] == epoch {
+                    counts[i] + 1
+                } else {
+                    stamps[i] = epoch;
+                    1
+                };
+                counts[i] = c;
+                if c == self.arity[i] {
+                    out.push(sid);
+                }
+            }
+        }
+        increments
+    }
+
     /// Folds one event's timings and counts into the stats and metrics.
     fn record_event(&mut self, phase1: u64, phase2: u64, checked: u64, matched: u64) {
         self.stats.events += 1;
@@ -240,6 +279,77 @@ impl MatchEngine for CountingMatcher {
             .map(|e| e.pred_ids.capacity() * 4 + e.positions.capacity() * 4)
             .sum();
         assoc + entries + self.counts.capacity() * 4 + self.stamps.capacity() * 4
+    }
+}
+
+impl crate::view::MatchView for CountingMatcher {
+    fn match_view(
+        &self,
+        event: &Event,
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        let t0 = Instant::now();
+        scratch.satisfied.clear();
+        self.index
+            .eval_into(event, &mut scratch.bits, &mut scratch.satisfied);
+        scratch.bits.clear(); // counting does not read the bit vector
+        let t1 = Instant::now();
+
+        let before = out.len();
+        let increments = self.phase2_view(
+            &scratch.satisfied,
+            &mut scratch.counts,
+            &mut scratch.stamps,
+            &mut scratch.epoch,
+            out,
+        );
+
+        let matched = (out.len() - before) as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        EVENTS.inc();
+        VERIFIED.add(increments);
+        MATCHED.add(matched);
+        scratch.record_event(phase1, phase2, increments, matched);
+    }
+
+    fn match_batch_view(
+        &self,
+        events: &[Event],
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<Vec<SubscriptionId>>,
+    ) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut scratch.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, dst) in out.iter_mut().enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let increments = self.phase2_view(
+                batch.satisfied(i),
+                &mut scratch.counts,
+                &mut scratch.stamps,
+                &mut scratch.epoch,
+                dst,
+            );
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            EVENTS.inc();
+            VERIFIED.add(increments);
+            MATCHED.add(dst.len() as u64);
+            scratch.record_event(phase1_i, phase2, increments, dst.len() as u64);
+        }
+        scratch.batch = batch;
     }
 }
 

@@ -17,6 +17,11 @@
 //!   engine of any of the kinds above.
 //!
 //! All implement [`MatchEngine`]; [`EngineKind`] builds them by name.
+//!
+//! For shared read-mostly deployments, [`view::MatchView`] exposes the same
+//! matching through `&self` with caller-owned scratch, and [`rcu::RcuCell`]
+//! provides the epoch-protected snapshot publication the broker's lock-free
+//! publish path is built on.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -28,8 +33,10 @@ pub mod counting;
 pub mod engine;
 pub mod prefetch;
 pub mod propagation;
+pub mod rcu;
 pub mod sharded;
 pub mod tables;
+pub mod view;
 
 pub use brute::BruteForceMatcher;
 pub use cluster::{Cluster, ClusterList, LOOKAHEAD, MAX_PREFETCH_COLS, UNFOLD};
@@ -37,8 +44,10 @@ pub use clustered::{ClusteredMatcher, DynamicConfig};
 pub use counting::CountingMatcher;
 pub use engine::{EngineKind, EngineStats, MatchEngine};
 pub use propagation::PropagationMatcher;
+pub use rcu::{RcuCell, RcuGuard};
 pub use sharded::{
     default_shards, Backpressure, MatchReport, QuarantinedEvent, ShardHealth, ShardedConfig,
     ShardedMatcher, FAULT_SPAWN, FAULT_WORKER_MATCH, FAULT_WORKER_OP,
 };
 pub use tables::MultiAttrTable;
+pub use view::{build_frozen, MatchView, SnapshotEngine, ViewScratch};

@@ -278,6 +278,65 @@ impl MatchEngine for PropagationMatcher {
     }
 }
 
+impl crate::view::MatchView for PropagationMatcher {
+    fn match_view(
+        &self,
+        event: &Event,
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<SubscriptionId>,
+    ) {
+        let t0 = Instant::now();
+        scratch.satisfied.clear();
+        self.index
+            .eval_into(event, &mut scratch.bits, &mut scratch.satisfied);
+        let t1 = Instant::now();
+
+        let before = out.len();
+        let checked = self.phase2(&scratch.bits, &scratch.satisfied, out);
+        scratch.bits.clear();
+
+        let matched = (out.len() - before) as u64;
+        let phase1 = (t1 - t0).as_nanos() as u64;
+        let phase2 = t1.elapsed().as_nanos() as u64;
+        EVENTS.inc();
+        VERIFIED.add(checked as u64);
+        MATCHED.add(matched);
+        scratch.record_event(phase1, phase2, checked as u64, matched);
+    }
+
+    fn match_batch_view(
+        &self,
+        events: &[Event],
+        scratch: &mut crate::view::ViewScratch,
+        out: &mut Vec<Vec<SubscriptionId>>,
+    ) {
+        out.resize_with(events.len(), Vec::new);
+        out.truncate(events.len());
+        let t0 = Instant::now();
+        let mut batch = std::mem::take(&mut scratch.batch);
+        self.index.eval_batch_into(events, &mut batch);
+        let t1 = Instant::now();
+        // Attribute the amortised phase-1 cost evenly across the batch.
+        let phase1 = ((t1 - t0).as_nanos() as u64) / (events.len().max(1) as u64);
+
+        for (i, dst) in out.iter_mut().enumerate() {
+            dst.clear();
+            let tm = Instant::now();
+            self.index.materialize(&mut batch, i);
+            let phase1_i = phase1 + tm.elapsed().as_nanos() as u64;
+            let t2 = Instant::now();
+            let checked = self.phase2(batch.bits(i), batch.satisfied(i), dst);
+            batch.clear_event(i);
+            let phase2 = t2.elapsed().as_nanos() as u64;
+            EVENTS.inc();
+            VERIFIED.add(checked as u64);
+            MATCHED.add(dst.len() as u64);
+            scratch.record_event(phase1_i, phase2, checked as u64, dst.len() as u64);
+        }
+        scratch.batch = batch;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

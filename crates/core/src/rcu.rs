@@ -1,0 +1,392 @@
+//! Epoch-protected pointer publication — a hand-rolled `arc-swap` with safe
+//! reclamation, built only on `std` atomics (no new external deps, per the
+//! in-tree `shims/` policy).
+//!
+//! [`RcuCell<T>`] holds one published `Arc<T>` behind an [`AtomicPtr`].
+//! Readers call [`RcuCell::pin`], which announces the reader's epoch in a
+//! per-thread slot and returns a guard dereferencing the snapshot **without
+//! any refcount traffic or locks** — the entire read side is two `SeqCst`
+//! atomic accesses (announce + load). Writers call [`RcuCell::publish`] to
+//! swap in a new snapshot; the old one is *retired*, not freed, and is
+//! reclaimed once every reader slot is idle or has announced a later epoch.
+//!
+//! # Protocol
+//!
+//! Global state: `epoch: AtomicU64` (starts at 1), `current: AtomicPtr<T>`
+//! (an `Arc::into_raw` pointer), one epoch slot per (thread, cell) pair
+//! (`u64::MAX` = idle), and a retired list of `(retire_epoch, ptr)` pairs.
+//!
+//! * **Reader pin:** `e ← epoch` (SeqCst), `slot ← e` (SeqCst), then
+//!   `p ← current` (SeqCst). The guard hands out `&T`; dropping the
+//!   outermost guard stores idle into the slot.
+//! * **Writer publish:** `old ← current.swap(new)` (SeqCst), then
+//!   `r ← epoch.fetch_add(1)` (SeqCst); push `(r, old)` onto the retired
+//!   list and attempt reclamation.
+//! * **Reclaim:** `(r, p)` may be freed when every slot is idle or announces
+//!   an epoch **greater than** `r`.
+//!
+//! # Why this is safe
+//!
+//! All four accesses are `SeqCst`, so they embed into one total order. A
+//! reader that obtained the *old* pointer performed its `current` load
+//! before the writer's swap, hence before the writer's `fetch_add`, hence
+//! its earlier slot store announced some `e ≤ r` — the slot blocks
+//! reclamation of `(r, p)` until the reader unpins. Conversely a slot
+//! announcing `e > r` read the epoch after the `fetch_add`, therefore loaded
+//! `current` after the swap and cannot hold `p`. A stale announcement (a
+//! thread descheduled between reading the epoch and storing the slot) can
+//! only announce an epoch that is *too small*, which defers reclamation —
+//! never a use-after-free. Nested pins on one thread keep the outermost
+//! epoch announced, which covers every snapshot an inner pin could observe.
+
+use pubsub_types::metrics::{Counter, Histogram};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Readers active (non-idle epoch slots) observed at each reclamation scan.
+static READERS_ACTIVE: Histogram = Histogram::new("rcu.readers_active");
+/// Retired snapshots whose reclamation was deferred by an active reader
+/// (counted once per snapshot per failed scan).
+static RECLAIM_DEFERRED: Counter = Counter::new("rcu.reclaim_deferred");
+
+/// Slot value meaning "no pin active on this thread".
+const IDLE: u64 = u64::MAX;
+
+/// Distinguishes cells within a thread's slot cache.
+static CELL_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// One thread's epoch announcement for one cell. `epoch` is written by the
+/// owning thread and read by writers during reclamation scans; `depth`
+/// counts nested pins and is only ever touched by the owning thread.
+struct ReaderSlot {
+    epoch: AtomicU64,
+    depth: AtomicUsize,
+}
+
+thread_local! {
+    /// This thread's slots, keyed by cell id (linear scan: a thread touches
+    /// very few distinct cells).
+    static READER_SLOTS: RefCell<Vec<(u64, Arc<ReaderSlot>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// An epoch-protected published `Arc<T>` (see module docs for the protocol).
+pub struct RcuCell<T: Send + Sync + 'static> {
+    /// `Arc::into_raw` of the currently published snapshot.
+    current: AtomicPtr<T>,
+    /// Global epoch, bumped by every publish. Starts at 1 so epoch 0 never
+    /// appears as a retire epoch.
+    epoch: AtomicU64,
+    /// Every reader slot ever registered for this cell (slots of dead
+    /// threads stay idle forever and never block reclamation).
+    slots: Mutex<Vec<Arc<ReaderSlot>>>,
+    /// Retired snapshots awaiting quiescence: `(retire_epoch, ptr)`.
+    retired: Mutex<Vec<(u64, *const T)>>,
+    /// This cell's key in the per-thread slot caches.
+    id: u64,
+}
+
+// The raw pointers inside `current`/`retired` are `Arc::into_raw` pointers
+// whose ownership the cell manages under its own synchronisation; `T` itself
+// is required to be `Send + Sync`.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+/// A pinned read of an [`RcuCell`]: dereferences to the snapshot that was
+/// current at [`RcuCell::pin`] time. Holding the guard defers reclamation of
+/// every snapshot retired since; drop it promptly.
+pub struct RcuGuard<'a, T: Send + Sync + 'static> {
+    ptr: *const T,
+    slot: Arc<ReaderSlot>,
+    _cell: PhantomData<&'a RcuCell<T>>,
+}
+
+impl<T: Send + Sync> Deref for RcuGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the pointed-to Arc cannot be reclaimed while this guard's
+        // slot announces an epoch ≤ its retire epoch (module docs).
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T: Send + Sync> Drop for RcuGuard<'_, T> {
+    fn drop(&mut self) {
+        // Only the outermost guard of a nested pin clears the announcement.
+        if self.slot.depth.fetch_sub(1, SeqCst) == 1 {
+            self.slot.epoch.store(IDLE, SeqCst);
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> RcuCell<T> {
+    /// Creates a cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            epoch: AtomicU64::new(1),
+            slots: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            id: CELL_IDS.fetch_add(1, SeqCst),
+        }
+    }
+
+    /// This thread's slot for this cell, registering one on first use.
+    fn reader_slot(&self) -> Arc<ReaderSlot> {
+        READER_SLOTS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, slot)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return slot.clone();
+            }
+            let slot = Arc::new(ReaderSlot {
+                epoch: AtomicU64::new(IDLE),
+                depth: AtomicUsize::new(0),
+            });
+            self.slots
+                .lock()
+                .expect("rcu slots poisoned")
+                .push(slot.clone());
+            cache.push((self.id, slot.clone()));
+            slot
+        })
+    }
+
+    /// Pins the current snapshot for reading. Never blocks: the hot path is
+    /// one thread-local lookup plus two `SeqCst` atomic accesses.
+    pub fn pin(&self) -> RcuGuard<'_, T> {
+        let slot = self.reader_slot();
+        if slot.depth.load(SeqCst) == 0 {
+            // Announce-then-load; see module docs for the ordering argument.
+            slot.epoch.store(self.epoch.load(SeqCst), SeqCst);
+        }
+        slot.depth.fetch_add(1, SeqCst);
+        let ptr = self.current.load(SeqCst) as *const T;
+        RcuGuard {
+            ptr,
+            slot,
+            _cell: PhantomData,
+        }
+    }
+
+    /// Publishes `next` as the new snapshot, retiring the previous one and
+    /// attempting to reclaim any retired snapshot whose readers have passed.
+    pub fn publish(&self, next: Arc<T>) {
+        let new_ptr = Arc::into_raw(next) as *mut T;
+        let old = self.current.swap(new_ptr, SeqCst) as *const T;
+        let retire_epoch = self.epoch.fetch_add(1, SeqCst);
+        self.retired
+            .lock()
+            .expect("rcu retired poisoned")
+            .push((retire_epoch, old));
+        self.reclaim();
+    }
+
+    /// Scans the reader slots and frees every retired snapshot whose retire
+    /// epoch precedes all active readers. Called by [`RcuCell::publish`];
+    /// callable directly to drain garbage during quiet periods. Returns the
+    /// number of snapshots freed.
+    pub fn reclaim(&self) -> usize {
+        let mut retired = self.retired.lock().expect("rcu retired poisoned");
+        if retired.is_empty() {
+            return 0;
+        }
+        // Minimum epoch announced by any active reader; `(r, p)` is
+        // reclaimable iff `r < min_active` (every active reader announced a
+        // later epoch and thus loaded a later snapshot).
+        let mut min_active = u64::MAX;
+        let mut active = 0u64;
+        for slot in self.slots.lock().expect("rcu slots poisoned").iter() {
+            let e = slot.epoch.load(SeqCst);
+            if e != IDLE {
+                active += 1;
+                min_active = min_active.min(e);
+            }
+        }
+        READERS_ACTIVE.record(active);
+        let mut freed = 0usize;
+        retired.retain(|&(r, p)| {
+            if r < min_active {
+                // Safety: quiescent per the protocol; pointer came from
+                // Arc::into_raw in publish/new.
+                drop(unsafe { Arc::from_raw(p) });
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        RECLAIM_DEFERRED.add(retired.len() as u64);
+        freed
+    }
+
+    /// Number of retired snapshots still awaiting reclamation.
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().expect("rcu retired poisoned").len()
+    }
+
+    /// Number of reader slots currently announcing an epoch (pinned now).
+    pub fn active_readers(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("rcu slots poisoned")
+            .iter()
+            .filter(|s| s.epoch.load(SeqCst) != IDLE)
+            .count()
+    }
+
+    /// The current publish epoch (1 + number of publishes so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+}
+
+impl<T: Send + Sync + 'static> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no guards can outlive the cell (they borrow it).
+        let current = *self.current.get_mut() as *const T;
+        // Safety: both pointers came from Arc::into_raw and are owned here.
+        drop(unsafe { Arc::from_raw(current) });
+        for (_, p) in self
+            .retired
+            .get_mut()
+            .expect("rcu retired poisoned")
+            .drain(..)
+        {
+            drop(unsafe { Arc::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts drops, so tests can observe reclamation directly.
+    struct Probe {
+        value: u64,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn probe(value: u64, drops: &Arc<AtomicUsize>) -> Arc<Probe> {
+        Arc::new(Probe {
+            value,
+            drops: drops.clone(),
+        })
+    }
+
+    #[test]
+    fn pin_reads_latest_snapshot() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(probe(1, &drops));
+        assert_eq!(cell.pin().value, 1);
+        cell.publish(probe(2, &drops));
+        assert_eq!(cell.pin().value, 2);
+    }
+
+    #[test]
+    fn unpinned_retirees_are_reclaimed_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(probe(1, &drops));
+        for v in 2..10u64 {
+            cell.publish(probe(v, &drops));
+        }
+        assert_eq!(cell.retired_len(), 0, "no readers → no deferred garbage");
+        assert_eq!(drops.load(SeqCst), 8, "all eight retirees freed");
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_publish() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(probe(1, &drops));
+        let guard = cell.pin();
+        cell.publish(probe(2, &drops));
+        cell.publish(probe(3, &drops));
+        assert_eq!(guard.value, 1, "pinned read is immutable");
+        assert_eq!(drops.load(SeqCst), 0, "retirees deferred while pinned");
+        assert!(cell.retired_len() >= 1);
+        drop(guard);
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(drops.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_pins_keep_the_outer_epoch() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = RcuCell::new(probe(1, &drops));
+        let outer = cell.pin();
+        cell.publish(probe(2, &drops));
+        {
+            let inner = cell.pin();
+            assert_eq!(inner.value, 2, "inner pin sees the newest snapshot");
+            // Inner guard drops here; the outer announcement must persist.
+        }
+        cell.publish(probe(3, &drops));
+        cell.reclaim();
+        assert_eq!(
+            drops.load(SeqCst),
+            0,
+            "outer pin still blocks reclamation after inner unpin"
+        );
+        assert_eq!(outer.value, 1);
+        drop(outer);
+        cell.reclaim();
+        assert_eq!(drops.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_frees_current_and_retired() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = RcuCell::new(probe(1, &drops));
+            let guard = cell.pin();
+            cell.publish(probe(2, &drops));
+            assert_eq!(guard.value, 1);
+            drop(guard);
+            // Deliberately no reclaim(): Drop must free the garbage too.
+        }
+        assert_eq!(drops.load(SeqCst), 2, "current + retired both freed");
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_state() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(RcuCell::new(probe(0, &drops)));
+        let stop = Arc::new(AtomicUsize::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while stop.load(SeqCst) == 0 {
+                    let v = cell.pin().value;
+                    assert!(v >= last, "snapshots move forward only");
+                    last = v;
+                }
+            }));
+        }
+        for v in 1..=500u64 {
+            cell.publish(probe(v, &drops));
+        }
+        stop.store(1, SeqCst);
+        for r in readers {
+            r.join().unwrap();
+        }
+        cell.reclaim();
+        assert_eq!(cell.retired_len(), 0, "quiesced: all garbage reclaimed");
+        assert_eq!(drops.load(SeqCst), 500);
+        assert_eq!(cell.epoch(), 501);
+    }
+}

@@ -500,7 +500,14 @@ impl Wal {
         let fsync = !matches!(config.fsync, FsyncPolicy::OsManaged);
         let (file, file_path, segment_first_lsn, segment_records, segment_bytes, next_lsn) =
             match tail {
-                Some((path, first, records, good_bytes)) => {
+                // Reuse the tail only if appending there continues the LSN
+                // sequence at or past the snapshot. A crash can persist a
+                // snapshot at LSN s while losing the post-snapshot segment
+                // (and part of the pre-snapshot one); the surviving tail then
+                // ends below s, and appending to it would mint LSNs the
+                // snapshot already claims to cover — the next recovery would
+                // drop those acknowledged ops as already-applied.
+                Some((path, first, records, good_bytes)) if first + records >= replay_from => {
                     let mut f = OpenOptions::new()
                         .read(true)
                         .write(true)
@@ -510,7 +517,7 @@ impl Wal {
                         .map_err(|e| WalError::io("open segment", path.clone(), e))?;
                     (f, path, first, records, good_bytes, first + records)
                 }
-                None => {
+                _ => {
                     let first = replay_from;
                     let (f, path) = create_segment(&dir, first, fsync)?;
                     (f, path, first, 0, SEGMENT_HEADER_BYTES, first)

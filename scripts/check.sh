@@ -2,7 +2,7 @@
 # Repository gate: formatting, lints, release build, full test suite.
 #
 # Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos] [--durability]
-#                         [--bless]
+#                         [--contention] [--bless]
 #
 # Lanes
 #   (default)      fmt + clippy + release build + tests with default features,
@@ -25,6 +25,15 @@
 #                  snapshot failures -> degraded read-only mode) actually
 #                  fire, then run the kill-at-any-byte recovery suite and
 #                  its randomized proptest with a bounded case count.
+#   --contention   lock-free publish lane: the RCU stress/differential
+#                  suite with the test-thread count unpinned (so racing
+#                  publishers really race the churn threads), a
+#                  publish_scaling bench smoke (locked vs rcu × 1/2/4/8
+#                  publishers, one iteration), and — when a nightly
+#                  toolchain with ThreadSanitizer happens to be installed —
+#                  a TSan pass over the stress suite. The TSan step skips
+#                  gracefully when nightly or the rust-src component is
+#                  unavailable (the offline container ships stable only).
 #   --bless        regenerate the golden fixtures (tests/golden/*: the
 #                  MetricsSnapshot JSON schema and the WAL on-disk format
 #                  pins) from the current code by running the golden tests
@@ -50,6 +59,7 @@ OFFLINE="--offline"
 BENCH_SMOKE=0
 CHAOS=0
 DURABILITY=0
+CONTENTION=0
 BLESS=0
 for arg in "$@"; do
     case "$arg" in
@@ -57,9 +67,10 @@ for arg in "$@"; do
         --bench-smoke) BENCH_SMOKE=1 ;;
         --chaos) CHAOS=1 ;;
         --durability) DURABILITY=1 ;;
+        --contention) CONTENTION=1 ;;
         --bless) BLESS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --bless)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --bless)" >&2
             exit 2
             ;;
     esac
@@ -117,6 +128,22 @@ if [[ "$DURABILITY" == 1 ]]; then
     echo "==> randomized crash-recovery proptest smoke (PROPTEST_CASES=16)"
     PROPTEST_CASES=16 cargo test ${OFFLINE} -p pubsub-broker --test durability \
         random_workload_survives_a_random_cut
+fi
+
+if [[ "$CONTENTION" == 1 ]]; then
+    echo "==> RCU stress + differential suite (test threads unpinned)"
+    env -u RUST_TEST_THREADS cargo test ${OFFLINE} -p pubsub-broker --test concurrency
+    echo "==> publish_scaling bench smoke (one iteration)"
+    cargo bench ${OFFLINE} -p pubsub-bench --bench publish_scaling -- --test
+    if rustup toolchain list 2>/dev/null | grep -q nightly \
+        && rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+        echo "==> ThreadSanitizer pass over the stress suite (nightly)"
+        RUSTFLAGS="-Zsanitizer=thread" RUST_TEST_THREADS=4 \
+            cargo +nightly test ${OFFLINE} -Zbuild-std --target x86_64-unknown-linux-gnu \
+            -p pubsub-broker --test concurrency
+    else
+        echo "==> ThreadSanitizer pass skipped (no nightly toolchain with rust-src)"
+    fi
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

@@ -27,6 +27,10 @@ fn golden_snapshot() -> MetricsSnapshot {
                 value: 1,
             },
             CounterEntry {
+                name: "broker.shared.snapshot_flips".into(),
+                value: 5,
+            },
+            CounterEntry {
                 name: "core.counting.matched".into(),
                 value: 7,
             },
@@ -49,6 +53,10 @@ fn golden_snapshot() -> MetricsSnapshot {
             CounterEntry {
                 name: "index.phase1.bits_set".into(),
                 value: 9000,
+            },
+            CounterEntry {
+                name: "rcu.reclaim_deferred".into(),
+                value: 2,
             },
             CounterEntry {
                 name: "recovery.records_replayed".into(),
@@ -103,6 +111,12 @@ fn golden_snapshot() -> MetricsSnapshot {
                 count: 9,
                 sum: 25,
                 buckets: vec![(0, 2), (2, 5), (3, 2)],
+            },
+            HistogramEntry {
+                name: "rcu.readers_active".into(),
+                count: 3,
+                sum: 4,
+                buckets: vec![(0, 1), (1, 2)],
             },
         ],
     }

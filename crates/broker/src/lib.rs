@@ -23,7 +23,7 @@ pub use broker::{Broker, Notification};
 pub use dnf::{DnfId, DnfRegistry, DnfSubscription};
 pub use durable::{BrokerError, DurabilityStatus};
 pub use equilibrium::{EquilibriumConfig, EquilibriumSim, TickReport};
-pub use rcu::{PublishMode, RcuStatus};
+pub use rcu::{publish_config_warning, PublishMode, RcuStatus};
 pub use shared::SharedBroker;
 pub use store::{EventId, EventStore};
 pub use time::{LogicalTime, Validity};

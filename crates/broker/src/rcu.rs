@@ -194,6 +194,40 @@ pub(crate) struct BrokerSnapshot {
     pub(crate) shards: Vec<ShardSnap>,
 }
 
+/// Explains when a `(publish mode, backpressure)` pairing is inert.
+///
+/// The `Shed`/`ErrorFast` policies police *lock contention* on the publish
+/// path — they only mean something in [`PublishMode::Locked`], where a
+/// publish competes for per-shard mutexes. Under the default
+/// [`PublishMode::Rcu`] a publish takes no locks, so there is nothing to
+/// shed or fail fast on: the policy silently never fires. Returns a
+/// warning describing that no-op (for construction-time surfacing by the
+/// CLI and [`crate::shared::SharedBroker::config_warning`]), or `None`
+/// when the pairing is meaningful.
+///
+/// Note this concerns the *broker publish* path only. The network server
+/// (`pubsub-net`) reuses the same policy enum for its per-connection
+/// delivery queues, where all three policies are meaningful regardless of
+/// publish mode.
+pub fn publish_config_warning(
+    mode: PublishMode,
+    backpressure: pubsub_core::Backpressure,
+) -> Option<&'static str> {
+    match (mode, backpressure) {
+        (PublishMode::Rcu, pubsub_core::Backpressure::Shed) => Some(
+            "backpressure policy `shed` has no effect under the default RCU publish mode: \
+             publishes are lock-free and never contend, so no shard is ever shed; \
+             construct the broker with PublishMode::Locked for contention policing",
+        ),
+        (PublishMode::Rcu, pubsub_core::Backpressure::ErrorFast) => Some(
+            "backpressure policy `error-fast` has no effect under the default RCU publish mode: \
+             publishes are lock-free and never contend, so try_publish never fails with \
+             Overloaded; construct the broker with PublishMode::Locked for contention policing",
+        ),
+        _ => None,
+    }
+}
+
 /// Point-in-time view of the RCU publish machinery, surfaced by
 /// [`crate::shared::SharedBroker::rcu_status`] (and the CLI `stats`
 /// command).

@@ -451,6 +451,15 @@ impl SharedBroker {
         self.inner.backpressure
     }
 
+    /// Warns when this broker's publish-mode/backpressure pairing is
+    /// inert — `Shed`/`ErrorFast` under the default [`PublishMode::Rcu`]
+    /// silently never fire, because lock-free publishes have no contention
+    /// to police (see [`crate::rcu::publish_config_warning`]). Callers
+    /// constructing a broker from user configuration should surface this.
+    pub fn config_warning(&self) -> Option<&'static str> {
+        crate::rcu::publish_config_warning(self.inner.mode, self.inner.backpressure)
+    }
+
     /// Creates a broker with one shard per available hardware thread.
     pub fn with_default_shards(kind: EngineKind) -> Self {
         Self::new(kind, pubsub_core::default_shards())

@@ -1,0 +1,119 @@
+//! Pins the documented interaction of [`PublishMode`] and [`Backpressure`]:
+//! under the default RCU publish mode the lock-contention policies
+//! (`Shed`/`ErrorFast`) are inert — publishes take no locks, so nothing is
+//! ever shed and `try_publish_into` never fails. That pairing used to be a
+//! *silent* no-op; it now carries a construction-time warning, and this
+//! suite is the regression fence for both halves: the warning fires for
+//! exactly the inert pairings, and the runtime behaviour stays what the
+//! warning says it is.
+
+use pubsub_broker::{publish_config_warning, PublishMode, SharedBroker, Validity};
+use pubsub_core::{Backpressure, EngineKind};
+use pubsub_types::{Event, Operator, Predicate, Subscription, Value};
+
+#[test]
+fn rcu_with_contention_policies_warns_at_construction() {
+    for policy in [Backpressure::Shed, Backpressure::ErrorFast] {
+        let warning = publish_config_warning(PublishMode::Rcu, policy);
+        assert!(
+            warning.is_some(),
+            "{policy:?} under RCU is inert and must warn"
+        );
+        assert!(
+            warning.unwrap().contains("no effect"),
+            "warning must say the policy is a no-op"
+        );
+        let broker =
+            SharedBroker::with_publish_mode(EngineKind::Counting, 2, policy, PublishMode::Rcu);
+        assert_eq!(
+            broker.config_warning(),
+            warning,
+            "the broker surfaces the same warning for its own config"
+        );
+    }
+}
+
+#[test]
+fn meaningful_pairings_do_not_warn() {
+    for policy in [
+        Backpressure::Block,
+        Backpressure::Shed,
+        Backpressure::ErrorFast,
+    ] {
+        assert_eq!(
+            publish_config_warning(PublishMode::Locked, policy),
+            None,
+            "{policy:?} polices real lock contention under Locked"
+        );
+    }
+    assert_eq!(
+        publish_config_warning(PublishMode::Rcu, Backpressure::Block),
+        None
+    );
+    let broker = SharedBroker::new(EngineKind::Counting, 2);
+    assert_eq!(broker.config_warning(), None, "the default config is clean");
+}
+
+/// The behaviour the warning describes, pinned: a `Shed` broker in RCU
+/// mode never skips a shard and never loses a match, even with publishers
+/// racing mutators.
+#[test]
+fn rcu_publishes_never_shed_despite_shed_policy() {
+    let broker = SharedBroker::with_publish_mode(
+        EngineKind::Counting,
+        2,
+        Backpressure::Shed,
+        PublishMode::Rcu,
+    );
+    let attr = broker.attr("k");
+    for v in 0..4 {
+        let sub =
+            Subscription::from_predicates(vec![Predicate::new(attr, Operator::Eq, Value::Int(v))])
+                .expect("valid");
+        broker.subscribe(sub, Validity::forever());
+    }
+    std::thread::scope(|scope| {
+        for t in 0..2 {
+            let broker = &broker;
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                for i in 0..300i64 {
+                    let event =
+                        Event::from_pairs(vec![(attr, Value::Int((t + i) % 4))]).expect("valid");
+                    out.clear();
+                    let skipped = broker
+                        .try_publish_into(&event, &mut out)
+                        .expect("RCU publishes cannot fail");
+                    assert_eq!(skipped, 0, "RCU has no shard locks to shed");
+                    assert_eq!(out.len(), 1, "the match must never be dropped");
+                }
+            });
+        }
+    });
+}
+
+/// Same pin for `ErrorFast`: `try_publish_into` never reports overload
+/// under RCU.
+#[test]
+fn rcu_try_publish_never_errors_despite_errorfast_policy() {
+    let broker = SharedBroker::with_publish_mode(
+        EngineKind::Counting,
+        2,
+        Backpressure::ErrorFast,
+        PublishMode::Rcu,
+    );
+    let attr = broker.attr("k");
+    let sub =
+        Subscription::from_predicates(vec![Predicate::new(attr, Operator::Ge, Value::Int(0))])
+            .expect("valid");
+    broker.subscribe(sub, Validity::forever());
+    let mut out = Vec::new();
+    for i in 0..300i64 {
+        let event = Event::from_pairs(vec![(attr, Value::Int(i))]).expect("valid");
+        out.clear();
+        let skipped = broker
+            .try_publish_into(&event, &mut out)
+            .expect("RCU publishes cannot fail with Overloaded");
+        assert_eq!((skipped, out.len()), (0, 1));
+    }
+}

@@ -36,6 +36,15 @@
 //! maintains such directories — `wal verify`/`wal dump` work offline on any
 //! directory, `wal snapshot` compacts the running broker's log. Durable
 //! mode supports conjunctive subscriptions only (no OR).
+//!
+//! Two subcommands run instead of the REPL (see DESIGN.md §13):
+//!
+//! * `pubsub serve [engine] --addr <host:port> [--shards N] [--backpressure
+//!   <policy>] [--publish-mode rcu|locked] [--queue-cap N] [--durable dir]`
+//!   — the network-facing broker server.
+//! * `pubsub netload --addr <host:port> [--subscribers N] [--subs N]
+//!   [--events N] [--values N] [--seed S] [--json path] [--min-rps X]` —
+//!   the end-to-end load generator.
 
 use pubsub_broker::{
     Broker, DnfId, DnfRegistry, DnfSubscription, PublishMode, SharedBroker, Validity,
@@ -813,12 +822,186 @@ commands:
   help           this text
   quit           exit";
 
+/// `pubsub serve`: run the network-facing broker server until `quit` on
+/// stdin (or forever when stdin is closed, e.g. backgrounded in a script).
+fn serve_main(args: impl Iterator<Item = String>) {
+    let mut kind = EngineKind::Dynamic;
+    let mut shards = pubsub_core::default_shards();
+    let mut backpressure = Backpressure::Block;
+    let mut publish_mode = PublishMode::Rcu;
+    let mut addr = String::from("127.0.0.1:7171");
+    let mut queue_cap = 256usize;
+    let mut durable_dir: Option<PathBuf> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs host:port"),
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a value")
+                    .parse()
+                    .expect("integer shard count");
+            }
+            "--backpressure" => {
+                backpressure = args
+                    .next()
+                    .expect("--backpressure needs a value")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--publish-mode" => {
+                publish_mode = match args.next().expect("--publish-mode needs a value").as_str() {
+                    "rcu" => PublishMode::Rcu,
+                    "locked" => PublishMode::Locked,
+                    other => panic!("unknown publish mode `{other}` (rcu|locked)"),
+                };
+            }
+            "--queue-cap" => {
+                queue_cap = args
+                    .next()
+                    .expect("--queue-cap needs a value")
+                    .parse()
+                    .expect("integer queue capacity");
+            }
+            "--durable" => {
+                durable_dir = Some(PathBuf::from(args.next().expect("--durable needs a dir")));
+            }
+            other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
+        }
+    }
+    let broker = match &durable_dir {
+        Some(dir) => {
+            let (broker, report) = SharedBroker::open_durable_with(
+                kind,
+                shards.max(1),
+                backpressure,
+                dir,
+                DurabilityConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+            println!(
+                "recovered {} op(s) from {}",
+                report.records_replayed,
+                dir.display()
+            );
+            broker
+        }
+        None => SharedBroker::with_publish_mode(kind, shards.max(1), backpressure, publish_mode),
+    };
+    if let Some(warning) = broker.config_warning() {
+        eprintln!("warning: {warning}");
+        eprintln!(
+            "warning: the network delivery queues still honor `{}`",
+            backpressure_label(backpressure)
+        );
+    }
+    let config = pubsub_net::ServerConfig {
+        queue_capacity: queue_cap,
+        delivery: backpressure,
+        ..pubsub_net::ServerConfig::default()
+    };
+    let server = pubsub_net::Server::start_with(std::sync::Arc::new(broker), addr.as_str(), config)
+        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    println!(
+        "fastpubsub serving {} x {} shard(s) on {} (delivery: {}). `quit` to stop.",
+        kind.label(),
+        shards.max(1),
+        server.local_addr(),
+        backpressure_label(backpressure),
+    );
+    let stdin = std::io::stdin();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            // Detached stdin (`serve ... &` in a script): park until the
+            // process is killed; the server threads keep running.
+            Ok(0) | Err(_) => loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            },
+            Ok(_) => {
+                if matches!(line.trim(), "quit" | "exit") {
+                    break;
+                }
+            }
+        }
+    }
+    server.shutdown();
+}
+
+fn backpressure_label(bp: Backpressure) -> &'static str {
+    match bp {
+        Backpressure::Block => "block",
+        Backpressure::Shed => "shed",
+        Backpressure::ErrorFast => "error-fast",
+    }
+}
+
+/// `pubsub netload`: drive a load workload against a running server and
+/// report (optionally persist) the measurements.
+fn netload_main(args: impl Iterator<Item = String>) {
+    let mut config = pubsub_net::LoadConfig {
+        addr: String::from("127.0.0.1:7171"),
+        ..pubsub_net::LoadConfig::default()
+    };
+    let mut json_path: Option<PathBuf> = None;
+    let mut min_rps: Option<f64> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = num("--addr"),
+            "--subscribers" => config.subscribers = num("--subscribers").parse().expect("integer"),
+            "--subs" => config.subs_per_connection = num("--subs").parse().expect("integer"),
+            "--events" => config.events = num("--events").parse().expect("integer"),
+            "--values" => config.value_space = num("--values").parse().expect("integer"),
+            "--seed" => config.seed = num("--seed").parse().expect("integer"),
+            "--json" => json_path = Some(PathBuf::from(num("--json"))),
+            "--min-rps" => min_rps = Some(num("--min-rps").parse().expect("number")),
+            other => panic!("unknown netload flag `{other}`"),
+        }
+    }
+    let report = pubsub_net::load::run(&config).unwrap_or_else(|e| panic!("netload: {e}"));
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+    if let Some(min) = min_rps {
+        if report.publish_rps < min {
+            eprintln!(
+                "netload: publish_rps {:.1} below the required {min:.1}",
+                report.publish_rps
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let mut raw = std::env::args().skip(1).peekable();
+    match raw.peek().map(String::as_str) {
+        Some("serve") => {
+            raw.next();
+            return serve_main(raw);
+        }
+        Some("netload") => {
+            raw.next();
+            return netload_main(raw);
+        }
+        _ => {}
+    }
     let mut kind = EngineKind::Dynamic;
     let mut shards = 0usize;
     let mut backpressure = Backpressure::Block;
     let mut durable_dir: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => {
@@ -846,6 +1029,14 @@ fn main() {
         Some(dir) => {
             let (cli, report) =
                 Cli::durable(kind, shards, backpressure, dir).unwrap_or_else(|e| panic!("{e}"));
+            // `Shed`/`ErrorFast` never fire under the RCU publish mode the
+            // durable handle defaults to; say so instead of silently
+            // accepting a policy that cannot act.
+            if let Backend::Durable(broker) = &cli.backend {
+                if let Some(warning) = broker.config_warning() {
+                    eprintln!("warning: {warning}");
+                }
+            }
             if interactive {
                 println!(
                     "fastpubsub durable broker ({}, {}). Recovered {} op(s){}. Type `help`.",

@@ -1,0 +1,285 @@
+//! A blocking protocol client, used by the CLI, the load generator and the
+//! test suites.
+//!
+//! Requests are synchronous: each `subscribe`/`unsubscribe`/`publish` call
+//! sends one frame and reads until the matching `Ack` (or `Error`) with the
+//! same request id arrives. `Notify` frames encountered while waiting are
+//! buffered and handed out by [`Client::next_notify`], so request/response
+//! and the asynchronous delivery stream share one socket without losing
+//! either.
+
+use crate::frame::{
+    Ack, ErrorCode, Frame, FrameError, FrameReader, WireEvent, WirePredicate, NEW_SESSION,
+    PROTOCOL_VERSION,
+};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A delivered notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// Per-session delivery sequence (starts at 1; a gap means deliveries
+    /// were shed or missed while detached).
+    pub seq: u64,
+    /// This session's subscription ids the event matched (sorted).
+    pub ids: Vec<u32>,
+    /// The matched event.
+    pub event: WireEvent,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the peer hanging up mid-request).
+    Io(std::io::Error),
+    /// The server's byte stream failed to decode.
+    Frame(FrameError),
+    /// The server answered a request with [`Frame::Error`].
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The server sent a frame that makes no sense at this point of the
+    /// conversation (e.g. an ack for a different request).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "network error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A connected, handshaken protocol client.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    token: u64,
+    resumed: Vec<u32>,
+    pending: VecDeque<Notification>,
+    next_req: u32,
+    buf: [u8; 8192],
+}
+
+impl Client {
+    /// Connects and opens a brand-new session.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Self::handshake(addr, NEW_SESSION)
+    }
+
+    /// Connects and resumes the session identified by `token`. On success,
+    /// [`Client::resumed`] lists the session's live subscription ids.
+    pub fn resume(addr: impl ToSocketAddrs, token: u64) -> Result<Client, ClientError> {
+        Self::handshake(addr, token)
+    }
+
+    fn handshake(addr: impl ToSocketAddrs, token: u64) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            reader: FrameReader::new(),
+            token: 0,
+            resumed: Vec::new(),
+            pending: VecDeque::new(),
+            next_req: 1,
+            buf: [0u8; 8192],
+        };
+        client.send(&Frame::Hello {
+            proto: PROTOCOL_VERSION,
+            token,
+        })?;
+        match client.read_frame(None)? {
+            Some(Frame::Ack(Ack::Hello { token, resumed })) => {
+                client.token = token;
+                client.resumed = resumed;
+                Ok(client)
+            }
+            Some(Frame::Error { code, msg, .. }) => Err(ClientError::Server { code, msg }),
+            Some(_) => Err(ClientError::Protocol("expected hello ack")),
+            None => unreachable!("no timeout configured"),
+        }
+    }
+
+    /// This session's token (present it to [`Client::resume`] later).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Subscription ids the server re-attached at resume time (sorted;
+    /// empty for a new session).
+    pub fn resumed(&self) -> &[u32] {
+        &self.resumed
+    }
+
+    /// Registers a subscription; returns its server-assigned id.
+    pub fn subscribe(&mut self, preds: Vec<WirePredicate>) -> Result<u32, ClientError> {
+        let req = self.fresh_req();
+        self.send(&Frame::Subscribe { req, preds })?;
+        match self.wait_ack(req)? {
+            Ack::Subscribe { id, .. } => Ok(id),
+            _ => Err(ClientError::Protocol("expected subscribe ack")),
+        }
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: u32) -> Result<bool, ClientError> {
+        let req = self.fresh_req();
+        self.send(&Frame::Unsubscribe { req, id })?;
+        match self.wait_ack(req)? {
+            Ack::Unsubscribe { existed, .. } => Ok(existed),
+            _ => Err(ClientError::Protocol("expected unsubscribe ack")),
+        }
+    }
+
+    /// Publishes an event; returns how many subscriptions it matched
+    /// (across all sessions, including in-process subscribers).
+    pub fn publish(&mut self, event: WireEvent) -> Result<u32, ClientError> {
+        let req = self.fresh_req();
+        self.send(&Frame::Publish { req, event })?;
+        match self.wait_ack(req)? {
+            Ack::Publish { matched, .. } => Ok(matched),
+            _ => Err(ClientError::Protocol("expected publish ack")),
+        }
+    }
+
+    /// Returns the next notification, waiting up to `timeout`. `Ok(None)`
+    /// means the timeout elapsed with no notification.
+    pub fn next_notify(&mut self, timeout: Duration) -> Result<Option<Notification>, ClientError> {
+        if let Some(n) = self.pending.pop_front() {
+            return Ok(Some(n));
+        }
+        match self.read_frame(Some(timeout))? {
+            Some(Frame::Notify { seq, ids, event }) => Ok(Some(Notification { seq, ids, event })),
+            Some(Frame::Error { code, msg, .. }) => Err(ClientError::Server { code, msg }),
+            Some(_) => Err(ClientError::Protocol("unexpected ack while idle")),
+            None => Ok(None),
+        }
+    }
+
+    /// Drains every notification that arrives within `idle`: returns once
+    /// the stream has been quiet for that long (or closed).
+    pub fn drain_notifies(&mut self, idle: Duration) -> Result<Vec<Notification>, ClientError> {
+        let mut out = Vec::new();
+        loop {
+            match self.next_notify(idle) {
+                Ok(Some(n)) => out.push(n),
+                Ok(None) => return Ok(out),
+                // EOF while draining is fine: the server closed after
+                // flushing, and we keep what we got.
+                Err(ClientError::Io(e)) if e.kind() == ErrorKind::UnexpectedEof => return Ok(out),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes raw bytes to the socket — adversarial tests use this to
+    /// speak garbage at the server.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// The underlying socket (tests shut down halves to model partial
+    /// failures).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn fresh_req(&mut self) -> u32 {
+        let req = self.next_req;
+        self.next_req += 1;
+        req
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.stream.write_all(&frame.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads until the ack (or error) for request `req` arrives, buffering
+    /// notifications seen on the way.
+    fn wait_ack(&mut self, req: u32) -> Result<Ack, ClientError> {
+        loop {
+            match self.read_frame(None)? {
+                Some(Frame::Ack(ack)) => {
+                    let ack_req = match &ack {
+                        Ack::Hello { .. } => {
+                            return Err(ClientError::Protocol("unexpected hello ack"))
+                        }
+                        Ack::Subscribe { req, .. }
+                        | Ack::Unsubscribe { req, .. }
+                        | Ack::Publish { req, .. } => *req,
+                    };
+                    if ack_req != req {
+                        return Err(ClientError::Protocol("ack for a different request"));
+                    }
+                    return Ok(ack);
+                }
+                Some(Frame::Notify { seq, ids, event }) => {
+                    self.pending.push_back(Notification { seq, ids, event });
+                }
+                Some(Frame::Error {
+                    req: ereq,
+                    code,
+                    msg,
+                }) => {
+                    if ereq == req || ereq == 0 {
+                        return Err(ClientError::Server { code, msg });
+                    }
+                    return Err(ClientError::Protocol("error for a different request"));
+                }
+                Some(_) => return Err(ClientError::Protocol("unexpected frame")),
+                None => unreachable!("no timeout configured"),
+            }
+        }
+    }
+
+    /// Reads one frame. `timeout` `None` blocks until a frame or EOF;
+    /// `Some` returns `Ok(None)` when it elapses first. EOF surfaces as an
+    /// [`ErrorKind::UnexpectedEof`] I/O error.
+    fn read_frame(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, ClientError> {
+        loop {
+            if let Some(frame) = self.reader.next_frame()? {
+                return Ok(Some(frame));
+            }
+            self.stream.set_read_timeout(timeout)?;
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.reader.extend(&self.buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! `netload`: an end-to-end load generator for the network server.
+//!
+//! Drives the full subscribe → publish → notify round-trip over real
+//! sockets: `subscribers` connections each register `subs_per_connection`
+//! equality subscriptions on one attribute, a publisher connection
+//! publishes `events` events drawn uniformly from the same value space,
+//! and every subscriber drains its notification stream until it goes
+//! quiet. The report cross-checks delivery (notifications received vs.
+//! matches acknowledged) and measures publish round-trip throughput —
+//! each publish waits for its ack, so `publish_rps` is a request/response
+//! figure, not a pipelined one.
+
+use crate::client::{Client, ClientError};
+use crate::frame::{WireEvent, WirePredicate, WireValue};
+use pubsub_types::Operator;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Attribute the generated workload subscribes and publishes on.
+const LOAD_ATTR: &str = "k";
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Subscriber connections.
+    pub subscribers: usize,
+    /// Equality subscriptions per subscriber connection.
+    pub subs_per_connection: usize,
+    /// Events the publisher sends (each awaited to its ack).
+    pub events: usize,
+    /// Values `k` ranges over; smaller spaces mean higher match rates.
+    pub value_space: i64,
+    /// Workload seed (event values are drawn deterministically from it).
+    pub seed: u64,
+    /// How long a subscriber's stream must stay quiet before it stops
+    /// draining.
+    pub drain_idle: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            subscribers: 4,
+            subs_per_connection: 8,
+            events: 1000,
+            value_space: 32,
+            seed: 0x5EED,
+            drain_idle: Duration::from_millis(300),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Subscriber connections that participated.
+    pub subscribers: usize,
+    /// Subscriptions registered in total.
+    pub subscriptions: usize,
+    /// Events published (and acked).
+    pub events: usize,
+    /// Sum of per-publish match counts acknowledged by the server.
+    pub matched_total: u64,
+    /// Notify frames received across all subscribers.
+    pub notifications: u64,
+    /// Wall-clock seconds of the publish loop alone.
+    pub publish_secs: f64,
+    /// Publish round-trips per second.
+    pub publish_rps: f64,
+}
+
+impl LoadReport {
+    /// The report as a JSON object (the `results/BENCH_net.json` artifact).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"netload\",\n",
+                "  \"subscribers\": {},\n",
+                "  \"subscriptions\": {},\n",
+                "  \"events\": {},\n",
+                "  \"matched_total\": {},\n",
+                "  \"notifications\": {},\n",
+                "  \"publish_secs\": {:.6},\n",
+                "  \"publish_rps\": {:.1}\n",
+                "}}\n"
+            ),
+            self.subscribers,
+            self.subscriptions,
+            self.events,
+            self.matched_total,
+            self.notifications,
+            self.publish_secs,
+            self.publish_rps,
+        )
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs the load workload against a live server.
+pub fn run(config: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let subs_total = config.subscribers * config.subs_per_connection;
+
+    // Register all subscriptions before the first publish so every event
+    // faces the full subscription set.
+    let mut subscriber_clients = Vec::with_capacity(config.subscribers);
+    for s in 0..config.subscribers {
+        let mut client = Client::connect(&config.addr)?;
+        for i in 0..config.subs_per_connection {
+            let value = ((s * config.subs_per_connection + i) as i64) % config.value_space;
+            client.subscribe(vec![WirePredicate {
+                attr: LOAD_ATTR.into(),
+                op: Operator::Eq,
+                value: WireValue::Int(value),
+            }])?;
+        }
+        subscriber_clients.push(client);
+    }
+
+    // Subscribers drain concurrently with the publish loop, each stopping
+    // once its stream stays quiet for `drain_idle`.
+    let (tx, rx) = mpsc::channel::<Result<u64, ClientError>>();
+    let mut workers = Vec::new();
+    for mut client in subscriber_clients {
+        let tx = tx.clone();
+        let idle = config.drain_idle;
+        workers.push(thread::spawn(move || {
+            let result = client.drain_notifies(idle).map(|ns| ns.len() as u64);
+            let _ = tx.send(result);
+        }));
+    }
+    drop(tx);
+
+    let mut publisher = Client::connect(&config.addr)?;
+    let mut rng = config.seed;
+    let mut matched_total = 0u64;
+    let start = Instant::now();
+    for i in 0..config.events {
+        let value = (splitmix(&mut rng) % config.value_space.max(1) as u64) as i64;
+        let event = WireEvent {
+            pairs: vec![
+                (LOAD_ATTR.into(), WireValue::Int(value)),
+                ("eid".into(), WireValue::Int(i as i64)),
+            ],
+        };
+        matched_total += u64::from(publisher.publish(event)?);
+    }
+    let publish_secs = start.elapsed().as_secs_f64();
+
+    let mut notifications = 0u64;
+    for result in rx {
+        notifications += result?;
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+
+    Ok(LoadReport {
+        subscribers: config.subscribers,
+        subscriptions: subs_total,
+        events: config.events,
+        matched_total,
+        notifications,
+        publish_secs,
+        publish_rps: if publish_secs > 0.0 {
+            config.events as f64 / publish_secs
+        } else {
+            0.0
+        },
+    })
+}

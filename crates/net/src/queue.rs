@@ -1,0 +1,171 @@
+//! A bounded, closable MPSC queue for per-connection outbound frames.
+//!
+//! `std::sync::mpsc::SyncSender` almost fits, but a sender blocked on a
+//! full queue can only be woken by the receiver — and the receiver here is
+//! a writer thread that may be gone (its TCP peer died). [`OutQueue::close`]
+//! is the missing operation: any thread can mark the queue dead and every
+//! blocked producer wakes immediately with [`PushError::Closed`], so a
+//! publisher can never wedge on a dead subscriber's queue. This is the
+//! mechanism behind the `Block` delivery policy staying deadlock-free.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity (only from [`OutQueue::try_push`]).
+    Full,
+    /// The queue was closed; the connection behind it is gone.
+    Closed,
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue whose producers can be unblocked by closing it.
+pub struct OutQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when space frees up or the queue closes (producers wait).
+    space: Condvar,
+    /// Signalled when an item arrives or the queue closes (consumer waits).
+    items: Condvar,
+    cap: usize,
+}
+
+impl<T> OutQueue<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues, waiting for space. Fails only if the queue is (or becomes)
+    /// closed while waiting.
+    pub fn push_blocking(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.buf.len() < self.cap {
+                inner.buf.push_back(item);
+                self.items.notify_one();
+                return Ok(());
+            }
+            inner = self.space.wait(inner).unwrap();
+        }
+    }
+
+    /// Enqueues without waiting.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.buf.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        inner.buf.push_back(item);
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, waiting for an item. Returns `None` once the queue is
+    /// closed — immediately, discarding anything still buffered: close
+    /// means the connection is dead and its frames have nowhere to go.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return None;
+            }
+            if let Some(item) = inner.buf.pop_front() {
+                self.space.notify_one();
+                return Some(item);
+            }
+            inner = self.items.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: every blocked producer and the consumer wake, and
+    /// all future operations fail fast. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.space.notify_all();
+        self.items.notify_all();
+    }
+
+    /// Whether [`OutQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = OutQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_unblocks_a_full_queue_producer() {
+        let q = Arc::new(OutQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push_blocking(1))
+        };
+        // Give the producer time to block on the full queue, then close.
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
+        assert_eq!(q.pop(), None, "close discards buffered items");
+    }
+
+    #[test]
+    fn close_unblocks_the_consumer() {
+        let q = Arc::new(OutQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(50));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

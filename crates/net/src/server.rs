@@ -1,0 +1,785 @@
+//! The threaded broker server: sessions, delivery queues, backpressure.
+//!
+//! # Architecture
+//!
+//! One accept thread hands each TCP connection to a dedicated **reader**
+//! thread (decodes frames, executes requests against the shared broker)
+//! paired with a **writer** thread draining that connection's bounded
+//! [`OutQueue`] of encoded frames. Publishes ride the broker's lock-free
+//! RCU path — [`pubsub_broker::SharedBroker::publish`] pins one snapshot
+//! per event — so matching never blocks accepts or other connections.
+//!
+//! # Sessions
+//!
+//! A connection's first frame must be `Hello`. Token [`NEW_SESSION`]
+//! creates a session and returns a fresh token; a non-zero token resumes
+//! the session it names: the server re-attaches the session's live
+//! subscription ids to the new connection (reported once each, sorted, in
+//! `Ack::Hello.resumed`) and **kicks** any connection still attached — the
+//! old socket is shut down and its queue closed, so exactly one connection
+//! can ever speak for a session (no ghost peers). Sessions survive
+//! disconnects; subscriptions are owned by the session, not the socket.
+//!
+//! # Delivery and backpressure
+//!
+//! Notifications are sequenced per session (`seq` starts at 1 and
+//! increments per notify) and enqueued under the session's delivery lock,
+//! so one subscriber always observes its notifications in publish order;
+//! ordering across subscribers is unspecified. The configured
+//! [`Backpressure`] policy governs what happens when a subscriber's queue
+//! is full:
+//!
+//! * `Block` — the publisher waits for space: lossless, but a slow
+//!   subscriber stalls publishers targeting it (never deadlocks: a dead
+//!   connection closes its queue, waking blocked publishers).
+//! * `Shed` — the notify is dropped and its sequence number consumed, so
+//!   the subscriber sees a gap and knows deliveries were shed.
+//! * `ErrorFast` — the subscriber is forcibly disconnected (its session
+//!   survives and can resume).
+//!
+//! Notifications that match a **detached** session (subscriber currently
+//! disconnected) are dropped — delivery is at-most-once; the sequence gap
+//! tells a resuming client what it missed. Acks and errors are never
+//! policed: they are the request/response backbone.
+
+use crate::frame::{Ack, ErrorCode, Frame, FrameReader, WireEvent, WirePredicate, WireValue};
+use crate::queue::{OutQueue, PushError};
+use parking_lot::Mutex;
+use pubsub_broker::{BrokerError, SharedBroker, Validity};
+use pubsub_core::Backpressure;
+use pubsub_types::faults::{self, points, FaultAction};
+use pubsub_types::metrics::Counter;
+use pubsub_types::{Event, Predicate, Subscription, SubscriptionId, TypeError, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+static CONNECTIONS: Counter = Counter::new("net.server.connections");
+static FRAMES_IN: Counter = Counter::new("net.server.frames_in");
+static FRAMES_OUT: Counter = Counter::new("net.server.frames_out");
+static BAD_FRAMES: Counter = Counter::new("net.server.bad_frames");
+static SESSIONS_RESUMED: Counter = Counter::new("net.server.sessions_resumed");
+static NOTIFIES_SHED: Counter = Counter::new("net.server.notifies_shed");
+static NOTIFIES_DROPPED_DETACHED: Counter = Counter::new("net.server.notifies_dropped_detached");
+static ERRORFAST_DISCONNECTS: Counter = Counter::new("net.server.errorfast_disconnects");
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Outbound frames buffered per connection before the delivery policy
+    /// applies.
+    pub queue_capacity: usize,
+    /// What to do when a subscriber's outbound queue is full (see module
+    /// docs; acks and errors always block).
+    pub delivery: Backpressure,
+    /// How often blocked reads wake to poll the shutdown flag. Bounds both
+    /// shutdown latency and idle-connection overhead.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            delivery: Backpressure::Block,
+            read_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A point-in-time view of the session registry, for tests and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatus {
+    /// Sessions ever created and not (yet) garbage-collected.
+    pub sessions: usize,
+    /// Sessions with a live connection attached.
+    pub attached: usize,
+    /// Subscriptions owned by network sessions.
+    pub net_subscriptions: usize,
+}
+
+/// An outbound unit: a pre-encoded frame, or the graceful-close sentinel
+/// that makes the writer flush and shut the socket down.
+enum Out {
+    Frame(Vec<u8>),
+    Close,
+}
+
+/// The socket-facing half of an attached connection, owned by a session's
+/// delivery state while attached.
+struct Conn {
+    queue: Arc<OutQueue<Out>>,
+    sock: TcpStream,
+    /// The owning connection's unique id; a reader only detaches the
+    /// session if the attachment is still its own.
+    epoch: u64,
+}
+
+impl Conn {
+    /// Hard-kills the connection: wakes blocked producers and the writer,
+    /// and errors out the peer's reads.
+    fn kill(&self) {
+        self.queue.close();
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Per-session delivery state. Sequencing and enqueueing happen under this
+/// lock (never the registry lock), so a full queue can only stall
+/// publishers targeting *this* subscriber.
+struct DeliveryState {
+    next_seq: u64,
+    conn: Option<Conn>,
+}
+
+struct Delivery {
+    state: Mutex<DeliveryState>,
+}
+
+struct Session {
+    subs: BTreeSet<u32>,
+    delivery: Arc<Delivery>,
+}
+
+/// Sessions and subscription ownership. Lock order: `registry <
+/// delivery-state`; broker-internal locks are only taken with at most the
+/// registry lock held, and no broker path calls back into the registry.
+#[derive(Default)]
+struct Registry {
+    sessions: HashMap<u64, Session>,
+    /// Subscription id → owning session token. Ids absent here belong to
+    /// in-process subscribers and are invisible to the network layer.
+    owner: HashMap<u32, u64>,
+    next_token: u64,
+}
+
+struct State {
+    broker: Arc<SharedBroker>,
+    config: ServerConfig,
+    registry: Mutex<Registry>,
+    shutdown: AtomicBool,
+    conn_counter: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running broker server. Dropping it shuts it down.
+pub struct Server {
+    state: Arc<State>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `broker` with default [`ServerConfig`].
+    pub fn start(broker: Arc<SharedBroker>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Self::start_with(broker, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` and starts serving `broker` with `config`.
+    pub fn start_with(
+        broker: Arc<SharedBroker>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            broker,
+            config,
+            registry: Mutex::new(Registry {
+                // Token 0 is NEW_SESSION on the wire; never issue it.
+                next_token: 1,
+                ..Registry::default()
+            }),
+            shutdown: AtomicBool::new(false),
+            conn_counter: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(Server {
+            state,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The served broker.
+    pub fn broker(&self) -> &Arc<SharedBroker> {
+        &self.state.broker
+    }
+
+    /// Counts sessions, attachments and net-owned subscriptions.
+    pub fn status(&self) -> ServerStatus {
+        let reg = self.state.registry.lock();
+        let attached = reg
+            .sessions
+            .values()
+            .filter(|s| s.delivery.state.lock().conn.is_some())
+            .count();
+        ServerStatus {
+            sessions: reg.sessions.len(),
+            attached,
+            net_subscriptions: reg.owner.len(),
+        }
+    }
+
+    /// The live subscription ids of session `token` (sorted), or `None`
+    /// for an unknown token.
+    pub fn session_subscriptions(&self, token: u64) -> Option<Vec<u32>> {
+        let reg = self.state.registry.lock();
+        reg.sessions
+            .get(&token)
+            .map(|s| s.subs.iter().copied().collect())
+    }
+
+    /// Stops accepting, kills every connection, and joins all server
+    /// threads. Idempotent; sessions and the broker are left intact.
+    pub fn shutdown(&self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Hard-close attached connections so blocked reads, writes and
+        // queue pushes all wake promptly.
+        {
+            let reg = self.state.registry.lock();
+            for session in reg.sessions.values() {
+                if let Some(conn) = &session.delivery.state.lock().conn {
+                    conn.kill();
+                }
+            }
+        }
+        // Wake the accept loop; it checks the flag after every accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        // Reader threads poll the flag on their read timeout; pre-session
+        // connections exit that way. Join them all.
+        let handles: Vec<_> = self.state.conns.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = state.conn_counter.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(&state);
+        let handle = thread::Builder::new()
+            .name(format!("net-conn-{conn_id}"))
+            .spawn(move || run_connection(conn_state, stream, conn_id));
+        if let Ok(h) = handle {
+            state.conns.lock().push(h);
+        }
+    }
+}
+
+/// How a reader thread ended, deciding the connection's teardown.
+#[derive(PartialEq)]
+enum Exit {
+    /// Peer closed cleanly or a protocol error was reported: flush queued
+    /// frames (including the final error, if any), then close.
+    Graceful,
+    /// Fault injection, shutdown, or I/O failure: discard and close.
+    Severed,
+}
+
+fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
+    CONNECTIONS.inc();
+    let lane = conn_id as usize;
+    match faults::hit(points::NET_ACCEPT, lane) {
+        Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+        Some(_) => return, // Injected accept failure: drop before reading.
+        None => {}
+    }
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(state.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let queue = Arc::new(OutQueue::new(state.config.queue_capacity));
+    let writer_queue = Arc::clone(&queue);
+    let writer = thread::Builder::new()
+        .name(format!("net-write-{conn_id}"))
+        .spawn(move || writer_loop(writer_queue, write_half, conn_id));
+    let Ok(writer) = writer else {
+        return;
+    };
+
+    let mut ctx = ConnCtx {
+        state: &state,
+        stream,
+        queue,
+        conn_id,
+        session: None,
+    };
+    let exit = ctx.serve();
+
+    // Detach the session — but only if this connection is still the one
+    // attached (a resume may have kicked us and attached a newer epoch).
+    if let Some((_, delivery)) = &ctx.session {
+        let mut st = delivery.state.lock();
+        if st.conn.as_ref().is_some_and(|c| c.epoch == conn_id) {
+            st.conn = None;
+        }
+    }
+    match exit {
+        Exit::Graceful => {
+            // Let the writer drain every queued ack/error, then close. If
+            // the queue was closed under us (kicked), this is a no-op.
+            let _ = ctx.queue.push_blocking(Out::Close);
+        }
+        Exit::Severed => {
+            ctx.queue.close();
+            let _ = ctx.stream.shutdown(Shutdown::Both);
+        }
+    }
+    let _ = writer.join();
+}
+
+fn writer_loop(queue: Arc<OutQueue<Out>>, mut sock: TcpStream, conn_id: u64) {
+    while let Some(msg) = queue.pop() {
+        match msg {
+            Out::Frame(bytes) => {
+                match faults::hit(points::NET_NOTIFY_WRITE, conn_id as usize) {
+                    Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+                    Some(_) => break, // Injected write failure: sever mid-delivery.
+                    None => {}
+                }
+                if sock.write_all(&bytes).is_err() {
+                    break;
+                }
+                FRAMES_OUT.inc();
+            }
+            Out::Close => {
+                let _ = sock.flush();
+                break;
+            }
+        }
+    }
+    // Whatever ended the loop, make the death observable: wake producers
+    // blocked on the queue and error out the peer (and our reader).
+    queue.close();
+    let _ = sock.shutdown(Shutdown::Both);
+}
+
+struct ConnCtx<'a> {
+    state: &'a State,
+    stream: TcpStream,
+    queue: Arc<OutQueue<Out>>,
+    conn_id: u64,
+    /// Set once the handshake completes: session token + delivery handle.
+    session: Option<(u64, Arc<Delivery>)>,
+}
+
+impl ConnCtx<'_> {
+    /// Enqueues a response frame (always blocking: acks and errors are the
+    /// request/response backbone and are never shed). Returns `false` when
+    /// the connection is already dead.
+    fn send(&self, frame: &Frame) -> bool {
+        self.queue
+            .push_blocking(Out::Frame(frame.to_bytes()))
+            .is_ok()
+    }
+
+    fn send_error(&self, req: u32, code: ErrorCode, msg: impl Into<String>) -> bool {
+        self.send(&Frame::Error {
+            req,
+            code,
+            msg: msg.into(),
+        })
+    }
+
+    /// Reads and processes frames until the connection ends.
+    fn serve(&mut self) -> Exit {
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                return Exit::Severed;
+            }
+            let n = match self.stream.read(&mut buf) {
+                Ok(0) => return Exit::Graceful,
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return Exit::Severed,
+            };
+            reader.extend(&buf[..n]);
+            loop {
+                match reader.next_frame() {
+                    Ok(Some(frame)) => {
+                        FRAMES_IN.inc();
+                        match faults::hit(points::NET_FRAME_READ, self.conn_id as usize) {
+                            Some(FaultAction::Delay(ms)) => {
+                                thread::sleep(Duration::from_millis(ms))
+                            }
+                            Some(_) => return Exit::Severed, // Kill mid-stream.
+                            None => {}
+                        }
+                        if let Some(exit) = self.handle(frame) {
+                            return exit;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Framing is lost; report once and close. The
+                        // graceful exit flushes this error to the peer.
+                        BAD_FRAMES.inc();
+                        self.send_error(0, ErrorCode::BadFrame, e.to_string());
+                        return Exit::Graceful;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes one frame. `Some(exit)` ends the connection.
+    fn handle(&mut self, frame: Frame) -> Option<Exit> {
+        // Every frame before a successful handshake must be Hello.
+        if self.session.is_none() {
+            return match frame {
+                Frame::Hello { proto, token } => self.handle_hello(proto, token),
+                _ => {
+                    self.send_error(0, ErrorCode::BadHandshake, "first frame must be Hello");
+                    Some(Exit::Graceful)
+                }
+            };
+        }
+        match frame {
+            Frame::Hello { .. } => {
+                // One session per connection; re-handshaking is an error
+                // but not a connection killer.
+                self.send_error(0, ErrorCode::BadRequest, "already handshaken");
+                None
+            }
+            Frame::Subscribe { req, preds } => self.handle_subscribe(req, &preds),
+            Frame::Unsubscribe { req, id } => self.handle_unsubscribe(req, id),
+            Frame::Publish { req, event } => self.handle_publish(req, &event),
+            Frame::Notify { .. } | Frame::Ack(_) | Frame::Error { .. } => {
+                self.send_error(0, ErrorCode::BadRequest, "server-only frame");
+                None
+            }
+        }
+    }
+
+    fn handle_hello(&mut self, proto: u32, token: u64) -> Option<Exit> {
+        match faults::hit(points::NET_HANDSHAKE, self.conn_id as usize) {
+            Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return Some(Exit::Severed), // Kill mid-handshake.
+            None => {}
+        }
+        if proto != crate::frame::PROTOCOL_VERSION {
+            self.send_error(
+                0,
+                ErrorCode::BadHandshake,
+                format!(
+                    "protocol {proto} unsupported (want {})",
+                    crate::frame::PROTOCOL_VERSION
+                ),
+            );
+            return Some(Exit::Graceful);
+        }
+        let mut reg = self.state.registry.lock();
+        let (token, delivery, resumed) = if token == crate::frame::NEW_SESSION {
+            let token = reg.next_token;
+            reg.next_token += 1;
+            let delivery = Arc::new(Delivery {
+                state: Mutex::new(DeliveryState {
+                    next_seq: 1,
+                    conn: None,
+                }),
+            });
+            reg.sessions.insert(
+                token,
+                Session {
+                    subs: BTreeSet::new(),
+                    delivery: Arc::clone(&delivery),
+                },
+            );
+            (token, delivery, Vec::new())
+        } else {
+            let Some(session) = reg.sessions.get(&token) else {
+                drop(reg);
+                self.send_error(0, ErrorCode::UnknownSession, format!("no session {token}"));
+                return Some(Exit::Graceful);
+            };
+            SESSIONS_RESUMED.inc();
+            let resumed: Vec<u32> = session.subs.iter().copied().collect();
+            (token, Arc::clone(&session.delivery), resumed)
+        };
+        // Attach this connection, kicking any previous one: its socket is
+        // shut down and its queue closed, so its reader and writer exit
+        // and it can never ack or deliver again (no ghost peers).
+        let Ok(sock) = self.stream.try_clone() else {
+            return Some(Exit::Severed);
+        };
+        {
+            let mut st = delivery.state.lock();
+            if let Some(old) = st.conn.take() {
+                old.kill();
+            }
+            st.conn = Some(Conn {
+                queue: Arc::clone(&self.queue),
+                sock,
+                epoch: self.conn_id,
+            });
+        }
+        drop(reg);
+        self.session = Some((token, delivery));
+        if !self.send(&Frame::Ack(Ack::Hello { token, resumed })) {
+            return Some(Exit::Severed);
+        }
+        None
+    }
+
+    fn handle_subscribe(&mut self, req: u32, preds: &[WirePredicate]) -> Option<Exit> {
+        let (token, _) = self.session.as_ref().expect("handshaken");
+        let token = *token;
+        let sub = match wire_subscription(&self.state.broker, preds) {
+            Ok(sub) => sub,
+            Err(e) => {
+                self.send_error(req, ErrorCode::BadRequest, e.to_string());
+                return None;
+            }
+        };
+        let id = match self.state.broker.try_subscribe(sub, Validity::forever()) {
+            Ok(id) => id,
+            Err(e) => {
+                self.send_error(req, broker_error_code(&e), e.to_string());
+                return None;
+            }
+        };
+        {
+            let mut reg = self.state.registry.lock();
+            reg.owner.insert(id.0, token);
+            if let Some(session) = reg.sessions.get_mut(&token) {
+                session.subs.insert(id.0);
+            }
+        }
+        if !self.send(&Frame::Ack(Ack::Subscribe { req, id: id.0 })) {
+            return Some(Exit::Severed);
+        }
+        None
+    }
+
+    fn handle_unsubscribe(&mut self, req: u32, id: u32) -> Option<Exit> {
+        let (token, _) = self.session.as_ref().expect("handshaken");
+        let token = *token;
+        let mut reg = self.state.registry.lock();
+        let existed = match reg.owner.get(&id) {
+            // Unknown to the network layer: either never existed or
+            // already removed. Idempotent no-op — and never forwarded to
+            // the broker, which may own in-process subscriptions under
+            // this id.
+            None => false,
+            Some(owner) if *owner != token => {
+                drop(reg);
+                self.send_error(
+                    req,
+                    ErrorCode::BadRequest,
+                    format!("s{id} not owned by session"),
+                );
+                return None;
+            }
+            Some(_) => match self.state.broker.try_unsubscribe(SubscriptionId(id)) {
+                Ok(existed) => {
+                    reg.owner.remove(&id);
+                    if let Some(session) = reg.sessions.get_mut(&token) {
+                        session.subs.remove(&id);
+                    }
+                    existed
+                }
+                Err(e) => {
+                    drop(reg);
+                    self.send_error(req, broker_error_code(&e), e.to_string());
+                    return None;
+                }
+            },
+        };
+        drop(reg);
+        if !self.send(&Frame::Ack(Ack::Unsubscribe { req, existed })) {
+            return Some(Exit::Severed);
+        }
+        None
+    }
+
+    fn handle_publish(&mut self, req: u32, wire: &WireEvent) -> Option<Exit> {
+        let event = match wire_event(&self.state.broker, wire) {
+            Ok(event) => event,
+            Err(e) => {
+                self.send_error(req, ErrorCode::BadRequest, e.to_string());
+                return None;
+            }
+        };
+        let matched = self.state.broker.publish(&event);
+        deliver(self.state, &matched, wire);
+        let ack = Frame::Ack(Ack::Publish {
+            req,
+            matched: matched.len() as u32,
+        });
+        if !self.send(&ack) {
+            return Some(Exit::Severed);
+        }
+        None
+    }
+}
+
+/// Fans one published event out to the sessions owning the matched
+/// subscriptions, applying the delivery backpressure policy per session.
+fn deliver(state: &State, matched: &[SubscriptionId], event: &WireEvent) {
+    if matched.is_empty() {
+        return;
+    }
+    // Group matched ids by owning session under the registry lock, then
+    // release it: enqueueing may block (Block policy) and must only ever
+    // hold the target session's delivery lock.
+    let mut targets: Vec<(Arc<Delivery>, Vec<u32>)> = Vec::new();
+    {
+        let reg = state.registry.lock();
+        let mut by_token: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for id in matched {
+            if let Some(token) = reg.owner.get(&id.0) {
+                by_token.entry(*token).or_default().push(id.0);
+            }
+        }
+        for (token, mut ids) in by_token {
+            ids.sort_unstable();
+            if let Some(session) = reg.sessions.get(&token) {
+                targets.push((Arc::clone(&session.delivery), ids));
+            }
+        }
+    }
+    for (delivery, ids) in targets {
+        let mut st = delivery.state.lock();
+        let Some(conn) = st.conn.as_ref() else {
+            NOTIFIES_DROPPED_DETACHED.inc();
+            st.next_seq += 1; // Consume the seq: the gap marks the miss.
+            continue;
+        };
+        let frame = Frame::Notify {
+            seq: st.next_seq,
+            ids,
+            event: event.clone(),
+        };
+        let bytes = Out::Frame(frame.to_bytes());
+        let result = match state.config.delivery {
+            Backpressure::Block => conn.queue.push_blocking(bytes),
+            Backpressure::Shed | Backpressure::ErrorFast => conn.queue.try_push(bytes),
+        };
+        match result {
+            Ok(()) => st.next_seq += 1,
+            Err(PushError::Full) => match state.config.delivery {
+                Backpressure::Shed => {
+                    NOTIFIES_SHED.inc();
+                    st.next_seq += 1; // Gap marks the shed delivery.
+                }
+                Backpressure::ErrorFast => {
+                    // Too slow: disconnect the subscriber. Its session
+                    // survives and can resume later.
+                    ERRORFAST_DISCONNECTS.inc();
+                    if let Some(conn) = st.conn.take() {
+                        conn.kill();
+                    }
+                    st.next_seq += 1;
+                }
+                Backpressure::Block => unreachable!("blocking push never reports Full"),
+            },
+            Err(PushError::Closed) => {
+                // The connection died under us; detach so later notifies
+                // take the cheap detached path.
+                st.conn = None;
+                st.next_seq += 1;
+            }
+        }
+    }
+}
+
+fn broker_error_code(e: &BrokerError) -> ErrorCode {
+    match e {
+        BrokerError::Degraded(_) => ErrorCode::Unavailable,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Interns a wire subscription into the broker's vocabulary and validates
+/// it. On a durable broker the interning itself is WAL-logged, so a
+/// recovered broker resolves the same names to the same ids.
+fn wire_subscription(
+    broker: &SharedBroker,
+    preds: &[WirePredicate],
+) -> Result<Subscription, TypeError> {
+    let predicates = broker.with_vocab(|vocab| {
+        preds
+            .iter()
+            .map(|p| {
+                let attr = vocab.attr(&p.attr);
+                let value = match &p.value {
+                    WireValue::Int(i) => Value::Int(*i),
+                    WireValue::Str(s) => vocab.string(s),
+                };
+                Predicate::new(attr, p.op, value)
+            })
+            .collect::<Vec<_>>()
+    });
+    Subscription::from_predicates(predicates)
+}
+
+/// Interns a wire event and validates it (duplicate attributes rejected).
+fn wire_event(broker: &SharedBroker, wire: &WireEvent) -> Result<Event, TypeError> {
+    let pairs = broker.with_vocab(|vocab| {
+        wire.pairs
+            .iter()
+            .map(|(attr, value)| {
+                let attr = vocab.attr(attr);
+                let value = match value {
+                    WireValue::Int(i) => Value::Int(*i),
+                    WireValue::Str(s) => vocab.string(s),
+                };
+                (attr, value)
+            })
+            .collect::<Vec<_>>()
+    });
+    Event::from_pairs(pairs)
+}

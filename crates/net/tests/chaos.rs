@@ -1,0 +1,217 @@
+//! Fault-injected chaos for the network server, driven through the
+//! `pubsub_types::faults` registry (compile with `--features faults`;
+//! every test is a no-op otherwise). Each scenario kills a connection at
+//! a server-side fault point — accepting, mid-handshake, mid-frame,
+//! mid-delivery — and then proves the session registry is exact: no
+//! session invented, no ghost attachment, resume restores precisely the
+//! applied subscription state.
+//!
+//! This suite lives in its own test binary on purpose: the fault registry
+//! is process-global, and a separate binary (= separate process) keeps
+//! armed rules from firing inside the other network suites.
+
+use pubsub_broker::SharedBroker;
+use pubsub_core::EngineKind;
+use pubsub_net::{Client, ClientError, Server, WireEvent, WirePredicate, WireValue};
+use pubsub_types::faults::{self, points, FaultAction, Schedule};
+use pubsub_types::Operator;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The registry is process-global; chaos tests take turns.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn server() -> Server {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    Server::start(broker, "127.0.0.1:0").expect("bind loopback")
+}
+
+fn eq_pred(attr: &str, value: i64) -> WirePredicate {
+    WirePredicate {
+        attr: attr.into(),
+        op: Operator::Eq,
+        value: WireValue::Int(value),
+    }
+}
+
+fn event(attr: &str, value: i64) -> WireEvent {
+    WireEvent {
+        pairs: vec![(attr.into(), WireValue::Int(value))],
+    }
+}
+
+/// Reads until the kicked/severed connection observes its dead socket.
+fn expect_dead(client: &mut Client) {
+    let read = client.next_notify(Duration::from_secs(5));
+    assert!(
+        read.is_err(),
+        "severed connection must observe a dead socket, got {read:?}"
+    );
+}
+
+#[test]
+fn accept_fault_drops_the_connection_before_any_session_exists() {
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+    let server = server();
+    faults::arm(
+        points::NET_ACCEPT,
+        None,
+        FaultAction::Fail,
+        Schedule::Nth(1),
+    );
+    let attempt = Client::connect(server.local_addr());
+    assert!(
+        matches!(attempt, Err(ClientError::Io(_))),
+        "accept-time failure surfaces as an I/O error"
+    );
+    let status = server.status();
+    assert_eq!(status.sessions, 0, "no session may be created");
+    assert_eq!(status.attached, 0);
+    // The rule is spent; the server keeps serving.
+    faults::clear();
+    Client::connect(server.local_addr()).expect("server still accepts");
+    server.shutdown();
+}
+
+#[test]
+fn kill_mid_handshake_creates_no_session() {
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+    let server = server();
+    faults::arm(
+        points::NET_HANDSHAKE,
+        None,
+        FaultAction::Fail,
+        Schedule::Nth(1),
+    );
+    let attempt = Client::connect(server.local_addr());
+    assert!(
+        matches!(attempt, Err(ClientError::Io(_))),
+        "mid-handshake kill severs before the hello ack"
+    );
+    let status = server.status();
+    assert_eq!(
+        status.sessions, 0,
+        "a handshake killed before completion must not create a session"
+    );
+    assert_eq!(status.attached, 0, "no ghost attachment");
+    faults::clear();
+    let client = Client::connect(server.local_addr()).expect("handshake works again");
+    assert!(client.token() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn kill_mid_frame_applies_exactly_the_received_prefix() {
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+    let server = server();
+    let addr = server.local_addr();
+
+    // First connection (lane 0): one applied subscribe, then a kill on the
+    // very next inbound frame — the second subscribe must never apply.
+    let mut client = Client::connect(addr).expect("connect");
+    let token = client.token();
+    let id = client.subscribe(vec![eq_pred("k", 1)]).expect("subscribe");
+    faults::arm(
+        points::NET_FRAME_READ,
+        Some(0),
+        FaultAction::Fail,
+        Schedule::Nth(1),
+    );
+    let second = client.subscribe(vec![eq_pred("k", 2)]);
+    assert!(
+        second.is_err(),
+        "the killed frame's request must not be acked, got ok"
+    );
+    faults::clear();
+
+    // The session survives with exactly the applied prefix.
+    let status = server.status();
+    assert_eq!(status.sessions, 1, "session outlives its connection");
+    assert_eq!(status.attached, 0, "dead connection detached, no ghost");
+    assert_eq!(
+        status.net_subscriptions, 1,
+        "the killed subscribe must not half-apply"
+    );
+    let resumed = Client::resume(addr, token).expect("resume");
+    assert_eq!(
+        resumed.resumed(),
+        &[id],
+        "resume reports exactly the applied subscription, once"
+    );
+    assert_eq!(server.status().attached, 1);
+    server.shutdown();
+}
+
+#[test]
+fn kill_mid_delivery_consumes_sequence_numbers_and_resumes_clean() {
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+    let server = server();
+    let addr = server.local_addr();
+
+    // Subscriber on lane 0; its writer will be killed mid-batch.
+    let mut subscriber = Client::connect(addr).expect("connect subscriber");
+    let token = subscriber.token();
+    let id = subscriber
+        .subscribe(vec![eq_pred("k", 7)])
+        .expect("subscribe");
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+
+    // Counting from arming: write 1 is the first notify (delivered), write
+    // 2 the second (killed mid-delivery). The third is enqueued behind a
+    // dead writer and dropped with its seq consumed.
+    faults::arm(
+        points::NET_NOTIFY_WRITE,
+        Some(0),
+        FaultAction::Fail,
+        Schedule::Nth(2),
+    );
+    for _ in 0..3 {
+        let matched = publisher.publish(event("k", 7)).expect("publish");
+        assert_eq!(matched, 1);
+    }
+    let first = subscriber
+        .next_notify(Duration::from_secs(5))
+        .expect("first notify precedes the kill")
+        .expect("delivered");
+    assert_eq!(first.seq, 1);
+    assert_eq!(first.ids, vec![id]);
+    expect_dead(&mut subscriber);
+    faults::clear();
+
+    // The session survives; resume restores the subscription and the next
+    // delivery's sequence number exposes the mid-batch gap (at-most-once:
+    // the two killed notifies consumed seq 2 and 3).
+    let mut resumed = Client::resume(addr, token).expect("resume");
+    assert_eq!(resumed.resumed(), &[id]);
+    assert_eq!(server.status().attached, 2, "subscriber + publisher");
+    let matched = publisher.publish(event("k", 7)).expect("publish");
+    assert_eq!(matched, 1);
+    let after = resumed
+        .next_notify(Duration::from_secs(5))
+        .expect("stream")
+        .expect("post-resume delivery");
+    assert_eq!(after.ids, vec![id]);
+    assert_eq!(
+        after.seq, 4,
+        "the killed deliveries consumed seq 2 and 3 — the gap is the contract"
+    );
+    let extra = resumed.next_notify(Duration::from_millis(30)).unwrap();
+    assert!(extra.is_none(), "no duplicate deliveries, got {extra:?}");
+    server.shutdown();
+}

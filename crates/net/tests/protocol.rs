@@ -1,0 +1,350 @@
+//! Protocol conformance: proptest round-trips of every frame type, and an
+//! adversarial decoder suite — truncated frames, corrupt CRCs, oversized
+//! length prefixes and random byte soup must produce typed errors (or ask
+//! for more bytes), never a panic and never an allocation sized by
+//! attacker-controlled counts. The live-server tests at the bottom hold
+//! the *server* to the same standard: arbitrary bytes on a real socket
+//! never kill it.
+
+use proptest::prelude::*;
+use pubsub_broker::SharedBroker;
+use pubsub_core::EngineKind;
+use pubsub_net::{
+    Ack, Client, ErrorCode, Frame, FrameError, FrameReader, Server, WireEvent, WirePredicate,
+    WireValue, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use pubsub_types::{CodecError, Operator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---- strategies ------------------------------------------------------------
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..64, 0..12).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b {
+                0..=25 => (b'a' + b) as char,
+                26..=51 => (b'A' + b - 26) as char,
+                52..=61 => (b'0' + b - 52) as char,
+                62 => 'é', // multi-byte UTF-8 exercises the str codec
+                _ => '·',
+            })
+            .collect()
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = WireValue> {
+    prop_oneof![
+        any::<i64>().prop_map(WireValue::Int),
+        arb_string().prop_map(WireValue::Str),
+    ]
+}
+
+fn arb_operator() -> impl Strategy<Value = Operator> {
+    prop::sample::select(Operator::ALL.to_vec())
+}
+
+fn arb_predicate() -> impl Strategy<Value = WirePredicate> {
+    (arb_string(), arb_operator(), arb_value()).prop_map(|(attr, op, value)| WirePredicate {
+        attr,
+        op,
+        value,
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = WireEvent> {
+    prop::collection::vec((arb_string(), arb_value()), 0..6).prop_map(|pairs| WireEvent { pairs })
+}
+
+fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 0..8)
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    prop::sample::select(vec![
+        ErrorCode::BadFrame,
+        ErrorCode::BadHandshake,
+        ErrorCode::UnknownSession,
+        ErrorCode::BadRequest,
+        ErrorCode::Unavailable,
+        ErrorCode::Internal,
+    ])
+}
+
+fn arb_ack() -> impl Strategy<Value = Ack> {
+    prop_oneof![
+        (any::<u64>(), arb_ids()).prop_map(|(token, resumed)| Ack::Hello { token, resumed }),
+        (any::<u32>(), any::<u32>()).prop_map(|(req, id)| Ack::Subscribe { req, id }),
+        (any::<u32>(), any::<bool>()).prop_map(|(req, existed)| Ack::Unsubscribe { req, existed }),
+        (any::<u32>(), any::<u32>()).prop_map(|(req, matched)| Ack::Publish { req, matched }),
+    ]
+}
+
+/// Every frame variant, all seven tags.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(proto, token)| Frame::Hello { proto, token }),
+        (any::<u32>(), prop::collection::vec(arb_predicate(), 0..5))
+            .prop_map(|(req, preds)| Frame::Subscribe { req, preds }),
+        (any::<u32>(), any::<u32>()).prop_map(|(req, id)| Frame::Unsubscribe { req, id }),
+        (any::<u32>(), arb_event()).prop_map(|(req, event)| Frame::Publish { req, event }),
+        (any::<u64>(), arb_ids(), arb_event()).prop_map(|(seq, ids, event)| Frame::Notify {
+            seq,
+            ids,
+            event
+        }),
+        arb_ack().prop_map(Frame::Ack),
+        (any::<u32>(), arb_error_code(), arb_string()).prop_map(|(req, code, msg)| Frame::Error {
+            req,
+            code,
+            msg
+        }),
+    ]
+}
+
+// ---- round-trip conformance ------------------------------------------------
+
+proptest! {
+    /// encode → decode is the identity for every frame type.
+    #[test]
+    fn every_frame_round_trips(frame in arb_frame()) {
+        let mut payload = Vec::new();
+        frame.encode(&mut payload);
+        prop_assert_eq!(Frame::decode(&payload).unwrap(), frame);
+    }
+
+    /// A stream of frames survives arbitrary re-chunking through the
+    /// incremental reader, in order, with nothing left over.
+    #[test]
+    fn frame_streams_survive_rechunking(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream);
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.extend(piece);
+            while let Some(f) = reader.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+
+    // ---- adversarial decoder suite ----------------------------------------
+
+    /// Any strict prefix of a valid frame decodes to "need more bytes",
+    /// never to a frame and never to a panic.
+    #[test]
+    fn truncated_frames_wait_for_more(frame in arb_frame(), cut in any::<prop::sample::Index>()) {
+        let bytes = frame.to_bytes();
+        let cut = cut.index(bytes.len().max(1)); // 0..len → always strict
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes[..cut]);
+        prop_assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    /// Flipping any payload byte is caught by the checksum before the
+    /// decoder ever sees the payload.
+    #[test]
+    fn corrupt_payload_bytes_fail_the_crc(
+        frame in arb_frame(),
+        at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = frame.to_bytes();
+        // Every payload is at least the tag byte, so there is always a
+        // byte to corrupt.
+        let payload_len = bytes.len() - 8;
+        let at = 8 + at.index(payload_len);
+        bytes[at] ^= flip;
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        let crc_failed = matches!(reader.next_frame(), Err(FrameError::BadCrc { .. }));
+        prop_assert!(crc_failed, "corruption at byte {} went undetected", at);
+    }
+
+    /// A length prefix beyond the bound is rejected before the payload is
+    /// buffered — the reader never allocates toward a hostile length.
+    #[test]
+    fn oversized_length_prefixes_are_rejected(extra in 1u32..=u32::MAX - MAX_FRAME_BYTES) {
+        let len = MAX_FRAME_BYTES + extra;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 4]);
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        prop_assert_eq!(
+            reader.next_frame(),
+            Err(FrameError::TooLarge { len, max: MAX_FRAME_BYTES })
+        );
+    }
+
+    /// Random byte soup: the reader yields typed errors or asks for more,
+    /// never panics, and never buffers beyond what it was fed.
+    #[test]
+    fn random_bytes_never_panic_the_reader(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        loop {
+            match reader.next_frame() {
+                Ok(Some(_)) => continue, // fluke frame: fine, keep going
+                Ok(None) => break,       // wants more bytes
+                Err(_) => break,         // typed error
+            }
+        }
+        prop_assert!(reader.pending() <= bytes.len());
+    }
+
+    /// Hostile count prefixes inside a checksummed payload (the CRC is
+    /// recomputed, so the frame *looks* valid) must fail as short reads
+    /// before any count-sized allocation happens.
+    #[test]
+    fn hostile_counts_are_short_reads(tag in prop::sample::select(vec![2u8, 5u8]), count in 1024u32..u32::MAX) {
+        let mut payload = vec![tag];
+        if tag == 5 {
+            payload.extend_from_slice(&1u64.to_le_bytes()); // Notify.seq
+        } else {
+            payload.extend_from_slice(&1u32.to_le_bytes()); // Subscribe.req
+        }
+        payload.extend_from_slice(&count.to_le_bytes());
+        let short_read = matches!(Frame::decode(&payload), Err(CodecError::ShortRead { .. }));
+        prop_assert!(short_read, "hostile count was not a short read");
+    }
+}
+
+// ---- live server robustness ------------------------------------------------
+
+fn test_server() -> Server {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    Server::start(broker, "127.0.0.1:0").expect("bind loopback")
+}
+
+/// Sends `bytes` raw, then proves the server survived by completing a full
+/// handshake + subscribe + publish round-trip on a fresh connection.
+fn assault_and_verify(server: &Server, bytes: &[u8]) {
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.write_all(bytes).unwrap();
+    let _ = sock.shutdown(std::net::Shutdown::Write);
+    // Drain whatever the server answers (error frames) until it closes.
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut sink = [0u8; 1024];
+    while matches!(sock.read(&mut sink), Ok(n) if n > 0) {}
+    drop(sock);
+
+    let mut client = Client::connect(server.local_addr()).expect("server must still accept");
+    let id = client
+        .subscribe(vec![WirePredicate {
+            attr: "alive".into(),
+            op: Operator::Eq,
+            value: WireValue::Int(1),
+        }])
+        .expect("server must still subscribe");
+    let matched = client
+        .publish(WireEvent {
+            pairs: vec![("alive".into(), WireValue::Int(1))],
+        })
+        .expect("server must still publish");
+    assert!(matched >= 1, "own subscription must match");
+    client.unsubscribe(id).unwrap();
+}
+
+#[test]
+fn random_bytes_never_kill_the_server() {
+    let server = test_server();
+    let mut state = 0x0DDB_17E5u64;
+    for round in 0..32 {
+        let len = 1 + (round * 17) % 300;
+        let soup: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        assault_and_verify(&server, &soup);
+    }
+}
+
+#[test]
+fn hostile_frames_on_a_live_socket_get_typed_errors() {
+    let server = test_server();
+
+    // Oversized length prefix: connection must be refused with BadFrame.
+    let mut bytes = (MAX_FRAME_BYTES + 7).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0u8; 4]);
+    assault_and_verify(&server, &bytes);
+
+    // Corrupt CRC on an otherwise valid Hello.
+    let mut bytes = Frame::Hello {
+        proto: PROTOCOL_VERSION,
+        token: 0,
+    }
+    .to_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    assault_and_verify(&server, &bytes);
+
+    // Valid framing, invalid tag inside the checksummed payload.
+    let mut payload = vec![0xEEu8];
+    payload.extend_from_slice(&[1, 2, 3]);
+    let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+    framed.extend_from_slice(&pubsub_types::codec::crc32c(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    assault_and_verify(&server, &framed);
+
+    // A non-Hello first frame: BadHandshake, connection closed, server fine.
+    assault_and_verify(&server, &Frame::Unsubscribe { req: 1, id: 0 }.to_bytes());
+
+    // Unsupported protocol version.
+    assault_and_verify(
+        &server,
+        &Frame::Hello {
+            proto: PROTOCOL_VERSION + 9,
+            token: 0,
+        }
+        .to_bytes(),
+    );
+}
+
+#[test]
+fn bad_frame_stream_is_reported_before_the_connection_closes() {
+    let server = test_server();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    let mut bytes = Frame::Hello {
+        proto: PROTOCOL_VERSION,
+        token: 0,
+    }
+    .to_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    sock.write_all(&bytes).unwrap();
+
+    // The server must answer with a decodable Error frame, then EOF.
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 1024];
+    let frame = loop {
+        if let Some(frame) = reader.next_frame().expect("server speaks valid frames") {
+            break frame;
+        }
+        let n = sock.read(&mut buf).expect("read server reply");
+        assert!(n > 0, "connection closed before the error frame");
+        reader.extend(&buf[..n]);
+    };
+    match frame {
+        Frame::Error { req, code, .. } => {
+            assert_eq!(req, 0, "stream errors are connection-level");
+            assert_eq!(code, ErrorCode::BadFrame);
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+}

@@ -1,0 +1,476 @@
+//! Reconnect safety: a subscriber connection killed at *any* byte offset
+//! of its request stream must leave the session in a well-defined state —
+//! exactly the operations whose frames were fully received are applied,
+//! resuming the session reports exactly the surviving subscription ids
+//! (each once), and post-resume deliveries match a brute-force oracle.
+//!
+//! The sweep cuts the same pre-encoded operation stream at every frame
+//! boundary *and* in the middle of every frame, for all five engines.
+
+use pubsub_broker::{SharedBroker, Validity};
+use pubsub_core::EngineKind;
+use pubsub_net::{
+    Ack, Client, Frame, FrameReader, Server, WireEvent, WirePredicate, WireValue, NEW_SESSION,
+    PROTOCOL_VERSION,
+};
+use pubsub_types::{Operator, Predicate, Subscription, SubscriptionId, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ATTRS: [&str; 5] = ["price", "venue", "qty", "side", "tier"];
+const OPS: [Operator; 6] = [
+    Operator::Lt,
+    Operator::Le,
+    Operator::Eq,
+    Operator::Ne,
+    Operator::Ge,
+    Operator::Gt,
+];
+
+/// One integer predicate: `attr op value`.
+type Pred = (&'static str, Operator, i64);
+
+/// A session operation, encodable as one request frame.
+enum Op {
+    Sub(Vec<Pred>),
+    /// Unsubscribe the id returned by the `k`-th `Sub` op.
+    Unsub(usize),
+}
+
+fn cmp(event_value: i64, op: Operator, pred_value: i64) -> bool {
+    match op {
+        Operator::Lt => event_value < pred_value,
+        Operator::Le => event_value <= pred_value,
+        Operator::Eq => event_value == pred_value,
+        Operator::Ne => event_value != pred_value,
+        Operator::Ge => event_value >= pred_value,
+        Operator::Gt => event_value > pred_value,
+    }
+}
+
+/// Brute-force conjunction semantics, straight from the paper: every
+/// predicate's attribute must be present and satisfied.
+fn matches(preds: &[Pred], event: &[(&'static str, i64)]) -> bool {
+    preds.iter().all(|(attr, op, value)| {
+        event
+            .iter()
+            .find(|(a, _)| a == attr)
+            .is_some_and(|(_, ev)| cmp(*ev, *op, *value))
+    })
+}
+
+/// A deterministic mixed workload: 8 ops, subscribes with 1–2 predicates
+/// over distinct attributes, interleaved with unsubscribes of live ids.
+fn build_ops(rng: &mut SmallRng) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut live: Vec<usize> = Vec::new(); // indices into the Sub-op order
+    let mut subs = 0usize;
+    for i in 0..8 {
+        if i > 0 && !live.is_empty() && rng.gen_bool(0.35) {
+            let k = live.swap_remove(rng.gen_range(0..live.len()));
+            ops.push(Op::Unsub(k));
+        } else {
+            let n = rng.gen_range(1..=2usize);
+            let mut attrs: Vec<&'static str> = ATTRS.to_vec();
+            let preds: Vec<Pred> = (0..n)
+                .map(|_| {
+                    let attr = attrs.remove(rng.gen_range(0..attrs.len()));
+                    (
+                        attr,
+                        OPS[rng.gen_range(0..OPS.len())],
+                        rng.gen_range(0i64..8),
+                    )
+                })
+                .collect();
+            ops.push(Op::Sub(preds));
+            live.push(subs);
+            subs += 1;
+        }
+    }
+    ops
+}
+
+/// Replays `ops` against a fresh in-process broker of the same engine to
+/// learn the ids the server will assign (id assignment is deterministic
+/// for a given op sequence — the e2e differential suite pins that).
+fn predict_ids(kind: EngineKind, ops: &[Op]) -> Vec<u32> {
+    let reference = SharedBroker::new(kind, 2);
+    let mut ids = Vec::new();
+    for op in ops {
+        match op {
+            Op::Sub(preds) => {
+                let preds: Vec<Predicate> = preds
+                    .iter()
+                    .map(|(attr, op, value)| {
+                        Predicate::new(reference.attr(attr), *op, Value::Int(*value))
+                    })
+                    .collect();
+                let id = reference.subscribe(
+                    Subscription::from_predicates(preds).expect("valid spec"),
+                    Validity::forever(),
+                );
+                ids.push(id.0);
+            }
+            Op::Unsub(k) => {
+                reference.unsubscribe(SubscriptionId(ids[*k]));
+            }
+        }
+    }
+    ids
+}
+
+/// Encodes `ops` as request frames (req = op index + 1).
+fn encode_ops(ops: &[Op], ids: &[u32]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let req = i as u32 + 1;
+        let frame = match op {
+            Op::Sub(preds) => Frame::Subscribe {
+                req,
+                preds: preds
+                    .iter()
+                    .map(|(attr, op, value)| WirePredicate {
+                        attr: (*attr).into(),
+                        op: *op,
+                        value: WireValue::Int(*value),
+                    })
+                    .collect(),
+            },
+            Op::Unsub(k) => Frame::Unsubscribe { req, id: ids[*k] },
+        };
+        frames.push(frame.to_bytes());
+    }
+    frames
+}
+
+fn read_one_frame(sock: &mut TcpStream, reader: &mut FrameReader) -> Frame {
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = reader.next_frame().expect("well-formed server stream") {
+            return frame;
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => panic!("server closed before answering"),
+            Ok(n) => reader.extend(&buf[..n]),
+            Err(e) => panic!("read from server: {e}"),
+        }
+    }
+}
+
+fn read_frames_until_eof(sock: &mut TcpStream, reader: &mut FrameReader) -> Vec<Frame> {
+    let mut buf = [0u8; 4096];
+    let mut out = Vec::new();
+    loop {
+        while let Some(frame) = reader.next_frame().expect("well-formed server stream") {
+            out.push(frame);
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => return out,
+            Ok(n) => reader.extend(&buf[..n]),
+            Err(e) => panic!("drain acks: {e}"),
+        }
+    }
+}
+
+/// Deterministic probe events published after the resume; each carries a
+/// unique `eid` marker to match notifications back.
+fn probe_events(rng: &mut SmallRng) -> Vec<(Vec<(&'static str, i64)>, WireEvent)> {
+    (0..4)
+        .map(|i| {
+            let n = rng.gen_range(2..=3usize);
+            let mut attrs: Vec<&'static str> = ATTRS.to_vec();
+            let pairs: Vec<(&'static str, i64)> = (0..n)
+                .map(|_| {
+                    let attr = attrs.remove(rng.gen_range(0..attrs.len()));
+                    (attr, rng.gen_range(0i64..8))
+                })
+                .collect();
+            let mut wire: Vec<(String, WireValue)> = pairs
+                .iter()
+                .map(|(attr, value)| (attr.to_string(), WireValue::Int(*value)))
+                .collect();
+            wire.push(("eid".into(), WireValue::Int(1_000 + i)));
+            (pairs, WireEvent { pairs: wire })
+        })
+        .collect()
+}
+
+fn eid_of(event: &WireEvent) -> i64 {
+    event
+        .pairs
+        .iter()
+        .find_map(|(attr, value)| match (attr.as_str(), value) {
+            ("eid", WireValue::Int(i)) => Some(*i),
+            _ => None,
+        })
+        .expect("probe events carry eid")
+}
+
+/// One run of the sweep: write exactly `cut` bytes of the op stream, kill
+/// the connection, then verify acks, resume state, and deliveries against
+/// the oracle.
+fn run_one(kind: EngineKind, ops: &[Op], ids: &[u32], frames: &[Vec<u8>], cut: usize) {
+    let broker = Arc::new(SharedBroker::new(kind, 2));
+    let server = Server::start(Arc::clone(&broker), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Handshake by hand so we control the socket byte-for-byte.
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = FrameReader::new();
+    sock.write_all(
+        &Frame::Hello {
+            proto: PROTOCOL_VERSION,
+            token: NEW_SESSION,
+        }
+        .to_bytes(),
+    )
+    .unwrap();
+    let token = match read_one_frame(&mut sock, &mut reader) {
+        Frame::Ack(Ack::Hello { token, .. }) => token,
+        other => panic!("expected hello ack, got {other:?}"),
+    };
+
+    // The kill: deliver exactly `cut` bytes, then half-close. TCP hands
+    // the server every byte written, so the applied ops are precisely the
+    // frames fully contained in the cut.
+    let bytes: Vec<u8> = frames.concat();
+    sock.write_all(&bytes[..cut]).unwrap();
+    sock.shutdown(Shutdown::Write).unwrap();
+
+    // Oracle: the contiguous prefix of ops whose frames fit in the cut.
+    let mut live: BTreeSet<u32> = BTreeSet::new();
+    let mut applied = 0usize;
+    let mut sub_idx = 0usize;
+    let mut off = 0usize;
+    for (i, frame) in frames.iter().enumerate() {
+        off += frame.len();
+        if off > cut {
+            break;
+        }
+        applied = i + 1;
+        match &ops[i] {
+            Op::Sub(_) => {
+                live.insert(ids[sub_idx]);
+                sub_idx += 1;
+            }
+            Op::Unsub(k) => {
+                live.remove(&ids[*k]);
+            }
+        }
+    }
+
+    // The graceful close flushes one ack per applied op, then EOF.
+    let acks = read_frames_until_eof(&mut sock, &mut reader);
+    assert_eq!(
+        acks.len(),
+        applied,
+        "{kind:?} cut {cut}: one ack per fully-received frame"
+    );
+    let mut ack_sub_idx = 0usize;
+    for (i, ack) in acks.iter().enumerate() {
+        let req = i as u32 + 1;
+        match (ack, &ops[i]) {
+            (Frame::Ack(Ack::Subscribe { req: r, id }), Op::Sub(_)) => {
+                assert_eq!(*r, req, "{kind:?} cut {cut}: acks arrive in request order");
+                assert_eq!(
+                    *id, ids[ack_sub_idx],
+                    "{kind:?} cut {cut}: prefix ids match the full-run ids"
+                );
+                ack_sub_idx += 1;
+            }
+            (Frame::Ack(Ack::Unsubscribe { req: r, existed }), Op::Unsub(_)) => {
+                assert_eq!(*r, req);
+                assert!(*existed, "{kind:?} cut {cut}: unsubscribed a live id");
+            }
+            (other, _) => panic!("{kind:?} cut {cut}: unexpected ack {other:?}"),
+        }
+    }
+
+    // Resume: exactly the surviving ids, each reported once, no ghosts.
+    let mut subscriber = Client::resume(addr, token).expect("resume");
+    let expected: Vec<u32> = live.iter().copied().collect();
+    assert_eq!(
+        subscriber.resumed(),
+        &expected[..],
+        "{kind:?} cut {cut}: resumed ids must equal the oracle's live set"
+    );
+    let status = server.status();
+    assert_eq!(status.sessions, 1, "{kind:?} cut {cut}: one session");
+    assert_eq!(
+        status.attached, 1,
+        "{kind:?} cut {cut}: the dead connection must not linger"
+    );
+    assert_eq!(
+        status.net_subscriptions,
+        expected.len(),
+        "{kind:?} cut {cut}: registry tracks exactly the live subscriptions"
+    );
+
+    // Probe deliveries: publishes must match the brute-force oracle over
+    // the surviving subscriptions, and reach the resumed connection.
+    let sub_specs: Vec<(u32, &Vec<Pred>)> = {
+        let mut sub_ops = ops.iter().filter_map(|op| match op {
+            Op::Sub(preds) => Some(preds),
+            Op::Unsub(_) => None,
+        });
+        let mut out = Vec::new();
+        for (k, preds) in (&mut sub_ops).enumerate() {
+            if live.contains(&ids[k]) {
+                out.push((ids[k], preds));
+            }
+        }
+        out
+    };
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+    let mut probe_rng = SmallRng::seed_from_u64(cut as u64 ^ 0x9e37);
+    for (pairs, wire) in probe_events(&mut probe_rng) {
+        let eid = eid_of(&wire);
+        let matched = publisher.publish(wire).expect("probe publish");
+        let brute: Vec<u32> = sub_specs
+            .iter()
+            .filter(|(_, preds)| matches(preds, &pairs))
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(
+            matched as usize,
+            brute.len(),
+            "{kind:?} cut {cut}: matched count vs brute force on eid {eid}"
+        );
+        if !brute.is_empty() {
+            let n = subscriber
+                .next_notify(Duration::from_secs(5))
+                .expect("notify stream")
+                .expect("matched publish must be delivered");
+            assert_eq!(eid_of(&n.event), eid, "{kind:?} cut {cut}: delivery order");
+            assert_eq!(n.ids, brute, "{kind:?} cut {cut}: delivered ids");
+        }
+    }
+    // Nothing else may arrive: no duplicate deliveries, no ghost streams.
+    let extra = subscriber.next_notify(Duration::from_millis(30)).unwrap();
+    assert!(extra.is_none(), "{kind:?} cut {cut}: spurious {extra:?}");
+    server.shutdown();
+}
+
+/// Cuts at every frame boundary (including 0 and the full stream) plus the
+/// middle of every frame.
+fn sweep(kind: EngineKind, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ops = build_ops(&mut rng);
+    let ids = predict_ids(kind, &ops);
+    let frames = encode_ops(&ops, &ids);
+    let mut cuts: Vec<usize> = vec![0];
+    let mut off = 0usize;
+    for frame in &frames {
+        cuts.push(off + frame.len() / 2); // mid-frame: torn header or body
+        off += frame.len();
+        cuts.push(off); // frame boundary
+    }
+    for cut in cuts {
+        run_one(kind, &ops, &ids, &frames, cut);
+    }
+}
+
+#[test]
+fn kill_anywhere_counting() {
+    sweep(EngineKind::Counting, 0xA11CE);
+}
+
+#[test]
+fn kill_anywhere_propagation() {
+    sweep(EngineKind::Propagation, 0xB0B);
+}
+
+#[test]
+fn kill_anywhere_propagation_prefetch() {
+    sweep(EngineKind::PropagationPrefetch, 0xCAFE);
+}
+
+#[test]
+fn kill_anywhere_static() {
+    sweep(EngineKind::Static, 0xDEED);
+}
+
+#[test]
+fn kill_anywhere_dynamic() {
+    sweep(EngineKind::Dynamic, 0xFEED);
+}
+
+/// Resuming a session from a second connection kicks the first: exactly
+/// one connection ever speaks for a session, and the kicked peer observes
+/// a dead socket rather than silently sharing the stream.
+#[test]
+fn resume_kicks_the_previous_connection() {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let server = Server::start(Arc::clone(&broker), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let mut first = Client::connect(addr).expect("connect");
+    let id = first
+        .subscribe(vec![WirePredicate {
+            attr: "k".into(),
+            op: Operator::Eq,
+            value: WireValue::Int(1),
+        }])
+        .expect("subscribe");
+    let token = first.token();
+
+    let mut second = Client::resume(addr, token).expect("resume");
+    assert_eq!(second.resumed(), &[id], "resume reports the live id once");
+
+    // The kicked connection is dead: its next read errors out.
+    let first_read = first.next_notify(Duration::from_secs(5));
+    assert!(
+        first_read.is_err(),
+        "kicked connection must observe a dead socket, got {first_read:?}"
+    );
+
+    // Exactly one attachment; deliveries go to the survivor exactly once.
+    assert_eq!(server.status().attached, 1, "no ghost attachment");
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+    let matched = publisher
+        .publish(WireEvent {
+            pairs: vec![("k".into(), WireValue::Int(1))],
+        })
+        .expect("publish");
+    assert_eq!(matched, 1);
+    let n = second
+        .next_notify(Duration::from_secs(5))
+        .expect("stream")
+        .expect("delivery reaches the surviving connection");
+    assert_eq!(n.ids, vec![id]);
+    assert_eq!(n.seq, 1);
+    let extra = second.next_notify(Duration::from_millis(30)).unwrap();
+    assert!(extra.is_none(), "exactly-once delivery, got {extra:?}");
+    server.shutdown();
+}
+
+/// An unknown token is a typed error, not a fresh session — resuming is
+/// never allowed to invent state.
+#[test]
+fn unknown_token_is_rejected() {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let server = Server::start(Arc::clone(&broker), "127.0.0.1:0").expect("bind");
+    let err = match Client::resume(server.local_addr(), 0xDEAD_BEEF) {
+        Err(err) => err,
+        Ok(_) => panic!("resuming an unknown token must fail"),
+    };
+    assert!(
+        matches!(
+            &err,
+            pubsub_net::ClientError::Server {
+                code: pubsub_net::ErrorCode::UnknownSession,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(server.status().sessions, 0, "no session invented");
+    server.shutdown();
+}

@@ -204,6 +204,31 @@ mod imp {
 
 pub use imp::{arm, armed, clear, enabled, hit};
 
+/// Well-known fault-point names of the network server (`pubsub-net`).
+///
+/// The older subsystems (sharded matcher, durability) declare their points
+/// as string literals at the call site; the network layer centralises its
+/// names here so the server, the chaos tests and the CLI `chaos` help text
+/// cannot drift apart. The `lane` passed to [`hit`] at every network point
+/// is the server-assigned connection index, so rules can target one
+/// connection out of many.
+pub mod points {
+    /// Hit once per accepted TCP connection, before the handshake.
+    /// `Fail` drops the connection without reading a byte (models an
+    /// accept-time resource failure); `Delay` stalls the accept path.
+    pub const NET_ACCEPT: &str = "net.server.accept";
+    /// Hit while waiting for the `Hello` frame. `Fail` kills the
+    /// connection mid-handshake — no session may be created or resumed.
+    pub const NET_HANDSHAKE: &str = "net.server.handshake";
+    /// Hit before decoding each inbound frame. `Fail` severs the
+    /// connection mid-stream (a kill between or inside frames); `Delay`
+    /// models a slow peer.
+    pub const NET_FRAME_READ: &str = "net.server.frame.read";
+    /// Hit before each outbound frame write. `Fail` severs the connection
+    /// mid-delivery (a kill mid-batch on the notify path).
+    pub const NET_NOTIFY_WRITE: &str = "net.server.frame.write";
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,7 @@
 # Repository gate: formatting, lints, release build, full test suite.
 #
 # Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos] [--durability]
-#                         [--contention] [--bless]
+#                         [--contention] [--net] [--bless]
 #
 # Lanes
 #   (default)      fmt + clippy + release build + tests with default features,
@@ -34,6 +34,13 @@
 #                  a TSan pass over the stress suite. The TSan step skips
 #                  gracefully when nightly or the rust-src component is
 #                  unavailable (the offline container ships stable only).
+#   --net          network-server lane: the pubsub-net suites (protocol
+#                  conformance + adversarial decoder, e2e differential,
+#                  kill-anywhere reconnect sweep) with default features and
+#                  again with --features faults,metrics so the chaos
+#                  scenarios actually inject, then a release netload smoke:
+#                  `pubsub serve` on loopback, one netload run with a
+#                  one-shot RPS floor, writing results/BENCH_net.json.
 #   --bless        regenerate the golden fixtures (tests/golden/*: the
 #                  MetricsSnapshot JSON schema and the WAL on-disk format
 #                  pins) from the current code by running the golden tests
@@ -60,6 +67,7 @@ BENCH_SMOKE=0
 CHAOS=0
 DURABILITY=0
 CONTENTION=0
+NET=0
 BLESS=0
 for arg in "$@"; do
     case "$arg" in
@@ -68,9 +76,10 @@ for arg in "$@"; do
         --chaos) CHAOS=1 ;;
         --durability) DURABILITY=1 ;;
         --contention) CONTENTION=1 ;;
+        --net) NET=1 ;;
         --bless) BLESS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --bless)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --net --bless)" >&2
             exit 2
             ;;
     esac
@@ -144,6 +153,27 @@ if [[ "$CONTENTION" == 1 ]]; then
     else
         echo "==> ThreadSanitizer pass skipped (no nightly toolchain with rust-src)"
     fi
+fi
+
+if [[ "$NET" == 1 ]]; then
+    echo "==> cargo test -p pubsub-net (protocol, e2e differential, reconnect sweep)"
+    cargo test ${OFFLINE} -p pubsub-net
+    echo "==> cargo test -p pubsub-net (--features faults,metrics: chaos with injection live)"
+    cargo test ${OFFLINE} -p pubsub-net --features faults,metrics
+    echo "==> netload smoke on loopback (release)"
+    cargo build ${OFFLINE} --release -p pubsub-cli
+    NET_ADDR="127.0.0.1:7939"
+    target/release/pubsub serve counting --addr "$NET_ADDR" < /dev/null &
+    SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/7939") 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    target/release/pubsub netload --addr "$NET_ADDR" --subscribers 2 --subs 4 \
+        --events 2000 --min-rps 1000 --json results/BENCH_net.json
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

@@ -19,6 +19,7 @@
 //! * [`durability`] — the segmented write-ahead log and snapshots behind
 //!   [`broker::SharedBroker::open_durable`].
 //! * [`lang`] — a textual subscription/event language.
+//! * [`net`] — the network-facing server, wire protocol and client.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use pubsub_cost as cost;
 pub use pubsub_durability as durability;
 pub use pubsub_index as index;
 pub use pubsub_lang as lang;
+pub use pubsub_net as net;
 pub use pubsub_types as types;
 pub use pubsub_workload as workload;
 

@@ -145,8 +145,12 @@ struct Session {
     delivery: Arc<Delivery>,
 }
 
-/// Sessions and subscription ownership. Lock order: `registry <
-/// delivery-state`; broker-internal locks are only taken with at most the
+/// Sessions and subscription ownership. Lock discipline: the registry
+/// lock and delivery-state locks are never held together — a delivery
+/// lock can be held across a blocking enqueue (Block policy), so waiting
+/// on one with the registry held would stall every connection. Threads
+/// clone the `Arc<Delivery>` out of the registry, release it, then lock
+/// delivery state. Broker-internal locks are only taken with at most the
 /// registry lock held, and no broker path calls back into the registry.
 #[derive(Default)]
 struct Registry {
@@ -157,6 +161,22 @@ struct Registry {
     next_token: u64,
 }
 
+/// The kill handle of a running connection, registered by conn id for the
+/// lifetime of its reader thread. Lets `shutdown()` hard-close every
+/// connection — attached, detached, or pre-handshake — without touching
+/// any delivery lock (which a wedged publisher may hold indefinitely).
+struct LiveConn {
+    queue: Arc<OutQueue<Out>>,
+    sock: TcpStream,
+}
+
+impl LiveConn {
+    fn kill(&self) {
+        self.queue.close();
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
 struct State {
     broker: Arc<SharedBroker>,
     config: ServerConfig,
@@ -164,6 +184,7 @@ struct State {
     shutdown: AtomicBool,
     conn_counter: AtomicU64,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    live: Mutex<HashMap<u64, LiveConn>>,
 }
 
 /// A running broker server. Dropping it shuts it down.
@@ -199,6 +220,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             conn_counter: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
+            live: Mutex::new(HashMap::new()),
         });
         let accept_state = Arc::clone(&state);
         let accept = thread::Builder::new()
@@ -223,16 +245,26 @@ impl Server {
 
     /// Counts sessions, attachments and net-owned subscriptions.
     pub fn status(&self) -> ServerStatus {
+        // Clone the delivery handles out of the registry, then release it:
+        // a delivery lock may be held across a blocking enqueue, and
+        // waiting on one with the registry held stalls the whole server.
         let reg = self.state.registry.lock();
-        let attached = reg
+        let sessions = reg.sessions.len();
+        let net_subscriptions = reg.owner.len();
+        let deliveries: Vec<Arc<Delivery>> = reg
             .sessions
             .values()
-            .filter(|s| s.delivery.state.lock().conn.is_some())
+            .map(|s| Arc::clone(&s.delivery))
+            .collect();
+        drop(reg);
+        let attached = deliveries
+            .iter()
+            .filter(|d| d.state.lock().conn.is_some())
             .count();
         ServerStatus {
-            sessions: reg.sessions.len(),
+            sessions,
             attached,
-            net_subscriptions: reg.owner.len(),
+            net_subscriptions,
         }
     }
 
@@ -251,14 +283,17 @@ impl Server {
         if self.state.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Hard-close attached connections so blocked reads, writes and
-        // queue pushes all wake promptly.
+        // Hard-close every live connection so blocked reads, writes and
+        // queue pushes all wake promptly. The live table — never the
+        // delivery locks — is the kill path: a publisher wedged in a
+        // blocking enqueue HOLDS its target's delivery lock and only the
+        // queue close below can wake it, so taking delivery locks here
+        // would deadlock. Connections that register concurrently with
+        // this sweep see the shutdown flag on their next read timeout.
         {
-            let reg = self.state.registry.lock();
-            for session in reg.sessions.values() {
-                if let Some(conn) = &session.delivery.state.lock().conn {
-                    conn.kill();
-                }
+            let live = self.state.live.lock();
+            for conn in live.values() {
+                conn.kill();
             }
         }
         // Wake the accept loop; it checks the flag after every accept.
@@ -289,6 +324,9 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
                 if state.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // Persistent accept errors (e.g. EMFILE) must not
+                // busy-spin the accept thread at 100% CPU.
+                thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };
@@ -301,7 +339,13 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
             .name(format!("net-conn-{conn_id}"))
             .spawn(move || run_connection(conn_state, stream, conn_id));
         if let Ok(h) = handle {
-            state.conns.lock().push(h);
+            // Reap finished connections as new ones arrive, so a
+            // long-running server's handle vector stays bounded by the
+            // number of live connections. Dropping a finished handle
+            // just releases its bookkeeping.
+            let mut conns = state.conns.lock();
+            conns.retain(|h| !h.is_finished());
+            conns.push(h);
         }
     }
 }
@@ -334,6 +378,9 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let Ok(kill_half) = stream.try_clone() else {
+        return;
+    };
     let queue = Arc::new(OutQueue::new(state.config.queue_capacity));
     let writer_queue = Arc::clone(&queue);
     let writer = thread::Builder::new()
@@ -342,6 +389,16 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
     let Ok(writer) = writer else {
         return;
     };
+    // Register the kill handle so shutdown() can hard-close this
+    // connection whatever state it is in (pre-handshake, detached, or
+    // with its writer wedged on a non-reading peer).
+    state.live.lock().insert(
+        conn_id,
+        LiveConn {
+            queue: Arc::clone(&queue),
+            sock: kill_half,
+        },
+    );
 
     let mut ctx = ConnCtx {
         state: &state,
@@ -362,9 +419,16 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
     }
     match exit {
         Exit::Graceful => {
-            // Let the writer drain every queued ack/error, then close. If
-            // the queue was closed under us (kicked), this is a no-op.
-            let _ = ctx.queue.push_blocking(Out::Close);
+            // Let the writer drain every queued ack/error, then close —
+            // without blocking: if the queue is full the writer is wedged
+            // in write_all to a peer that stopped reading, and a reader
+            // blocked here (already detached) would be unreachable by
+            // shutdown()'s kill loop, hanging Drop forever. Sever instead;
+            // the undeliverable backlog had nowhere to go anyway.
+            if ctx.queue.try_push(Out::Close).is_err() {
+                ctx.queue.close();
+                let _ = ctx.stream.shutdown(Shutdown::Both);
+            }
         }
         Exit::Severed => {
             ctx.queue.close();
@@ -372,6 +436,7 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
         }
     }
     let _ = writer.join();
+    state.live.lock().remove(&conn_id);
 }
 
 fn writer_loop(queue: Arc<OutQueue<Out>>, mut sock: TcpStream, conn_id: u64) {
@@ -549,9 +614,16 @@ impl ConnCtx<'_> {
             let resumed: Vec<u32> = session.subs.iter().copied().collect();
             (token, Arc::clone(&session.delivery), resumed)
         };
+        // Release the registry BEFORE touching delivery state: a stalled
+        // publisher may hold the delivery lock across a blocking enqueue
+        // (Block policy), and waiting on it with the registry held would
+        // wedge every other connection's hello/subscribe/publish.
+        drop(reg);
         // Attach this connection, kicking any previous one: its socket is
         // shut down and its queue closed, so its reader and writer exit
         // and it can never ack or deliver again (no ghost peers).
+        // Concurrent resumes of the same token race on the delivery lock
+        // alone; the epoch guard keeps detach correct whichever wins.
         let Ok(sock) = self.stream.try_clone() else {
             return Some(Exit::Severed);
         };
@@ -566,7 +638,6 @@ impl ConnCtx<'_> {
                 epoch: self.conn_id,
             });
         }
-        drop(reg);
         self.session = Some((token, delivery));
         if !self.send(&Frame::Ack(Ack::Hello { token, resumed })) {
             return Some(Exit::Severed);
@@ -584,20 +655,26 @@ impl ConnCtx<'_> {
                 return None;
             }
         };
+        // Subscribe and record ownership under one registry hold (the
+        // documented registry < broker lock order, same as unsubscribe):
+        // deliver() groups matches under the registry lock, so once the
+        // broker can match the new id, its owner is always resolvable —
+        // no window where a matching publish silently skips delivery
+        // without consuming a sequence number.
+        let mut reg = self.state.registry.lock();
         let id = match self.state.broker.try_subscribe(sub, Validity::forever()) {
             Ok(id) => id,
             Err(e) => {
+                drop(reg);
                 self.send_error(req, broker_error_code(&e), e.to_string());
                 return None;
             }
         };
-        {
-            let mut reg = self.state.registry.lock();
-            reg.owner.insert(id.0, token);
-            if let Some(session) = reg.sessions.get_mut(&token) {
-                session.subs.insert(id.0);
-            }
+        reg.owner.insert(id.0, token);
+        if let Some(session) = reg.sessions.get_mut(&token) {
+            session.subs.insert(id.0);
         }
+        drop(reg);
         if !self.send(&Frame::Ack(Ack::Subscribe { req, id: id.0 })) {
             return Some(Exit::Severed);
         }

@@ -11,12 +11,13 @@
 //! armed rules from firing inside the other network suites.
 
 use pubsub_broker::SharedBroker;
-use pubsub_core::EngineKind;
-use pubsub_net::{Client, ClientError, Server, WireEvent, WirePredicate, WireValue};
+use pubsub_core::{Backpressure, EngineKind};
+use pubsub_net::{Client, ClientError, Server, ServerConfig, WireEvent, WirePredicate, WireValue};
 use pubsub_types::faults::{self, points, FaultAction, Schedule};
 use pubsub_types::Operator;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// The registry is process-global; chaos tests take turns.
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -213,5 +214,84 @@ fn kill_mid_delivery_consumes_sequence_numbers_and_resumes_clean() {
     );
     let extra = resumed.next_notify(Duration::from_millis(30)).unwrap();
     assert!(extra.is_none(), "no duplicate deliveries, got {extra:?}");
+    server.shutdown();
+}
+
+#[test]
+fn wedged_subscriber_delivery_does_not_stall_other_connections() {
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+    // Capacity 1 + Block: two in-flight notifies wedge a publisher inside
+    // deliver(), which then holds the subscriber's delivery lock across a
+    // blocking enqueue. Regression test: no server path may wait on that
+    // delivery lock while holding the registry lock, or one non-reading
+    // subscriber stalls every connection (hello/subscribe/publish/status)
+    // server-wide.
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let config = ServerConfig {
+        queue_capacity: 1,
+        delivery: Backpressure::Block,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with(broker, "127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Subscriber on lane 0; its writer will be slowed to a crawl.
+    let mut subscriber = Client::connect(addr).expect("connect subscriber");
+    let sub_token = subscriber.token();
+    subscriber
+        .subscribe(vec![eq_pred("k", 1)])
+        .expect("subscribe");
+    let mut publisher = Client::connect(addr).expect("connect publisher");
+
+    // Every outbound frame on the subscriber's connection sleeps 5s, so
+    // its queue stays full while the publisher's third notify blocks.
+    faults::arm(
+        points::NET_NOTIFY_WRITE,
+        Some(0),
+        FaultAction::Delay(5_000),
+        Schedule::EveryNth(1),
+    );
+    let wedged = thread::spawn(move || {
+        // Notify 1 is popped and sleeping in the writer, notify 2 fills
+        // the queue, notify 3 blocks this reader in push_blocking —
+        // holding the subscriber's delivery lock for seconds.
+        for _ in 0..3 {
+            publisher.publish(event("k", 1)).expect("publish");
+        }
+        publisher
+    });
+    thread::sleep(Duration::from_millis(300));
+
+    // While the publisher is wedged, every registry-touching path must
+    // stay responsive: these all complete in well under the 5s wedge.
+    let start = Instant::now();
+    assert_eq!(
+        server.session_subscriptions(sub_token).map(|s| s.len()),
+        Some(1)
+    );
+    let mut other = Client::connect(addr).expect("hello during wedge");
+    other
+        .subscribe(vec![eq_pred("k", 2)])
+        .expect("subscribe during wedge");
+    let matched = other.publish(event("k", 2)).expect("publish during wedge");
+    assert_eq!(matched, 1);
+    other
+        .next_notify(Duration::from_secs(2))
+        .expect("own delivery during wedge")
+        .expect("delivered");
+    assert!(
+        start.elapsed() < Duration::from_millis(2_500),
+        "other connections must not wait out the wedged delivery lock, took {:?}",
+        start.elapsed()
+    );
+
+    faults::clear();
+    let mut publisher = wedged.join().expect("publisher thread");
+    // The wedge resolved once the slowed writer drained; everyone's fine.
+    assert_eq!(publisher.publish(event("k", 99)).expect("publish"), 0);
     server.shutdown();
 }

@@ -45,6 +45,30 @@ pub enum BrokerError {
     /// A durability-only operation (e.g. [`crate::SharedBroker::snapshot`])
     /// was invoked on a broker opened without a WAL.
     NotDurable,
+    /// The broker is a replication follower: its state is a replica of a
+    /// remote leader's log, so local mutations are refused (they would fork
+    /// the history). Matching still works; promote to accept writes.
+    Follower,
+    /// A replication-only operation ([`crate::SharedBroker::apply_replicated`],
+    /// [`crate::SharedBroker::promote`], …) was invoked on a broker that is
+    /// not a follower.
+    NotFollower,
+    /// A replicated record batch did not start at the local log's append
+    /// position — the stream and the replica have diverged (usually a stale
+    /// connection replaying records the follower already has).
+    ReplicationGap {
+        /// The LSN the local log expects next.
+        expected: Lsn,
+        /// The first LSN the batch carried.
+        got: Lsn,
+    },
+    /// A replicated transfer (record batch or snapshot) was damaged or
+    /// refused validation.
+    Replication(WalError),
+    /// [`crate::SharedBroker::open_follower`] refused a directory that holds
+    /// durable history written by a non-follower: tailing a leader into it
+    /// would interleave two unrelated logs.
+    ForeignHistory(PathBuf),
 }
 
 impl std::fmt::Display for BrokerError {
@@ -58,6 +82,25 @@ impl std::fmt::Display for BrokerError {
             BrokerError::NotDurable => {
                 write!(f, "operation requires a durable broker (open_durable)")
             }
+            BrokerError::Follower => {
+                write!(
+                    f,
+                    "broker is a replication follower (read-only); promote it to accept writes"
+                )
+            }
+            BrokerError::NotFollower => {
+                write!(f, "operation requires a replication follower")
+            }
+            BrokerError::ReplicationGap { expected, got } => write!(
+                f,
+                "replicated batch starts at LSN {got} but the local log expects {expected}"
+            ),
+            BrokerError::Replication(e) => write!(f, "replicated transfer refused: {e}"),
+            BrokerError::ForeignHistory(dir) => write!(
+                f,
+                "refusing to follow into {}: it holds non-follower durable history",
+                dir.display()
+            ),
         }
     }
 }
@@ -65,10 +108,15 @@ impl std::fmt::Display for BrokerError {
 impl std::error::Error for BrokerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            BrokerError::Degraded(e) | BrokerError::Recovery(e) | BrokerError::Snapshot(e) => {
-                Some(e)
-            }
-            BrokerError::NotDurable => None,
+            BrokerError::Degraded(e)
+            | BrokerError::Recovery(e)
+            | BrokerError::Snapshot(e)
+            | BrokerError::Replication(e) => Some(e),
+            BrokerError::NotDurable
+            | BrokerError::Follower
+            | BrokerError::NotFollower
+            | BrokerError::ReplicationGap { .. }
+            | BrokerError::ForeignHistory(_) => None,
         }
     }
 }
@@ -86,6 +134,8 @@ pub struct DurabilityStatus {
     pub ops_since_snapshot: u64,
     /// Whether the broker has degraded to read-only mode.
     pub degraded: bool,
+    /// Whether the broker is a replication follower (read-only replica).
+    pub follower: bool,
     /// The cause of degradation, when degraded.
     pub degraded_cause: Option<WalError>,
     /// What recovery did when this broker was opened.

@@ -46,7 +46,8 @@ use crate::time::{LogicalTime, Validity};
 use parking_lot::{Mutex, MutexGuard};
 use pubsub_core::{Backpressure, EngineKind, EngineStats, RcuCell, ViewScratch};
 use pubsub_durability::{
-    DurabilityConfig, Recovered, RecoveryReport, SnapshotState, Wal, WalError, WalOp,
+    replication, DurabilityConfig, Lsn, Recovered, RecoveryReport, SnapshotState, Wal, WalError,
+    WalOp,
 };
 use pubsub_types::metrics::Counter;
 use pubsub_types::{
@@ -173,6 +174,12 @@ struct Inner {
     /// Write-ahead log plus degraded-mode state; `None` for the in-memory
     /// broker of [`SharedBroker::new`].
     durable: Option<DurableState>,
+    /// `true` while this broker is a replication follower: its log is a
+    /// replica of a remote leader's, so local mutations are refused (they
+    /// would fork the history) and state changes arrive only through
+    /// [`SharedBroker::apply_replicated`]. Cleared by
+    /// [`SharedBroker::promote`].
+    follower: AtomicBool,
     /// Engine kind, needed to build fresh frozen bases at merge time.
     kind: EngineKind,
     /// How publishes execute (RCU snapshots vs. per-shard locks).
@@ -224,6 +231,81 @@ fn build_snapshot_state(vocab: &Vocabulary, shards: &[MutexGuard<'_, Broker>]) -
         strings: strings.into_iter().map(|(_, s)| s.to_string()).collect(),
         subs,
     }
+}
+
+/// Rebuilds the in-memory state (vocabulary + shard brokers) that a
+/// recovered snapshot-plus-log-tail describes. Shared by durable open,
+/// follower open, and mid-run snapshot installation on a follower.
+fn rebuild_state(
+    kind: EngineKind,
+    n: usize,
+    snapshot: Option<SnapshotState>,
+    ops: Vec<(Lsn, WalOp)>,
+) -> (Vocabulary, Vec<Broker>) {
+    let mut vocab = Vocabulary::new();
+    let mut brokers: Vec<Broker> = (0..n)
+        .map(|i| {
+            Broker::new(kind)
+                .with_id_lane(i as u32, n as u32)
+                .without_event_store()
+        })
+        .collect();
+
+    if let Some(snap) = snapshot {
+        // Re-interning in stored (id) order reproduces identical ids,
+        // so AttrId/Symbol references inside subscriptions stay valid.
+        for name in &snap.attrs {
+            vocab.attr(name);
+        }
+        for s in &snap.strings {
+            vocab.string(s);
+        }
+        let mut per_shard: Vec<Vec<(SubscriptionId, Subscription, Validity)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (id, sub, validity) in snap.subs {
+            per_shard[id.0 as usize % n].push((id, sub, validity));
+        }
+        for (broker, entries) in brokers.iter_mut().zip(per_shard) {
+            broker.restore(entries, snap.now);
+        }
+        for broker in &mut brokers {
+            // Ids assigned before the snapshot but already retired are
+            // absent from it; never reissue them to new subscribers.
+            broker.reserve_ids_below(snap.high_water_id);
+        }
+    }
+
+    // Replay the WAL tail. Per-shard op order matches the original apply
+    // order because live mutations append under the owning shard's lock
+    // (clock advances under all of them).
+    for (_lsn, op) in ops {
+        match op {
+            WalOp::InternAttr(name) => {
+                vocab.attr(&name);
+            }
+            WalOp::InternString(s) => {
+                vocab.string(&s);
+            }
+            WalOp::Subscribe { id, sub, validity } => {
+                brokers[id.0 as usize % n].restore_subscription(id, sub, validity);
+            }
+            WalOp::Unsubscribe(id) => {
+                brokers[id.0 as usize % n].unsubscribe(id);
+            }
+            WalOp::AdvanceTo(t) => {
+                for broker in brokers.iter_mut() {
+                    // `t == now` advances are real (they expire stale
+                    // validities); the `<` guard only tolerates logs
+                    // recovered under the skip policy, where a surviving
+                    // op may predate the clock.
+                    if t >= broker.now() {
+                        broker.advance_to(t);
+                    }
+                }
+            }
+        }
+    }
+    (vocab, brokers)
 }
 
 /// A cloneable, thread-safe broker handle with per-shard locking.
@@ -293,6 +375,7 @@ impl SharedBroker {
                 next_shard: AtomicUsize::new(0),
                 backpressure,
                 durable: None,
+                follower: AtomicBool::new(false),
                 kind,
                 mode,
                 published: RcuCell::new(Arc::new(BrokerSnapshot {
@@ -345,70 +428,7 @@ impl SharedBroker {
             ops,
             report,
         } = recovered;
-
-        let mut vocab = Vocabulary::new();
-        let mut brokers: Vec<Broker> = (0..n)
-            .map(|i| {
-                Broker::new(kind)
-                    .with_id_lane(i as u32, n as u32)
-                    .without_event_store()
-            })
-            .collect();
-
-        if let Some(snap) = snapshot {
-            // Re-interning in stored (id) order reproduces identical ids,
-            // so AttrId/Symbol references inside subscriptions stay valid.
-            for name in &snap.attrs {
-                vocab.attr(name);
-            }
-            for s in &snap.strings {
-                vocab.string(s);
-            }
-            let mut per_shard: Vec<Vec<(SubscriptionId, Subscription, Validity)>> =
-                (0..n).map(|_| Vec::new()).collect();
-            for (id, sub, validity) in snap.subs {
-                per_shard[id.0 as usize % n].push((id, sub, validity));
-            }
-            for (broker, entries) in brokers.iter_mut().zip(per_shard) {
-                broker.restore(entries, snap.now);
-            }
-            for broker in &mut brokers {
-                // Ids assigned before the snapshot but already retired are
-                // absent from it; never reissue them to new subscribers.
-                broker.reserve_ids_below(snap.high_water_id);
-            }
-        }
-
-        // Replay the WAL tail. Per-shard op order matches the original apply
-        // order because live mutations append under the owning shard's lock
-        // (clock advances under all of them).
-        for (_lsn, op) in ops {
-            match op {
-                WalOp::InternAttr(name) => {
-                    vocab.attr(&name);
-                }
-                WalOp::InternString(s) => {
-                    vocab.string(&s);
-                }
-                WalOp::Subscribe { id, sub, validity } => {
-                    brokers[id.0 as usize % n].restore_subscription(id, sub, validity);
-                }
-                WalOp::Unsubscribe(id) => {
-                    brokers[id.0 as usize % n].unsubscribe(id);
-                }
-                WalOp::AdvanceTo(t) => {
-                    for broker in brokers.iter_mut() {
-                        // `t == now` advances are real (they expire stale
-                        // validities); the `<` guard only tolerates logs
-                        // recovered under the skip policy, where a surviving
-                        // op may predate the clock.
-                        if t >= broker.now() {
-                            broker.advance_to(t);
-                        }
-                    }
-                }
-            }
-        }
+        let (vocab, brokers) = rebuild_state(kind, n, snapshot, ops);
 
         // Freeze the recovered state as the first published snapshot, so
         // lock-free publishes see the pre-crash subscription set from the
@@ -433,6 +453,7 @@ impl SharedBroker {
                     cause: Mutex::new(None),
                     recovery: report,
                 }),
+                follower: AtomicBool::new(false),
                 kind,
                 mode: PublishMode::default(),
                 published: RcuCell::new(Arc::new(BrokerSnapshot {
@@ -443,6 +464,37 @@ impl SharedBroker {
                 rcu_stats: RcuStatsAgg::default(),
             }),
         };
+        Ok((broker, report))
+    }
+
+    /// Opens a **replication follower**: a durable broker whose WAL
+    /// directory replicates a remote leader's log. The broker serves
+    /// matching (publishes are read-only) but refuses every local mutation
+    /// with [`BrokerError::Follower`]; state changes arrive exclusively via
+    /// [`SharedBroker::apply_replicated`] /
+    /// [`SharedBroker::install_replicated_snapshot`], and
+    /// [`SharedBroker::promote`] turns it into a writable leader.
+    ///
+    /// The directory is branded with a follower marker file. A directory
+    /// holding durable history written by a *non*-follower is refused
+    /// ([`BrokerError::ForeignHistory`]): tailing a leader into it would
+    /// interleave two unrelated logs.
+    pub fn open_follower(
+        kind: EngineKind,
+        shards: usize,
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), BrokerError> {
+        let dir = dir.as_ref();
+        if replication::dir_has_history(dir).map_err(BrokerError::Recovery)?
+            && !replication::is_follower_dir(dir)
+        {
+            return Err(BrokerError::ForeignHistory(dir.to_path_buf()));
+        }
+        replication::mark_follower(dir).map_err(BrokerError::Replication)?;
+        let (broker, report) =
+            Self::open_durable_with(kind, shards, Backpressure::Block, dir, config)?;
+        broker.inner.follower.store(true, Ordering::Release);
         Ok((broker, report))
     }
 
@@ -563,6 +615,11 @@ impl SharedBroker {
         if let Some(id) = vocab.attrs.get(name) {
             return id;
         }
+        assert!(
+            !self.is_follower(),
+            "interning a new name on a replication follower would fork its \
+             vocabulary from the leader's; use lookup_attr / read_vocab"
+        );
         self.log_intern(|| WalOp::InternAttr(name.to_string()));
         vocab.attr(name)
     }
@@ -574,8 +631,33 @@ impl SharedBroker {
         if let Some(sym) = vocab.strings.get(s) {
             return Value::Str(sym);
         }
+        assert!(
+            !self.is_follower(),
+            "interning a new string on a replication follower would fork its \
+             vocabulary from the leader's; use lookup_string / read_vocab"
+        );
         self.log_intern(|| WalOp::InternString(s.to_string()));
         vocab.string(s)
+    }
+
+    /// Resolves an attribute name without interning — the publish-side
+    /// lookup a replication follower must use: a name the leader never
+    /// interned cannot appear in any subscription, so an event pair naming
+    /// it can simply be dropped (it can match nothing).
+    pub fn lookup_attr(&self, name: &str) -> Option<AttrId> {
+        self.inner.vocab.lock().attrs.get(name)
+    }
+
+    /// Resolves a string value without interning (see
+    /// [`SharedBroker::lookup_attr`] for why followers need this).
+    pub fn lookup_string(&self, s: &str) -> Option<Value> {
+        self.inner.vocab.lock().strings.get(s).map(Value::Str)
+    }
+
+    /// Runs `f` with read-only access to the shared vocabulary. Safe on
+    /// followers (cannot intern, so cannot fork the replicated history).
+    pub fn read_vocab<R>(&self, f: impl FnOnce(&Vocabulary) -> R) -> R {
+        f(&self.inner.vocab.lock())
     }
 
     /// Logs an interning op on durable brokers, degrading silently on
@@ -601,6 +683,13 @@ impl SharedBroker {
         let attrs_before = vocab.attrs.universe();
         let strings_before = vocab.strings.len();
         let out = f(&mut vocab);
+        assert!(
+            !self.is_follower()
+                || (vocab.attrs.universe() == attrs_before
+                    && vocab.strings.len() == strings_before),
+            "interning new entries on a replication follower would fork its \
+             vocabulary from the leader's; use read_vocab"
+        );
         for raw in attrs_before..vocab.attrs.universe() {
             let name = vocab.attrs.name(AttrId(raw as u32)).to_string();
             self.log_intern(move || WalOp::InternAttr(name));
@@ -635,6 +724,7 @@ impl SharedBroker {
         sub: Subscription,
         validity: Validity,
     ) -> Result<SubscriptionId, BrokerError> {
+        self.check_writable()?;
         let mut writer = self.writer_lock();
         let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.shard_count();
         let mut broker = self.inner.shards[shard].lock();
@@ -677,6 +767,7 @@ impl SharedBroker {
     /// A miss (unknown or already-removed id) returns `Ok(false)` without
     /// logging anything.
     pub fn try_unsubscribe(&self, id: SubscriptionId) -> Result<bool, BrokerError> {
+        self.check_writable()?;
         let mut writer = self.writer_lock();
         let shard = self.shard_of(id);
         let mut broker = self.inner.shards[shard].lock();
@@ -940,6 +1031,7 @@ impl SharedBroker {
     /// locks). Also the automatic-snapshot trigger point: with every lock
     /// already held, a due snapshot costs no extra synchronisation.
     fn advance_locked(&self, t: Option<LogicalTime>) -> Result<usize, BrokerError> {
+        self.check_writable()?;
         let mut writer = self.writer_lock();
         // The vocabulary lock is only needed for a potential auto-snapshot,
         // but the global lock order (writer < vocab < shards < wal) requires
@@ -1005,6 +1097,21 @@ impl SharedBroker {
         self.inner.durable.is_some()
     }
 
+    /// Whether this broker is a replication follower (read-only replica of
+    /// a remote leader; see [`SharedBroker::open_follower`]).
+    pub fn is_follower(&self) -> bool {
+        self.inner.follower.load(Ordering::Acquire)
+    }
+
+    /// Refuses local mutations on a replication follower.
+    fn check_writable(&self) -> Result<(), BrokerError> {
+        if self.is_follower() {
+            Err(BrokerError::Follower)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Whether a durability write has failed, flipping the broker into
     /// read-only degraded mode (always `false` for in-memory brokers).
     pub fn is_degraded(&self) -> bool {
@@ -1037,6 +1144,7 @@ impl SharedBroker {
                 next_lsn: wal.next_lsn(),
                 ops_since_snapshot: wal.ops_since_snapshot(),
                 degraded: d.degraded.load(Ordering::Acquire),
+                follower: self.is_follower(),
                 degraded_cause: d.cause.lock().clone(),
                 recovery: d.recovery,
             }
@@ -1050,6 +1158,7 @@ impl SharedBroker {
     /// [`DurabilityConfig::snapshot_every_ops`] or call this in quiet
     /// periods. Returns the snapshot file path.
     pub fn snapshot(&self) -> Result<PathBuf, BrokerError> {
+        self.check_writable()?;
         let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
         durable.check()?;
         let vocab = self.inner.vocab.lock();
@@ -1067,6 +1176,176 @@ impl SharedBroker {
                 }
             }
         }
+    }
+
+    // ---- replication (follower side) -------------------------------------
+
+    /// Applies a batch of replicated record payloads: each is decoded,
+    /// appended to the local WAL (write-ahead, exactly like a local
+    /// mutation), applied in memory, and the whole batch becomes visible to
+    /// publishers in **one** RCU snapshot flip. Returns the LSN the next
+    /// batch must start at.
+    ///
+    /// The batch must start exactly at the local log's append position:
+    /// anything else means the stream and the replica have diverged
+    /// ([`BrokerError::ReplicationGap`] — nothing is applied). A payload
+    /// that fails to decode refuses the whole remainder
+    /// ([`BrokerError::Replication`]); payloads already appended stay
+    /// applied, and the returned error leaves the log at a record boundary.
+    pub fn apply_replicated(
+        &self,
+        first_lsn: Lsn,
+        payloads: &[Vec<u8>],
+    ) -> Result<Lsn, BrokerError> {
+        let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
+        if !self.is_follower() {
+            return Err(BrokerError::NotFollower);
+        }
+        let mut writer = self.writer_lock();
+        let mut vocab = self.inner.vocab.lock();
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        durable.check()?;
+        let mut wal = durable.wal.lock();
+        let expected = wal.next_lsn();
+        if first_lsn != expected {
+            return Err(BrokerError::ReplicationGap {
+                expected,
+                got: first_lsn,
+            });
+        }
+        let n = guards.len();
+        let kind = self.inner.kind;
+        for (i, payload) in payloads.iter().enumerate() {
+            let lsn = first_lsn + i as u64;
+            let op = WalOp::decode(payload).map_err(|e| {
+                BrokerError::Replication(WalError::Corrupt {
+                    segment: lsn,
+                    offset: 0,
+                    detail: format!("undecodable replicated record: {e}"),
+                })
+            })?;
+            // Write-ahead, same as a local mutation: an op that fails to
+            // log is never applied, so the replica stays a prefix of the
+            // leader's acknowledged history.
+            if let Err(e) = wal.append(&op) {
+                return Err(durable.degrade(e));
+            }
+            match op {
+                WalOp::InternAttr(name) => {
+                    vocab.attr(&name);
+                }
+                WalOp::InternString(s) => {
+                    vocab.string(&s);
+                }
+                WalOp::Subscribe { id, sub, validity } => {
+                    let shard = id.0 as usize % n;
+                    let arc = writer.is_some().then(|| Arc::new(sub.clone()));
+                    let broker = &mut *guards[shard];
+                    broker.restore_subscription(id, sub, validity);
+                    if let Some(snaps) = writer.as_deref_mut() {
+                        snaps[shard].note_insert(id, arc.expect("built above"), broker, kind);
+                    }
+                }
+                WalOp::Unsubscribe(id) => {
+                    let shard = id.0 as usize % n;
+                    let broker = &mut *guards[shard];
+                    if broker.unsubscribe(id) {
+                        if let Some(snaps) = writer.as_deref_mut() {
+                            snaps[shard].note_remove(id, broker, kind);
+                        }
+                    }
+                }
+                WalOp::AdvanceTo(t) => {
+                    let mut expired = Vec::new();
+                    for (shard, broker) in guards.iter_mut().enumerate() {
+                        if t >= broker.now() {
+                            expired.clear();
+                            broker.advance_to_collect(t, Some(&mut expired));
+                            if let Some(snaps) = writer.as_deref_mut() {
+                                for &eid in &expired {
+                                    snaps[shard].note_remove(eid, broker, kind);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let next = wal.next_lsn();
+        drop(wal);
+        drop(guards);
+        if !payloads.is_empty() {
+            if let Some(snaps) = writer.as_deref() {
+                self.flip(snaps);
+            }
+        }
+        Ok(next)
+    }
+
+    /// Installs a leader snapshot mid-run (the catch-up path: the
+    /// follower's position predates the leader's oldest retained segment).
+    /// Validates the raw snapshot-file bytes, installs them atomically into
+    /// the WAL directory, reopens the log at `lsn`, and rebuilds the entire
+    /// in-memory state — one stop-the-world swap, published to lock-free
+    /// readers as a single snapshot flip. Streaming resumes at `lsn`.
+    pub fn install_replicated_snapshot(&self, lsn: Lsn, bytes: &[u8]) -> Result<(), BrokerError> {
+        let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
+        if !self.is_follower() {
+            return Err(BrokerError::NotFollower);
+        }
+        let mut writer = self.writer_lock();
+        let mut vocab = self.inner.vocab.lock();
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        durable.check()?;
+        let mut wal = durable.wal.lock();
+        let dir = wal.dir().to_path_buf();
+        let config = *wal.config();
+        replication::install_snapshot(&dir, lsn, bytes).map_err(BrokerError::Replication)?;
+        let (new_wal, recovered) = Wal::open(&dir, config).map_err(BrokerError::Recovery)?;
+        *wal = new_wal;
+        let n = guards.len();
+        let (new_vocab, brokers) =
+            rebuild_state(self.inner.kind, n, recovered.snapshot, recovered.ops);
+        *vocab = new_vocab;
+        for (guard, broker) in guards.iter_mut().zip(brokers) {
+            **guard = broker;
+        }
+        if let Some(snaps) = writer.as_deref_mut() {
+            for (snap, guard) in snaps.iter_mut().zip(guards.iter()) {
+                snap.rebuild_from(guard, self.inner.kind);
+            }
+            drop(wal);
+            drop(guards);
+            self.flip(snaps);
+        }
+        Ok(())
+    }
+
+    /// Promotes this follower to a writable leader (failover): seals the
+    /// replicated tail (fsync), clears the directory's follower marker, and
+    /// flips the role. The id high-water survives — every id the old leader
+    /// ever issued (and that replicated here) is reserved, so a dead id is
+    /// never reissued to a new subscriber. Returns the LSN the first
+    /// post-promotion mutation will receive.
+    pub fn promote(&self) -> Result<Lsn, BrokerError> {
+        let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
+        if !self.is_follower() {
+            return Err(BrokerError::NotFollower);
+        }
+        let _writer = self.writer_lock();
+        let _vocab = self.inner.vocab.lock();
+        let _guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        durable.check()?;
+        let mut wal = durable.wal.lock();
+        if let Err(e) = wal.sync() {
+            drop(wal);
+            return Err(durable.degrade(e));
+        }
+        replication::clear_follower_mark(wal.dir()).map_err(BrokerError::Replication)?;
+        let next = wal.next_lsn();
+        drop(wal);
+        self.inner.follower.store(false, Ordering::Release);
+        Ok(next)
     }
 
     // ---- escape hatch ----------------------------------------------------

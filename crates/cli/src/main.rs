@@ -40,8 +40,12 @@
 //! Two subcommands run instead of the REPL (see DESIGN.md §13):
 //!
 //! * `pubsub serve [engine] --addr <host:port> [--shards N] [--backpressure
-//!   <policy>] [--publish-mode rcu|locked] [--queue-cap N] [--durable dir]`
-//!   — the network-facing broker server.
+//!   <policy>] [--publish-mode rcu|locked] [--queue-cap N] [--durable dir]
+//!   [--follow <leader:port>] [--session-ttl <secs>]` — the network-facing
+//!   broker server. `--follow` (requires `--durable` for the replica's
+//!   local log) starts a read-only follower tailing the leader's WAL; the
+//!   serve console then answers `repl status [--json]` and `promote`.
+//!   `--session-ttl` reaps sessions that stay detached past the TTL.
 //! * `pubsub netload --addr <host:port> [--subscribers N] [--subs N]
 //!   [--events N] [--values N] [--seed S] [--json path] [--min-rps X]` —
 //!   the end-to-end load generator.
@@ -557,7 +561,8 @@ impl Cli {
         if json {
             // Keys in ascending order, pubsub-workload::json conventions.
             let mut out = format!(
-                "{{\"checks\":{},\"durability\":{{\"degraded\":{},\"dir\":{:?},\"next_lsn\":{},\
+                "{{\"checks\":{},\"durability\":{{\"degraded\":{},\"dir\":{:?},\"follower\":{},\
+                 \"next_lsn\":{},\
                  \"ops_since_snapshot\":{},\"recovery\":{{\"bytes_abandoned\":{},\
                  \"records_replayed\":{},\"records_skipped\":{},\"segments_removed\":{},\
                  \"segments_scanned\":{},\"snapshot_lsn\":{},\"snapshots_discarded\":{},\
@@ -565,6 +570,7 @@ impl Cli {
                 s.subscriptions_checked,
                 d.degraded,
                 d.dir.display().to_string(),
+                d.follower,
                 d.next_lsn,
                 d.ops_since_snapshot,
                 d.recovery.bytes_abandoned,
@@ -605,7 +611,7 @@ impl Cli {
         let mut out = format!(
             "engine {name} (durable)  subscriptions {}  events {}  checks/event {:.1}  matches {}\n\
              shards {}  per-shard subscriptions {counts:?}\n\
-             durability: dir {}  next-lsn {}  since-snapshot {}  degraded {}\n\
+             durability: dir {}  next-lsn {}  since-snapshot {}  degraded {}  role {}\n\
              recovery: replayed {}  skipped {}  torn-truncated {}  snapshots-discarded {}  \
              segments-scanned {}",
             shared.subscription_count(),
@@ -617,6 +623,7 @@ impl Cli {
             d.next_lsn,
             d.ops_since_snapshot,
             if d.degraded { "YES" } else { "no" },
+            if d.follower { "follower" } else { "leader" },
             d.recovery.records_replayed,
             d.recovery.records_skipped,
             d.recovery
@@ -815,15 +822,60 @@ commands:
                  action panic|corrupt|fail|delay=<ms>, schedule
                  nth=<n>|every=<n>|seed=<seed>,<ppm>; points include
                  core.sharded.worker.op, core.sharded.worker.match,
-                 core.sharded.spawn (lane = shard index), and the durability
+                 core.sharded.spawn (lane = shard index), the durability
                  points durability.wal.append, durability.wal.fsync,
                  durability.wal.rotate, durability.wal.read,
-                 durability.snapshot.write
+                 durability.snapshot.write, the server points
+                 net.server.accept, net.server.handshake,
+                 net.server.frame.read, net.server.frame.write, and the
+                 replication points net.repl.accept, net.repl.stream.read,
+                 net.repl.apply, net.repl.snapshot.fetch
   help           this text
   quit           exit";
 
+/// Opens the replica broker behind `serve --follow`. The directory must be
+/// empty, absent, or a directory this (or a previous) follower already
+/// owned: pointing `--follow` at an existing leader WAL would interleave
+/// two unrelated logs, so that case is a typed refusal
+/// ([`pubsub_broker::BrokerError::ForeignHistory`]) rather than a fork.
+fn open_follower_broker(
+    kind: EngineKind,
+    shards: usize,
+    dir: &std::path::Path,
+) -> Result<(SharedBroker, pubsub_durability::RecoveryReport), String> {
+    SharedBroker::open_follower(kind, shards.max(1), dir, DurabilityConfig::default())
+        .map_err(|e| e.to_string())
+}
+
+/// One-line human rendering of a follower's [`pubsub_net::ReplStatus`] for
+/// the `repl status` serve command.
+fn repl_status_line(s: &pubsub_net::ReplStatus) -> String {
+    let yesno = |b: bool| if b { "yes" } else { "no" };
+    let opt = |v: Option<u64>| v.map_or("?".to_string(), |v| v.to_string());
+    format!(
+        "replication: role {}  connected {}  stale {}  applied {}  leader {}  lag {}  \
+         last-contact {}  connects {}",
+        if s.promoted {
+            "leader(promoted)"
+        } else {
+            "follower"
+        },
+        yesno(s.connected),
+        yesno(s.stale),
+        s.next_lsn,
+        opt(s.leader_next_lsn),
+        opt(s.lag),
+        s.millis_since_contact
+            .map_or("never".to_string(), |ms| format!("{ms}ms")),
+        s.connects,
+    )
+}
+
 /// `pubsub serve`: run the network-facing broker server until `quit` on
 /// stdin (or forever when stdin is closed, e.g. backgrounded in a script).
+/// With `--follow <addr>` the broker comes up as a read-only replica
+/// tailing that leader's WAL; the stdin commands `repl status [--json]`
+/// and `promote` then drive failover.
 fn serve_main(args: impl Iterator<Item = String>) {
     let mut kind = EngineKind::Dynamic;
     let mut shards = pubsub_core::default_shards();
@@ -832,6 +884,8 @@ fn serve_main(args: impl Iterator<Item = String>) {
     let mut addr = String::from("127.0.0.1:7171");
     let mut queue_cap = 256usize;
     let mut durable_dir: Option<PathBuf> = None;
+    let mut follow: Option<String> = None;
+    let mut session_ttl: Option<std::time::Duration> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -867,11 +921,35 @@ fn serve_main(args: impl Iterator<Item = String>) {
             "--durable" => {
                 durable_dir = Some(PathBuf::from(args.next().expect("--durable needs a dir")));
             }
+            "--follow" => {
+                follow = Some(args.next().expect("--follow needs the leader host:port"));
+            }
+            "--session-ttl" => {
+                let secs: f64 = args
+                    .next()
+                    .expect("--session-ttl needs seconds")
+                    .parse()
+                    .expect("seconds (fractional ok)");
+                session_ttl = Some(std::time::Duration::from_secs_f64(secs));
+            }
             other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
         }
     }
-    let broker = match &durable_dir {
-        Some(dir) => {
+    let broker = match (&follow, &durable_dir) {
+        (Some(_), None) => {
+            panic!("--follow needs --durable <dir> for the replica's local log")
+        }
+        (Some(_), Some(dir)) => {
+            let (broker, report) =
+                open_follower_broker(kind, shards, dir).unwrap_or_else(|e| panic!("{e}"));
+            println!(
+                "replica recovered {} op(s) from {}",
+                report.records_replayed,
+                dir.display()
+            );
+            broker
+        }
+        (None, Some(dir)) => {
             let (broker, report) = SharedBroker::open_durable_with(
                 kind,
                 shards.max(1),
@@ -887,7 +965,9 @@ fn serve_main(args: impl Iterator<Item = String>) {
             );
             broker
         }
-        None => SharedBroker::with_publish_mode(kind, shards.max(1), backpressure, publish_mode),
+        (None, None) => {
+            SharedBroker::with_publish_mode(kind, shards.max(1), backpressure, publish_mode)
+        }
     };
     if let Some(warning) = broker.config_warning() {
         eprintln!("warning: {warning}");
@@ -899,10 +979,23 @@ fn serve_main(args: impl Iterator<Item = String>) {
     let config = pubsub_net::ServerConfig {
         queue_capacity: queue_cap,
         delivery: backpressure,
+        session_ttl,
         ..pubsub_net::ServerConfig::default()
     };
-    let server = pubsub_net::Server::start_with(std::sync::Arc::new(broker), addr.as_str(), config)
-        .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    let broker = std::sync::Arc::new(broker);
+    let server =
+        pubsub_net::Server::start_with(std::sync::Arc::clone(&broker), addr.as_str(), config)
+            .unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    let follower = follow.map(|leader| {
+        let f = pubsub_net::Follower::start(
+            std::sync::Arc::clone(&broker),
+            leader.as_str(),
+            pubsub_net::FollowerConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("follow {leader}: {e}"));
+        println!("following {leader} (read-only until `promote`)");
+        f
+    });
     println!(
         "fastpubsub serving {} x {} shard(s) on {} (delivery: {}). `quit` to stop.",
         kind.label(),
@@ -919,12 +1012,35 @@ fn serve_main(args: impl Iterator<Item = String>) {
             Ok(0) | Err(_) => loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
             },
-            Ok(_) => {
-                if matches!(line.trim(), "quit" | "exit") {
-                    break;
-                }
-            }
+            Ok(_) => match line.trim() {
+                "quit" | "exit" => break,
+                "" => {}
+                "repl status" | "repl status --json" => match &follower {
+                    Some(f) => {
+                        let status = f.status();
+                        if line.contains("--json") {
+                            println!("{}", status.to_json());
+                        } else {
+                            println!("{}", repl_status_line(&status));
+                        }
+                    }
+                    None => println!("error: not a follower (start with --follow <leader>)"),
+                },
+                "promote" => match &follower {
+                    Some(f) => match f.promote() {
+                        Ok(lsn) => println!("promoted: writable, next lsn {lsn}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("error: not a follower (start with --follow <leader>)"),
+                },
+                other => println!(
+                    "unknown serve command `{other}` (known: repl status [--json], promote, quit)"
+                ),
+            },
         }
+    }
+    if let Some(f) = &follower {
+        f.stop();
     }
     server.shutdown();
 }
@@ -1350,7 +1466,7 @@ mod tests {
         let r = run(&mut cli, "stats");
         assert!(r.contains("(durable)"), "{r}");
         assert!(r.contains("durability: dir"), "{r}");
-        assert!(r.contains("degraded no"), "{r}");
+        assert!(r.contains("degraded no  role leader"), "{r}");
         assert!(r.contains("recovery: replayed 0"), "{r}");
         // The durable backend publishes through the RCU snapshot: the
         // matching work must show up in the aggregate even though the shard
@@ -1361,7 +1477,10 @@ mod tests {
         let r = run(&mut cli, "stats --json");
         assert!(r.starts_with("{\"checks\":"), "{r}");
         assert!(r.contains("\"durability\":{\"degraded\":false"), "{r}");
-        assert!(r.contains("\"next_lsn\":2"), "two ops logged: {r}");
+        assert!(
+            r.contains("\"follower\":false,\"next_lsn\":2"),
+            "two ops logged: {r}"
+        );
         assert!(r.contains("\"recovery\":{\"bytes_abandoned\":0"), "{r}");
         assert!(r.contains("\"events\":1"), "{r}");
         assert!(r.contains("\"rcu\":{\"active_readers\":0"), "{r}");
@@ -1374,6 +1493,62 @@ mod tests {
         assert!(r.find("\"phase2_nanos\"").unwrap() < r.find("\"rcu\"").unwrap());
         assert!(r.find("\"rcu\"").unwrap() < r.find("\"shards\"").unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_follow_refuses_foreign_history() {
+        // Satellite guard: a WAL directory with real (non-follower) durable
+        // history must not be followed into — that would interleave the
+        // local log with the leader's. The refusal is typed, not a panic.
+        let dir = temp_dir("foreign");
+        let mut cli = durable_cli(&dir);
+        run(&mut cli, "sub a = 1");
+        drop(cli);
+        let err = match open_follower_broker(EngineKind::Dynamic, 2, &dir) {
+            Err(e) => e,
+            Ok(_) => panic!("foreign history must be refused"),
+        };
+        assert!(err.contains("non-follower durable history"), "{err}");
+
+        // A fresh directory opens fine and is branded; reopening the same
+        // (now follower-marked) directory also works.
+        let fresh = temp_dir("follower-home");
+        let (broker, _) = open_follower_broker(EngineKind::Dynamic, 2, &fresh).unwrap();
+        assert!(broker.is_follower());
+        assert!(broker.durability().unwrap().follower);
+        drop(broker);
+        let (broker, _) = open_follower_broker(EngineKind::Dynamic, 2, &fresh).unwrap();
+        assert!(broker.is_follower());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&fresh).unwrap();
+    }
+
+    #[test]
+    fn repl_status_line_renders_both_roles() {
+        let mut status = pubsub_net::ReplStatus {
+            next_lsn: 42,
+            leader_next_lsn: Some(44),
+            lag: Some(2),
+            connected: true,
+            stale: false,
+            millis_since_contact: Some(12),
+            connects: 3,
+            promoted: false,
+        };
+        assert_eq!(
+            repl_status_line(&status),
+            "replication: role follower  connected yes  stale no  applied 42  leader 44  \
+             lag 2  last-contact 12ms  connects 3"
+        );
+        status.promoted = true;
+        status.leader_next_lsn = None;
+        status.lag = None;
+        status.millis_since_contact = None;
+        assert_eq!(
+            repl_status_line(&status),
+            "replication: role leader(promoted)  connected yes  stale no  applied 42  \
+             leader ?  lag ?  last-contact never  connects 3"
+        );
     }
 
     #[test]

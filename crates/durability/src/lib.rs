@@ -36,10 +36,12 @@
 #![warn(clippy::all)]
 
 pub mod record;
+pub mod replication;
 pub mod snapshot;
 pub mod wal;
 
 pub use record::{Lsn, WalOp};
+pub use replication::TailChunk;
 pub use snapshot::SnapshotState;
 pub use wal::{Recovered, RecoveryReport, SegmentReport, SnapshotReport, Wal, WalReport};
 

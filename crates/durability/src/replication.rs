@@ -1,0 +1,636 @@
+//! WAL shipping: reading a live log as a replication stream.
+//!
+//! PR 5's segmented WAL is already a replication stream in waiting — every
+//! broker mutation is a framed, checksummed, densely-LSN'd record. This
+//! module adds the read side a **leader** needs to serve that stream and a
+//! **follower** needs to consume it:
+//!
+//! * [`read_tail`] — one poll of a WAL directory from a follower's position.
+//!   Returns raw record payloads (byte-faithful: the follower re-frames them
+//!   with the same `len`+`crc32c` framing, so both logs stay bit-comparable),
+//!   or one of three non-data outcomes: *caught up* (at the live end),
+//!   *incomplete* (a record at the live tail is mid-write — **retry, not
+//!   corruption**), or *snapshot required* (the position predates the oldest
+//!   retained segment; compaction already retired those records).
+//! * [`snapshot_for_catchup`] / [`install_snapshot`] — whole-file snapshot
+//!   transfer for the catch-up path. The leader serves its newest valid
+//!   snapshot's raw bytes; the follower validates them (magic, CRC, LSN
+//!   agreement) and installs atomically (temp + rename), after which a
+//!   normal [`crate::Wal::open`] recovers from it and the record stream
+//!   resumes at the snapshot LSN.
+//! * [`mark_follower`] / [`is_follower_dir`] / [`clear_follower_mark`] — a
+//!   marker file distinguishing a follower's WAL directory from a leader's,
+//!   so `serve --follow` can refuse to interleave an unrelated history, and
+//!   promotion can turn the directory back into a plain durable one.
+//!
+//! # Torn tail vs. live tail
+//!
+//! [`crate::Wal::open`] treats damage in the last segment as a torn tail and
+//! truncates it — correct at recovery time, when no writer is alive. A
+//! replication tailer reads *while the leader appends*: a record that ends
+//! past the bytes currently on disk is most likely an append in flight, and
+//! truncating (or calling it corruption) would be wrong. [`read_tail`]
+//! therefore classifies short reads at the end of the **last** segment as
+//! [`TailChunk::Incomplete`]; everything else (CRC mismatch, implausible
+//! length, damage behind later data) stays an error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pubsub_types::codec;
+use pubsub_types::metrics::Counter;
+
+use crate::record::{Lsn, MAX_RECORD_BYTES, RECORD_HEADER_BYTES};
+use crate::snapshot;
+use crate::wal::{self, SEGMENT_HEADER_BYTES};
+use crate::WalError;
+
+/// Record payloads served to followers (`repl.records_served`).
+pub static REPL_RECORDS_SERVED: Counter = Counter::new("repl.records_served");
+/// Catch-up snapshots served to followers (`repl.snapshots_served`).
+pub static REPL_SNAPSHOTS_SERVED: Counter = Counter::new("repl.snapshots_served");
+/// Polls that found an incomplete record at the live tail
+/// (`repl.tail_incomplete`).
+pub static REPL_TAIL_INCOMPLETE: Counter = Counter::new("repl.tail_incomplete");
+
+/// Name of the marker file that brands a WAL directory as follower-owned.
+pub const FOLLOWER_MARKER: &str = "FOLLOWER";
+
+/// One poll of a leader's log from a follower's position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailChunk {
+    /// Raw record payloads with dense LSNs starting at `first_lsn`. The
+    /// payloads are exactly what [`crate::WalOp::encode`] produced (no
+    /// framing); `segment_first` is the first LSN of the segment the batch
+    /// starts in, so a serving loop can announce segment boundaries.
+    Records {
+        /// First LSN of the segment containing the first payload.
+        segment_first: Lsn,
+        /// LSN of the first payload; the rest follow densely.
+        first_lsn: Lsn,
+        /// Record payloads in LSN order.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// The position is at the live end of the log: nothing to ship.
+    CaughtUp {
+        /// The LSN the next appended record will receive.
+        next_lsn: Lsn,
+    },
+    /// A record at the live tail is incomplete — the leader is mid-append
+    /// (or crashed mid-append and has not yet recovered). Retry; this is
+    /// not corruption.
+    Incomplete {
+        /// LSN of the record observed incomplete (everything below it was
+        /// already shipped or shippable).
+        next_lsn: Lsn,
+    },
+    /// `from` predates the oldest retained segment: compaction already
+    /// retired those records, so the follower must install the snapshot
+    /// covering `snapshot_lsn` first and resume streaming from there.
+    SnapshotRequired {
+        /// LSN the newest usable snapshot covers.
+        snapshot_lsn: Lsn,
+    },
+}
+
+/// Damage found while scanning raw records.
+struct RawDamage {
+    /// `true` when the record simply ran off the end of the file (a write
+    /// in flight); `false` for real damage (CRC mismatch, implausible
+    /// length).
+    torn: bool,
+    offset: u64,
+    detail: String,
+}
+
+/// Reads one batch of raw record payloads from the log in `dir`, starting
+/// at LSN `from`, up to roughly `max_bytes` of payload (at least one record
+/// is returned if available, regardless of size).
+///
+/// Read-only: never truncates, never consults fault injection (the network
+/// layer has its own replication fault points). Concurrent rotation or
+/// compaction by the owning writer is tolerated — a segment that vanishes
+/// between listing and reading reports as [`TailChunk::Incomplete`] so the
+/// caller re-polls against the new directory state.
+pub fn read_tail(
+    dir: impl AsRef<Path>,
+    from: Lsn,
+    max_bytes: usize,
+) -> Result<TailChunk, WalError> {
+    let dir = dir.as_ref();
+    let (segments, snapshots) = wal::list_dir(dir)?;
+    let newest_snapshot = || -> Result<Option<Lsn>, WalError> {
+        for (lsn, path) in &snapshots {
+            if matches!(snapshot::read(path)?, Some((stored, _)) if stored == *lsn) {
+                return Ok(Some(*lsn));
+            }
+        }
+        Ok(None)
+    };
+
+    let Some((oldest, _)) = segments.first() else {
+        // No segments at all: an empty directory, or snapshot-only.
+        return Ok(match newest_snapshot()? {
+            Some(snap) if snap > from => TailChunk::SnapshotRequired { snapshot_lsn: snap },
+            Some(snap) => TailChunk::CaughtUp {
+                next_lsn: from.max(snap),
+            },
+            None => TailChunk::CaughtUp { next_lsn: from },
+        });
+    };
+    if from < *oldest {
+        // The records below `oldest` are gone; only a snapshot can bridge.
+        return match newest_snapshot()? {
+            Some(snap) if snap > from => Ok(TailChunk::SnapshotRequired { snapshot_lsn: snap }),
+            _ => Err(WalError::Corrupt {
+                segment: *oldest,
+                offset: 0,
+                detail: format!(
+                    "cannot serve LSN {from}: oldest retained segment starts at {oldest} \
+                     and no usable snapshot covers the gap"
+                ),
+            }),
+        };
+    }
+
+    let start_idx = segments
+        .iter()
+        .rposition(|(first, _)| *first <= from)
+        .unwrap_or(0);
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut segment_first = *oldest;
+    // One past the last complete record seen — the true log end as far as
+    // the scan got (NOT clamped to `from`: a diverged follower asking past
+    // the end must learn the real position).
+    let mut next = segments[start_idx].0;
+    let mut taken = 0usize;
+    let mut tail_incomplete = false;
+    'segments: for (i, (seg_first, path)) in segments.iter().enumerate().skip(start_idx) {
+        let is_last = i == segments.len() - 1;
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            // Compacted (or rotated away) under us: the directory changed;
+            // let the caller re-poll against the new listing.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                tail_incomplete = true;
+                break;
+            }
+            Err(e) => return Err(WalError::io("read", path, e)),
+        };
+        if bytes.len() < SEGMENT_HEADER_BYTES as usize {
+            // A header mid-write during rotation reads as a prefix.
+            if is_last {
+                tail_incomplete = true;
+                break;
+            }
+            return Err(WalError::Corrupt {
+                segment: *seg_first,
+                offset: bytes.len() as u64,
+                detail: "torn segment header behind later data".to_string(),
+            });
+        }
+        if let Err(detail) = wal::check_header(&bytes, *seg_first) {
+            return Err(WalError::Corrupt {
+                segment: *seg_first,
+                offset: 0,
+                detail,
+            });
+        }
+        let mut o = SEGMENT_HEADER_BYTES as usize;
+        let mut lsn = *seg_first;
+        while o < bytes.len() {
+            let outcome: Result<&[u8], RawDamage> = (|| {
+                if bytes.len() - o < RECORD_HEADER_BYTES as usize {
+                    return Err(RawDamage {
+                        torn: true,
+                        offset: o as u64,
+                        detail: "torn record header".to_string(),
+                    });
+                }
+                let len = u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+                let crc = u32::from_le_bytes(bytes[o + 4..o + 8].try_into().unwrap());
+                if len > MAX_RECORD_BYTES {
+                    return Err(RawDamage {
+                        torn: false,
+                        offset: o as u64,
+                        detail: format!("implausible record length {len}"),
+                    });
+                }
+                let body = o + RECORD_HEADER_BYTES as usize;
+                if bytes.len() - body < len as usize {
+                    return Err(RawDamage {
+                        torn: true,
+                        offset: o as u64,
+                        detail: "torn record payload".to_string(),
+                    });
+                }
+                let payload = &bytes[body..body + len as usize];
+                if codec::crc32c(payload) != crc {
+                    return Err(RawDamage {
+                        torn: false,
+                        offset: o as u64,
+                        detail: "crc mismatch".to_string(),
+                    });
+                }
+                Ok(payload)
+            })();
+            match outcome {
+                Ok(payload) => {
+                    if lsn >= from {
+                        if !payloads.is_empty() && taken + payload.len() > max_bytes {
+                            break 'segments;
+                        }
+                        if payloads.is_empty() {
+                            segment_first = *seg_first;
+                        }
+                        taken += payload.len();
+                        payloads.push(payload.to_vec());
+                    }
+                    o += RECORD_HEADER_BYTES as usize + payload.len();
+                    lsn += 1;
+                    next = lsn;
+                }
+                Err(damage) if damage.torn && is_last => {
+                    tail_incomplete = true;
+                    break 'segments;
+                }
+                Err(damage) => {
+                    return Err(WalError::Corrupt {
+                        segment: *seg_first,
+                        offset: damage.offset,
+                        detail: damage.detail,
+                    });
+                }
+            }
+        }
+    }
+
+    if !payloads.is_empty() {
+        REPL_RECORDS_SERVED.add(payloads.len() as u64);
+        let first_lsn = next - payloads.len() as u64;
+        return Ok(TailChunk::Records {
+            segment_first,
+            first_lsn,
+            payloads,
+        });
+    }
+    if tail_incomplete {
+        REPL_TAIL_INCOMPLETE.inc();
+        return Ok(TailChunk::Incomplete { next_lsn: next });
+    }
+    Ok(TailChunk::CaughtUp { next_lsn: next })
+}
+
+/// Returns the newest usable snapshot in `dir` as `(covered_lsn, raw file
+/// bytes)`, for serving to a catching-up follower. `None` when the
+/// directory holds no valid snapshot.
+pub fn snapshot_for_catchup(dir: impl AsRef<Path>) -> Result<Option<(Lsn, Vec<u8>)>, WalError> {
+    let (_, snapshots) = wal::list_dir(dir.as_ref())?;
+    for (lsn, path) in &snapshots {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(WalError::io("read snapshot", path, e)),
+        };
+        if matches!(snapshot::validate_bytes(&bytes), Some((stored, _)) if stored == *lsn) {
+            REPL_SNAPSHOTS_SERVED.inc();
+            return Ok(Some((*lsn, bytes)));
+        }
+    }
+    Ok(None)
+}
+
+/// Validates `bytes` as a snapshot file covering exactly `lsn` and installs
+/// it atomically into `dir` (temp + rename), returning the decoded state.
+///
+/// The follower side of snapshot catch-up: after installation a normal
+/// [`crate::Wal::open`] over `dir` recovers from this snapshot and appends
+/// resume at `lsn`. Existing older segments are left in place — recovery
+/// replays nothing below the newest snapshot, and the next compaction
+/// retires them.
+pub fn install_snapshot(
+    dir: impl AsRef<Path>,
+    lsn: Lsn,
+    bytes: &[u8],
+) -> Result<crate::SnapshotState, WalError> {
+    let dir = dir.as_ref();
+    let Some((stored, state)) = snapshot::validate_bytes(bytes) else {
+        return Err(WalError::Corrupt {
+            segment: lsn,
+            offset: 0,
+            detail: "snapshot transfer damaged in flight (bad magic, CRC, or payload)".to_string(),
+        });
+    };
+    if stored != lsn {
+        return Err(WalError::Corrupt {
+            segment: lsn,
+            offset: 0,
+            detail: format!("snapshot transfer covers LSN {stored}, expected {lsn}"),
+        });
+    }
+    fs::create_dir_all(dir).map_err(|e| WalError::io("create dir", dir, e))?;
+    let final_path = dir.join(snapshot::file_name(lsn));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot::file_name(lsn)));
+    fs::write(&tmp_path, bytes).map_err(|e| WalError::io("install snapshot", &tmp_path, e))?;
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| WalError::io("install snapshot", &final_path, e))?;
+    Ok(state)
+}
+
+/// Brands `dir` as a follower-owned WAL directory (idempotent).
+pub fn mark_follower(dir: impl AsRef<Path>) -> Result<(), WalError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).map_err(|e| WalError::io("create dir", dir, e))?;
+    let path = dir.join(FOLLOWER_MARKER);
+    fs::write(
+        &path,
+        b"replica of a remote leader; do not open as a plain durable broker\n",
+    )
+    .map_err(|e| WalError::io("mark follower", path.clone(), e))
+}
+
+/// Removes the follower brand (promotion: the directory becomes a plain
+/// durable leader's). Idempotent.
+pub fn clear_follower_mark(dir: impl AsRef<Path>) -> Result<(), WalError> {
+    let path = dir.as_ref().join(FOLLOWER_MARKER);
+    match fs::remove_file(&path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(WalError::io("clear follower mark", path, e)),
+    }
+}
+
+/// `true` when `dir` carries the follower marker.
+pub fn is_follower_dir(dir: impl AsRef<Path>) -> bool {
+    dir.as_ref().join(FOLLOWER_MARKER).is_file()
+}
+
+/// `true` when `dir` holds replayable history — any record or any snapshot.
+/// A directory with only an empty segment (a durable broker opened and
+/// closed without writing) has no history.
+pub fn dir_has_history(dir: impl AsRef<Path>) -> Result<bool, WalError> {
+    let dir = dir.as_ref();
+    if !dir.exists() {
+        return Ok(false);
+    }
+    let (segments, snapshots) = wal::list_dir(dir)?;
+    if !snapshots.is_empty() {
+        return Ok(true);
+    }
+    for (_, path) in &segments {
+        let meta = fs::metadata(path).map_err(|e| WalError::io("stat", path, e))?;
+        if meta.len() > SEGMENT_HEADER_BYTES {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Returns `path`s of every segment file in `dir`, ascending by first LSN.
+/// Test/tooling helper for building file-level chaos sweeps.
+pub fn segment_paths(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, WalError> {
+    let (segments, _) = wal::list_dir(dir.as_ref())?;
+    Ok(segments.into_iter().map(|(_, p)| p).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalOp;
+    use crate::{DurabilityConfig, FsyncPolicy, SnapshotState, Wal};
+    use pubsub_types::time::LogicalTime;
+    use pubsub_types::SubscriptionId;
+    use std::fs::OpenOptions;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fp-repl-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: FsyncPolicy::OsManaged,
+            ..Default::default()
+        }
+    }
+
+    fn ops(n: u64) -> Vec<WalOp> {
+        (0..n)
+            .map(|i| match i % 3 {
+                0 => WalOp::InternAttr(format!("attr-{i}")),
+                1 => WalOp::AdvanceTo(LogicalTime(i)),
+                _ => WalOp::Unsubscribe(SubscriptionId(i as u32)),
+            })
+            .collect()
+    }
+
+    fn payload_of(op: &WalOp) -> Vec<u8> {
+        let mut p = Vec::new();
+        op.encode(&mut p);
+        p
+    }
+
+    #[test]
+    fn tail_streams_all_records_and_catches_up() {
+        let dir = temp_dir("stream");
+        let (mut wal, _) = Wal::open(&dir, cfg()).unwrap();
+        let written = ops(7);
+        for op in &written {
+            wal.append(op).unwrap();
+        }
+        match read_tail(&dir, 0, usize::MAX).unwrap() {
+            TailChunk::Records {
+                segment_first,
+                first_lsn,
+                payloads,
+            } => {
+                assert_eq!(segment_first, 0);
+                assert_eq!(first_lsn, 0);
+                let want: Vec<Vec<u8>> = written.iter().map(payload_of).collect();
+                assert_eq!(payloads, want, "raw payloads are byte-faithful");
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        assert_eq!(
+            read_tail(&dir, 7, usize::MAX).unwrap(),
+            TailChunk::CaughtUp { next_lsn: 7 }
+        );
+        // Mid-stream position.
+        match read_tail(&dir, 4, usize::MAX).unwrap() {
+            TailChunk::Records {
+                first_lsn,
+                payloads,
+                ..
+            } => {
+                assert_eq!(first_lsn, 4);
+                assert_eq!(payloads.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_spans_segments_and_honours_budget() {
+        let dir = temp_dir("budget");
+        let config = DurabilityConfig {
+            segment_bytes: 64,
+            ..cfg()
+        };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        for op in ops(30) {
+            wal.append(&op).unwrap();
+        }
+        assert!(segment_paths(&dir).unwrap().len() > 2);
+        // A tiny budget still makes progress, one batch at a time.
+        let mut pos = 0u64;
+        let mut total = 0usize;
+        loop {
+            match read_tail(&dir, pos, 16).unwrap() {
+                TailChunk::Records {
+                    first_lsn,
+                    payloads,
+                    ..
+                } => {
+                    assert_eq!(first_lsn, pos, "batches are dense and in order");
+                    total += payloads.len();
+                    pos += payloads.len() as u64;
+                }
+                TailChunk::CaughtUp { next_lsn } => {
+                    assert_eq!(next_lsn, 30);
+                    break;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(total, 30);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_reads_as_incomplete_not_corruption() {
+        let dir = temp_dir("torn");
+        let (mut wal, _) = Wal::open(&dir, cfg()).unwrap();
+        for op in ops(3) {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+        // From the torn record's LSN: incomplete, retry.
+        assert_eq!(
+            read_tail(&dir, 2, usize::MAX).unwrap(),
+            TailChunk::Incomplete { next_lsn: 2 }
+        );
+        // From earlier: the complete prefix ships, the tear waits.
+        match read_tail(&dir, 0, usize::MAX).unwrap() {
+            TailChunk::Records { payloads, .. } => assert_eq!(payloads.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crc_damage_is_an_error_not_a_retry() {
+        let dir = temp_dir("crc");
+        let (mut wal, _) = Wal::open(&dir, cfg()).unwrap();
+        for op in ops(3) {
+            wal.append(&op).unwrap();
+        }
+        drop(wal);
+        let path = segment_paths(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let off = SEGMENT_HEADER_BYTES as usize + RECORD_HEADER_BYTES as usize;
+        bytes[off] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_tail(&dir, 0, usize::MAX),
+            Err(WalError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_history_demands_a_snapshot_and_install_round_trips() {
+        let dir = temp_dir("catchup");
+        let config = DurabilityConfig {
+            segment_bytes: 64,
+            ..cfg()
+        };
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        for op in ops(20) {
+            wal.append(&op).unwrap();
+        }
+        let state = SnapshotState {
+            now: LogicalTime(19),
+            high_water_id: 5,
+            ..Default::default()
+        };
+        wal.snapshot(&state).unwrap();
+        // A follower at LSN 0 is behind the compaction horizon.
+        assert_eq!(
+            read_tail(&dir, 0, usize::MAX).unwrap(),
+            TailChunk::SnapshotRequired { snapshot_lsn: 20 }
+        );
+        let (lsn, bytes) = snapshot_for_catchup(&dir).unwrap().expect("snapshot");
+        assert_eq!(lsn, 20);
+
+        // Install on the follower side; a fresh Wal::open resumes at 20.
+        let fdir = temp_dir("catchup-follower");
+        let installed = install_snapshot(&fdir, lsn, &bytes).unwrap();
+        assert_eq!(installed, state);
+        let (fwal, rec) = Wal::open(&fdir, config).unwrap();
+        assert_eq!(fwal.next_lsn(), 20);
+        assert_eq!(rec.snapshot.as_ref(), Some(&state));
+
+        // Damaged transfers and LSN disagreement are refused.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(install_snapshot(&fdir, lsn, &bad).is_err());
+        assert!(install_snapshot(&fdir, lsn + 1, &bytes).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&fdir).unwrap();
+    }
+
+    #[test]
+    fn follower_marker_and_history_probes() {
+        let dir = temp_dir("marker");
+        assert!(!is_follower_dir(&dir));
+        assert!(!dir_has_history(&dir).unwrap());
+        mark_follower(&dir).unwrap();
+        assert!(is_follower_dir(&dir));
+        // An empty open-and-close leaves no history.
+        let (wal, _) = Wal::open(&dir, cfg()).unwrap();
+        drop(wal);
+        assert!(!dir_has_history(&dir).unwrap());
+        let (mut wal, _) = Wal::open(&dir, cfg()).unwrap();
+        wal.append(&WalOp::AdvanceTo(LogicalTime(1))).unwrap();
+        drop(wal);
+        assert!(dir_has_history(&dir).unwrap());
+        clear_follower_mark(&dir).unwrap();
+        clear_follower_mark(&dir).unwrap();
+        assert!(!is_follower_dir(&dir));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn follower_ahead_of_log_reports_true_next() {
+        let dir = temp_dir("ahead");
+        let (mut wal, _) = Wal::open(&dir, cfg()).unwrap();
+        for op in ops(2) {
+            wal.append(&op).unwrap();
+        }
+        // A diverged follower asking for LSN 9 learns the real end is 2.
+        assert_eq!(
+            read_tail(&dir, 9, usize::MAX).unwrap(),
+            TailChunk::CaughtUp { next_lsn: 2 }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

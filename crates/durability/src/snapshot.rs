@@ -207,8 +207,16 @@ pub(crate) fn read(path: &Path) -> Result<Option<(Lsn, SnapshotState)>, WalError
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(WalError::io("read snapshot", path, e)),
     };
+    Ok(validate_bytes(&bytes))
+}
+
+/// Validates raw snapshot-file bytes (magic, framing, CRC, decode),
+/// returning the covered LSN and decoded state when intact. Used both for
+/// reading local files and for vetting snapshots received over a
+/// replication stream before installing them.
+pub(crate) fn validate_bytes(bytes: &[u8]) -> Option<(Lsn, SnapshotState)> {
     if bytes.len() < HEADER_BYTES || &bytes[0..8] != MAGIC {
-        return Ok(None);
+        return None;
     }
     let mut r = Reader::new(&bytes[8..HEADER_BYTES]);
     let lsn = r.u64().expect("sized above");
@@ -216,12 +224,11 @@ pub(crate) fn read(path: &Path) -> Result<Option<(Lsn, SnapshotState)>, WalError
     let crc = r.u32().expect("sized above");
     let payload = &bytes[HEADER_BYTES..];
     if payload.len() != payload_len || codec::crc32c(payload) != crc {
-        return Ok(None);
+        return None;
     }
-    match SnapshotState::decode(payload) {
-        Ok(state) => Ok(Some((lsn, state))),
-        Err(_) => Ok(None),
-    }
+    SnapshotState::decode(payload)
+        .ok()
+        .map(|state| (lsn, state))
 }
 
 #[cfg(test)]

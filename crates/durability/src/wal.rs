@@ -71,10 +71,10 @@ pub static RECOVERY_RECORDS: Counter = Counter::new("recovery.records_replayed")
 pub static RECOVERY_TORN: Counter = Counter::new("recovery.torn_tail_truncated");
 
 const MAGIC: &[u8; 8] = b"FPWAL1\0\0";
-const SEGMENT_HEADER_BYTES: u64 = 16; // magic + first LSN
+pub(crate) const SEGMENT_HEADER_BYTES: u64 = 16; // magic + first LSN
 
 /// The file name of the segment whose first record is `lsn`.
-fn segment_file_name(lsn: Lsn) -> String {
+pub(crate) fn segment_file_name(lsn: Lsn) -> String {
     format!("wal-{lsn:020}.log")
 }
 
@@ -293,7 +293,7 @@ fn scan_records(first_lsn: Lsn, bytes: &[u8], skip_damage: bool, inject: bool) -
 }
 
 /// Reads and validates a segment header, returning its stored first LSN.
-fn check_header(bytes: &[u8], expected_lsn: Lsn) -> Result<(), String> {
+pub(crate) fn check_header(bytes: &[u8], expected_lsn: Lsn) -> Result<(), String> {
     if bytes.len() < SEGMENT_HEADER_BYTES as usize {
         return Err("torn segment header".to_string());
     }
@@ -310,12 +310,12 @@ fn check_header(bytes: &[u8], expected_lsn: Lsn) -> Result<(), String> {
 }
 
 /// Files of one kind in a WAL directory, as `(lsn, path)` pairs.
-type LsnFiles = Vec<(Lsn, PathBuf)>;
+pub(crate) type LsnFiles = Vec<(Lsn, PathBuf)>;
 
 /// Lists a WAL directory: segments ascending by first LSN, snapshots
 /// descending by covered LSN. `*.tmp` leftovers from interrupted snapshot
 /// writes are removed.
-fn list_dir(dir: &Path) -> Result<(LsnFiles, LsnFiles), WalError> {
+pub(crate) fn list_dir(dir: &Path) -> Result<(LsnFiles, LsnFiles), WalError> {
     let mut segments = Vec::new();
     let mut snapshots = Vec::new();
     let entries = fs::read_dir(dir).map_err(|e| WalError::io("read dir", dir, e))?;

@@ -1,0 +1,175 @@
+//! Live-tail reads: a replication tailer observing a partially-written
+//! record at the active segment tail must see "incomplete, retry" — never
+//! `Corrupt`, and never the recovery-time torn-tail truncation. The
+//! replication follower depends on this: the leader is alive and mid-append,
+//! so a short read is a race, not damage.
+//!
+//! The pin is byte-by-byte: for every prefix length of the final segment
+//! (simulating every possible partial flush of an append in flight), the
+//! tailer ships exactly the fully-contained records, classifies the rest as
+//! incomplete or caught-up, and leaves the file untouched.
+
+use pubsub_durability::replication::{self, TailChunk};
+use pubsub_durability::{DurabilityConfig, FsyncPolicy, Wal, WalOp};
+use pubsub_types::time::{LogicalTime, Validity};
+use pubsub_types::{AttrId, Operator, SubscriptionBuilder, SubscriptionId, Value};
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp-livetail-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_ops() -> Vec<WalOp> {
+    let sub = SubscriptionBuilder::default()
+        .eq(AttrId(0), Value::Int(4))
+        .with(AttrId(1), Operator::Le, 9i64)
+        .build()
+        .unwrap();
+    vec![
+        WalOp::InternAttr("price".into()),
+        WalOp::Subscribe {
+            id: SubscriptionId(0),
+            sub,
+            validity: Validity::until(LogicalTime(40)),
+        },
+        WalOp::AdvanceTo(LogicalTime(3)),
+        WalOp::Unsubscribe(SubscriptionId(0)),
+        WalOp::InternString("a-longer-string-value-to-vary-record-sizes".into()),
+    ]
+}
+
+/// Byte offsets (within the segment) at which each record ends, plus the
+/// segment header end — i.e. every position where the byte stream is on a
+/// record boundary.
+fn record_boundaries(ops: &[WalOp]) -> Vec<usize> {
+    let mut boundaries = vec![16]; // segment header
+    let mut o = 16usize;
+    for op in ops {
+        o += op.to_record().len();
+        boundaries.push(o);
+    }
+    boundaries
+}
+
+#[test]
+fn every_partial_write_prefix_reads_as_incomplete_not_corruption() {
+    let dir = temp_dir("prefix");
+    let config = DurabilityConfig {
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let ops = sample_ops();
+    let (mut wal, _) = Wal::open(&dir, config).unwrap();
+    for op in &ops {
+        wal.append(op).unwrap();
+    }
+    drop(wal);
+    let seg = replication::segment_paths(&dir).unwrap().pop().unwrap();
+    let full = fs::read(&seg).unwrap();
+    let boundaries = record_boundaries(&ops);
+    assert_eq!(*boundaries.last().unwrap(), full.len());
+
+    for cut in 0..=full.len() {
+        let case_dir = temp_dir("prefix-case");
+        let case_seg = case_dir.join(seg.file_name().unwrap());
+        fs::write(&case_seg, &full[..cut]).unwrap();
+
+        // How many records are fully contained in this prefix?
+        let complete = boundaries.iter().filter(|&&b| b > 16 && b <= cut).count() as u64;
+        let on_boundary = boundaries.contains(&cut);
+
+        let chunk = replication::read_tail(&case_dir, 0, usize::MAX)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: live tail must never error: {e}"));
+        match chunk {
+            TailChunk::Records {
+                first_lsn,
+                payloads,
+                ..
+            } => {
+                assert_eq!(first_lsn, 0, "cut {cut}");
+                assert_eq!(
+                    payloads.len() as u64,
+                    complete,
+                    "cut {cut}: ship exactly the fully-contained records"
+                );
+                // The remainder (if any) must read as incomplete, not error.
+                let rest = replication::read_tail(&case_dir, complete, usize::MAX).unwrap();
+                if on_boundary {
+                    assert_eq!(
+                        rest,
+                        TailChunk::CaughtUp { next_lsn: complete },
+                        "cut {cut}"
+                    );
+                } else {
+                    assert_eq!(
+                        rest,
+                        TailChunk::Incomplete { next_lsn: complete },
+                        "cut {cut}"
+                    );
+                }
+            }
+            TailChunk::CaughtUp { next_lsn } => {
+                assert!(on_boundary, "cut {cut}: caught-up only on a boundary");
+                assert_eq!(next_lsn, complete, "cut {cut}");
+            }
+            TailChunk::Incomplete { next_lsn } => {
+                assert!(!on_boundary, "cut {cut}: incomplete only off-boundary");
+                assert_eq!(next_lsn, complete, "cut {cut}");
+                assert_eq!(complete, 0, "records before the tear must ship first");
+            }
+            TailChunk::SnapshotRequired { .. } => {
+                panic!("cut {cut}: no snapshot exists in this directory")
+            }
+        }
+
+        // Read-only: the tailer never truncates or repairs.
+        assert_eq!(
+            fs::read(&case_seg).unwrap().len(),
+            cut,
+            "cut {cut}: tailer modified the file"
+        );
+        fs::remove_dir_all(&case_dir).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn growing_file_is_picked_up_across_polls() {
+    // Simulates the leader appending between polls: each appended record
+    // becomes visible to the next read_tail call at the position where the
+    // previous one stopped.
+    let dir = temp_dir("growing");
+    let config = DurabilityConfig {
+        fsync: FsyncPolicy::OsManaged,
+        ..Default::default()
+    };
+    let (mut wal, _) = Wal::open(&dir, config).unwrap();
+    let ops = sample_ops();
+    for (i, op) in ops.iter().enumerate() {
+        let pos = i as u64;
+        assert_eq!(
+            replication::read_tail(&dir, pos, usize::MAX).unwrap(),
+            TailChunk::CaughtUp { next_lsn: pos }
+        );
+        wal.append(op).unwrap();
+        match replication::read_tail(&dir, pos, usize::MAX).unwrap() {
+            TailChunk::Records {
+                first_lsn,
+                payloads,
+                ..
+            } => {
+                assert_eq!(first_lsn, i as u64);
+                assert_eq!(payloads.len(), 1);
+                let mut want = Vec::new();
+                op.encode(&mut want);
+                assert_eq!(payloads[0], want);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

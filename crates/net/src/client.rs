@@ -7,15 +7,54 @@
 //! buffered and handed out by [`Client::next_notify`], so request/response
 //! and the asynchronous delivery stream share one socket without losing
 //! either.
+//!
+//! # Auto-reconnect
+//!
+//! With a [`ReconnectPolicy`] installed ([`Client::set_reconnect`]), a
+//! request that dies on a transport error transparently redials the server
+//! with capped exponential backoff plus jitter, resumes the session with
+//! the saved token, and retries the request **once** on the fresh
+//! connection. The retry makes requests at-least-once across a reconnect
+//! (a publish whose ack was lost in flight may apply twice); notifications
+//! missed while detached surface as the usual sequence gap. Server-side
+//! errors (an expired or unknown session, a protocol refusal) are never
+//! retried — only transport failures are.
 
 use crate::frame::{
     Ack, ErrorCode, Frame, FrameError, FrameReader, WireEvent, WirePredicate, NEW_SESSION,
     PROTOCOL_VERSION,
 };
+use crate::replication::jittered;
+use pubsub_types::metrics::Counter;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
 use std::time::Duration;
+
+static RECONNECT_ATTEMPTS: Counter = Counter::new("net.client.reconnect_attempts");
+static RECONNECTS: Counter = Counter::new("net.client.reconnects");
+
+/// Opt-in transparent reconnect behaviour (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// First redial delay after a transport failure.
+    pub initial: Duration,
+    /// Redial delay cap (jitter of up to +50% is added on top).
+    pub max: Duration,
+    /// Redials attempted per outage before the original error surfaces.
+    pub attempts: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            initial: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            attempts: 8,
+        }
+    }
+}
 
 /// A delivered notification.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +121,9 @@ pub struct Client {
     pending: VecDeque<Notification>,
     next_req: u32,
     buf: [u8; 8192],
+    /// The server's address as dialed, for redials.
+    addr: SocketAddr,
+    reconnect: Option<ReconnectPolicy>,
 }
 
 impl Client {
@@ -98,6 +140,7 @@ impl Client {
 
     fn handshake(addr: impl ToSocketAddrs, token: u64) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
         let _ = stream.set_nodelay(true);
         let mut client = Client {
             stream,
@@ -107,6 +150,8 @@ impl Client {
             pending: VecDeque::new(),
             next_req: 1,
             buf: [0u8; 8192],
+            addr,
+            reconnect: None,
         };
         client.send(&Frame::Hello {
             proto: PROTOCOL_VERSION,
@@ -135,35 +180,106 @@ impl Client {
         &self.resumed
     }
 
+    /// Installs (or clears) the transparent-reconnect policy. See the
+    /// module docs for the retry semantics.
+    pub fn set_reconnect(&mut self, policy: Option<ReconnectPolicy>) {
+        self.reconnect = policy;
+    }
+
+    /// Redials the server and resumes this session, backing off per the
+    /// installed policy. Fails with the last transport error when every
+    /// attempt is refused, or immediately on a server-side refusal (e.g.
+    /// the session was reaped). Requests in flight are not replayed.
+    pub fn reconnect_now(&mut self) -> Result<(), ClientError> {
+        let Some(policy) = self.reconnect.clone() else {
+            return Err(ClientError::Protocol("no reconnect policy installed"));
+        };
+        let mut backoff = policy.initial;
+        let mut last = ClientError::Protocol("reconnect policy allows zero attempts");
+        for attempt in 0..policy.attempts {
+            RECONNECT_ATTEMPTS.inc();
+            match Self::handshake(self.addr, self.token) {
+                Ok(fresh) => {
+                    RECONNECTS.inc();
+                    // Splice the fresh transport in; session identity,
+                    // buffered notifications and the request counter are
+                    // ours to keep. The fresh handshake re-reports the
+                    // resumed subscription ids.
+                    self.stream = fresh.stream;
+                    self.reader = fresh.reader;
+                    self.resumed = fresh.resumed;
+                    return Ok(());
+                }
+                Err(e @ ClientError::Server { .. }) => return Err(e),
+                Err(e) => last = e,
+            }
+            thread::sleep(jittered(backoff, u64::from(attempt) + 1));
+            backoff = (backoff * 2).min(policy.max);
+        }
+        Err(last)
+    }
+
+    /// Runs one request, retrying it once on a fresh connection when the
+    /// transport fails and a reconnect policy is installed.
+    fn with_retry<T>(
+        &mut self,
+        mut run: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        match run(self) {
+            Err(ClientError::Io(e)) if self.reconnect.is_some() => {
+                match self.reconnect_now() {
+                    Ok(()) => run(self),
+                    // The server explicitly refused the session (reaped,
+                    // unknown): that is the real story, not the transport.
+                    Err(refusal @ ClientError::Server { .. }) => Err(refusal),
+                    Err(_) => Err(ClientError::Io(e)),
+                }
+            }
+            r => r,
+        }
+    }
+
     /// Registers a subscription; returns its server-assigned id.
     pub fn subscribe(&mut self, preds: Vec<WirePredicate>) -> Result<u32, ClientError> {
-        let req = self.fresh_req();
-        self.send(&Frame::Subscribe { req, preds })?;
-        match self.wait_ack(req)? {
-            Ack::Subscribe { id, .. } => Ok(id),
-            _ => Err(ClientError::Protocol("expected subscribe ack")),
-        }
+        self.with_retry(|c| {
+            let req = c.fresh_req();
+            c.send(&Frame::Subscribe {
+                req,
+                preds: preds.clone(),
+            })?;
+            match c.wait_ack(req)? {
+                Ack::Subscribe { id, .. } => Ok(id),
+                _ => Err(ClientError::Protocol("expected subscribe ack")),
+            }
+        })
     }
 
     /// Removes a subscription; returns whether it existed.
     pub fn unsubscribe(&mut self, id: u32) -> Result<bool, ClientError> {
-        let req = self.fresh_req();
-        self.send(&Frame::Unsubscribe { req, id })?;
-        match self.wait_ack(req)? {
-            Ack::Unsubscribe { existed, .. } => Ok(existed),
-            _ => Err(ClientError::Protocol("expected unsubscribe ack")),
-        }
+        self.with_retry(|c| {
+            let req = c.fresh_req();
+            c.send(&Frame::Unsubscribe { req, id })?;
+            match c.wait_ack(req)? {
+                Ack::Unsubscribe { existed, .. } => Ok(existed),
+                _ => Err(ClientError::Protocol("expected unsubscribe ack")),
+            }
+        })
     }
 
     /// Publishes an event; returns how many subscriptions it matched
     /// (across all sessions, including in-process subscribers).
     pub fn publish(&mut self, event: WireEvent) -> Result<u32, ClientError> {
-        let req = self.fresh_req();
-        self.send(&Frame::Publish { req, event })?;
-        match self.wait_ack(req)? {
-            Ack::Publish { matched, .. } => Ok(matched),
-            _ => Err(ClientError::Protocol("expected publish ack")),
-        }
+        self.with_retry(|c| {
+            let req = c.fresh_req();
+            c.send(&Frame::Publish {
+                req,
+                event: event.clone(),
+            })?;
+            match c.wait_ack(req)? {
+                Ack::Publish { matched, .. } => Ok(matched),
+                _ => Err(ClientError::Protocol("expected publish ack")),
+            }
+        })
     }
 
     /// Returns the next notification, waiting up to `timeout`. `Ok(None)`

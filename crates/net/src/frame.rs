@@ -51,6 +51,11 @@ const TAG_PUBLISH: u8 = 4;
 const TAG_NOTIFY: u8 = 5;
 const TAG_ACK: u8 = 6;
 const TAG_ERROR: u8 = 7;
+const TAG_REPL_HELLO: u8 = 8;
+const TAG_REPL_SEGMENT: u8 = 9;
+const TAG_REPL_RECORDS: u8 = 10;
+const TAG_REPL_SNAPSHOT: u8 = 11;
+const TAG_REPL_LAG: u8 = 12;
 
 const ACK_HELLO: u8 = 1;
 const ACK_SUBSCRIBE: u8 = 2;
@@ -248,6 +253,57 @@ pub enum Frame {
         /// Human-readable detail.
         msg: String,
     },
+    /// Opens a **replication** connection: sent by a follower as the *first*
+    /// frame instead of `Hello`, turning the connection into a one-way WAL
+    /// stream (leader → follower). The leader answers with `ReplSegment`,
+    /// `ReplRecords`, `ReplSnapshot` and `ReplLag` frames; no other frame
+    /// kind travels on a replication connection.
+    ReplHello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        proto: u32,
+        /// The LSN the follower's local log will append next — streaming
+        /// starts here.
+        from_lsn: u64,
+    },
+    /// Announces that subsequent `ReplRecords` come from the leader segment
+    /// whose first LSN is `first_lsn` (observability; the record stream
+    /// itself is dense across segments).
+    ReplSegment {
+        /// First LSN of the segment now being streamed.
+        first_lsn: u64,
+    },
+    /// A batch of raw WAL record payloads with dense LSNs starting at
+    /// `first_lsn`, exactly the bytes the leader's `WalOp::encode` produced
+    /// (the follower re-frames them into its own log, keeping both logs
+    /// bit-comparable).
+    ReplRecords {
+        /// LSN of the first payload; the rest follow densely.
+        first_lsn: u64,
+        /// Raw record payloads in LSN order.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// One chunk of a catch-up snapshot transfer (the follower's position
+    /// predates the leader's oldest retained segment). Chunks arrive in
+    /// offset order; the transfer is complete when `offset + chunk.len() ==
+    /// total_len`, after which the follower validates the assembled bytes
+    /// (magic, CRC, LSN) and installs them, resuming records at `lsn`.
+    ReplSnapshot {
+        /// The LSN the snapshot covers.
+        lsn: u64,
+        /// Total byte length of the snapshot file.
+        total_len: u64,
+        /// Byte offset of this chunk within the file.
+        offset: u64,
+        /// The chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// Leader heartbeat while the follower is caught up: carries the LSN
+    /// the leader will append next, letting the follower export an exact
+    /// lag watermark even when no records flow.
+    ReplLag {
+        /// The leader's next append LSN.
+        leader_next_lsn: u64,
+    },
 }
 
 /// Errors produced by the frame decoder.
@@ -427,6 +483,42 @@ impl Frame {
                 out.push(code.to_byte());
                 codec::put_str(out, msg);
             }
+            Frame::ReplHello { proto, from_lsn } => {
+                out.push(TAG_REPL_HELLO);
+                codec::put_u32(out, *proto);
+                codec::put_u64(out, *from_lsn);
+            }
+            Frame::ReplSegment { first_lsn } => {
+                out.push(TAG_REPL_SEGMENT);
+                codec::put_u64(out, *first_lsn);
+            }
+            Frame::ReplRecords {
+                first_lsn,
+                payloads,
+            } => {
+                out.push(TAG_REPL_RECORDS);
+                codec::put_u64(out, *first_lsn);
+                codec::put_u32(out, payloads.len() as u32);
+                for p in payloads {
+                    codec::put_bytes(out, p);
+                }
+            }
+            Frame::ReplSnapshot {
+                lsn,
+                total_len,
+                offset,
+                chunk,
+            } => {
+                out.push(TAG_REPL_SNAPSHOT);
+                codec::put_u64(out, *lsn);
+                codec::put_u64(out, *total_len);
+                codec::put_u64(out, *offset);
+                codec::put_bytes(out, chunk);
+            }
+            Frame::ReplLag { leader_next_lsn } => {
+                out.push(TAG_REPL_LAG);
+                codec::put_u64(out, *leader_next_lsn);
+            }
         }
     }
 
@@ -516,6 +608,35 @@ impl Frame {
                 req: r.u32()?,
                 code: ErrorCode::from_byte(r.u8()?)?,
                 msg: r.str()?.to_string(),
+            },
+            TAG_REPL_HELLO => Frame::ReplHello {
+                proto: r.u32()?,
+                from_lsn: r.u64()?,
+            },
+            TAG_REPL_SEGMENT => Frame::ReplSegment {
+                first_lsn: r.u64()?,
+            },
+            TAG_REPL_RECORDS => {
+                let first_lsn = r.u64()?;
+                let count = r.u32()?;
+                let n = checked_count(&r, count)?;
+                let mut payloads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    payloads.push(r.bytes()?.to_vec());
+                }
+                Frame::ReplRecords {
+                    first_lsn,
+                    payloads,
+                }
+            }
+            TAG_REPL_SNAPSHOT => Frame::ReplSnapshot {
+                lsn: r.u64()?,
+                total_len: r.u64()?,
+                offset: r.u64()?,
+                chunk: r.bytes()?.to_vec(),
+            },
+            TAG_REPL_LAG => Frame::ReplLag {
+                leader_next_lsn: r.u64()?,
             },
             tag => return Err(CodecError::BadTag { what: "frame", tag }),
         };
@@ -686,6 +807,24 @@ mod tests {
                 code: ErrorCode::BadHandshake,
                 msg: "first frame must be Hello".into(),
             },
+            Frame::ReplHello {
+                proto: PROTOCOL_VERSION,
+                from_lsn: 42,
+            },
+            Frame::ReplSegment { first_lsn: 40 },
+            Frame::ReplRecords {
+                first_lsn: 42,
+                payloads: vec![vec![1, 2, 3], vec![], vec![0xFF; 32]],
+            },
+            Frame::ReplSnapshot {
+                lsn: 40,
+                total_len: 1000,
+                offset: 512,
+                chunk: vec![9; 100],
+            },
+            Frame::ReplLag {
+                leader_next_lsn: 45,
+            },
         ]
     }
 
@@ -768,6 +907,24 @@ mod tests {
         let mut payload = vec![TAG_NOTIFY];
         codec::put_u64(&mut payload, 1);
         codec::put_u32(&mut payload, u32::MAX);
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(CodecError::ShortRead { .. })
+        ));
+        // And for a replication batch's payload count and a snapshot
+        // chunk's length prefix.
+        let mut payload = vec![TAG_REPL_RECORDS];
+        codec::put_u64(&mut payload, 0);
+        codec::put_u32(&mut payload, u32::MAX);
+        assert!(matches!(
+            Frame::decode(&payload),
+            Err(CodecError::ShortRead { .. })
+        ));
+        let mut payload = vec![TAG_REPL_SNAPSHOT];
+        codec::put_u64(&mut payload, 0);
+        codec::put_u64(&mut payload, u32::MAX as u64);
+        codec::put_u64(&mut payload, 0);
+        codec::put_u32(&mut payload, u32::MAX); // chunk length with no bytes
         assert!(matches!(
             Frame::decode(&payload),
             Err(CodecError::ShortRead { .. })

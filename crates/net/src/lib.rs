@@ -35,13 +35,15 @@ pub mod client;
 pub mod frame;
 pub mod load;
 pub mod queue;
+pub mod replication;
 pub mod server;
 
-pub use client::{Client, ClientError, Notification};
+pub use client::{Client, ClientError, Notification, ReconnectPolicy};
 pub use frame::{
     Ack, ErrorCode, Frame, FrameError, FrameReader, WireEvent, WirePredicate, WireValue,
     MAX_FRAME_BYTES, NEW_SESSION, PROTOCOL_VERSION,
 };
 pub use load::{LoadConfig, LoadReport};
 pub use queue::{OutQueue, PushError};
+pub use replication::{Follower, FollowerConfig, ReplStatus};
 pub use server::{Server, ServerConfig, ServerStatus};

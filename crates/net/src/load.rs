@@ -10,7 +10,7 @@
 //! each publish waits for its ack, so `publish_rps` is a request/response
 //! figure, not a pipelined one.
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientError, ReconnectPolicy};
 use crate::frame::{WireEvent, WirePredicate, WireValue};
 use pubsub_types::Operator;
 use std::sync::mpsc;
@@ -117,6 +117,9 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ClientError> {
     let mut subscriber_clients = Vec::with_capacity(config.subscribers);
     for s in 0..config.subscribers {
         let mut client = Client::connect(&config.addr)?;
+        // Ride out transient server hiccups (restarts, accept stalls)
+        // instead of failing the whole run on the first broken socket.
+        client.set_reconnect(Some(ReconnectPolicy::default()));
         for i in 0..config.subs_per_connection {
             let value = ((s * config.subs_per_connection + i) as i64) % config.value_space;
             client.subscribe(vec![WirePredicate {
@@ -143,6 +146,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ClientError> {
     drop(tx);
 
     let mut publisher = Client::connect(&config.addr)?;
+    publisher.set_reconnect(Some(ReconnectPolicy::default()));
     let mut rng = config.seed;
     let mut matched_total = 0u64;
     let start = Instant::now();

@@ -1,0 +1,555 @@
+//! The follower side of WAL-shipping replication.
+//!
+//! A [`Follower`] owns a background thread that keeps a read-only
+//! follower broker ([`pubsub_broker::SharedBroker::open_follower`])
+//! synchronized with a remote leader served by [`crate::Server`]:
+//!
+//! 1. **Connect** to the leader and send `ReplHello` carrying the local
+//!    log's append position — the exact LSN streaming must resume from.
+//! 2. **Catch up**: if the leader already compacted that position away it
+//!    ships a chunked `ReplSnapshot`, which is assembled, size-guarded and
+//!    installed atomically; streaming resumes from the snapshot's LSN.
+//! 3. **Stream**: `ReplRecords` batches are applied write-ahead through
+//!    [`pubsub_broker::SharedBroker::apply_replicated`]; `ReplLag`
+//!    heartbeats carry the leader's append position, making the exact
+//!    replication lag observable at all times.
+//!
+//! # Robustness contract
+//!
+//! Disconnects are *normal*: the thread reconnects forever with capped
+//! exponential backoff plus jitter, re-announcing its own append position
+//! each time — a half-applied batch or a torn tail on the leader simply
+//! re-streams. When the leader stays unreachable past
+//! [`FollowerConfig::degraded_after`], the follower flips a **sticky
+//! stale flag** ([`ReplStatus::stale`]): matching keeps serving the last
+//! replicated state, and the flag only clears once the follower is back in
+//! contact *and* caught up to the leader's append position. Promotion
+//! ([`Follower::promote`]) stops the stream and makes the local broker
+//! writable; replicated subscription ids are preserved, so ids issued by
+//! the dead leader are never reissued.
+
+use crate::frame::{Frame, FrameReader, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use pubsub_broker::{BrokerError, SharedBroker};
+use pubsub_durability::Lsn;
+use pubsub_types::faults::{self, points, FaultAction};
+use pubsub_types::metrics::Counter;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+static CONNECTS: Counter = Counter::new("net.follower.connects");
+static RECONNECT_ATTEMPTS: Counter = Counter::new("net.follower.reconnect_attempts");
+static RECORDS_APPLIED: Counter = Counter::new("net.follower.records_applied");
+static SNAPSHOTS_INSTALLED: Counter = Counter::new("net.follower.snapshots_installed");
+
+/// Sentinel for "leader's append position not heard yet".
+const UNKNOWN: u64 = u64::MAX;
+
+/// Tuning for the follower's reconnect and staleness behaviour.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// First reconnect delay after a stream breaks.
+    pub backoff_initial: Duration,
+    /// Reconnect delay cap (jitter of up to +50% is added on top).
+    pub backoff_max: Duration,
+    /// With no leader contact for this long, [`ReplStatus::stale`] flips
+    /// on (sticky until back in contact *and* caught up).
+    pub degraded_after: Duration,
+    /// Largest snapshot transfer accepted, guarding memory against a
+    /// hostile or confused leader.
+    pub max_snapshot_bytes: u64,
+    /// How long each connection attempt may take before it counts as a
+    /// failure and backs off.
+    pub connect_timeout: Duration,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        Self {
+            backoff_initial: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            degraded_after: Duration::from_secs(5),
+            max_snapshot_bytes: 64 * 1024 * 1024,
+            connect_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Point-in-time replication status (the `repl status` CLI block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStatus {
+    /// LSN the local log will append next — everything below is applied.
+    pub next_lsn: Lsn,
+    /// The leader's append position, as of the last frame heard. `None`
+    /// before the first contact.
+    pub leader_next_lsn: Option<Lsn>,
+    /// Records the leader has that this follower has not applied
+    /// (`leader_next_lsn - next_lsn`, saturating). `None` before the
+    /// first contact.
+    pub lag: Option<u64>,
+    /// Whether a stream to the leader is currently established.
+    pub connected: bool,
+    /// Sticky staleness: the leader was unreachable past the configured
+    /// deadline and the follower has not caught back up since.
+    pub stale: bool,
+    /// Milliseconds since the last frame from the leader. `None` before
+    /// the first contact.
+    pub millis_since_contact: Option<u64>,
+    /// Completed (re)connections so far.
+    pub connects: u64,
+    /// Whether the local broker has been promoted (stream stopped).
+    pub promoted: bool,
+}
+
+impl ReplStatus {
+    /// Renders the status as a single JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".into(), |v| v.to_string())
+        }
+        format!(
+            concat!(
+                "{{\"next_lsn\":{},\"leader_next_lsn\":{},\"lag\":{},",
+                "\"connected\":{},\"stale\":{},\"millis_since_contact\":{},",
+                "\"connects\":{},\"promoted\":{}}}"
+            ),
+            self.next_lsn,
+            opt(self.leader_next_lsn),
+            opt(self.lag),
+            self.connected,
+            self.stale,
+            opt(self.millis_since_contact),
+            self.connects,
+            self.promoted,
+        )
+    }
+}
+
+/// State shared between the stream thread and the [`Follower`] handle.
+struct Shared {
+    config: FollowerConfig,
+    stop: AtomicBool,
+    connected: AtomicBool,
+    stale: AtomicBool,
+    promoted: AtomicBool,
+    /// Leader's append position per the last frame heard ([`UNKNOWN`]
+    /// before first contact).
+    leader_next: AtomicU64,
+    connects: AtomicU64,
+    last_contact: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    /// Stamps leader contact: any frame from the leader counts.
+    fn touch(&self) {
+        *self.last_contact.lock() = Some(Instant::now());
+    }
+
+    /// Flips the sticky stale flag when the deadline has passed without
+    /// contact. Called from read timeouts and backoff sleeps, so the flag
+    /// advances even while the leader is completely silent.
+    fn check_deadline(&self) {
+        let since = self.last_contact.lock().map(|t| t.elapsed());
+        let silent = match since {
+            Some(elapsed) => elapsed >= self.config.degraded_after,
+            // Never heard from the leader at all: the deadline counts
+            // from follower start, tracked by the caller instead.
+            None => false,
+        };
+        if silent {
+            self.stale.store(true, Ordering::Release);
+        }
+    }
+
+    /// Clears staleness once caught up to the last heard leader position.
+    fn maybe_clear_stale(&self, applied: Lsn) {
+        let leader = self.leader_next.load(Ordering::Acquire);
+        if leader != UNKNOWN && applied >= leader {
+            self.stale.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// A running replication follower: the broker it feeds plus the stream
+/// thread keeping that broker in sync. Dropping it stops the stream (the
+/// broker handle stays usable).
+pub struct Follower {
+    broker: Arc<SharedBroker>,
+    leader: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl Follower {
+    /// Starts tailing `leader` into `broker` (which must have been opened
+    /// with [`SharedBroker::open_follower`]).
+    pub fn start(
+        broker: Arc<SharedBroker>,
+        leader: impl ToSocketAddrs,
+        config: FollowerConfig,
+    ) -> std::io::Result<Follower> {
+        let leader = leader.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "leader addr resolves to nothing")
+        })?;
+        let shared = Arc::new(Shared {
+            config,
+            stop: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            stale: AtomicBool::new(false),
+            promoted: AtomicBool::new(false),
+            leader_next: AtomicU64::new(UNKNOWN),
+            connects: AtomicU64::new(0),
+            last_contact: Mutex::new(None),
+        });
+        let thread_broker = Arc::clone(&broker);
+        let thread_shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("net-follower".into())
+            .spawn(move || follow_loop(thread_broker, thread_shared, leader))?;
+        Ok(Follower {
+            broker,
+            leader,
+            shared,
+            handle: Mutex::new(Some(handle)),
+            started: Instant::now(),
+        })
+    }
+
+    /// The broker this follower feeds.
+    pub fn broker(&self) -> &Arc<SharedBroker> {
+        &self.broker
+    }
+
+    /// The leader address being tailed.
+    pub fn leader(&self) -> SocketAddr {
+        self.leader
+    }
+
+    /// Snapshots the replication status.
+    pub fn status(&self) -> ReplStatus {
+        // A silent leader must flip staleness even if the stream thread is
+        // asleep in a backoff; recompute the deadline on every read. The
+        // pre-first-contact case counts from follower start.
+        let since = self.shared.last_contact.lock().map(|t| t.elapsed());
+        let silence = since.unwrap_or_else(|| self.started.elapsed());
+        if silence >= self.shared.config.degraded_after && !self.is_promoted() {
+            self.shared.stale.store(true, Ordering::Release);
+        }
+        let next_lsn = self.broker.durability().map_or(0, |d| d.next_lsn);
+        let leader = match self.shared.leader_next.load(Ordering::Acquire) {
+            UNKNOWN => None,
+            v => Some(v),
+        };
+        ReplStatus {
+            next_lsn,
+            leader_next_lsn: leader,
+            lag: leader.map(|l| l.saturating_sub(next_lsn)),
+            connected: self.shared.connected.load(Ordering::Acquire),
+            stale: self.shared.stale.load(Ordering::Acquire),
+            millis_since_contact: since.map(|e| e.as_millis() as u64),
+            connects: self.shared.connects.load(Ordering::Relaxed),
+            promoted: self.is_promoted(),
+        }
+    }
+
+    /// Whether [`Follower::promote`] has completed.
+    pub fn is_promoted(&self) -> bool {
+        self.shared.promoted.load(Ordering::Acquire)
+    }
+
+    /// Stops the stream without promoting (the broker stays a follower,
+    /// resumable by a fresh [`Follower::start`]). Idempotent.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+        self.shared.connected.store(false, Ordering::Release);
+    }
+
+    /// Fails over: stops the stream, seals and fsyncs the local log, and
+    /// makes the broker writable. Returns the LSN the first post-promotion
+    /// write will get. The subscription id high-water mark is preserved,
+    /// so ids issued by the old leader are never reissued.
+    pub fn promote(&self) -> Result<Lsn, BrokerError> {
+        self.stop();
+        let next = self.broker.promote()?;
+        self.shared.promoted.store(true, Ordering::Release);
+        self.shared.stale.store(false, Ordering::Release);
+        Ok(next)
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Capped exponential backoff with up to +50% multiplicative jitter, so a
+/// fleet of followers losing one leader does not reconnect in lockstep.
+pub(crate) fn jittered(base: Duration, salt: u64) -> Duration {
+    let mut x = salt | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    base + base.mul_f64((x % 1000) as f64 / 2000.0)
+}
+
+/// A per-connection pseudo-random salt: wall-clock nanos folded with the
+/// attempt counter, so two followers started together still diverge.
+fn salt(attempt: u64) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt
+}
+
+/// Why one connection's streaming ended.
+enum StreamEnd {
+    /// Transport died or the peer spoke nonsense: reconnect after backoff.
+    Retry,
+    /// The local broker can no longer apply (its own WAL degraded) or the
+    /// leader rejected the handshake outright: retrying cannot help.
+    Fatal,
+}
+
+fn follow_loop(broker: Arc<SharedBroker>, shared: Arc<Shared>, leader: SocketAddr) {
+    let mut backoff = shared.config.backoff_initial;
+    let mut attempt: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        attempt += 1;
+        RECONNECT_ATTEMPTS.inc();
+        match run_stream(&broker, &shared, leader) {
+            // A stream that made contact earns a fresh backoff ladder.
+            Ok(()) => backoff = shared.config.backoff_initial,
+            Err(StreamEnd::Retry) => {}
+            Err(StreamEnd::Fatal) => return,
+        }
+        shared.connected.store(false, Ordering::Release);
+        shared.check_deadline();
+        // Sleep in short slices so stop() and the staleness deadline stay
+        // responsive through long backoffs.
+        let nap = jittered(backoff, salt(attempt));
+        let deadline = Instant::now() + nap;
+        while Instant::now() < deadline {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            shared.check_deadline();
+            thread::sleep(Duration::from_millis(10).min(nap));
+        }
+        backoff = (backoff * 2).min(shared.config.backoff_max);
+    }
+}
+
+/// Connects once and streams until the connection ends. `Ok(())` means the
+/// stream made contact before breaking (resets backoff).
+fn run_stream(
+    broker: &Arc<SharedBroker>,
+    shared: &Arc<Shared>,
+    leader: SocketAddr,
+) -> Result<(), StreamEnd> {
+    let stream = TcpStream::connect_timeout(&leader, shared.config.connect_timeout)
+        .map_err(|_| StreamEnd::Retry)?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|_| StreamEnd::Retry)?;
+    let mut conn = StreamConn {
+        broker,
+        shared,
+        stream,
+        reader: FrameReader::new(),
+        buf: [0u8; 16 * 1024],
+        snapshot: None,
+        made_contact: false,
+    };
+    let from_lsn = broker.durability().map_or(0, |d| d.next_lsn);
+    conn.send(&Frame::ReplHello {
+        proto: PROTOCOL_VERSION,
+        from_lsn,
+    })?;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match faults::hit(points::REPL_STREAM_READ, from_lsn as usize) {
+            Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return Err(StreamEnd::Retry), // Injected stream cut.
+            None => {}
+        }
+        let Some(frame) = conn.read_frame()? else {
+            // Read timeout: keep the staleness deadline moving.
+            shared.check_deadline();
+            continue;
+        };
+        conn.handle(frame)?;
+    }
+}
+
+/// An established stream to the leader plus the in-flight snapshot
+/// assembly buffer (per-connection: a broken transfer restarts clean).
+struct StreamConn<'a> {
+    broker: &'a Arc<SharedBroker>,
+    shared: &'a Arc<Shared>,
+    stream: TcpStream,
+    reader: FrameReader,
+    buf: [u8; 16 * 1024],
+    /// Snapshot transfer in progress: (covered LSN, assembled bytes,
+    /// expected total).
+    snapshot: Option<(Lsn, Vec<u8>, u64)>,
+    made_contact: bool,
+}
+
+impl StreamConn<'_> {
+    fn send(&mut self, frame: &Frame) -> Result<(), StreamEnd> {
+        self.stream
+            .write_all(&frame.to_bytes())
+            .map_err(|_| StreamEnd::Retry)
+    }
+
+    /// Reads one frame; `Ok(None)` on a read timeout.
+    fn read_frame(&mut self) -> Result<Option<Frame>, StreamEnd> {
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {}
+                Err(_) => return Err(StreamEnd::Retry),
+            }
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => return Err(StreamEnd::Retry),
+                Ok(n) => self.reader.extend(&self.buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(_) => return Err(StreamEnd::Retry),
+            }
+        }
+    }
+
+    /// Marks leader contact on the first frame of this connection and on
+    /// every frame thereafter.
+    fn contact(&mut self) {
+        self.shared.touch();
+        if !self.made_contact {
+            self.made_contact = true;
+            self.shared.connected.store(true, Ordering::Release);
+            self.shared.connects.fetch_add(1, Ordering::Relaxed);
+            CONNECTS.inc();
+        }
+    }
+
+    fn handle(&mut self, frame: Frame) -> Result<(), StreamEnd> {
+        self.contact();
+        match frame {
+            Frame::ReplSegment { .. } => Ok(()), // Informational.
+            Frame::ReplRecords {
+                first_lsn,
+                payloads,
+            } => self.apply(first_lsn, payloads),
+            Frame::ReplSnapshot {
+                lsn,
+                total_len,
+                offset,
+                chunk,
+            } => self.assemble_snapshot(lsn, total_len, offset, chunk),
+            Frame::ReplLag { leader_next_lsn } => {
+                self.shared
+                    .leader_next
+                    .store(leader_next_lsn, Ordering::Release);
+                let applied = self.broker.durability().map_or(0, |d| d.next_lsn);
+                self.shared.maybe_clear_stale(applied);
+                Ok(())
+            }
+            Frame::Error { .. } => {
+                // The leader refused us (not durable, version mismatch, log
+                // unreadable). The stream is over either way; version
+                // mismatches won't heal, the rest might — retry covers
+                // both, bounded by the backoff cap.
+                Err(StreamEnd::Retry)
+            }
+            // Session-protocol frames have no business on a repl stream.
+            _ => Err(StreamEnd::Retry),
+        }
+    }
+
+    fn apply(&mut self, first_lsn: u64, payloads: Vec<Vec<u8>>) -> Result<(), StreamEnd> {
+        match faults::hit(points::REPL_APPLY, first_lsn as usize) {
+            Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return Err(StreamEnd::Retry), // Injected apply failure.
+            None => {}
+        }
+        let count = payloads.len() as u64;
+        match self.broker.apply_replicated(first_lsn, &payloads) {
+            Ok(next) => {
+                RECORDS_APPLIED.add(count);
+                self.shared.maybe_clear_stale(next);
+                Ok(())
+            }
+            // Position mismatch: the stream and the replica diverged
+            // (e.g. a snapshot landed between our hello and this batch).
+            // Reconnecting re-announces the true position.
+            Err(BrokerError::ReplicationGap { .. }) | Err(BrokerError::Replication(_)) => {
+                Err(StreamEnd::Retry)
+            }
+            // The local WAL is broken: no amount of reconnecting applies
+            // another record. Stop and surface via status (lag grows).
+            Err(_) => Err(StreamEnd::Fatal),
+        }
+    }
+
+    fn assemble_snapshot(
+        &mut self,
+        lsn: u64,
+        total_len: u64,
+        offset: u64,
+        chunk: Vec<u8>,
+    ) -> Result<(), StreamEnd> {
+        match faults::hit(points::REPL_SNAPSHOT_FETCH, offset as usize) {
+            Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return Err(StreamEnd::Retry), // Injected fetch failure.
+            None => {}
+        }
+        if total_len > self.shared.config.max_snapshot_bytes {
+            return Err(StreamEnd::Retry);
+        }
+        let buf = match &mut self.snapshot {
+            Some((cur_lsn, buf, cur_total))
+                if *cur_lsn == lsn && *cur_total == total_len && buf.len() as u64 == offset =>
+            {
+                buf
+            }
+            _ if offset == 0 => {
+                self.snapshot = Some((lsn, Vec::with_capacity(total_len as usize), total_len));
+                &mut self.snapshot.as_mut().expect("just set").1
+            }
+            // Mid-transfer chunk that doesn't continue the one in
+            // flight: the stream is confused, start over.
+            _ => return Err(StreamEnd::Retry),
+        };
+        buf.extend_from_slice(&chunk);
+        if (buf.len() as u64) < total_len {
+            return Ok(());
+        }
+        let (lsn, bytes, _) = self.snapshot.take().expect("complete transfer");
+        match self.broker.install_replicated_snapshot(lsn, &bytes) {
+            Ok(()) => {
+                SNAPSHOTS_INSTALLED.inc();
+                self.shared.maybe_clear_stale(lsn);
+                Ok(())
+            }
+            // Damaged in flight: retry re-fetches it.
+            Err(BrokerError::Replication(_)) => Err(StreamEnd::Retry),
+            Err(_) => Err(StreamEnd::Fatal),
+        }
+    }
+}

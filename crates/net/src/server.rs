@@ -41,12 +41,32 @@
 //! disconnected) are dropped — delivery is at-most-once; the sequence gap
 //! tells a resuming client what it missed. Acks and errors are never
 //! policed: they are the request/response backbone.
+//!
+//! # Session garbage collection
+//!
+//! Sessions survive disconnects indefinitely by default. With
+//! [`ServerConfig::session_ttl`] set, a background reaper removes sessions
+//! that have stayed detached past the TTL, unsubscribing everything they
+//! own; a later resume of a reaped token gets `UnknownSession`, exactly as
+//! if the token had never been issued.
+//!
+//! # Replication
+//!
+//! A connection whose first frame is `ReplHello` (instead of `Hello`)
+//! never becomes a session: it turns into a one-way WAL stream. The server
+//! tails its durable broker's log from the requested LSN and ships
+//! `ReplSegment`/`ReplRecords` frames, falling back to chunked
+//! `ReplSnapshot` transfer when the follower's position predates the
+//! oldest retained segment, and heartbeating `ReplLag` (the exact
+//! leader-side append position) whenever it is caught up. See DESIGN.md
+//! §14 for the full replication state machine.
 
 use crate::frame::{Ack, ErrorCode, Frame, FrameReader, WireEvent, WirePredicate, WireValue};
 use crate::queue::{OutQueue, PushError};
 use parking_lot::Mutex;
 use pubsub_broker::{BrokerError, SharedBroker, Validity};
 use pubsub_core::Backpressure;
+use pubsub_durability::{replication, TailChunk};
 use pubsub_types::faults::{self, points, FaultAction};
 use pubsub_types::metrics::Counter;
 use pubsub_types::{Event, Predicate, Subscription, SubscriptionId, TypeError, Value};
@@ -56,7 +76,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static CONNECTIONS: Counter = Counter::new("net.server.connections");
 static FRAMES_IN: Counter = Counter::new("net.server.frames_in");
@@ -66,6 +86,15 @@ static SESSIONS_RESUMED: Counter = Counter::new("net.server.sessions_resumed");
 static NOTIFIES_SHED: Counter = Counter::new("net.server.notifies_shed");
 static NOTIFIES_DROPPED_DETACHED: Counter = Counter::new("net.server.notifies_dropped_detached");
 static ERRORFAST_DISCONNECTS: Counter = Counter::new("net.server.errorfast_disconnects");
+static SESSIONS_REAPED: Counter = Counter::new("net.server.sessions_reaped");
+static REPL_STREAMS: Counter = Counter::new("net.server.repl_streams");
+
+/// Largest WAL byte span shipped per `ReplRecords` frame. Well under
+/// [`crate::frame::MAX_FRAME_BYTES`] even with per-payload length prefixes.
+const TAIL_BATCH_BYTES: usize = 64 * 1024;
+
+/// Snapshot transfer chunk size; each chunk rides one `ReplSnapshot` frame.
+const SNAPSHOT_CHUNK_BYTES: usize = 256 * 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -79,6 +108,14 @@ pub struct ServerConfig {
     /// How often blocked reads wake to poll the shutdown flag. Bounds both
     /// shutdown latency and idle-connection overhead.
     pub read_timeout: Duration,
+    /// Reap sessions that have stayed detached this long, freeing their
+    /// subscriptions. `None` (the default) keeps sessions forever, matching
+    /// the pre-GC contract; a resume of a reaped token gets
+    /// `UnknownSession`.
+    pub session_ttl: Option<Duration>,
+    /// How long a caught-up replication stream sleeps between tail polls.
+    /// Also the heartbeat period of `ReplLag` frames while idle.
+    pub repl_poll: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +124,8 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             delivery: Backpressure::Block,
             read_timeout: Duration::from_millis(100),
+            session_ttl: None,
+            repl_poll: Duration::from_millis(25),
         }
     }
 }
@@ -134,6 +173,15 @@ impl Conn {
 struct DeliveryState {
     next_seq: u64,
     conn: Option<Conn>,
+    /// When the session last lost its connection (stamped at creation, so a
+    /// session abandoned before its first attach still ages out). `None`
+    /// while attached.
+    detached_at: Option<Instant>,
+    /// Set (under this lock) when the session GC removes the session from
+    /// the registry. A resume that already cloned the delivery handle out
+    /// of the registry checks this before attaching, so a reaped token can
+    /// never come back as a ghost.
+    reaped: bool,
 }
 
 struct Delivery {
@@ -192,6 +240,7 @@ pub struct Server {
     state: Arc<State>,
     local_addr: SocketAddr,
     accept: Mutex<Option<JoinHandle<()>>>,
+    reaper: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -226,10 +275,22 @@ impl Server {
         let accept = thread::Builder::new()
             .name("net-accept".into())
             .spawn(move || accept_loop(listener, accept_state))?;
+        let reaper = match state.config.session_ttl {
+            Some(ttl) => {
+                let gc_state = Arc::clone(&state);
+                Some(
+                    thread::Builder::new()
+                        .name("net-session-gc".into())
+                        .spawn(move || reaper_loop(gc_state, ttl))?,
+                )
+            }
+            None => None,
+        };
         Ok(Server {
             state,
             local_addr,
             accept: Mutex::new(Some(accept)),
+            reaper: Mutex::new(reaper),
         })
     }
 
@@ -268,6 +329,18 @@ impl Server {
         }
     }
 
+    /// Reaps every session that has stayed detached at least
+    /// [`ServerConfig::session_ttl`], returning how many were removed.
+    /// A no-op (returns 0) when no TTL is configured. The background
+    /// reaper calls this periodically; tests and operators can call it
+    /// directly for a deterministic sweep.
+    pub fn reap_detached_sessions(&self) -> usize {
+        match self.state.config.session_ttl {
+            Some(ttl) => reap_detached(&self.state, ttl),
+            None => 0,
+        }
+    }
+
     /// The live subscription ids of session `token` (sorted), or `None`
     /// for an unknown token.
     pub fn session_subscriptions(&self, token: u64) -> Option<Vec<u32>> {
@@ -299,6 +372,10 @@ impl Server {
         // Wake the accept loop; it checks the flag after every accept.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        // The session reaper polls the flag between short sleeps.
+        if let Some(h) = self.reaper.lock().take() {
             let _ = h.join();
         }
         // Reader threads poll the flag on their read timeout; pre-session
@@ -348,6 +425,61 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
             conns.push(h);
         }
     }
+}
+
+/// Periodically sweeps detached sessions past their TTL. Wakes often
+/// enough that both GC latency and shutdown latency stay well under a
+/// second regardless of the configured TTL.
+fn reaper_loop(state: Arc<State>, ttl: Duration) {
+    let interval = (ttl / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+    loop {
+        thread::sleep(interval);
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        reap_detached(&state, ttl);
+    }
+}
+
+/// Removes every session detached at least `ttl` ago, unsubscribing the
+/// broker subscriptions it owned. Returns the number of sessions reaped.
+///
+/// Lock discipline note: this is the one place a delivery lock is taken
+/// with the registry held — via `try_lock`, which never blocks. A delivery
+/// lock held long (a publisher mid-blocking-enqueue) implies an attached,
+/// unreapable session, so skipping on contention loses nothing; the next
+/// sweep retries. Holding the registry across the check-and-remove is what
+/// makes reaping atomic against concurrent resumes.
+fn reap_detached(state: &State, ttl: Duration) -> usize {
+    let mut reg = state.registry.lock();
+    let tokens: Vec<u64> = reg.sessions.keys().copied().collect();
+    let mut reaped = 0;
+    for token in tokens {
+        let Some(session) = reg.sessions.get(&token) else {
+            continue;
+        };
+        let delivery = Arc::clone(&session.delivery);
+        let Some(mut st) = delivery.state.try_lock() else {
+            continue;
+        };
+        let expired = st.conn.is_none() && st.detached_at.is_some_and(|t| t.elapsed() >= ttl);
+        if !expired {
+            continue;
+        }
+        st.reaped = true;
+        drop(st);
+        let session = reg.sessions.remove(&token).expect("present: checked above");
+        for id in session.subs {
+            reg.owner.remove(&id);
+            // Follower brokers refuse mutations; their sessions own no
+            // subscriptions, so errors here are unreachable — but a
+            // best-effort unsubscribe keeps this path panic-free anyway.
+            let _ = state.broker.try_unsubscribe(SubscriptionId(id));
+        }
+        SESSIONS_REAPED.inc();
+        reaped += 1;
+    }
+    reaped
 }
 
 /// How a reader thread ended, deciding the connection's teardown.
@@ -415,6 +547,7 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
         let mut st = delivery.state.lock();
         if st.conn.as_ref().is_some_and(|c| c.epoch == conn_id) {
             st.conn = None;
+            st.detached_at = Some(Instant::now());
         }
     }
     match exit {
@@ -542,10 +675,15 @@ impl ConnCtx<'_> {
 
     /// Processes one frame. `Some(exit)` ends the connection.
     fn handle(&mut self, frame: Frame) -> Option<Exit> {
-        // Every frame before a successful handshake must be Hello.
+        // Every frame before a successful handshake must be Hello — or
+        // ReplHello, which never creates a session: it commits the whole
+        // connection to a one-way WAL stream.
         if self.session.is_none() {
             return match frame {
                 Frame::Hello { proto, token } => self.handle_hello(proto, token),
+                Frame::ReplHello { proto, from_lsn } => {
+                    Some(self.serve_replication(proto, from_lsn))
+                }
                 _ => {
                     self.send_error(0, ErrorCode::BadHandshake, "first frame must be Hello");
                     Some(Exit::Graceful)
@@ -565,6 +703,138 @@ impl ConnCtx<'_> {
             Frame::Notify { .. } | Frame::Ack(_) | Frame::Error { .. } => {
                 self.send_error(0, ErrorCode::BadRequest, "server-only frame");
                 None
+            }
+            Frame::ReplHello { .. }
+            | Frame::ReplSegment { .. }
+            | Frame::ReplRecords { .. }
+            | Frame::ReplSnapshot { .. }
+            | Frame::ReplLag { .. } => {
+                self.send_error(
+                    0,
+                    ErrorCode::BadRequest,
+                    "replication frame on a session connection",
+                );
+                None
+            }
+        }
+    }
+
+    /// Serves a one-way WAL stream to a replication follower, starting at
+    /// `from_lsn`. Runs until the peer disconnects, the server shuts down,
+    /// or the log becomes unreadable. Never touches the session registry:
+    /// replication connections are not sessions.
+    fn serve_replication(&mut self, proto: u32, from_lsn: u64) -> Exit {
+        match faults::hit(points::REPL_ACCEPT, self.conn_id as usize) {
+            Some(FaultAction::Delay(ms)) => thread::sleep(Duration::from_millis(ms)),
+            Some(_) => return Exit::Severed, // Injected accept failure.
+            None => {}
+        }
+        if proto != crate::frame::PROTOCOL_VERSION {
+            self.send_error(
+                0,
+                ErrorCode::BadHandshake,
+                format!(
+                    "protocol {proto} unsupported (want {})",
+                    crate::frame::PROTOCOL_VERSION
+                ),
+            );
+            return Exit::Graceful;
+        }
+        let Some(status) = self.state.broker.durability() else {
+            self.send_error(
+                0,
+                ErrorCode::Unavailable,
+                "replication requires a durable broker",
+            );
+            return Exit::Graceful;
+        };
+        let dir = status.dir;
+        REPL_STREAMS.inc();
+        let mut pos = from_lsn;
+        // First LSN of the segment the last shipped batch started in;
+        // `ReplSegment` is sent whenever it changes.
+        let mut segment: Option<u64> = None;
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                return Exit::Severed;
+            }
+            match replication::read_tail(&dir, pos, TAIL_BATCH_BYTES) {
+                Ok(TailChunk::Records {
+                    segment_first,
+                    first_lsn,
+                    payloads,
+                }) => {
+                    if segment != Some(segment_first) {
+                        segment = Some(segment_first);
+                        if !self.send(&Frame::ReplSegment {
+                            first_lsn: segment_first,
+                        }) {
+                            return Exit::Severed;
+                        }
+                    }
+                    pos = first_lsn + payloads.len() as u64;
+                    if !self.send(&Frame::ReplRecords {
+                        first_lsn,
+                        payloads,
+                    }) {
+                        return Exit::Severed;
+                    }
+                }
+                Ok(TailChunk::CaughtUp { next_lsn }) | Ok(TailChunk::Incomplete { next_lsn }) => {
+                    // At the live end (or a record is mid-append): ship the
+                    // exact append position as a lag heartbeat, then poll.
+                    // A dead peer surfaces here as a failed enqueue once
+                    // the writer hits the broken socket.
+                    if !self.send(&Frame::ReplLag {
+                        leader_next_lsn: next_lsn,
+                    }) {
+                        return Exit::Severed;
+                    }
+                    thread::sleep(self.state.config.repl_poll);
+                }
+                Ok(TailChunk::SnapshotRequired { .. }) => {
+                    let (lsn, bytes) = match replication::snapshot_for_catchup(&dir) {
+                        Ok(Some(snap)) => snap,
+                        Ok(None) => {
+                            self.send_error(
+                                0,
+                                ErrorCode::Internal,
+                                "history compacted but no usable snapshot",
+                            );
+                            return Exit::Graceful;
+                        }
+                        Err(e) => {
+                            self.send_error(0, ErrorCode::Unavailable, e.to_string());
+                            return Exit::Graceful;
+                        }
+                    };
+                    let total_len = bytes.len() as u64;
+                    let mut offset = 0usize;
+                    // Ship at least one chunk even for an empty snapshot,
+                    // so the follower observes offset + len == total_len.
+                    loop {
+                        let end = (offset + SNAPSHOT_CHUNK_BYTES).min(bytes.len());
+                        let frame = Frame::ReplSnapshot {
+                            lsn,
+                            total_len,
+                            offset: offset as u64,
+                            chunk: bytes[offset..end].to_vec(),
+                        };
+                        if !self.send(&frame) {
+                            return Exit::Severed;
+                        }
+                        offset = end;
+                        if offset >= bytes.len() {
+                            break;
+                        }
+                    }
+                    segment = None;
+                    pos = lsn;
+                }
+                Err(e) => {
+                    self.send_error(0, ErrorCode::Unavailable, format!("wal tail failed: {e}"));
+                    return Exit::Graceful;
+                }
             }
         }
     }
@@ -594,6 +864,8 @@ impl ConnCtx<'_> {
                 state: Mutex::new(DeliveryState {
                     next_seq: 1,
                     conn: None,
+                    detached_at: Some(Instant::now()),
+                    reaped: false,
                 }),
             });
             reg.sessions.insert(
@@ -629,6 +901,18 @@ impl ConnCtx<'_> {
         };
         {
             let mut st = delivery.state.lock();
+            // The GC may have reaped this session between our registry
+            // lookup and this attach; the flag (set under this lock) makes
+            // the removal authoritative.
+            if st.reaped {
+                drop(st);
+                self.send_error(
+                    0,
+                    ErrorCode::UnknownSession,
+                    format!("session {token} expired"),
+                );
+                return Some(Exit::Graceful);
+            }
             if let Some(old) = st.conn.take() {
                 old.kill();
             }
@@ -637,6 +921,7 @@ impl ConnCtx<'_> {
                 sock,
                 epoch: self.conn_id,
             });
+            st.detached_at = None;
         }
         self.session = Some((token, delivery));
         if !self.send(&Frame::Ack(Ack::Hello { token, resumed })) {
@@ -799,6 +1084,7 @@ fn deliver(state: &State, matched: &[SubscriptionId], event: &WireEvent) {
                     if let Some(conn) = st.conn.take() {
                         conn.kill();
                     }
+                    st.detached_at = Some(Instant::now());
                     st.next_seq += 1;
                 }
                 Backpressure::Block => unreachable!("blocking push never reports Full"),
@@ -807,6 +1093,7 @@ fn deliver(state: &State, matched: &[SubscriptionId], event: &WireEvent) {
                 // The connection died under us; detach so later notifies
                 // take the cheap detached path.
                 st.conn = None;
+                st.detached_at = Some(Instant::now());
                 st.next_seq += 1;
             }
         }

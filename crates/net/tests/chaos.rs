@@ -295,3 +295,105 @@ fn wedged_subscriber_delivery_does_not_stall_other_connections() {
     assert_eq!(publisher.publish(event("k", 99)).expect("publish"), 0);
     server.shutdown();
 }
+
+#[test]
+fn follower_converges_through_injected_accept_and_stream_failures() {
+    use pubsub_durability::{CorruptionPolicy, DurabilityConfig, FsyncPolicy};
+    use pubsub_net::{Follower, FollowerConfig};
+
+    let _guard = SERIAL.lock().unwrap();
+    if !faults::enabled() {
+        return;
+    }
+    faults::clear();
+
+    let base = std::env::temp_dir().join(format!("fp-replchaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let config = DurabilityConfig {
+        segment_bytes: u64::MAX,
+        fsync: FsyncPolicy::OsManaged,
+        corruption: CorruptionPolicy::Fail,
+        snapshot_every_ops: 0,
+    };
+    let (leader, _) = SharedBroker::open_durable_with(
+        EngineKind::Counting,
+        2,
+        Backpressure::Block,
+        base.join("leader"),
+        config,
+    )
+    .expect("open leader");
+    let leader = Arc::new(leader);
+    let server = Server::start_with(
+        Arc::clone(&leader),
+        "127.0.0.1:0",
+        pubsub_net::ServerConfig {
+            repl_poll: Duration::from_millis(3),
+            ..pubsub_net::ServerConfig::default()
+        },
+    )
+    .expect("bind leader server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for v in 0..10i64 {
+        client.subscribe(vec![eq_pred("k", v)]).expect("subscribe");
+    }
+
+    // Hostile weather: the first replication accept dies outright, and
+    // after that every 7th stream poll severs the connection. The
+    // follower must reconnect through all of it and still converge.
+    faults::arm(
+        points::REPL_ACCEPT,
+        None,
+        FaultAction::Fail,
+        Schedule::Nth(1),
+    );
+    faults::arm(
+        points::REPL_STREAM_READ,
+        None,
+        FaultAction::Fail,
+        Schedule::EveryNth(7),
+    );
+    let (fbroker, _) =
+        SharedBroker::open_follower(EngineKind::Counting, 2, base.join("follower"), config)
+            .expect("open follower");
+    let fbroker = Arc::new(fbroker);
+    let follower = Follower::start(
+        Arc::clone(&fbroker),
+        server.local_addr(),
+        FollowerConfig {
+            backoff_initial: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+            connect_timeout: Duration::from_millis(500),
+            ..FollowerConfig::default()
+        },
+    )
+    .expect("start follower");
+
+    // Keep writing while the stream keeps dying under it.
+    for v in 10..30i64 {
+        client.subscribe(vec![eq_pred("k", v)]).expect("subscribe");
+        thread::sleep(Duration::from_millis(2));
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let target = leader.durability().expect("durable").next_lsn;
+    loop {
+        let applied = fbroker.durability().expect("durable").next_lsn;
+        if applied >= target {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never converged under injected faults: applied {applied} of {target}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    let status = follower.status();
+    assert!(
+        status.connects >= 2,
+        "injected cuts must have forced at least one reconnect, got {}",
+        status.connects
+    );
+    faults::clear();
+    follower.stop();
+    server.shutdown();
+}

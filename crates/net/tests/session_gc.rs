@@ -1,0 +1,158 @@
+//! Session garbage collection and client auto-reconnect.
+//!
+//! GC contract: with [`ServerConfig::session_ttl`] set, a session that
+//! stays detached past the TTL is removed — its subscriptions are freed,
+//! and resuming its token yields `UnknownSession`, exactly as if the token
+//! had never been issued. Attached sessions are never reaped, however old.
+//!
+//! Reconnect contract: with a [`ReconnectPolicy`] installed, a request
+//! that dies on a transport error redials, resumes the same session, and
+//! retries once — invisible to the caller as long as the session survives
+//! server-side.
+
+use pubsub_broker::SharedBroker;
+use pubsub_core::EngineKind;
+use pubsub_net::{
+    Client, ClientError, ErrorCode, ReconnectPolicy, Server, ServerConfig, WireEvent,
+    WirePredicate, WireValue,
+};
+use pubsub_types::Operator;
+use std::net::Shutdown;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn eq_pred(attr: &str, value: i64) -> WirePredicate {
+    WirePredicate {
+        attr: attr.into(),
+        op: Operator::Eq,
+        value: WireValue::Int(value),
+    }
+}
+
+fn event(attr: &str, value: i64) -> WireEvent {
+    WireEvent {
+        pairs: vec![(attr.into(), WireValue::Int(value))],
+    }
+}
+
+fn server_with_ttl(ttl: Option<Duration>) -> Server {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let config = ServerConfig {
+        session_ttl: ttl,
+        ..ServerConfig::default()
+    };
+    Server::start_with(broker, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+#[test]
+fn reaped_session_frees_subscriptions_and_refuses_resume() {
+    let server = server_with_ttl(Some(Duration::from_millis(30)));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let token = client.token();
+    client.subscribe(vec![eq_pred("k", 7)]).unwrap();
+    assert_eq!(server.status().sessions, 1);
+    assert_eq!(server.status().net_subscriptions, 1);
+
+    // Detach and age past the TTL; sweep deterministically.
+    drop(client);
+    thread::sleep(Duration::from_millis(60));
+    let swept = server.reap_detached_sessions();
+    // The background reaper may have won the race; either way the
+    // registry must now be empty.
+    assert!(swept <= 1);
+    assert_eq!(server.status().sessions, 0, "detached session not reaped");
+    assert_eq!(
+        server.status().net_subscriptions,
+        0,
+        "reaped session's subscriptions not freed"
+    );
+
+    // The subscription is really gone from the broker, not just untracked.
+    let mut probe = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(probe.publish(event("k", 7)).unwrap(), 0);
+
+    // Regression: resuming the reaped token is an explicit refusal.
+    match Client::resume(server.local_addr(), token) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        Err(other) => panic!("resume of a reaped token must fail with UnknownSession, got {other}"),
+        Ok(_) => panic!("resume of a reaped token must fail"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn attached_sessions_are_never_reaped() {
+    let server = server_with_ttl(Some(Duration::from_millis(20)));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.subscribe(vec![eq_pred("k", 1)]).unwrap();
+    thread::sleep(Duration::from_millis(80));
+    assert_eq!(server.reap_detached_sessions(), 0);
+    assert_eq!(server.status().sessions, 1);
+    // The connection still works end to end.
+    assert_eq!(client.publish(event("k", 1)).unwrap(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn no_ttl_means_sessions_live_forever() {
+    let server = server_with_ttl(None);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let token = client.token();
+    client.subscribe(vec![eq_pred("k", 2)]).unwrap();
+    drop(client);
+    thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.reap_detached_sessions(), 0, "no TTL, no reaping");
+    let resumed = Client::resume(server.local_addr(), token).unwrap();
+    assert_eq!(resumed.resumed().len(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn client_reconnects_and_retries_after_a_cut_socket() {
+    let server = server_with_ttl(None);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_reconnect(Some(ReconnectPolicy {
+        initial: Duration::from_millis(10),
+        max: Duration::from_millis(100),
+        attempts: 8,
+    }));
+    let id = client.subscribe(vec![eq_pred("k", 5)]).unwrap();
+
+    // Sever the transport under the client; the next request must redial,
+    // resume the same session, and succeed.
+    client.stream().shutdown(Shutdown::Both).unwrap();
+    assert_eq!(client.publish(event("k", 5)).unwrap(), 1);
+    assert_eq!(
+        client.resumed(),
+        &[id],
+        "reconnect resumed the session's subscriptions"
+    );
+
+    // And again: each outage is handled independently.
+    client.stream().shutdown(Shutdown::Both).unwrap();
+    assert!(client.unsubscribe(id).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn reconnect_does_not_mask_a_reaped_session() {
+    // Transport comes back but the session is gone: the client must
+    // surface the failure instead of silently starting a fresh session.
+    let server = server_with_ttl(Some(Duration::from_millis(20)));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.set_reconnect(Some(ReconnectPolicy {
+        initial: Duration::from_millis(10),
+        max: Duration::from_millis(50),
+        attempts: 4,
+    }));
+    client.subscribe(vec![eq_pred("k", 3)]).unwrap();
+    client.stream().shutdown(Shutdown::Both).unwrap();
+    thread::sleep(Duration::from_millis(80));
+    server.reap_detached_sessions();
+    assert!(
+        client.publish(event("k", 3)).is_err(),
+        "a reaped session must not be silently replaced"
+    );
+    server.shutdown();
+}

@@ -227,6 +227,22 @@ pub mod points {
     /// Hit before each outbound frame write. `Fail` severs the connection
     /// mid-delivery (a kill mid-batch on the notify path).
     pub const NET_NOTIFY_WRITE: &str = "net.server.frame.write";
+    /// Hit on the leader when a follower's `ReplHello` arrives, before any
+    /// WAL data is served. `Fail` rejects the replication stream (models a
+    /// leader refusing followers under load).
+    pub const REPL_ACCEPT: &str = "net.repl.accept";
+    /// Hit on the follower before each frame read from the leader's
+    /// replication stream. `Fail` severs the stream mid-flight (a kill
+    /// between or inside record batches); `Delay` models a slow WAN link.
+    pub const REPL_STREAM_READ: &str = "net.repl.stream.read";
+    /// Hit on the follower before each replicated record is applied to the
+    /// local WAL + broker. `Fail` aborts the apply (the record is neither
+    /// logged nor applied) and drops the stream so reconnection re-fetches
+    /// it — applies must stay atomic per record.
+    pub const REPL_APPLY: &str = "net.repl.apply";
+    /// Hit on the follower while fetching/installing a catch-up snapshot.
+    /// `Fail` aborts the transfer before anything is installed.
+    pub const REPL_SNAPSHOT_FETCH: &str = "net.repl.snapshot.fetch";
 }
 
 #[cfg(test)]

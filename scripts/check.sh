@@ -2,7 +2,7 @@
 # Repository gate: formatting, lints, release build, full test suite.
 #
 # Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos] [--durability]
-#                         [--contention] [--net] [--bless]
+#                         [--contention] [--net] [--replication] [--bless]
 #
 # Lanes
 #   (default)      fmt + clippy + release build + tests with default features,
@@ -41,6 +41,15 @@
 #                  scenarios actually inject, then a release netload smoke:
 #                  `pubsub serve` on loopback, one netload run with a
 #                  one-shot RPS floor, writing results/BENCH_net.json.
+#   --replication  WAL-shipping lane: the leader/follower suites at every
+#                  layer (durability read_tail/snapshot transfer, broker
+#                  follower apply/promote, socket-level replication, session
+#                  GC + client reconnect, kill-the-leader chaos sweep) with
+#                  --features faults,metrics so the net.repl.* fault points
+#                  inject, then a release loopback smoke: a durable leader
+#                  `serve`, a `--follow` replica, netload against the
+#                  leader, poll `repl status --json` until lag reaches 0,
+#                  and `promote` the replica.
 #   --bless        regenerate the golden fixtures (tests/golden/*: the
 #                  MetricsSnapshot JSON schema and the WAL on-disk format
 #                  pins) from the current code by running the golden tests
@@ -68,6 +77,7 @@ CHAOS=0
 DURABILITY=0
 CONTENTION=0
 NET=0
+REPLICATION=0
 BLESS=0
 for arg in "$@"; do
     case "$arg" in
@@ -77,9 +87,10 @@ for arg in "$@"; do
         --durability) DURABILITY=1 ;;
         --contention) CONTENTION=1 ;;
         --net) NET=1 ;;
+        --replication) REPLICATION=1 ;;
         --bless) BLESS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --net --bless)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --net --replication --bless)" >&2
             exit 2
             ;;
     esac
@@ -174,6 +185,71 @@ if [[ "$NET" == 1 ]]; then
         --events 2000 --min-rps 1000 --json results/BENCH_net.json
     kill "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
+fi
+
+if [[ "$REPLICATION" == 1 ]]; then
+    echo "==> replication suites, every layer (--features faults,metrics)"
+    cargo test ${OFFLINE} -p pubsub-durability \
+        --features pubsub-types/faults,pubsub-types/metrics replication
+    cargo test ${OFFLINE} -p pubsub-broker \
+        --features pubsub-types/faults,pubsub-types/metrics --test replication
+    cargo test ${OFFLINE} -p pubsub-net --features faults,metrics \
+        --test replication --test session_gc --test chaos
+    echo "==> leader/follower loopback smoke (release)"
+    cargo build ${OFFLINE} --release -p pubsub-cli
+    REPL_DIR="$(mktemp -d)"
+    REPL_OUT="$REPL_DIR/follower.out"
+    REPL_FIFO="$REPL_DIR/follower.in"
+    mkfifo "$REPL_FIFO"
+    L_ADDR="127.0.0.1:7941"
+    F_ADDR="127.0.0.1:7942"
+    FOLLOW_PID=""
+    target/release/pubsub serve counting --addr "$L_ADDR" \
+        --durable "$REPL_DIR/leader" < /dev/null &
+    LEADER_PID=$!
+    trap 'kill $LEADER_PID $FOLLOW_PID 2>/dev/null || true; rm -rf "$REPL_DIR"' EXIT
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/7941") 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    target/release/pubsub serve counting --addr "$F_ADDR" \
+        --durable "$REPL_DIR/replica" --follow "$L_ADDR" \
+        < "$REPL_FIFO" > "$REPL_OUT" &
+    FOLLOW_PID=$!
+    exec 4>"$REPL_FIFO"
+    # Put real history on the leader, then poll the replica's console
+    # until it reports zero lag against the leader's position.
+    target/release/pubsub netload --addr "$L_ADDR" --subscribers 2 --subs 4 \
+        --events 200 > /dev/null
+    CONVERGED=0
+    for _ in $(seq 1 100); do
+        echo "repl status --json" >&4
+        sleep 0.2
+        if grep -q '"lag":0' "$REPL_OUT"; then CONVERGED=1; break; fi
+    done
+    if [[ "$CONVERGED" != 1 ]]; then
+        echo "replication smoke: follower never reached lag 0" >&2
+        cat "$REPL_OUT" >&2
+        exit 1
+    fi
+    echo "promote" >&4
+    echo "repl status --json" >&4
+    echo "quit" >&4
+    exec 4>&-
+    wait "$FOLLOW_PID"
+    grep -q "promoted: writable" "$REPL_OUT" || {
+        echo "replication smoke: promote failed" >&2
+        cat "$REPL_OUT" >&2
+        exit 1
+    }
+    grep -q '"promoted":true' "$REPL_OUT" || {
+        echo "replication smoke: promoted status not reported" >&2
+        cat "$REPL_OUT" >&2
+        exit 1
+    }
+    kill "$LEADER_PID" 2>/dev/null || true
+    wait "$LEADER_PID" 2>/dev/null || true
+    rm -rf "$REPL_DIR"
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

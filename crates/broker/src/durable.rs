@@ -69,6 +69,10 @@ pub enum BrokerError {
     /// durable history written by a non-follower: tailing a leader into it
     /// would interleave two unrelated logs.
     ForeignHistory(PathBuf),
+    /// A session operation named a token the broker has never issued, or one
+    /// whose session was already reaped. The two are indistinguishable by
+    /// design: a reaped token behaves exactly as if it never existed.
+    UnknownSession(u64),
 }
 
 impl std::fmt::Display for BrokerError {
@@ -101,6 +105,9 @@ impl std::fmt::Display for BrokerError {
                 "refusing to follow into {}: it holds non-follower durable history",
                 dir.display()
             ),
+            BrokerError::UnknownSession(token) => {
+                write!(f, "session token {token} is unknown or reaped")
+            }
         }
     }
 }
@@ -116,7 +123,8 @@ impl std::error::Error for BrokerError {
             | BrokerError::Follower
             | BrokerError::NotFollower
             | BrokerError::ReplicationGap { .. }
-            | BrokerError::ForeignHistory(_) => None,
+            | BrokerError::ForeignHistory(_)
+            | BrokerError::UnknownSession(_) => None,
         }
     }
 }

@@ -54,6 +54,7 @@ use pubsub_types::{
     AttrId, Event, ShardError, Subscription, SubscriptionId, Symbol, Value, Vocabulary,
 };
 use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -119,8 +120,8 @@ impl RcuStatsAgg {
 
 /// The durability attachment of a [`SharedBroker`].
 ///
-/// Lock ordering across the whole handle is `writer < vocab < shards
-/// (ascending) < wal`; every multi-lock path acquires in that order, so
+/// Lock ordering across the whole handle is `writer < vocab < sessions <
+/// shards (ascending) < wal`; every multi-lock path acquires in that order, so
 /// adding the WAL mutex keeps the broker deadlock-free. Mutations append to
 /// the WAL *before* applying in memory (write-ahead discipline): an op that
 /// fails to log is never applied, so recovery can only ever observe a
@@ -162,6 +163,146 @@ impl DurableState {
     }
 }
 
+/// The durable token → subscription owner map.
+///
+/// Sessions exist so a network client can crash, reconnect (possibly to a
+/// restarted server or a promoted replica) and find its subscriptions
+/// intact. The table is broker state, not server state: every change is
+/// logged through the WAL on durable brokers (and therefore replicates),
+/// and in-memory brokers keep the same table without the log, so the
+/// server's registry behaves identically in both modes.
+///
+/// The `owner` reverse map serves two jobs: O(1) ownership checks, and
+/// **steal semantics** on bind replay — a leader crash between a
+/// `SessionBind` and its paired `Subscribe` leaves the peeked id unconsumed,
+/// so a later run may reissue it to another session; replaying both binds
+/// must leave the id owned by the later (winning) session only.
+#[derive(Debug, Clone)]
+struct SessionTable {
+    /// One past the largest token ever issued. Tokens start at 1: 0 is the
+    /// wire protocol's "new session, please" sentinel.
+    next_token: u64,
+    sessions: HashMap<u64, BTreeSet<u32>>,
+    /// Reverse map: subscription id → owning token.
+    owner: HashMap<u32, u64>,
+}
+
+impl SessionTable {
+    fn new() -> Self {
+        SessionTable {
+            next_token: 1,
+            sessions: HashMap::new(),
+            owner: HashMap::new(),
+        }
+    }
+
+    /// Registers `token`, bumping the high-water so it is never reissued.
+    /// Idempotent under replay of a log that was recovered with skips.
+    fn create(&mut self, token: u64) {
+        self.sessions.entry(token).or_default();
+        self.next_token = self.next_token.max(token + 1);
+    }
+
+    fn contains(&self, token: u64) -> bool {
+        self.sessions.contains_key(&token)
+    }
+
+    /// Binds `id` to `token`, stealing it from any prior owner. A bind to a
+    /// token the table does not hold is dropped (only reachable through a
+    /// log recovered under the skip policy, where the `SessionCreate` may
+    /// have been lost).
+    fn bind(&mut self, token: u64, id: u32) {
+        if !self.sessions.contains_key(&token) {
+            return;
+        }
+        if let Some(prev) = self.owner.insert(id, token) {
+            if prev != token {
+                if let Some(set) = self.sessions.get_mut(&prev) {
+                    set.remove(&id);
+                }
+            }
+        }
+        self.sessions.entry(token).or_default().insert(id);
+    }
+
+    /// Unbinds `id` from `token` (no-op if not bound there).
+    fn release(&mut self, token: u64, id: u32) {
+        if let Some(set) = self.sessions.get_mut(&token) {
+            if set.remove(&id) {
+                self.owner.remove(&id);
+            }
+        }
+    }
+
+    /// Removes `token`'s session, returning its bound ids (sorted).
+    fn reap(&mut self, token: u64) -> Vec<u32> {
+        let Some(set) = self.sessions.remove(&token) else {
+            return Vec::new();
+        };
+        for id in &set {
+            self.owner.remove(id);
+        }
+        set.into_iter().collect()
+    }
+
+    /// The token the next [`SessionTable::create`] should use.
+    fn peek_next_token(&self) -> u64 {
+        self.next_token
+    }
+
+    /// The session owning `id`, if any.
+    fn owner_of(&self, id: u32) -> Option<u64> {
+        self.owner.get(&id).copied()
+    }
+
+    /// Drops bindings whose subscription is not alive in `is_live`. This is
+    /// the one deterministic repair recovery needs: a crash between a
+    /// `SessionBind` and its `Subscribe` (or between an `Unsubscribe` and
+    /// its `SessionRelease`) leaves a binding pointing at a dead id — never
+    /// the reverse, because binds are logged before subscribes and
+    /// unsubscribes before releases. Run **only** on a writable broker
+    /// (leader open, promotion): a follower's dangling binding may simply
+    /// be a `Subscribe` the stream has not delivered yet.
+    fn prune_dangling(&mut self, mut is_live: impl FnMut(u32) -> bool) -> usize {
+        let dangling: Vec<(u32, u64)> = self
+            .owner
+            .iter()
+            .filter(|(id, _)| !is_live(**id))
+            .map(|(id, token)| (*id, *token))
+            .collect();
+        for (id, token) in &dangling {
+            self.owner.remove(id);
+            if let Some(set) = self.sessions.get_mut(token) {
+                set.remove(id);
+            }
+        }
+        dangling.len()
+    }
+
+    /// The table as sorted `(token, ids)` rows (snapshot encoding order).
+    fn to_rows(&self) -> Vec<(u64, Vec<u32>)> {
+        let mut rows: Vec<(u64, Vec<u32>)> = self
+            .sessions
+            .iter()
+            .map(|(token, ids)| (*token, ids.iter().copied().collect()))
+            .collect();
+        rows.sort_by_key(|(token, _)| *token);
+        rows
+    }
+
+    fn from_snapshot(next_token: u64, rows: Vec<(u64, Vec<u32>)>) -> Self {
+        let mut table = SessionTable::new();
+        table.next_token = next_token.max(1);
+        for (token, ids) in rows {
+            table.create(token);
+            for id in ids {
+                table.bind(token, id);
+            }
+        }
+        table
+    }
+}
+
 struct Inner {
     shards: Vec<Mutex<Broker>>,
     vocab: Mutex<Vocabulary>,
@@ -184,9 +325,15 @@ struct Inner {
     kind: EngineKind,
     /// How publishes execute (RCU snapshots vs. per-shard locks).
     mode: PublishMode,
+    /// The durable session table (token → owned subscription ids). Kept on
+    /// every broker — in-memory brokers just skip the logging — so the net
+    /// server's registry has one source of truth in all modes. Sits between
+    /// `vocab` and the shard locks in the global lock order:
+    /// `writer < vocab < sessions < shards < wal`.
+    sessions: Mutex<SessionTable>,
     /// The writer-side authoritative next snapshot (first in the lock
-    /// order: `writer < vocab < shards < wal`). Mutators update it in place
-    /// and publish a clone through `published`.
+    /// order: `writer < vocab < sessions < shards < wal`). Mutators update
+    /// it in place and publish a clone through `published`.
     writer: Mutex<Vec<ShardSnap>>,
     /// The epoch-protected snapshot the RCU publish path reads.
     published: RcuCell<BrokerSnapshot>,
@@ -199,9 +346,13 @@ struct Inner {
 }
 
 /// Captures the full broker state for a point-in-time snapshot. Caller
-/// holds the vocabulary lock and every shard lock, so the state is a
-/// consistent cut.
-fn build_snapshot_state(vocab: &Vocabulary, shards: &[MutexGuard<'_, Broker>]) -> SnapshotState {
+/// holds the vocabulary lock, the session lock and every shard lock, so the
+/// state is a consistent cut.
+fn build_snapshot_state(
+    vocab: &Vocabulary,
+    sessions: &SessionTable,
+    shards: &[MutexGuard<'_, Broker>],
+) -> SnapshotState {
     // Interners assign dense sequential ids; storing names in id order makes
     // re-interning them in order reproduce identical ids at recovery.
     let mut attrs: Vec<(AttrId, &str)> = vocab.attrs.iter().collect();
@@ -230,6 +381,8 @@ fn build_snapshot_state(vocab: &Vocabulary, shards: &[MutexGuard<'_, Broker>]) -
             .collect(),
         strings: strings.into_iter().map(|(_, s)| s.to_string()).collect(),
         subs,
+        next_token: sessions.peek_next_token(),
+        sessions: sessions.to_rows(),
     }
 }
 
@@ -241,8 +394,9 @@ fn rebuild_state(
     n: usize,
     snapshot: Option<SnapshotState>,
     ops: Vec<(Lsn, WalOp)>,
-) -> (Vocabulary, Vec<Broker>) {
+) -> (Vocabulary, Vec<Broker>, SessionTable) {
     let mut vocab = Vocabulary::new();
+    let mut sessions = SessionTable::new();
     let mut brokers: Vec<Broker> = (0..n)
         .map(|i| {
             Broker::new(kind)
@@ -273,6 +427,7 @@ fn rebuild_state(
             // absent from it; never reissue them to new subscribers.
             broker.reserve_ids_below(snap.high_water_id);
         }
+        sessions = SessionTable::from_snapshot(snap.next_token, snap.sessions);
     }
 
     // Replay the WAL tail. Per-shard op order matches the original apply
@@ -303,9 +458,19 @@ fn rebuild_state(
                     }
                 }
             }
+            WalOp::SessionCreate { token } => sessions.create(token),
+            WalOp::SessionBind { token, id } => sessions.bind(token, id.0),
+            WalOp::SessionRelease { token, id } => sessions.release(token, id.0),
+            WalOp::SessionReap { token } => {
+                // The reaped session's unsubscribes are re-derived from the
+                // table, mirroring how AdvanceTo re-derives expiries.
+                for id in sessions.reap(token) {
+                    brokers[id as usize % n].unsubscribe(SubscriptionId(id));
+                }
+            }
         }
     }
-    (vocab, brokers)
+    (vocab, brokers, sessions)
 }
 
 /// A cloneable, thread-safe broker handle with per-shard locking.
@@ -372,6 +537,7 @@ impl SharedBroker {
             inner: Arc::new(Inner {
                 shards,
                 vocab: Mutex::new(Vocabulary::new()),
+                sessions: Mutex::new(SessionTable::new()),
                 next_shard: AtomicUsize::new(0),
                 backpressure,
                 durable: None,
@@ -421,6 +587,24 @@ impl SharedBroker {
         dir: impl AsRef<Path>,
         config: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport), BrokerError> {
+        Self::open_durable_inner(kind, shards, backpressure, dir, config, true)
+    }
+
+    /// The shared open path. `prune_sessions` runs the dangling-binding
+    /// repair (a binding whose subscription is dead, left by a crash
+    /// between the two records of a bound subscribe/unsubscribe pair).
+    /// Leaders prune; followers must not — their dangling binding may be a
+    /// `Subscribe` the replication stream has not delivered yet, and
+    /// pruning it would orphan the subscription when it arrives. Promotion
+    /// runs the same repair once the stream is sealed.
+    fn open_durable_inner(
+        kind: EngineKind,
+        shards: usize,
+        backpressure: Backpressure,
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+        prune_sessions: bool,
+    ) -> Result<(Self, RecoveryReport), BrokerError> {
         let n = shards.max(1);
         let (wal, recovered) = Wal::open(dir, config).map_err(BrokerError::Recovery)?;
         let Recovered {
@@ -428,7 +612,10 @@ impl SharedBroker {
             ops,
             report,
         } = recovered;
-        let (vocab, brokers) = rebuild_state(kind, n, snapshot, ops);
+        let (vocab, brokers, mut sessions) = rebuild_state(kind, n, snapshot, ops);
+        if prune_sessions {
+            sessions.prune_dangling(|id| brokers[id as usize % n].contains(SubscriptionId(id)));
+        }
 
         // Freeze the recovered state as the first published snapshot, so
         // lock-free publishes see the pre-crash subscription set from the
@@ -445,6 +632,7 @@ impl SharedBroker {
             inner: Arc::new(Inner {
                 shards: brokers.into_iter().map(Mutex::new).collect(),
                 vocab: Mutex::new(vocab),
+                sessions: Mutex::new(sessions),
                 next_shard: AtomicUsize::new(0),
                 backpressure,
                 durable: Some(DurableState {
@@ -492,8 +680,9 @@ impl SharedBroker {
             return Err(BrokerError::ForeignHistory(dir.to_path_buf()));
         }
         replication::mark_follower(dir).map_err(BrokerError::Replication)?;
+        // `prune_sessions: false` — see `open_durable_inner`.
         let (broker, report) =
-            Self::open_durable_with(kind, shards, Backpressure::Block, dir, config)?;
+            Self::open_durable_inner(kind, shards, Backpressure::Block, dir, config, false)?;
         broker.inner.follower.store(true, Ordering::Release);
         Ok((broker, report))
     }
@@ -809,6 +998,196 @@ impl SharedBroker {
             .collect()
     }
 
+    // ---- durable sessions ------------------------------------------------
+
+    /// Creates a session, returning its resume token (tokens start at 1; 0
+    /// is the wire protocol's "new session" sentinel and is never issued).
+    /// On durable brokers the `SessionCreate` record is logged before the
+    /// table changes, so a restarted — or promoted — broker reissues
+    /// neither this token nor any before it.
+    pub fn try_session_create(&self) -> Result<u64, BrokerError> {
+        self.check_writable()?;
+        let mut sessions = self.inner.sessions.lock();
+        let token = sessions.peek_next_token();
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            if let Err(e) = durable.wal.lock().append(&WalOp::SessionCreate { token }) {
+                return Err(durable.degrade(e));
+            }
+        }
+        sessions.create(token);
+        Ok(token)
+    }
+
+    /// Registers a subscription owned by session `token`
+    /// ([`BrokerError::UnknownSession`] if the token was never issued or
+    /// its session was reaped). On durable brokers the pair is logged as
+    /// `SessionBind` *then* `Subscribe` under one WAL hold: a crash between
+    /// the two leaves a dangling binding (repaired at the next writable
+    /// open), never an ownerless live subscription.
+    pub fn try_subscribe_bound(
+        &self,
+        token: u64,
+        sub: Subscription,
+        validity: Validity,
+    ) -> Result<SubscriptionId, BrokerError> {
+        self.check_writable()?;
+        let mut writer = self.writer_lock();
+        let mut sessions = self.inner.sessions.lock();
+        if !sessions.contains(token) {
+            return Err(BrokerError::UnknownSession(token));
+        }
+        let shard = self.inner.next_shard.fetch_add(1, Ordering::Relaxed) % self.shard_count();
+        let mut broker = self.inner.shards[shard].lock();
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            let id = broker.peek_next_id();
+            let mut wal = durable.wal.lock();
+            if let Err(e) = wal.append(&WalOp::SessionBind { token, id }) {
+                return Err(durable.degrade(e));
+            }
+            let op = WalOp::Subscribe {
+                id,
+                sub: sub.clone(),
+                validity,
+            };
+            if let Err(e) = wal.append(&op) {
+                // The bind made it to disk alone; recovery's prune repairs
+                // it. Nothing was applied in memory.
+                return Err(durable.degrade(e));
+            }
+        }
+        let snap_sub = writer.is_some().then(|| Arc::new(sub.clone()));
+        let id = broker.subscribe(sub, validity);
+        sessions.bind(token, id.0);
+        if let Some(snaps) = writer.as_deref_mut() {
+            snaps[shard].note_insert(id, snap_sub.expect("built above"), &broker, self.inner.kind);
+            drop(broker);
+            self.flip(snaps);
+        }
+        Ok(id)
+    }
+
+    /// Removes a subscription owned by session `token`. Returns `Ok(false)`
+    /// without logging when `id` is not currently bound to that session
+    /// (idempotent, mirroring [`SharedBroker::try_unsubscribe`]); fails
+    /// with [`BrokerError::UnknownSession`] when the session itself is
+    /// gone. On durable brokers the pair is logged `Unsubscribe` *then*
+    /// `SessionRelease` — the crash window again leaves only a dangling
+    /// binding.
+    pub fn try_unsubscribe_bound(
+        &self,
+        token: u64,
+        id: SubscriptionId,
+    ) -> Result<bool, BrokerError> {
+        self.check_writable()?;
+        let mut writer = self.writer_lock();
+        let mut sessions = self.inner.sessions.lock();
+        if !sessions.contains(token) {
+            return Err(BrokerError::UnknownSession(token));
+        }
+        if sessions.owner_of(id.0) != Some(token) {
+            return Ok(false);
+        }
+        let shard = self.shard_of(id);
+        let mut broker = self.inner.shards[shard].lock();
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            if !broker.contains(id) {
+                // A binding to a dead id cannot arise at runtime (only from
+                // a torn log, repaired at open); drop it defensively.
+                sessions.release(token, id.0);
+                return Ok(false);
+            }
+            let mut wal = durable.wal.lock();
+            if let Err(e) = wal.append(&WalOp::Unsubscribe(id)) {
+                return Err(durable.degrade(e));
+            }
+            if let Err(e) = wal.append(&WalOp::SessionRelease { token, id }) {
+                return Err(durable.degrade(e));
+            }
+        }
+        let removed = broker.unsubscribe(id);
+        sessions.release(token, id.0);
+        if removed {
+            if let Some(snaps) = writer.as_deref_mut() {
+                snaps[shard].note_remove(id, &broker, self.inner.kind);
+                drop(broker);
+                self.flip(snaps);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Reaps a session: logs **one** `SessionReap` record, removes the
+    /// session from the table, and unsubscribes every subscription it
+    /// owned (returned sorted). The per-subscription unsubscribes are not
+    /// logged — replay re-derives them from the table, exactly as
+    /// `AdvanceTo` re-derives expiries — so reaping a thousand-subscription
+    /// session costs one record. All removals land in a single RCU flip.
+    pub fn try_session_reap(&self, token: u64) -> Result<Vec<SubscriptionId>, BrokerError> {
+        self.check_writable()?;
+        let mut writer = self.writer_lock();
+        let mut sessions = self.inner.sessions.lock();
+        if !sessions.contains(token) {
+            return Err(BrokerError::UnknownSession(token));
+        }
+        if let Some(durable) = &self.inner.durable {
+            durable.check()?;
+            if let Err(e) = durable.wal.lock().append(&WalOp::SessionReap { token }) {
+                return Err(durable.degrade(e));
+            }
+        }
+        let ids: Vec<SubscriptionId> = sessions
+            .reap(token)
+            .into_iter()
+            .map(SubscriptionId)
+            .collect();
+        for &id in &ids {
+            let shard = self.shard_of(id);
+            let mut broker = self.inner.shards[shard].lock();
+            if broker.unsubscribe(id) {
+                if let Some(snaps) = writer.as_deref_mut() {
+                    snaps[shard].note_remove(id, &broker, self.inner.kind);
+                }
+            }
+        }
+        if !ids.is_empty() {
+            if let Some(snaps) = writer.as_deref() {
+                self.flip(snaps);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// The subscription ids bound to session `token` (sorted), or `None`
+    /// for an unknown/reaped token. Works on followers — this is how a
+    /// server hydrates its registry from replicated session state.
+    pub fn session_subscriptions(&self, token: u64) -> Option<Vec<SubscriptionId>> {
+        let sessions = self.inner.sessions.lock();
+        sessions
+            .sessions
+            .get(&token)
+            .map(|set| set.iter().map(|&id| SubscriptionId(id)).collect())
+    }
+
+    /// Every durable session as sorted `(token, subscription ids)` rows —
+    /// the server's startup hydration source.
+    pub fn session_rows(&self) -> Vec<(u64, Vec<SubscriptionId>)> {
+        self.inner
+            .sessions
+            .lock()
+            .to_rows()
+            .into_iter()
+            .map(|(token, ids)| (token, ids.into_iter().map(SubscriptionId).collect()))
+            .collect()
+    }
+
+    /// Number of live sessions in the table.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().sessions.len()
+    }
+
     // ---- events (lock one shard at a time) -------------------------------
 
     /// Publishes an event, returning the matched subscriptions sorted by id.
@@ -1033,10 +1412,16 @@ impl SharedBroker {
     fn advance_locked(&self, t: Option<LogicalTime>) -> Result<usize, BrokerError> {
         self.check_writable()?;
         let mut writer = self.writer_lock();
-        // The vocabulary lock is only needed for a potential auto-snapshot,
-        // but the global lock order (writer < vocab < shards < wal) requires
-        // taking it before the shard locks — durable brokers pay that cost.
+        // The vocabulary and session locks are only needed for a potential
+        // auto-snapshot, but the global lock order (writer < vocab <
+        // sessions < shards < wal) requires taking them before the shard
+        // locks — durable brokers pay that cost.
         let vocab = self.inner.durable.as_ref().map(|_| self.inner.vocab.lock());
+        let sessions = self
+            .inner
+            .durable
+            .as_ref()
+            .map(|_| self.inner.sessions.lock());
         let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         let t = t.unwrap_or_else(|| guards[0].now().plus(1));
         if let Some(durable) = &self.inner.durable {
@@ -1074,8 +1459,11 @@ impl SharedBroker {
         if let Some(durable) = &self.inner.durable {
             let mut wal = durable.wal.lock();
             if wal.wants_snapshot() {
-                let state =
-                    build_snapshot_state(vocab.as_ref().expect("durable holds vocab"), &guards);
+                let state = build_snapshot_state(
+                    vocab.as_ref().expect("durable holds vocab"),
+                    sessions.as_ref().expect("durable holds sessions"),
+                    &guards,
+                );
                 if let Err(e) = wal.snapshot(&state) {
                     // The advance itself is already durable; a failed
                     // snapshot only degrades the broker if it poisoned the
@@ -1162,9 +1550,10 @@ impl SharedBroker {
         let durable = self.inner.durable.as_ref().ok_or(BrokerError::NotDurable)?;
         durable.check()?;
         let vocab = self.inner.vocab.lock();
+        let sessions = self.inner.sessions.lock();
         let guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         let mut wal = durable.wal.lock();
-        let state = build_snapshot_state(&vocab, &guards);
+        let state = build_snapshot_state(&vocab, &sessions, &guards);
         match wal.snapshot(&state) {
             Ok(path) => Ok(path),
             Err(e) => {
@@ -1203,6 +1592,7 @@ impl SharedBroker {
         }
         let mut writer = self.writer_lock();
         let mut vocab = self.inner.vocab.lock();
+        let mut sessions = self.inner.sessions.lock();
         let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         durable.check()?;
         let mut wal = durable.wal.lock();
@@ -1269,6 +1659,23 @@ impl SharedBroker {
                         }
                     }
                 }
+                WalOp::SessionCreate { token } => sessions.create(token),
+                WalOp::SessionBind { token, id } => sessions.bind(token, id.0),
+                WalOp::SessionRelease { token, id } => sessions.release(token, id.0),
+                WalOp::SessionReap { token } => {
+                    // One record, many removals — re-derived here exactly as
+                    // at local replay.
+                    for raw in sessions.reap(token) {
+                        let id = SubscriptionId(raw);
+                        let shard = raw as usize % n;
+                        let broker = &mut *guards[shard];
+                        if broker.unsubscribe(id) {
+                            if let Some(snaps) = writer.as_deref_mut() {
+                                snaps[shard].note_remove(id, broker, kind);
+                            }
+                        }
+                    }
+                }
             }
         }
         let next = wal.next_lsn();
@@ -1295,6 +1702,7 @@ impl SharedBroker {
         }
         let mut writer = self.writer_lock();
         let mut vocab = self.inner.vocab.lock();
+        let mut sessions = self.inner.sessions.lock();
         let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         durable.check()?;
         let mut wal = durable.wal.lock();
@@ -1304,9 +1712,10 @@ impl SharedBroker {
         let (new_wal, recovered) = Wal::open(&dir, config).map_err(BrokerError::Recovery)?;
         *wal = new_wal;
         let n = guards.len();
-        let (new_vocab, brokers) =
+        let (new_vocab, brokers, new_sessions) =
             rebuild_state(self.inner.kind, n, recovered.snapshot, recovered.ops);
         *vocab = new_vocab;
+        *sessions = new_sessions;
         for (guard, broker) in guards.iter_mut().zip(brokers) {
             **guard = broker;
         }
@@ -1334,7 +1743,8 @@ impl SharedBroker {
         }
         let _writer = self.writer_lock();
         let _vocab = self.inner.vocab.lock();
-        let _guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let mut sessions = self.inner.sessions.lock();
+        let guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         durable.check()?;
         let mut wal = durable.wal.lock();
         if let Err(e) = wal.sync() {
@@ -1344,6 +1754,14 @@ impl SharedBroker {
         replication::clear_follower_mark(wal.dir()).map_err(BrokerError::Replication)?;
         let next = wal.next_lsn();
         drop(wal);
+        // The broker becomes writable here, so this is the moment the
+        // leader-only repair runs: a binding whose `Subscribe` the stream
+        // never delivered (the old leader died inside the pair) is now
+        // definitively dangling, not merely in flight.
+        let n = guards.len();
+        sessions.prune_dangling(|id| guards[id as usize % n].contains(SubscriptionId(id)));
+        drop(guards);
+        drop(sessions);
         self.inner.follower.store(false, Ordering::Release);
         Ok(next)
     }

@@ -167,6 +167,12 @@ impl Model {
                     self.dead.insert(id);
                 }
             }
+            // This suite drives only the subscription/clock surface; session
+            // records have their own model in the net restart-resume sweep.
+            WalOp::SessionCreate { .. }
+            | WalOp::SessionBind { .. }
+            | WalOp::SessionRelease { .. }
+            | WalOp::SessionReap { .. } => {}
         }
     }
 }

@@ -1,0 +1,455 @@
+//! Durable session table: WAL replay, snapshot folding, torn-pair repair,
+//! reap semantics and replication/promotion of session records.
+//!
+//! The session table maps resume tokens to the subscription ids they own.
+//! Its invariants, each pinned here:
+//!
+//! * Restart restores the full table — bindings, the token high-water mark
+//!   (no token is ever reissued), and nothing else.
+//! * `SessionReap` is **one** record; replay re-derives the per-subscription
+//!   unsubscribes (like `AdvanceTo` re-derives expiries).
+//! * The bind-before-subscribe / unsubscribe-before-release record order
+//!   means any crash cut leaves at worst a *dangling binding* (a bound id
+//!   with no live subscription), never an ownerless live subscription; the
+//!   next writable open prunes danglers. Followers do **not** prune — their
+//!   dangling binding may be an in-flight pair — promotion does.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pubsub_broker::{BrokerError, SharedBroker};
+use pubsub_core::{Backpressure, EngineKind};
+use pubsub_durability::{
+    CorruptionPolicy, DurabilityConfig, FsyncPolicy, Wal, WalOp, FAULT_APPEND,
+};
+use pubsub_types::faults::{self, FaultAction, Schedule};
+use pubsub_types::time::Validity;
+use pubsub_types::{AttrId, Event, Subscription, SubscriptionId};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fp-sessbrk-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> DurabilityConfig {
+    DurabilityConfig {
+        segment_bytes: u64::MAX,
+        fsync: FsyncPolicy::OsManaged,
+        corruption: CorruptionPolicy::Fail,
+        snapshot_every_ops: 0,
+    }
+}
+
+fn open(dir: &PathBuf) -> SharedBroker {
+    SharedBroker::open_durable_with(EngineKind::Dynamic, 2, Backpressure::Block, dir, config())
+        .unwrap()
+        .0
+}
+
+fn sub(key: u32, val: i64) -> Subscription {
+    Subscription::builder()
+        .eq(AttrId(key), val)
+        .build()
+        .unwrap()
+}
+
+fn ids(broker: &SharedBroker, token: u64) -> Vec<u32> {
+    broker
+        .session_subscriptions(token)
+        .unwrap_or_else(|| panic!("session {token} should exist"))
+        .into_iter()
+        .map(|id| id.0)
+        .collect()
+}
+
+/// The whole table — tokens, bindings, and the token high-water mark —
+/// survives a restart; a released binding stays released.
+#[test]
+fn sessions_survive_restart() {
+    let dir = temp_dir("restart");
+    let broker = open(&dir);
+
+    let t1 = broker.try_session_create().unwrap();
+    let t2 = broker.try_session_create().unwrap();
+    assert_eq!(
+        (t1, t2),
+        (1, 2),
+        "tokens start at 1 (0 is the wire sentinel)"
+    );
+
+    let a = broker
+        .try_subscribe_bound(t1, sub(0, 1), Validity::forever())
+        .unwrap();
+    let b = broker
+        .try_subscribe_bound(t1, sub(0, 2), Validity::forever())
+        .unwrap();
+    let c = broker
+        .try_subscribe_bound(t2, sub(1, 3), Validity::forever())
+        .unwrap();
+    assert!(broker.try_unsubscribe_bound(t1, a).unwrap());
+
+    drop(broker);
+    let broker = open(&dir);
+
+    assert_eq!(broker.session_count(), 2);
+    assert_eq!(ids(&broker, t1), vec![b.0]);
+    assert_eq!(ids(&broker, t2), vec![c.0]);
+    assert_eq!(broker.subscription_count(), 2);
+    assert_eq!(
+        broker.session_rows(),
+        vec![(t1, vec![b]), (t2, vec![c])],
+        "rows are sorted by token"
+    );
+
+    // High-water mark: the restarted broker never reissues a token.
+    assert_eq!(broker.try_session_create().unwrap(), 3);
+
+    // And the surviving subscriptions still match.
+    let ev = Event::builder().pair(AttrId(0), 2i64).build().unwrap();
+    assert_eq!(broker.publish(&ev), vec![b]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Reap logs exactly one record, frees every owned subscription now, and
+/// replay reproduces both effects; a reaped token is indistinguishable
+/// from one never issued.
+#[test]
+fn reap_is_one_record_and_survives_restart() {
+    let dir = temp_dir("reap");
+    let broker = open(&dir);
+
+    let t = broker.try_session_create().unwrap();
+    let keep = broker.try_session_create().unwrap();
+    for v in 0..3 {
+        broker
+            .try_subscribe_bound(t, sub(0, v), Validity::forever())
+            .unwrap();
+    }
+    let kept = broker
+        .try_subscribe_bound(keep, sub(1, 9), Validity::forever())
+        .unwrap();
+
+    let reaped = broker.try_session_reap(t).unwrap();
+    assert_eq!(
+        reaped.len(),
+        3,
+        "sorted ids of everything the session owned"
+    );
+    assert!(reaped.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(broker.subscription_count(), 1);
+    assert_eq!(broker.session_subscriptions(t), None);
+
+    // Every bound API refuses the reaped token exactly like an unknown one.
+    assert_eq!(
+        broker.try_subscribe_bound(t, sub(0, 0), Validity::forever()),
+        Err(BrokerError::UnknownSession(t))
+    );
+    assert_eq!(
+        broker.try_unsubscribe_bound(t, reaped[0]),
+        Err(BrokerError::UnknownSession(t))
+    );
+    assert_eq!(
+        broker.try_session_reap(t),
+        Err(BrokerError::UnknownSession(t))
+    );
+    drop(broker);
+
+    // One record on disk: a thousand-subscription reap would cost the same.
+    let reap_records = Wal::dump(&dir)
+        .unwrap()
+        .iter()
+        .filter(|(_, op)| matches!(op, WalOp::SessionReap { .. }))
+        .count();
+    assert_eq!(reap_records, 1);
+
+    // Replay re-derives the unsubscribes from the table.
+    let broker = open(&dir);
+    assert_eq!(broker.session_subscriptions(t), None);
+    assert_eq!(ids(&broker, keep), vec![kept.0]);
+    assert_eq!(broker.subscription_count(), 1);
+    assert_eq!(
+        broker.try_session_reap(t),
+        Err(BrokerError::UnknownSession(t))
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Unknown tokens are typed refusals; an id owned by a *different* session
+/// is an idempotent `Ok(false)`, not an error (and not an unbind).
+#[test]
+fn unknown_tokens_and_foreign_ids_are_refused() {
+    let dir = temp_dir("unknown");
+    let broker = open(&dir);
+
+    assert_eq!(
+        broker.try_subscribe_bound(99, sub(0, 0), Validity::forever()),
+        Err(BrokerError::UnknownSession(99))
+    );
+    assert_eq!(
+        broker.try_unsubscribe_bound(99, SubscriptionId(0)),
+        Err(BrokerError::UnknownSession(99))
+    );
+    assert_eq!(
+        broker.try_session_reap(99),
+        Err(BrokerError::UnknownSession(99))
+    );
+
+    let t1 = broker.try_session_create().unwrap();
+    let t2 = broker.try_session_create().unwrap();
+    let owned = broker
+        .try_subscribe_bound(t1, sub(0, 1), Validity::forever())
+        .unwrap();
+    assert_eq!(broker.try_unsubscribe_bound(t2, owned), Ok(false));
+    assert_eq!(ids(&broker, t1), vec![owned.0], "binding untouched");
+    assert_eq!(broker.subscription_count(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The snapshot folds the session table: recovery from snapshot + empty
+/// tail restores tokens, bindings and the high-water mark.
+#[test]
+fn snapshot_folds_the_session_table() {
+    let dir = temp_dir("snapshot");
+    let broker = open(&dir);
+
+    let t1 = broker.try_session_create().unwrap();
+    let gone = broker.try_session_create().unwrap();
+    let a = broker
+        .try_subscribe_bound(t1, sub(0, 1), Validity::forever())
+        .unwrap();
+    broker.try_session_reap(gone).unwrap();
+    broker.snapshot().unwrap();
+    // Post-snapshot tail on top of the folded table.
+    let b = broker
+        .try_subscribe_bound(t1, sub(0, 2), Validity::forever())
+        .unwrap();
+    drop(broker);
+
+    let (broker, report) = SharedBroker::open_durable_with(
+        EngineKind::Dynamic,
+        2,
+        Backpressure::Block,
+        &dir,
+        config(),
+    )
+    .unwrap();
+    assert!(
+        report.snapshot_lsn.is_some(),
+        "recovery must start from the snapshot"
+    );
+    assert_eq!(broker.session_count(), 1);
+    assert_eq!(ids(&broker, t1), vec![a.0, b.0]);
+    assert_eq!(broker.session_subscriptions(gone), None, "reap was folded");
+    assert!(
+        broker.try_session_create().unwrap() > gone,
+        "high-water folded"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash between `SessionBind` and its `Subscribe` leaves a dangling
+/// binding; the next writable open prunes it and the reissued id binds
+/// cleanly. (Injected via a WAL append fault on the second record of the
+/// pair — the bind reaches disk, the subscribe does not.)
+#[test]
+fn torn_bind_is_pruned_at_reopen() {
+    if !faults::enabled() {
+        eprintln!("skipping: pubsub-types/faults feature is off");
+        return;
+    }
+    let dir = temp_dir("torn-bind");
+    faults::clear();
+    let broker = open(&dir);
+    let t = broker.try_session_create().unwrap();
+    let a = broker
+        .try_subscribe_bound(t, sub(0, 1), Validity::forever())
+        .unwrap();
+
+    // Next two appends are the pair; fail the second (the Subscribe).
+    faults::arm(FAULT_APPEND, None, FaultAction::Fail, Schedule::Nth(2));
+    let err = broker
+        .try_subscribe_bound(t, sub(0, 2), Validity::forever())
+        .unwrap_err();
+    assert!(matches!(err, BrokerError::Degraded(_)), "got {err}");
+    faults::clear();
+    assert_eq!(
+        ids(&broker, t),
+        vec![a.0],
+        "failed op never applied in memory"
+    );
+    drop(broker);
+
+    // The log now ends ...SessionBind{t, id} with no Subscribe. Writable
+    // recovery prunes the dangler; nothing else is lost.
+    let broker = open(&dir);
+    assert_eq!(ids(&broker, t), vec![a.0]);
+    assert_eq!(broker.subscription_count(), 1);
+
+    // The pruned id is reissued and binds for real this time.
+    let b = broker
+        .try_subscribe_bound(t, sub(0, 2), Validity::forever())
+        .unwrap();
+    assert_eq!(ids(&broker, t), vec![a.0, b.0]);
+    let ev = Event::builder().pair(AttrId(0), 2i64).build().unwrap();
+    assert_eq!(broker.publish(&ev), vec![b]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Replaying a `SessionBind` for an id the dead broker later reissued to a
+/// different session must *steal* the binding: the last bind in the log
+/// wins, because it is the only one whose Subscribe committed.
+#[test]
+fn replay_steals_rebound_ids() {
+    let dir = temp_dir("steal");
+    // Hand-write the exact crash shape: session 1's bind landed but its
+    // Subscribe was torn away; the reopened broker reissued id 0 to
+    // session 2, whose pair fully committed.
+    {
+        let (mut wal, _) = Wal::open(&dir, config()).unwrap();
+        for op in [
+            WalOp::SessionCreate { token: 1 },
+            WalOp::SessionBind {
+                token: 1,
+                id: SubscriptionId(0),
+            },
+            WalOp::SessionCreate { token: 2 },
+            WalOp::SessionBind {
+                token: 2,
+                id: SubscriptionId(0),
+            },
+            WalOp::Subscribe {
+                id: SubscriptionId(0),
+                sub: sub(0, 1),
+                validity: Validity::forever(),
+            },
+        ] {
+            wal.append(&op).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+
+    let broker = open(&dir);
+    assert_eq!(ids(&broker, 2), vec![0], "last bind wins");
+    assert_eq!(
+        ids(&broker, 1),
+        Vec::<u32>::new(),
+        "prior owner lost the id"
+    );
+    assert_eq!(broker.subscription_count(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Session records flow through `apply_replicated`: a follower mirrors the
+/// table (including a dangling bind it must *not* prune — the pair may
+/// still be in flight on the leader); promotion prunes and the promoted
+/// broker issues tokens above the replicated high-water mark.
+#[test]
+fn session_records_replicate_and_promotion_prunes() {
+    let dir = temp_dir("follower");
+    let (follower, _) =
+        SharedBroker::open_follower(EngineKind::Dynamic, 2, &dir, config()).unwrap();
+
+    let mut payloads = Vec::new();
+    for op in [
+        WalOp::SessionCreate { token: 1 },
+        WalOp::SessionBind {
+            token: 1,
+            id: SubscriptionId(0),
+        },
+        WalOp::Subscribe {
+            id: SubscriptionId(0),
+            sub: sub(0, 1),
+            validity: Validity::forever(),
+        },
+        WalOp::SessionCreate { token: 2 },
+        // Dangling: the leader's Subscribe for id 1 has not arrived (yet).
+        WalOp::SessionBind {
+            token: 2,
+            id: SubscriptionId(1),
+        },
+    ] {
+        let mut p = Vec::new();
+        op.encode(&mut p);
+        payloads.push(p);
+    }
+    assert_eq!(follower.apply_replicated(0, &payloads), Ok(5));
+
+    // The replica serves session reads — this is the server's hydration
+    // source after failover — and keeps the dangler verbatim.
+    assert_eq!(ids(&follower, 1), vec![0]);
+    assert_eq!(ids(&follower, 2), vec![1], "follower must not prune");
+    assert_eq!(follower.subscription_count(), 1);
+    assert_eq!(
+        follower.try_session_create(),
+        Err(BrokerError::Follower),
+        "followers never mint tokens"
+    );
+
+    // Promotion is the writable open: the dangler goes, tokens continue
+    // above the replicated high-water mark, and bound writes work.
+    follower.promote().unwrap();
+    assert_eq!(ids(&follower, 2), Vec::<u32>::new(), "pruned at promotion");
+    assert_eq!(follower.try_session_create().unwrap(), 3);
+    let id = follower
+        .try_subscribe_bound(2, sub(1, 5), Validity::forever())
+        .unwrap();
+    assert_eq!(ids(&follower, 2), vec![id.0]);
+
+    // A replicated reap frees everything the session owned.
+    // (On the now-promoted broker the API path covers the same replay arm
+    // via restart; here we exercise the local reap for completeness.)
+    assert_eq!(
+        follower.try_session_reap(1).unwrap(),
+        vec![SubscriptionId(0)]
+    );
+    assert_eq!(follower.session_subscriptions(1), None);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A replicated `SessionReap` re-derives the unsubscribes on the follower,
+/// exactly as local replay does.
+#[test]
+fn replicated_reap_frees_subscriptions() {
+    let dir = temp_dir("repl-reap");
+    let (follower, _) =
+        SharedBroker::open_follower(EngineKind::Dynamic, 2, &dir, config()).unwrap();
+
+    let mut payloads = Vec::new();
+    for op in [
+        WalOp::SessionCreate { token: 1 },
+        WalOp::SessionBind {
+            token: 1,
+            id: SubscriptionId(0),
+        },
+        WalOp::Subscribe {
+            id: SubscriptionId(0),
+            sub: sub(0, 1),
+            validity: Validity::forever(),
+        },
+        WalOp::SessionBind {
+            token: 1,
+            id: SubscriptionId(1),
+        },
+        WalOp::Subscribe {
+            id: SubscriptionId(1),
+            sub: sub(0, 2),
+            validity: Validity::forever(),
+        },
+        WalOp::SessionReap { token: 1 },
+    ] {
+        let mut p = Vec::new();
+        op.encode(&mut p);
+        payloads.push(p);
+    }
+    assert_eq!(follower.apply_replicated(0, &payloads), Ok(6));
+    assert_eq!(follower.session_subscriptions(1), None);
+    assert_eq!(follower.subscription_count(), 0);
+    let ev = Event::builder().pair(AttrId(0), 1i64).build().unwrap();
+    assert!(
+        follower.publish(&ev).is_empty(),
+        "no ghost matches after reap"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}

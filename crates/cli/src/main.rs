@@ -41,11 +41,14 @@
 //!
 //! * `pubsub serve [engine] --addr <host:port> [--shards N] [--backpressure
 //!   <policy>] [--publish-mode rcu|locked] [--queue-cap N] [--durable dir]
-//!   [--follow <leader:port>] [--session-ttl <secs>]` — the network-facing
-//!   broker server. `--follow` (requires `--durable` for the replica's
-//!   local log) starts a read-only follower tailing the leader's WAL; the
-//!   serve console then answers `repl status [--json]` and `promote`.
-//!   `--session-ttl` reaps sessions that stay detached past the TTL.
+//!   [--follow <leader:port>] [--session-ttl <secs>] [--idle-deadline
+//!   <secs>]` — the network-facing broker server. `--follow` (requires
+//!   `--durable` for the replica's local log) starts a read-only follower
+//!   tailing the leader's WAL; the serve console then answers `repl status
+//!   [--json]` and `promote`. `--session-ttl` reaps sessions that stay
+//!   detached past the TTL; `--idle-deadline` severs connections that send
+//!   nothing (not even a `ping`) for that long — with `--durable`, both the
+//!   session table and the resume tokens survive restarts and failover.
 //! * `pubsub netload --addr <host:port> [--subscribers N] [--subs N]
 //!   [--events N] [--values N] [--seed S] [--json path] [--min-rps X]` —
 //!   the end-to-end load generator.
@@ -886,6 +889,7 @@ fn serve_main(args: impl Iterator<Item = String>) {
     let mut durable_dir: Option<PathBuf> = None;
     let mut follow: Option<String> = None;
     let mut session_ttl: Option<std::time::Duration> = None;
+    let mut idle_deadline: Option<std::time::Duration> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -931,6 +935,14 @@ fn serve_main(args: impl Iterator<Item = String>) {
                     .parse()
                     .expect("seconds (fractional ok)");
                 session_ttl = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--idle-deadline" => {
+                let secs: f64 = args
+                    .next()
+                    .expect("--idle-deadline needs seconds")
+                    .parse()
+                    .expect("seconds (fractional ok)");
+                idle_deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
             other => kind = other.parse().unwrap_or_else(|e| panic!("{e}")),
         }
@@ -980,6 +992,7 @@ fn serve_main(args: impl Iterator<Item = String>) {
         queue_capacity: queue_cap,
         delivery: backpressure,
         session_ttl,
+        idle_deadline,
         ..pubsub_net::ServerConfig::default()
     };
     let broker = std::sync::Arc::new(broker);

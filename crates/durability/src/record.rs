@@ -38,6 +38,10 @@ const TAG_INTERN_STRING: u8 = 2;
 const TAG_SUBSCRIBE: u8 = 3;
 const TAG_UNSUBSCRIBE: u8 = 4;
 const TAG_ADVANCE_TO: u8 = 5;
+const TAG_SESSION_CREATE: u8 = 6;
+const TAG_SESSION_BIND: u8 = 7;
+const TAG_SESSION_RELEASE: u8 = 8;
+const TAG_SESSION_REAP: u8 = 9;
 
 /// One durable broker-state mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +66,37 @@ pub enum WalOp {
     /// expiries themselves are *not* logged — replay re-derives them from the
     /// validities, keeping the log append-rate independent of churn).
     AdvanceTo(LogicalTime),
+    /// A client session was created under a broker-issued resume token.
+    SessionCreate {
+        /// The token the broker assigned (never 0 — that value means "new
+        /// session" on the wire).
+        token: u64,
+    },
+    /// A subscription was bound to a session. Logged *before* the paired
+    /// `Subscribe` record so a crash between the two leaves at worst a
+    /// dangling binding (repaired at recovery), never an ownerless live
+    /// subscription.
+    SessionBind {
+        /// The owning session's token.
+        token: u64,
+        /// The bound subscription id.
+        id: SubscriptionId,
+    },
+    /// A subscription was unbound from its session. Logged *after* the
+    /// paired `Unsubscribe` record, for the same torn-crash reason.
+    SessionRelease {
+        /// The owning session's token.
+        token: u64,
+        /// The released subscription id.
+        id: SubscriptionId,
+    },
+    /// A session was reaped. The unsubscribes of its bound subscriptions are
+    /// *not* logged — replay re-derives them from the session table, exactly
+    /// as `AdvanceTo` re-derives expiries from validities.
+    SessionReap {
+        /// The reaped session's token.
+        token: u64,
+    },
 }
 
 impl WalOp {
@@ -90,7 +125,37 @@ impl WalOp {
                 out.push(TAG_ADVANCE_TO);
                 codec::put_time(out, *t);
             }
+            WalOp::SessionCreate { token } => {
+                out.push(TAG_SESSION_CREATE);
+                codec::put_u64(out, *token);
+            }
+            WalOp::SessionBind { token, id } => {
+                out.push(TAG_SESSION_BIND);
+                codec::put_u64(out, *token);
+                codec::put_subscription_id(out, *id);
+            }
+            WalOp::SessionRelease { token, id } => {
+                out.push(TAG_SESSION_RELEASE);
+                codec::put_u64(out, *token);
+                codec::put_subscription_id(out, *id);
+            }
+            WalOp::SessionReap { token } => {
+                out.push(TAG_SESSION_REAP);
+                codec::put_u64(out, *token);
+            }
         }
+    }
+
+    /// Whether this op touches the session table (used for the
+    /// `wal.session_records` counter).
+    pub fn is_session_op(&self) -> bool {
+        matches!(
+            self,
+            WalOp::SessionCreate { .. }
+                | WalOp::SessionBind { .. }
+                | WalOp::SessionRelease { .. }
+                | WalOp::SessionReap { .. }
+        )
     }
 
     /// Decodes an op payload produced by [`WalOp::encode`]. Rejects trailing
@@ -108,6 +173,16 @@ impl WalOp {
             }
             TAG_UNSUBSCRIBE => WalOp::Unsubscribe(codec::get_subscription_id(&mut r)?),
             TAG_ADVANCE_TO => WalOp::AdvanceTo(codec::get_time(&mut r)?),
+            TAG_SESSION_CREATE => WalOp::SessionCreate { token: r.u64()? },
+            TAG_SESSION_BIND => WalOp::SessionBind {
+                token: r.u64()?,
+                id: codec::get_subscription_id(&mut r)?,
+            },
+            TAG_SESSION_RELEASE => WalOp::SessionRelease {
+                token: r.u64()?,
+                id: codec::get_subscription_id(&mut r)?,
+            },
+            TAG_SESSION_REAP => WalOp::SessionReap { token: r.u64()? },
             tag => {
                 return Err(CodecError::BadTag {
                     what: "wal op",
@@ -155,6 +230,12 @@ impl std::fmt::Display for WalOp {
             }
             WalOp::Unsubscribe(id) => write!(f, "unsubscribe s{}", id.0),
             WalOp::AdvanceTo(t) => write!(f, "advance-to {t}"),
+            WalOp::SessionCreate { token } => write!(f, "session-create t{token}"),
+            WalOp::SessionBind { token, id } => write!(f, "session-bind t{token} s{}", id.0),
+            WalOp::SessionRelease { token, id } => {
+                write!(f, "session-release t{token} s{}", id.0)
+            }
+            WalOp::SessionReap { token } => write!(f, "session-reap t{token}"),
         }
     }
 }
@@ -180,6 +261,16 @@ mod tests {
             },
             WalOp::Unsubscribe(SubscriptionId(7)),
             WalOp::AdvanceTo(LogicalTime(31)),
+            WalOp::SessionCreate { token: 1 },
+            WalOp::SessionBind {
+                token: 1,
+                id: SubscriptionId(7),
+            },
+            WalOp::SessionRelease {
+                token: 1,
+                id: SubscriptionId(7),
+            },
+            WalOp::SessionReap { token: u64::MAX },
         ]
     }
 
@@ -198,6 +289,44 @@ mod tests {
         WalOp::AdvanceTo(LogicalTime(1)).encode(&mut payload);
         payload.push(0);
         assert!(WalOp::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn truncated_session_records_are_rejected() {
+        let ops = [
+            WalOp::SessionCreate { token: 0x0102_0304 },
+            WalOp::SessionBind {
+                token: 9,
+                id: SubscriptionId(3),
+            },
+            WalOp::SessionRelease {
+                token: 9,
+                id: SubscriptionId(3),
+            },
+            WalOp::SessionReap { token: 9 },
+        ];
+        for op in ops {
+            let mut payload = Vec::new();
+            op.encode(&mut payload);
+            // Every strict prefix must fail as a typed error, never panic.
+            for cut in 0..payload.len() {
+                assert!(
+                    WalOp::decode(&payload[..cut]).is_err(),
+                    "prefix {cut} of {op} decoded"
+                );
+            }
+            // Trailing garbage is rejected too.
+            payload.push(0xAB);
+            assert!(WalOp::decode(&payload).is_err(), "{op} took trailing bytes");
+        }
+    }
+
+    #[test]
+    fn session_ops_are_classified() {
+        assert!(WalOp::SessionCreate { token: 1 }.is_session_op());
+        assert!(WalOp::SessionReap { token: 1 }.is_session_op());
+        assert!(!WalOp::AdvanceTo(LogicalTime(1)).is_session_op());
+        assert!(!WalOp::Unsubscribe(SubscriptionId(0)).is_session_op());
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct SnapshotState {
     pub strings: Vec<String>,
     /// Live subscriptions with their ids and validities.
     pub subs: Vec<(SubscriptionId, Subscription, Validity)>,
+    /// One past the largest session token ever issued (0 = none). Like
+    /// `high_water_id`, it guards against re-issuing a retired token after
+    /// recovery.
+    pub next_token: u64,
+    /// Durable sessions: `(token, bound subscription ids)` in token order.
+    pub sessions: Vec<(u64, Vec<u32>)>,
 }
 
 impl SnapshotState {
@@ -85,6 +91,15 @@ impl SnapshotState {
             codec::put_subscription_id(&mut out, *id);
             codec::put_validity(&mut out, *validity);
             codec::put_subscription(&mut out, sub);
+        }
+        codec::put_u64(&mut out, self.next_token);
+        codec::put_u32(&mut out, self.sessions.len() as u32);
+        for (token, ids) in &self.sessions {
+            codec::put_u64(&mut out, *token);
+            codec::put_u32(&mut out, ids.len() as u32);
+            for id in ids {
+                codec::put_u32(&mut out, *id);
+            }
         }
         out
     }
@@ -113,6 +128,22 @@ impl SnapshotState {
             let validity = codec::get_validity(&mut r)?;
             let sub = codec::get_subscription(&mut r)?;
             state.subs.push((id, sub, validity));
+        }
+        // The session section was appended to the format later; a payload
+        // ending here is a pre-session snapshot and decodes with an empty
+        // table, so existing `--durable` directories stay readable.
+        if !r.is_empty() {
+            state.next_token = r.u64()?;
+            let n_sessions = guarded_count(&mut r)?;
+            for _ in 0..n_sessions {
+                let token = r.u64()?;
+                let n_ids = guarded_count(&mut r)?;
+                let mut ids = Vec::with_capacity(n_ids);
+                for _ in 0..n_ids {
+                    ids.push(r.u32()?);
+                }
+                state.sessions.push((token, ids));
+            }
         }
         if !r.is_empty() {
             return Err(CodecError::BadTag {
@@ -248,6 +279,54 @@ mod tests {
             attrs: vec!["exchange".into(), "price".into()],
             strings: vec!["nyse".into()],
             subs: vec![(SubscriptionId(3), sub, Validity::until(LogicalTime(99)))],
+            next_token: 5,
+            sessions: vec![(2, vec![3]), (4, vec![])],
+        }
+    }
+
+    /// A payload in the pre-session format: everything up to and including
+    /// the subscription section, nothing after.
+    fn legacy_payload(s: &SnapshotState) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_time(&mut out, s.now);
+        codec::put_u32(&mut out, s.high_water_id);
+        codec::put_u32(&mut out, s.attrs.len() as u32);
+        for a in &s.attrs {
+            codec::put_str(&mut out, a);
+        }
+        codec::put_u32(&mut out, s.strings.len() as u32);
+        for v in &s.strings {
+            codec::put_str(&mut out, v);
+        }
+        codec::put_u32(&mut out, s.subs.len() as u32);
+        for (id, sub, validity) in &s.subs {
+            codec::put_subscription_id(&mut out, *id);
+            codec::put_validity(&mut out, *validity);
+            codec::put_subscription(&mut out, sub);
+        }
+        out
+    }
+
+    #[test]
+    fn pre_session_snapshots_decode_with_an_empty_table() {
+        let mut s = sample();
+        s.next_token = 0;
+        s.sessions.clear();
+        let decoded = SnapshotState::decode(&legacy_payload(&s)).unwrap();
+        assert_eq!(decoded, s, "legacy payload must decode to empty sessions");
+    }
+
+    #[test]
+    fn truncated_session_sections_are_rejected() {
+        let full = sample().encode();
+        let legacy_len = legacy_payload(&sample()).len();
+        // Any strict prefix that cuts inside the session section is corrupt,
+        // not silently "legacy".
+        for cut in legacy_len + 1..full.len() {
+            assert!(
+                SnapshotState::decode(&full[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
         }
     }
 

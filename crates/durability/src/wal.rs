@@ -65,6 +65,8 @@ pub static WAL_BYTES: Counter = Counter::new("wal.bytes");
 pub static WAL_FSYNCS: Counter = Counter::new("wal.fsyncs");
 /// Segment rotations (`wal.rotations`).
 pub static WAL_ROTATIONS: Counter = Counter::new("wal.rotations");
+/// Session-table records appended (`wal.session_records`).
+pub static WAL_SESSION_RECORDS: Counter = Counter::new("wal.session_records");
 /// Records replayed during recovery (`recovery.records_replayed`).
 pub static RECOVERY_RECORDS: Counter = Counter::new("recovery.records_replayed");
 /// Torn tails truncated during recovery (`recovery.torn_tail_truncated`).
@@ -592,6 +594,9 @@ impl Wal {
         self.ops_since_snapshot += 1;
         WAL_APPENDS.inc();
         WAL_BYTES.add(rec.len() as u64);
+        if op.is_session_op() {
+            WAL_SESSION_RECORDS.inc();
+        }
         match self.config.fsync {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {

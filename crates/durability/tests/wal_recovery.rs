@@ -24,10 +24,11 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 /// A varied op stream: interning, subscriptions of different shapes,
-/// unsubscribes, clock advances.
+/// unsubscribes, clock advances, and the four session record types (so
+/// the byte-level truncation sweeps cover them too).
 fn op_stream(n: usize) -> Vec<WalOp> {
     (0..n)
-        .map(|i| match i % 5 {
+        .map(|i| match i % 8 {
             0 => WalOp::InternAttr(format!("attribute-{i}")),
             1 => WalOp::InternString(format!("value-{i}")),
             2 => {
@@ -47,6 +48,22 @@ fn op_stream(n: usize) -> Vec<WalOp> {
                 }
             }
             3 => WalOp::Unsubscribe(SubscriptionId(i as u32 / 2)),
+            4 => WalOp::SessionCreate {
+                token: i as u64 + 1,
+            },
+            5 => WalOp::SessionBind {
+                token: i as u64,
+                id: SubscriptionId(i as u32 / 3),
+            },
+            6 => match i % 3 {
+                0 => WalOp::SessionRelease {
+                    token: i as u64,
+                    id: SubscriptionId(i as u32 / 3),
+                },
+                _ => WalOp::SessionReap {
+                    token: i as u64 / 2,
+                },
+            },
             _ => WalOp::AdvanceTo(LogicalTime(i as u64)),
         })
         .collect()
@@ -197,6 +214,8 @@ fn truncation_behind_a_snapshot_still_recovers_the_snapshot() {
         attrs: vec!["attribute-0".into()],
         strings: vec!["value-1".into()],
         subs: Vec::new(),
+        next_token: 1,
+        sessions: Vec::new(),
     };
     wal.snapshot(&state).unwrap();
     let tail = op_stream(4);
@@ -231,4 +250,56 @@ fn truncation_behind_a_snapshot_still_recovers_the_snapshot() {
         assert!(rec.ops.iter().map(|(_, op)| op).eq(tail[..expected].iter()));
     }
     fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- session record codec (proptest) ---------------------------------------
+
+use proptest::prelude::*;
+
+fn arb_session_op() -> impl Strategy<Value = WalOp> {
+    prop_oneof![
+        any::<u64>().prop_map(|token| WalOp::SessionCreate { token }),
+        (any::<u64>(), any::<u32>()).prop_map(|(token, id)| WalOp::SessionBind {
+            token,
+            id: SubscriptionId(id),
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(token, id)| WalOp::SessionRelease {
+            token,
+            id: SubscriptionId(id),
+        }),
+        any::<u64>().prop_map(|token| WalOp::SessionReap { token }),
+    ]
+}
+
+proptest! {
+    /// Session records round-trip exactly; every strict prefix of an
+    /// encoding is a decode *error* (a torn record can never be mistaken
+    /// for a shorter valid one), and a corrupted byte either errors or
+    /// decodes to some op that re-encodes canonically — never a panic.
+    #[test]
+    fn session_records_round_trip_and_survive_damage(
+        op in arb_session_op(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut payload = Vec::new();
+        op.encode(&mut payload);
+        prop_assert_eq!(WalOp::decode(&payload).unwrap(), op);
+
+        for cut in 0..payload.len() {
+            prop_assert!(
+                WalOp::decode(&payload[..cut]).is_err(),
+                "strict prefix of length {cut} decoded"
+            );
+        }
+
+        let mut damaged = payload.clone();
+        let i = pos.index(damaged.len());
+        damaged[i] ^= xor;
+        if let Ok(decoded) = WalOp::decode(&damaged) {
+            let mut re = Vec::new();
+            decoded.encode(&mut re);
+            prop_assert_eq!(re, damaged, "non-canonical decode of damaged bytes");
+        }
+    }
 }

@@ -165,7 +165,7 @@ impl Client {
             }
             Some(Frame::Error { code, msg, .. }) => Err(ClientError::Server { code, msg }),
             Some(_) => Err(ClientError::Protocol("expected hello ack")),
-            None => unreachable!("no timeout configured"),
+            None => Err(ClientError::Protocol("idle read without a timeout")),
         }
     }
 
@@ -187,9 +187,14 @@ impl Client {
     }
 
     /// Redials the server and resumes this session, backing off per the
-    /// installed policy. Fails with the last transport error when every
-    /// attempt is refused, or immediately on a server-side refusal (e.g.
+    /// installed policy. Fails with the last error when every attempt is
+    /// refused, or immediately on a definitive server-side refusal (e.g.
     /// the session was reaped). Requests in flight are not replayed.
+    ///
+    /// Transport errors *and* [`ErrorCode::Unavailable`] refusals are
+    /// retried: a server restarting from its WAL, or a replica mid-promotion,
+    /// answers with connection-refused or `Unavailable` for a window, and
+    /// the whole point of durable sessions is to resume through it.
     pub fn reconnect_now(&mut self) -> Result<(), ClientError> {
         let Some(policy) = self.reconnect.clone() else {
             return Err(ClientError::Protocol("no reconnect policy installed"));
@@ -210,6 +215,12 @@ impl Client {
                     self.resumed = fresh.resumed;
                     return Ok(());
                 }
+                Err(
+                    e @ ClientError::Server {
+                        code: ErrorCode::Unavailable,
+                        ..
+                    },
+                ) => last = e,
                 Err(e @ ClientError::Server { .. }) => return Err(e),
                 Err(e) => last = e,
             }
@@ -282,17 +293,58 @@ impl Client {
         })
     }
 
+    /// Round-trips a liveness probe: sends a `Ping` and waits for the
+    /// matching `Pong`. Notifications arriving in between are buffered as
+    /// usual. Also serves as keep-alive traffic against a server with an
+    /// idle deadline configured.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.with_retry(|c| {
+            let nonce = u64::from(c.fresh_req());
+            c.send(&Frame::Ping { nonce })?;
+            loop {
+                match c.read_frame(None)? {
+                    Some(Frame::Pong { nonce: got }) => {
+                        if got != nonce {
+                            return Err(ClientError::Protocol("pong with a foreign nonce"));
+                        }
+                        return Ok(());
+                    }
+                    Some(Frame::Notify { seq, ids, event }) => {
+                        c.pending.push_back(Notification { seq, ids, event });
+                    }
+                    Some(Frame::Error { code, msg, .. }) => {
+                        return Err(ClientError::Server { code, msg })
+                    }
+                    Some(_) => return Err(ClientError::Protocol("unexpected frame, wanted pong")),
+                    None => return Err(ClientError::Protocol("idle read without a timeout")),
+                }
+            }
+        })
+    }
+
     /// Returns the next notification, waiting up to `timeout`. `Ok(None)`
-    /// means the timeout elapsed with no notification.
+    /// means the timeout elapsed with no notification. With a reconnect
+    /// policy installed, a transport failure resumes the session and
+    /// reports quiet (`Ok(None)`) — deliveries the server attempted during
+    /// the outage are connection-era state and are not replayed.
     pub fn next_notify(&mut self, timeout: Duration) -> Result<Option<Notification>, ClientError> {
         if let Some(n) = self.pending.pop_front() {
             return Ok(Some(n));
         }
-        match self.read_frame(Some(timeout))? {
-            Some(Frame::Notify { seq, ids, event }) => Ok(Some(Notification { seq, ids, event })),
-            Some(Frame::Error { code, msg, .. }) => Err(ClientError::Server { code, msg }),
-            Some(_) => Err(ClientError::Protocol("unexpected ack while idle")),
-            None => Ok(None),
+        match self.read_frame(Some(timeout)) {
+            Ok(Some(Frame::Notify { seq, ids, event })) => {
+                Ok(Some(Notification { seq, ids, event }))
+            }
+            Ok(Some(Frame::Error { code, msg, .. })) => Err(ClientError::Server { code, msg }),
+            Ok(Some(_)) => Err(ClientError::Protocol("unexpected ack while idle")),
+            Ok(None) => Ok(None),
+            Err(ClientError::Io(e)) if self.reconnect.is_some() => match self.reconnect_now() {
+                Ok(()) => Ok(None),
+                // The session itself is gone: surface that, not the socket.
+                Err(refusal @ ClientError::Server { .. }) => Err(refusal),
+                Err(_) => Err(ClientError::Io(e)),
+            },
+            Err(e) => Err(e),
         }
     }
 
@@ -369,7 +421,7 @@ impl Client {
                     return Err(ClientError::Protocol("error for a different request"));
                 }
                 Some(_) => return Err(ClientError::Protocol("unexpected frame")),
-                None => unreachable!("no timeout configured"),
+                None => return Err(ClientError::Protocol("idle read without a timeout")),
             }
         }
     }
@@ -377,6 +429,11 @@ impl Client {
     /// Reads one frame. `timeout` `None` blocks until a frame or EOF;
     /// `Some` returns `Ok(None)` when it elapses first. EOF surfaces as an
     /// [`ErrorKind::UnexpectedEof`] I/O error.
+    ///
+    /// A `WouldBlock` with no timeout configured is a spurious wakeup (a
+    /// stale `O_NONBLOCK`, a signal, a kernel quirk) — retried after a
+    /// short pause, never surfaced. This used to be an `unreachable!`,
+    /// which a socket flipped to non-blocking mode turned into a panic.
     fn read_frame(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, ClientError> {
         loop {
             if let Some(frame) = self.reader.next_frame()? {
@@ -392,7 +449,11 @@ impl Client {
                 }
                 Ok(n) => self.reader.extend(&self.buf[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    return Ok(None)
+                    if timeout.is_none() {
+                        thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    return Ok(None);
                 }
                 Err(e) => return Err(ClientError::Io(e)),
             }

@@ -56,6 +56,8 @@ const TAG_REPL_SEGMENT: u8 = 9;
 const TAG_REPL_RECORDS: u8 = 10;
 const TAG_REPL_SNAPSHOT: u8 = 11;
 const TAG_REPL_LAG: u8 = 12;
+const TAG_PING: u8 = 13;
+const TAG_PONG: u8 = 14;
 
 const ACK_HELLO: u8 = 1;
 const ACK_SUBSCRIBE: u8 = 2;
@@ -304,6 +306,20 @@ pub enum Frame {
         /// The leader's next append LSN.
         leader_next_lsn: u64,
     },
+    /// Client liveness probe. Valid at any point on a client connection —
+    /// even before the handshake — and answered immediately with a `Pong`
+    /// echoing the nonce. Pings also count as activity for the server's
+    /// idle-deadline reaper, so a subscriber that only listens can stay
+    /// attached by pinging.
+    Ping {
+        /// Opaque value echoed in the matching `Pong`.
+        nonce: u64,
+    },
+    /// The server's answer to a [`Frame::Ping`].
+    Pong {
+        /// The nonce from the ping being answered.
+        nonce: u64,
+    },
 }
 
 /// Errors produced by the frame decoder.
@@ -519,6 +535,14 @@ impl Frame {
                 out.push(TAG_REPL_LAG);
                 codec::put_u64(out, *leader_next_lsn);
             }
+            Frame::Ping { nonce } => {
+                out.push(TAG_PING);
+                codec::put_u64(out, *nonce);
+            }
+            Frame::Pong { nonce } => {
+                out.push(TAG_PONG);
+                codec::put_u64(out, *nonce);
+            }
         }
     }
 
@@ -638,6 +662,8 @@ impl Frame {
             TAG_REPL_LAG => Frame::ReplLag {
                 leader_next_lsn: r.u64()?,
             },
+            TAG_PING => Frame::Ping { nonce: r.u64()? },
+            TAG_PONG => Frame::Pong { nonce: r.u64()? },
             tag => return Err(CodecError::BadTag { what: "frame", tag }),
         };
         if !r.is_empty() {
@@ -825,6 +851,8 @@ mod tests {
             Frame::ReplLag {
                 leader_next_lsn: 45,
             },
+            Frame::Ping { nonce: 0xCAFE },
+            Frame::Pong { nonce: u64::MAX },
         ]
     }
 

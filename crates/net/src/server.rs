@@ -88,6 +88,8 @@ static NOTIFIES_DROPPED_DETACHED: Counter = Counter::new("net.server.notifies_dr
 static ERRORFAST_DISCONNECTS: Counter = Counter::new("net.server.errorfast_disconnects");
 static SESSIONS_REAPED: Counter = Counter::new("net.server.sessions_reaped");
 static REPL_STREAMS: Counter = Counter::new("net.server.repl_streams");
+static PINGS: Counter = Counter::new("net.server.pings");
+static SESSIONS_RESTORED: Counter = Counter::new("net.server.sessions_restored");
 
 /// Largest WAL byte span shipped per `ReplRecords` frame. Well under
 /// [`crate::frame::MAX_FRAME_BYTES`] even with per-payload length prefixes.
@@ -116,6 +118,17 @@ pub struct ServerConfig {
     /// How long a caught-up replication stream sleeps between tail polls.
     /// Also the heartbeat period of `ReplLag` frames while idle.
     pub repl_poll: Duration,
+    /// Sever a connection that has sent no frames (requests *or* pings)
+    /// for this long. The session survives the severing — it detaches and
+    /// ages toward [`ServerConfig::session_ttl`] like any other disconnect,
+    /// so the liveness layer and the session GC share one reap path.
+    /// `None` (the default) never severs on idleness.
+    pub idle_deadline: Option<Duration>,
+    /// Socket write timeout on the notify writer: a peer that accepts no
+    /// bytes for this long is severed (its session survives). Generous by
+    /// default so `Block`-policy backpressure — queue-full, not
+    /// socket-full — is never misread as peer death.
+    pub write_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +139,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(100),
             session_ttl: None,
             repl_poll: Duration::from_millis(25),
+            idle_deadline: None,
+            write_deadline: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -206,7 +221,30 @@ struct Registry {
     /// Subscription id → owning session token. Ids absent here belong to
     /// in-process subscribers and are invisible to the network layer.
     owner: HashMap<u32, u64>,
-    next_token: u64,
+}
+
+/// Inserts a detached registry session mirroring the broker-table row
+/// `(token, ids)` — the hydration path a restarted or promoted broker's
+/// sessions come back through. Caller holds the registry lock.
+fn hydrate_session(reg: &mut Registry, token: u64, ids: &[SubscriptionId]) {
+    let delivery = Arc::new(Delivery {
+        state: Mutex::new(DeliveryState {
+            next_seq: 1,
+            conn: None,
+            detached_at: Some(Instant::now()),
+            reaped: false,
+        }),
+    });
+    for id in ids {
+        reg.owner.insert(id.0, token);
+    }
+    reg.sessions.insert(
+        token,
+        Session {
+            subs: ids.iter().map(|id| id.0).collect(),
+            delivery,
+        },
+    );
 }
 
 /// The kill handle of a running connection, registered by conn id for the
@@ -258,14 +296,21 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Hydrate the registry from the broker's session table: a broker
+        // recovered from its WAL (or a promoted replica) carries every
+        // durable session, and clients must be able to resume them as if
+        // the server had never gone away. Sessions come back detached;
+        // delivery sequence numbers restart at 1 (they are connection-era
+        // state, not durable state).
+        let mut registry = Registry::default();
+        for (token, ids) in broker.session_rows() {
+            hydrate_session(&mut registry, token, &ids);
+            SESSIONS_RESTORED.inc();
+        }
         let state = Arc::new(State {
             broker,
             config,
-            registry: Mutex::new(Registry {
-                // Token 0 is NEW_SESSION on the wire; never issue it.
-                next_token: 1,
-                ..Registry::default()
-            }),
+            registry: Mutex::new(registry),
             shutdown: AtomicBool::new(false),
             conn_counter: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
@@ -451,6 +496,11 @@ fn reaper_loop(state: Arc<State>, ttl: Duration) {
 /// sweep retries. Holding the registry across the check-and-remove is what
 /// makes reaping atomic against concurrent resumes.
 fn reap_detached(state: &State, ttl: Duration) -> usize {
+    // A follower's sessions are replicated state: the leader decides their
+    // fate, and a local reap would fork from the stream. Skip entirely.
+    if state.broker.is_follower() {
+        return 0;
+    }
     let mut reg = state.registry.lock();
     let tokens: Vec<u64> = reg.sessions.keys().copied().collect();
     let mut reaped = 0;
@@ -468,13 +518,24 @@ fn reap_detached(state: &State, ttl: Duration) -> usize {
         }
         st.reaped = true;
         drop(st);
+        // The broker owns the durable reap: one `SessionReap` record frees
+        // every bound subscription, so recovery and replicas converge to
+        // the same post-reap state. `UnknownSession` means the broker-side
+        // session is already gone (e.g. the registry entry outlived a
+        // failover) — finish the registry removal anyway.
+        match state.broker.try_session_reap(token) {
+            Ok(_) | Err(BrokerError::UnknownSession(_)) => {}
+            Err(_) => {
+                // Could not log the reap (degraded broker): leave the
+                // session for a later sweep, and clear the flag so a
+                // resume in the meantime is not turned away for nothing.
+                delivery.state.lock().reaped = false;
+                continue;
+            }
+        }
         let session = reg.sessions.remove(&token).expect("present: checked above");
         for id in session.subs {
             reg.owner.remove(&id);
-            // Follower brokers refuse mutations; their sessions own no
-            // subscriptions, so errors here are unreachable — but a
-            // best-effort unsubscribe keeps this path panic-free anyway.
-            let _ = state.broker.try_unsubscribe(SubscriptionId(id));
         }
         SESSIONS_REAPED.inc();
         reaped += 1;
@@ -510,6 +571,15 @@ fn run_connection(state: Arc<State>, stream: TcpStream, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // A peer that stops draining its socket must not pin the writer in
+    // write_all forever: the deadline errors the write out, the writer
+    // closes the queue, and the session detaches (it can resume later).
+    if write_half
+        .set_write_timeout(state.config.write_deadline)
+        .is_err()
+    {
+        return;
+    }
     let Ok(kill_half) = stream.try_clone() else {
         return;
     };
@@ -629,6 +699,7 @@ impl ConnCtx<'_> {
     fn serve(&mut self) -> Exit {
         let mut reader = FrameReader::new();
         let mut buf = [0u8; 8192];
+        let mut last_activity = Instant::now();
         loop {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 return Exit::Severed;
@@ -640,10 +711,23 @@ impl ConnCtx<'_> {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
+                    // The liveness check rides the read-timeout wakeups: a
+                    // peer that has gone silent past the deadline is severed
+                    // (not closed gracefully), detaching its session to age
+                    // toward the TTL reaper like any other disconnect.
+                    if self
+                        .state
+                        .config
+                        .idle_deadline
+                        .is_some_and(|d| last_activity.elapsed() >= d)
+                    {
+                        return Exit::Severed;
+                    }
                     continue;
                 }
                 Err(_) => return Exit::Severed,
             };
+            last_activity = Instant::now();
             reader.extend(&buf[..n]);
             loop {
                 match reader.next_frame() {
@@ -675,6 +759,15 @@ impl ConnCtx<'_> {
 
     /// Processes one frame. `Some(exit)` ends the connection.
     fn handle(&mut self, frame: Frame) -> Option<Exit> {
+        // Pings are answered at any point — even before the handshake —
+        // so a client can probe liveness without committing to a session.
+        if let Frame::Ping { nonce } = frame {
+            PINGS.inc();
+            if !self.send(&Frame::Pong { nonce }) {
+                return Some(Exit::Severed);
+            }
+            return None;
+        }
         // Every frame before a successful handshake must be Hello — or
         // ReplHello, which never creates a session: it commits the whole
         // connection to a one-way WAL stream.
@@ -700,10 +793,12 @@ impl ConnCtx<'_> {
             Frame::Subscribe { req, preds } => self.handle_subscribe(req, &preds),
             Frame::Unsubscribe { req, id } => self.handle_unsubscribe(req, id),
             Frame::Publish { req, event } => self.handle_publish(req, &event),
-            Frame::Notify { .. } | Frame::Ack(_) | Frame::Error { .. } => {
+            Frame::Notify { .. } | Frame::Ack(_) | Frame::Error { .. } | Frame::Pong { .. } => {
                 self.send_error(0, ErrorCode::BadRequest, "server-only frame");
                 None
             }
+            // Already answered by the pre-handshake intercept above.
+            Frame::Ping { .. } => None,
             Frame::ReplHello { .. }
             | Frame::ReplSegment { .. }
             | Frame::ReplRecords { .. }
@@ -858,8 +953,17 @@ impl ConnCtx<'_> {
         }
         let mut reg = self.state.registry.lock();
         let (token, delivery, resumed) = if token == crate::frame::NEW_SESSION {
-            let token = reg.next_token;
-            reg.next_token += 1;
+            // The broker issues the token (durably, on durable brokers), so
+            // a restarted or promoted broker never reissues it. A follower
+            // broker refuses — new sessions belong on the leader.
+            let token = match self.state.broker.try_session_create() {
+                Ok(token) => token,
+                Err(e) => {
+                    drop(reg);
+                    self.send_error(0, broker_error_code(&e), e.to_string());
+                    return Some(Exit::Graceful);
+                }
+            };
             let delivery = Arc::new(Delivery {
                 state: Mutex::new(DeliveryState {
                     next_seq: 1,
@@ -877,11 +981,27 @@ impl ConnCtx<'_> {
             );
             (token, delivery, Vec::new())
         } else {
-            let Some(session) = reg.sessions.get(&token) else {
-                drop(reg);
-                self.send_error(0, ErrorCode::UnknownSession, format!("no session {token}"));
-                return Some(Exit::Graceful);
-            };
+            if !reg.sessions.contains_key(&token) {
+                // Not in the registry — but possibly in the broker's table:
+                // after a failover, replicated sessions can land *after*
+                // the replica's server started. Hydrate lazily.
+                match self.state.broker.session_subscriptions(token) {
+                    Some(ids) => {
+                        hydrate_session(&mut reg, token, &ids);
+                        SESSIONS_RESTORED.inc();
+                    }
+                    None => {
+                        drop(reg);
+                        self.send_error(
+                            0,
+                            ErrorCode::UnknownSession,
+                            format!("no session {token}"),
+                        );
+                        return Some(Exit::Graceful);
+                    }
+                }
+            }
+            let session = reg.sessions.get(&token).expect("present or just hydrated");
             SESSIONS_RESUMED.inc();
             let resumed: Vec<u32> = session.subs.iter().copied().collect();
             (token, Arc::clone(&session.delivery), resumed)
@@ -945,9 +1065,15 @@ impl ConnCtx<'_> {
         // deliver() groups matches under the registry lock, so once the
         // broker can match the new id, its owner is always resolvable —
         // no window where a matching publish silently skips delivery
-        // without consuming a sequence number.
+        // without consuming a sequence number. The bound call records the
+        // session ↔ subscription edge in the broker's durable table, so a
+        // restarted broker resumes this session with this id attached.
         let mut reg = self.state.registry.lock();
-        let id = match self.state.broker.try_subscribe(sub, Validity::forever()) {
+        let id = match self
+            .state
+            .broker
+            .try_subscribe_bound(token, sub, Validity::forever())
+        {
             Ok(id) => id,
             Err(e) => {
                 drop(reg);
@@ -985,7 +1111,11 @@ impl ConnCtx<'_> {
                 );
                 return None;
             }
-            Some(_) => match self.state.broker.try_unsubscribe(SubscriptionId(id)) {
+            Some(_) => match self
+                .state
+                .broker
+                .try_unsubscribe_bound(token, SubscriptionId(id))
+            {
                 Ok(existed) => {
                     reg.owner.remove(&id);
                     if let Some(session) = reg.sessions.get_mut(&token) {
@@ -1102,7 +1232,8 @@ fn deliver(state: &State, matched: &[SubscriptionId], event: &WireEvent) {
 
 fn broker_error_code(e: &BrokerError) -> ErrorCode {
     match e {
-        BrokerError::Degraded(_) => ErrorCode::Unavailable,
+        BrokerError::Degraded(_) | BrokerError::Follower => ErrorCode::Unavailable,
+        BrokerError::UnknownSession(_) => ErrorCode::UnknownSession,
         _ => ErrorCode::Internal,
     }
 }

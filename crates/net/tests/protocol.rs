@@ -83,7 +83,7 @@ fn arb_ack() -> impl Strategy<Value = Ack> {
     ]
 }
 
-/// Every frame variant, all seven tags.
+/// Every client/server frame variant, including the liveness pair.
 fn arb_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (any::<u32>(), any::<u64>()).prop_map(|(proto, token)| Frame::Hello { proto, token }),
@@ -102,6 +102,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             code,
             msg
         }),
+        any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
+        any::<u64>().prop_map(|nonce| Frame::Pong { nonce }),
     ]
 }
 
@@ -347,4 +349,98 @@ fn bad_frame_stream_is_reported_before_the_connection_closes() {
         }
         other => panic!("expected Error frame, got {other:?}"),
     }
+}
+
+/// Reads frames from a raw socket until one arrives (5s cap).
+fn read_one_frame(sock: &mut TcpStream) -> Frame {
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        if let Some(frame) = reader.next_frame().expect("server speaks valid frames") {
+            return frame;
+        }
+        let n = sock.read(&mut buf).expect("read server reply");
+        assert!(n > 0, "connection closed before a frame arrived");
+        reader.extend(&buf[..n]);
+    }
+}
+
+#[test]
+fn pings_are_answered_even_before_the_handshake() {
+    let server = test_server();
+    let mut sock = TcpStream::connect(server.local_addr()).unwrap();
+    sock.write_all(&Frame::Ping { nonce: 0xFEED }.to_bytes())
+        .unwrap();
+    assert_eq!(read_one_frame(&mut sock), Frame::Pong { nonce: 0xFEED });
+    // The connection is still pristine: a handshake works afterwards.
+    sock.write_all(
+        &Frame::Hello {
+            proto: PROTOCOL_VERSION,
+            token: 0,
+        }
+        .to_bytes(),
+    )
+    .unwrap();
+    match read_one_frame(&mut sock) {
+        Frame::Ack(Ack::Hello { token, .. }) => assert_ne!(token, 0),
+        other => panic!("expected hello ack, got {other:?}"),
+    }
+}
+
+#[test]
+fn client_ping_round_trips_and_buffers_nothing() {
+    let server = test_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for _ in 0..3 {
+        client.ping().expect("ping round-trips");
+    }
+    // Requests still work on the same connection.
+    let id = client
+        .subscribe(vec![WirePredicate {
+            attr: "k".into(),
+            op: Operator::Eq,
+            value: WireValue::Int(1),
+        }])
+        .unwrap();
+    client.ping().expect("ping after subscribe");
+    assert!(client.unsubscribe(id).unwrap());
+}
+
+#[test]
+fn a_pong_sent_to_the_server_is_a_bad_request() {
+    let server = test_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .send_raw(&Frame::Pong { nonce: 1 }.to_bytes())
+        .unwrap();
+    let err = client
+        .drain_notifies(Duration::from_secs(2))
+        .expect_err("server must refuse a client-sent pong");
+    match err {
+        pubsub_net::ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected server refusal, got {other}"),
+    }
+}
+
+/// Regression: a socket flipped to non-blocking used to turn the client's
+/// blocking reads into `unreachable!` panics ("no timeout configured") in
+/// both the handshake and `wait_ack`. Spurious `WouldBlock` on a blocking
+/// read must be retried, not panicked on.
+#[test]
+fn spurious_wakeups_on_a_blocking_socket_do_not_panic_requests() {
+    let server = test_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.stream().set_nonblocking(true).unwrap();
+    let id = client
+        .subscribe(vec![WirePredicate {
+            attr: "k".into(),
+            op: Operator::Eq,
+            value: WireValue::Int(7),
+        }])
+        .expect("request must survive spurious WouldBlock");
+    client
+        .ping()
+        .expect("ping must survive spurious WouldBlock");
+    assert!(client.unsubscribe(id).unwrap());
 }

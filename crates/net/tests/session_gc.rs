@@ -156,3 +156,135 @@ fn reconnect_does_not_mask_a_reaped_session() {
     );
     server.shutdown();
 }
+
+/// A resume racing the reaper is atomic: the resume either fully wins
+/// (every subscription intact, now safe from the reaper because it is
+/// attached) or gets a clean `UnknownSession` (everything freed). Never a
+/// half-freed session.
+#[test]
+fn resume_racing_a_reap_is_all_or_nothing() {
+    for round in 0..20u64 {
+        let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+        let config = ServerConfig {
+            session_ttl: Some(Duration::from_millis(1)),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(Arc::clone(&broker), "127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr();
+
+        let mut client = Client::connect(addr).unwrap();
+        let token = client.token();
+        let mut ids = Vec::new();
+        for v in 0..3 {
+            ids.push(client.subscribe(vec![eq_pred("k", v)]).unwrap());
+        }
+        drop(client);
+        thread::sleep(Duration::from_millis(5)); // well past the TTL
+
+        // Fire the sweep and the resume as close together as possible.
+        let barrier = std::sync::Barrier::new(2);
+        let reaper = {
+            let (barrier, server) = (&barrier, &server);
+            thread::scope(|s| {
+                let handle = s.spawn(move || {
+                    barrier.wait();
+                    server.reap_detached_sessions()
+                });
+                barrier.wait();
+                let resume = Client::resume(addr, token);
+                let swept = handle.join().unwrap();
+                (resume, swept)
+            })
+        };
+
+        match reaper {
+            (Ok(resumed), _) => {
+                // Resume won: the whole session survived, and being
+                // attached it is now immune to the reaper.
+                assert_eq!(
+                    resumed.resumed(),
+                    &ids[..],
+                    "round {round}: partial survival"
+                );
+                assert_eq!(broker.subscription_count(), 3);
+                assert_eq!(server.reap_detached_sessions(), 0);
+                assert_eq!(server.status().sessions, 1);
+            }
+            (Err(ClientError::Server { code, .. }), _) => {
+                // Reap won: the token reads as never issued, nothing left.
+                assert_eq!(code, ErrorCode::UnknownSession, "round {round}");
+                assert_eq!(broker.subscription_count(), 0, "round {round}");
+                assert_eq!(server.status().sessions, 0, "round {round}");
+                assert_eq!(server.status().net_subscriptions, 0, "round {round}");
+            }
+            (Err(other), swept) => {
+                panic!("round {round}: unexpected resume error {other} (swept {swept})")
+            }
+        }
+        server.shutdown();
+    }
+}
+
+/// With an idle deadline configured, a connection that sends nothing is
+/// severed — detached, not destroyed: its session survives for a resume
+/// (and from there the ordinary TTL reaper applies — one shared reap
+/// path, no second lifecycle).
+#[test]
+fn idle_deadline_severs_silent_connections_but_keeps_the_session() {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(10),
+        idle_deadline: Some(Duration::from_millis(40)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with(Arc::clone(&broker), "127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let token = client.token();
+    let id = client.subscribe(vec![eq_pred("k", 1)]).unwrap();
+
+    // Stay silent past the deadline: the server must cut us loose.
+    let severed = client.next_notify(Duration::from_secs(5));
+    assert!(
+        severed.is_err(),
+        "silent connection must be severed, got {severed:?}"
+    );
+    assert_eq!(server.status().attached, 0, "connection detached");
+    assert_eq!(server.status().sessions, 1, "session survives the sever");
+
+    // The session resumes intact on a fresh connection.
+    let resumed = Client::resume(server.local_addr(), token).unwrap();
+    assert_eq!(resumed.resumed(), &[id]);
+    server.shutdown();
+}
+
+/// Pings are activity: a client that heartbeats inside the idle deadline
+/// stays attached indefinitely, and the ping round-trips a nonce without
+/// disturbing the notify stream.
+#[test]
+fn pings_keep_an_idle_connection_alive() {
+    let broker = Arc::new(SharedBroker::new(EngineKind::Counting, 2));
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(10),
+        idle_deadline: Some(Duration::from_millis(80)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with(Arc::clone(&broker), "127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.subscribe(vec![eq_pred("k", 9)]).unwrap();
+
+    // Heartbeat for several deadline-multiples of wall time.
+    for _ in 0..10 {
+        thread::sleep(Duration::from_millis(30));
+        client.ping().expect("heartbeat");
+    }
+    assert_eq!(server.status().attached, 1, "heartbeats count as activity");
+
+    // The connection is still fully functional end to end.
+    assert_eq!(client.publish(event("k", 9)).unwrap(), 1);
+    let n = client
+        .next_notify(Duration::from_secs(5))
+        .unwrap()
+        .expect("delivery after heartbeats");
+    assert_eq!(n.ids.len(), 1);
+    server.shutdown();
+}

@@ -2,7 +2,8 @@
 # Repository gate: formatting, lints, release build, full test suite.
 #
 # Usage: scripts/check.sh [--online] [--bench-smoke] [--chaos] [--durability]
-#                         [--contention] [--net] [--replication] [--bless]
+#                         [--contention] [--net] [--replication] [--sessions]
+#                         [--bless]
 #
 # Lanes
 #   (default)      fmt + clippy + release build + tests with default features,
@@ -50,6 +51,15 @@
 #                  `serve`, a `--follow` replica, netload against the
 #                  leader, poll `repl status --json` until lag reaches 0,
 #                  and `promote` the replica.
+#   --sessions     durable-session lane: the session WAL/broker suites and
+#                  the kill-the-server-at-any-frame restart + failover
+#                  resume sweeps with --features faults,metrics (bounded by
+#                  PROPTEST_CASES and FP_SWEEP_STRIDE), then a release
+#                  loopback smoke: `serve --durable`, a netload run,
+#                  SIGKILL the server mid-run, restart it on the same
+#                  address and WAL dir, and require the run to complete —
+#                  every client must ride through the restart by resuming
+#                  its durable session.
 #   --bless        regenerate the golden fixtures (tests/golden/*: the
 #                  MetricsSnapshot JSON schema and the WAL on-disk format
 #                  pins) from the current code by running the golden tests
@@ -78,6 +88,7 @@ DURABILITY=0
 CONTENTION=0
 NET=0
 REPLICATION=0
+SESSIONS=0
 BLESS=0
 for arg in "$@"; do
     case "$arg" in
@@ -88,9 +99,10 @@ for arg in "$@"; do
         --contention) CONTENTION=1 ;;
         --net) NET=1 ;;
         --replication) REPLICATION=1 ;;
+        --sessions) SESSIONS=1 ;;
         --bless) BLESS=1 ;;
         *)
-            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --net --replication --bless)" >&2
+            echo "unknown flag: $arg (known: --online --bench-smoke --chaos --durability --contention --net --replication --sessions --bless)" >&2
             exit 2
             ;;
     esac
@@ -168,9 +180,9 @@ fi
 
 if [[ "$NET" == 1 ]]; then
     echo "==> cargo test -p pubsub-net (protocol, e2e differential, reconnect sweep)"
-    cargo test ${OFFLINE} -p pubsub-net
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test ${OFFLINE} -p pubsub-net
     echo "==> cargo test -p pubsub-net (--features faults,metrics: chaos with injection live)"
-    cargo test ${OFFLINE} -p pubsub-net --features faults,metrics
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test ${OFFLINE} -p pubsub-net --features faults,metrics
     echo "==> netload smoke on loopback (release)"
     cargo build ${OFFLINE} --release -p pubsub-cli
     NET_ADDR="127.0.0.1:7939"
@@ -193,7 +205,8 @@ if [[ "$REPLICATION" == 1 ]]; then
         --features pubsub-types/faults,pubsub-types/metrics replication
     cargo test ${OFFLINE} -p pubsub-broker \
         --features pubsub-types/faults,pubsub-types/metrics --test replication
-    cargo test ${OFFLINE} -p pubsub-net --features faults,metrics \
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test ${OFFLINE} -p pubsub-net \
+        --features faults,metrics \
         --test replication --test session_gc --test chaos
     echo "==> leader/follower loopback smoke (release)"
     cargo build ${OFFLINE} --release -p pubsub-cli
@@ -250,6 +263,58 @@ if [[ "$REPLICATION" == 1 ]]; then
     kill "$LEADER_PID" 2>/dev/null || true
     wait "$LEADER_PID" 2>/dev/null || true
     rm -rf "$REPL_DIR"
+fi
+
+if [[ "$SESSIONS" == 1 ]]; then
+    echo "==> session WAL/broker suites (--features faults,metrics)"
+    cargo test ${OFFLINE} -p pubsub-broker \
+        --features pubsub-types/faults,pubsub-types/metrics --test sessions
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" cargo test ${OFFLINE} -p pubsub-durability \
+        --features pubsub-types/faults,pubsub-types/metrics --test wal_recovery
+    echo "==> restart + failover resume sweeps (--features faults,metrics)"
+    PROPTEST_CASES="${PROPTEST_CASES:-64}" FP_SWEEP_STRIDE="${FP_SWEEP_STRIDE:-1}" \
+        cargo test ${OFFLINE} -p pubsub-net --features faults,metrics \
+        --test restart_resume --test session_gc
+    echo "==> SIGKILL-the-server netload smoke (release)"
+    cargo build ${OFFLINE} --release -p pubsub-cli
+    SESS_DIR="$(mktemp -d)"
+    SESS_ADDR="127.0.0.1:7943"
+    SESS_RESTART_PID=""
+    target/release/pubsub serve counting --addr "$SESS_ADDR" \
+        --durable "$SESS_DIR/wal" < /dev/null &
+    SESS_PID=$!
+    trap 'kill -9 $SESS_PID $SESS_RESTART_PID 2>/dev/null || true; rm -rf "$SESS_DIR"' EXIT
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/7943") 2>/dev/null; then break; fi
+        sleep 0.1
+    done
+    # A run long enough to straddle the kill/restart window below; every
+    # client carries the default reconnect policy, so completing the run
+    # requires resuming durable sessions on the restarted server.
+    target/release/pubsub netload --addr "$SESS_ADDR" --subscribers 2 --subs 4 \
+        --events 100000 > "$SESS_DIR/netload.out" &
+    SESS_LOAD_PID=$!
+    sleep 0.7
+    kill -9 "$SESS_PID" 2>/dev/null || true
+    wait "$SESS_PID" 2>/dev/null || true
+    sleep 0.5 # a real outage window: clients must retry through it
+    for _ in $(seq 1 20); do
+        target/release/pubsub serve counting --addr "$SESS_ADDR" \
+            --durable "$SESS_DIR/wal" < /dev/null &
+        SESS_RESTART_PID=$!
+        sleep 0.2
+        if kill -0 "$SESS_RESTART_PID" 2>/dev/null; then break; fi
+        wait "$SESS_RESTART_PID" 2>/dev/null || true
+    done
+    if ! wait "$SESS_LOAD_PID"; then
+        echo "sessions smoke: netload did not ride through the SIGKILL restart" >&2
+        cat "$SESS_DIR/netload.out" >&2
+        exit 1
+    fi
+    cat "$SESS_DIR/netload.out"
+    kill "$SESS_RESTART_PID" 2>/dev/null || true
+    wait "$SESS_RESTART_PID" 2>/dev/null || true
+    rm -rf "$SESS_DIR"
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

@@ -55,6 +55,14 @@ fn golden_snapshot() -> MetricsSnapshot {
                 value: 9000,
             },
             CounterEntry {
+                name: "net.server.pings".into(),
+                value: 11,
+            },
+            CounterEntry {
+                name: "net.server.sessions_restored".into(),
+                value: 3,
+            },
+            CounterEntry {
                 name: "rcu.reclaim_deferred".into(),
                 value: 2,
             },
@@ -85,6 +93,10 @@ fn golden_snapshot() -> MetricsSnapshot {
             CounterEntry {
                 name: "wal.rotations".into(),
                 value: 2,
+            },
+            CounterEntry {
+                name: "wal.session_records".into(),
+                value: 4,
             },
         ],
         histograms: vec![

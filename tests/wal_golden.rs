@@ -34,8 +34,8 @@ fn temp_dir(name: &str) -> PathBuf {
 }
 
 /// A fixed op sequence covering every record tag, with a string-valued
-/// equality, a range predicate, a finite validity, an unsubscribe and a
-/// clock advance.
+/// equality, a range predicate, a finite validity, an unsubscribe, a
+/// clock advance and the four session records (create/bind/release/reap).
 fn golden_ops() -> Vec<WalOp> {
     let eq_sub = Subscription::builder()
         .eq(AttrId(0), Value::Str(Symbol(0)))
@@ -63,6 +63,16 @@ fn golden_ops() -> Vec<WalOp> {
         },
         WalOp::Unsubscribe(SubscriptionId(0)),
         WalOp::AdvanceTo(LogicalTime(5)),
+        WalOp::SessionCreate { token: 1 },
+        WalOp::SessionBind {
+            token: 1,
+            id: SubscriptionId(1),
+        },
+        WalOp::SessionRelease {
+            token: 1,
+            id: SubscriptionId(1),
+        },
+        WalOp::SessionReap { token: 1 },
     ]
 }
 
